@@ -1,0 +1,258 @@
+// Package main_test holds the benchmark harness: one testing.B benchmark
+// per evaluation artifact of the paper (see DESIGN.md §2 for the experiment
+// index). Each benchmark regenerates its artifact end-to-end — workload,
+// sweep, baselines — so `go test -bench .` reproduces every figure's data.
+//
+// Reported metrics: ns/op for the full artifact regeneration, plus custom
+// ReportMetric series for the headline lifetimes so shapes are visible in
+// bench output.
+package main_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fortress/internal/attack"
+	"fortress/internal/experiments"
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/memlayout"
+	"fortress/internal/model"
+	"fortress/internal/service"
+	"fortress/internal/xrand"
+)
+
+// benchTrials keeps Monte-Carlo budgets benchmark-sized; the CLI uses
+// larger defaults for publication-quality confidence intervals.
+const benchTrials = 20000
+
+// BenchmarkFigure1 regenerates E1: the Figure 1 EL-vs-α comparison of
+// S0SO, S1SO, S1PO, S2PO and S0PO (analytic + Monte-Carlo cross-check).
+func BenchmarkFigure1(b *testing.B) {
+	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
+	var results []experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.Figure1(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Surface the α=0.001 column as metrics.
+	for _, r := range results {
+		if r.Alpha == 0.001 {
+			b.ReportMetric(r.EL(), "EL("+r.System+")@a=1e-3")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates E2: EL of S2PO as κ varies.
+func BenchmarkFigure2(b *testing.B) {
+	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
+	var results []experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.Figure2(cfg, []float64{0.001}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		switch r.Kappa {
+		case 0, 0.5, 1:
+			b.ReportMetric(r.EL(), fmt.Sprintf("EL(S2PO)@k=%g", r.Kappa))
+		}
+	}
+}
+
+// BenchmarkOrderingChain regenerates E3: the §6 summary ordering
+// S0PO → S2PO → S1PO → S1SO → S0SO.
+func BenchmarkOrderingChain(b *testing.B) {
+	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
+	var rep experiments.OrderingReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.OrderingChain(cfg, 0.001, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Holds {
+			b.Fatalf("ordering chain broken: %s", rep.Detail)
+		}
+	}
+	for i, name := range rep.Order {
+		b.ReportMetric(rep.ELs[i], "EL("+name+")")
+	}
+}
+
+// BenchmarkFortify regenerates E4: fortified PB under SO vs proactively
+// recovered SMR, the background [7] claim the paper builds on.
+func BenchmarkFortify(b *testing.B) {
+	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
+	var rows []experiments.FortifyComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fortify(cfg, 0.001, []float64{0, 0.5, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.S2SO, fmt.Sprintf("EL(S2SO)@k=%g", r.Kappa))
+	}
+	b.ReportMetric(rows[0].S0SO, "EL(S0SO)")
+}
+
+// BenchmarkDerandomization regenerates E5: phase-1 probe cost of the
+// [10, 12] de-randomization attack against a directly exposed forking
+// server — the baseline FORTRESS removes.
+func BenchmarkDerandomization(b *testing.B) {
+	space, err := keyspace.NewSpace(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	var totalProbes uint64
+	for i := 0; i < b.N; i++ {
+		daemon := memlayout.NewForkingDaemon(space, rng.Split())
+		res, err := attack.Derandomize(space, daemon, rng.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Compromised {
+			b.Fatal("attack failed")
+		}
+		totalProbes += res.ProbesUsed
+	}
+	b.ReportMetric(float64(totalProbes)/float64(b.N), "probes/compromise")
+}
+
+// BenchmarkCampaignSOvsPO regenerates the executable-stack half of E5: a
+// full campaign against a live FORTRESS deployment, once per obfuscation
+// regime, on a small key space.
+func BenchmarkCampaignSOvsPO(b *testing.B) {
+	for _, po := range []bool{false, true} {
+		name := "SO"
+		if po {
+			name = "PO"
+		}
+		b.Run(name, func(b *testing.B) {
+			var totalSteps uint64
+			for i := 0; i < b.N; i++ {
+				space, err := keyspace.NewSpace(24)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys, err := fortress.New(fortress.Config{
+					Servers:           3,
+					Proxies:           3,
+					Space:             space,
+					Seed:              uint64(i) + 1,
+					ServiceFactory:    func() service.Service { return service.NewKV() },
+					HeartbeatInterval: 5 * time.Millisecond,
+					HeartbeatTimeout:  50 * time.Millisecond,
+					ServerTimeout:     time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := attack.Campaign(sys, space, attack.CampaignConfig{
+					OmegaDirect:   2,
+					OmegaIndirect: 1,
+					MaxSteps:      60,
+					Rerandomize:   po,
+				}, xrand.New(uint64(i)+100))
+				sys.Stop()
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSteps += res.StepsElapsed
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "lifetime-steps")
+		})
+	}
+}
+
+// BenchmarkLaunchPadAblation quantifies the λ design knob from DESIGN.md
+// §5: how the same-step launch-pad fraction moves EL(S2PO).
+func BenchmarkLaunchPadAblation(b *testing.B) {
+	for _, lp := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("lambda=%g", lp), func(b *testing.B) {
+			var el float64
+			for i := 0; i < b.N; i++ {
+				p := model.DefaultParams(0.01, 0.2)
+				p.LaunchPadFraction = lp
+				var err error
+				el, err = model.S2PO{P: p}.AnalyticEL()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(el, "EL(S2PO)")
+		})
+	}
+}
+
+// BenchmarkChiSweep regenerates E7 (extension): EL sensitivity to key
+// entropy, 12..20 bits, for the two headline PO systems. The paper fixes
+// χ = 2¹⁶; this sweep shows the shape is entropy-scaled, not entropy-bound.
+func BenchmarkChiSweep(b *testing.B) {
+	for _, bits := range []uint{12, 16, 20} {
+		b.Run(fmt.Sprintf("chi=2^%d", bits), func(b *testing.B) {
+			var s1, s2 float64
+			for i := 0; i < b.N; i++ {
+				p := model.DefaultParams(0.001, 0.5)
+				p.Chi = 1 << bits
+				var err error
+				s1, err = (model.S1PO{P: p}).AnalyticEL()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s2, err = (model.S2PO{P: p}).AnalyticEL()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(s1, "EL(S1PO)")
+			b.ReportMetric(s2, "EL(S2PO)")
+		})
+	}
+}
+
+// BenchmarkStaggeredObfuscation quantifies the §2.3 extension: how much
+// lifetime Roeder–Schneider-style batched re-randomization costs S0
+// relative to the paper's idealized instantaneous re-randomization.
+func BenchmarkStaggeredObfuscation(b *testing.B) {
+	p := model.DefaultParams(0.01, 0)
+	rng := xrand.New(7)
+	var stag model.Estimate
+	for i := 0; i < b.N; i++ {
+		var err error
+		stag, err = model.EstimateSO(model.S0Staggered{P: p}, benchTrials, rng.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ideal, err := (model.S0PO{P: p}).AnalyticEL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(stag.EL, "EL(staggered)")
+	b.ReportMetric(ideal, "EL(ideal-PO)")
+	b.ReportMetric(ideal/stag.EL, "ideal/staggered")
+}
+
+// BenchmarkAlphaGrowth regenerates E6: the SO-vs-PO per-step success
+// probability table.
+func BenchmarkAlphaGrowth(b *testing.B) {
+	var rows []experiments.AlphaGrowthRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AlphaGrowth(0.001, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].AlphaSO/rows[0].AlphaPO, "alpha500/alpha1")
+}

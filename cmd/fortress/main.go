@@ -1,0 +1,291 @@
+// Command fortress regenerates the paper's evaluation artifacts and runs
+// the executable FORTRESS demos.
+//
+// Usage:
+//
+//	fortress fig1 [-trials N] [-seed S]           Figure 1: EL vs α
+//	fortress fig2 [-trials N] [-seed S]           Figure 2: EL of S2PO vs κ
+//	fortress ordering [-alpha A] [-kappa K]       §6 resilience chain check
+//	fortress fortify [-alpha A] [-trials N]       E4: S2SO vs S0SO across κ
+//	fortress alphas [-alpha A] [-steps N]         E6: αᵢ growth, SO vs PO
+//	fortress demo                                 end-to-end FORTRESS service
+//	fortress attack [-chi N] [-steps N] [-po]     campaign vs live deployment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fortress/internal/attack"
+	"fortress/internal/experiments"
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/service"
+	"fortress/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fortress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack")
+	}
+	switch args[0] {
+	case "fig1":
+		return runFig1(args[1:])
+	case "fig2":
+		return runFig2(args[1:])
+	case "ordering":
+		return runOrdering(args[1:])
+	case "fortify":
+		return runFortify(args[1:])
+	case "alphas":
+		return runAlphas(args[1:])
+	case "demo":
+		return runDemo(args[1:])
+	case "attack":
+		return runAttack(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func commonFlags(fs *flag.FlagSet) (trials *uint64, seed *uint64) {
+	trials = fs.Uint64("trials", 100000, "Monte-Carlo trials per cell (0 = analytic only)")
+	seed = fs.Uint64("seed", 1, "simulation seed")
+	return trials, seed
+}
+
+func runFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ContinueOnError)
+	trials, seed := commonFlags(fs)
+	csvPath := fs.String("csv", "", "also write the series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	results, err := experiments.Figure1(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 1 — expected lifetime comparison (κ =", experiments.Figure1Kappa, "for S2PO)")
+	fmt.Print(experiments.FormatResults(results))
+	return writeCSVFile(*csvPath, results)
+}
+
+func runFig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	trials, seed := commonFlags(fs)
+	csvPath := fs.String("csv", "", "also write the series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	results, err := experiments.Figure2(cfg, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 2 — EL of S2PO as κ varies (plot on a log scale)")
+	fmt.Print(experiments.FormatResults(results))
+	return writeCSVFile(*csvPath, results)
+}
+
+// writeCSVFile writes results to path, or does nothing for an empty path.
+func writeCSVFile(path string, results []experiments.Result) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := experiments.WriteCSV(f, results); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Println("# CSV written to", path)
+	return nil
+}
+
+func runOrdering(args []string) error {
+	fs := flag.NewFlagSet("ordering", flag.ContinueOnError)
+	alpha := fs.Float64("alpha", 0.001, "per-step direct-attack success probability α")
+	kappa := fs.Float64("kappa", 0.5, "indirect attack coefficient κ")
+	trials, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	rep, err := experiments.OrderingChain(cfg, *alpha, *kappa)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# §6 ordering chain at α=%g κ=%g\n", rep.Alpha, rep.Kappa)
+	for i, name := range rep.Order {
+		fmt.Printf("%d. %-5s EL=%.6g\n", i+1, name, rep.ELs[i])
+	}
+	fmt.Println(rep.Detail)
+	return nil
+}
+
+func runFortify(args []string) error {
+	fs := flag.NewFlagSet("fortify", flag.ContinueOnError)
+	alpha := fs.Float64("alpha", 0.001, "per-step direct-attack success probability α")
+	trials, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	rows, err := experiments.Fortify(cfg, *alpha, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# E4 — fortified PB (S2SO) vs proactively recovered SMR (S0SO) at α=%g\n", *alpha)
+	fmt.Printf("%-6s %-14s %-10s %-14s %s\n", "kappa", "EL(S2SO)", "±", "EL(S0SO)", "S2SO outlives?")
+	for _, r := range rows {
+		fmt.Printf("%-6g %-14.6g %-10.3g %-14.6g %v\n", r.Kappa, r.S2SO, r.S2SOCI, r.S0SO, r.Outlive)
+	}
+	return nil
+}
+
+func runAlphas(args []string) error {
+	fs := flag.NewFlagSet("alphas", flag.ContinueOnError)
+	alpha := fs.Float64("alpha", 0.001, "initial per-step success probability α₁")
+	steps := fs.Int("steps", 20, "steps to tabulate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.AlphaGrowth(*alpha, *steps)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# E6 — per-step success probability: SO grows (sampling without")
+	fmt.Println("# replacement), PO is flat (sampling with replacement)")
+	fmt.Printf("%-6s %-14s %-14s\n", "step", "alpha_SO", "alpha_PO")
+	for _, r := range rows {
+		fmt.Printf("%-6d %-14.8f %-14.8f\n", r.Step, r.AlphaSO, r.AlphaPO)
+	}
+	return nil
+}
+
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	space, err := keyspace.NewSpace(1 << 16)
+	if err != nil {
+		return err
+	}
+	sys, err := fortress.New(fortress.Config{
+		Servers:           3,
+		Proxies:           3,
+		Space:             space,
+		Seed:              uint64(time.Now().UnixNano()),
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+		ServerTimeout:     2 * time.Second,
+		DetectorWindow:    time.Minute,
+		DetectorThreshold: 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Stop()
+
+	client, err := sys.Client("demo-client", 2*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("FORTRESS up: 3 PB servers (shared key), 3 proxies (distinct keys), trusted NS")
+	if _, err := client.Invoke("w1", []byte(`{"op":"put","key":"motto","value":"fortify, then randomize"}`)); err != nil {
+		return err
+	}
+	got, err := client.Invoke("r1", []byte(`{"op":"get","key":"motto"}`))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("write+read through doubly-signed path: %s\n", got)
+
+	fmt.Println("re-randomizing (proactive obfuscation epoch)...")
+	if err := sys.Rerandomize(); err != nil {
+		return err
+	}
+	client2, err := sys.Client("demo-client-2", 2*time.Second)
+	if err != nil {
+		return err
+	}
+	got, err = client2.Invoke("r2", []byte(`{"op":"get","key":"motto"}`))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state preserved across epoch %d: %s\n", sys.Epoch(), got)
+	return nil
+}
+
+func runAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	chi := fs.Uint64("chi", 64, "key space size χ (small so the demo terminates)")
+	steps := fs.Uint64("steps", 200, "campaign horizon in unit time-steps")
+	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
+	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
+	omegaI := fs.Uint64("omega-indirect", 1, "indirect probes per step")
+	seed := fs.Uint64("seed", uint64(time.Now().UnixNano()), "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	space, err := keyspace.NewSpace(*chi)
+	if err != nil {
+		return err
+	}
+	sys, err := fortress.New(fortress.Config{
+		Servers:           3,
+		Proxies:           3,
+		Space:             space,
+		Seed:              *seed,
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  50 * time.Millisecond,
+		ServerTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Stop()
+
+	mode := "SO (start-up-only randomization)"
+	if *po {
+		mode = "PO (re-randomize every step)"
+	}
+	fmt.Printf("campaign vs live FORTRESS: χ=%d, ω_direct=%d, ω_indirect=%d, %s\n",
+		*chi, *omegaD, *omegaI, mode)
+	res, err := attack.Campaign(sys, space, attack.CampaignConfig{
+		OmegaDirect:   *omegaD,
+		OmegaIndirect: *omegaI,
+		MaxSteps:      *steps,
+		Rerandomize:   *po,
+	}, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	if res.Compromised {
+		fmt.Printf("system COMPROMISED after %d whole steps via route %q\n", res.StepsElapsed, res.Route)
+	} else {
+		fmt.Printf("system SURVIVED the full %d-step horizon\n", res.StepsElapsed)
+	}
+	report := []string{
+		fmt.Sprintf("epochs completed: %d", sys.Epoch()),
+		fmt.Sprintf("final status: %+v", sys.Status()),
+	}
+	fmt.Println(strings.Join(report, "\n"))
+	return nil
+}

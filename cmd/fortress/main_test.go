@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunFig1AnalyticOnly(t *testing.T) {
+	if err := run([]string{"fig1", "-trials", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig2AnalyticOnly(t *testing.T) {
+	if err := run([]string{"fig2", "-trials", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOrdering(t *testing.T) {
+	if err := run([]string{"ordering", "-trials", "0", "-alpha", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFortify(t *testing.T) {
+	if err := run([]string{"fortify", "-trials", "5000", "-alpha", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAlphas(t *testing.T) {
+	if err := run([]string{"alphas", "-steps", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"alphas", "-alpha", "-3"}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"demo"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAttack(t *testing.T) {
+	if err := run([]string{"attack", "-chi", "16", "-steps", "40", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAttackPO(t *testing.T) {
+	if err := run([]string{"attack", "-chi", "12", "-steps", "8", "-po", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagErrorsSurface(t *testing.T) {
+	err := run([]string{"fig1", "-trials", "not-a-number"})
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("flag parse error not surfaced: %v", err)
+	}
+}
+
+func TestRunFig1CSV(t *testing.T) {
+	path := t.TempDir() + "/fig1.csv"
+	if err := run([]string{"fig1", "-trials", "0", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "system,alpha,kappa") {
+		t.Fatalf("csv header wrong: %.60s", data)
+	}
+	if !strings.Contains(string(data), "S2PO") {
+		t.Fatal("csv missing S2PO series")
+	}
+}

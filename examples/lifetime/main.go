@@ -1,0 +1,74 @@
+// Lifetime: regenerate the paper's Figure 1 and Figure 2 series and check
+// the §6 trends, printing paper-vs-measured shape assertions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fortress/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := experiments.Config{Trials: 50000, Seed: 2026, LaunchPadFraction: -1}
+
+	fmt.Println("=== Figure 1: expected lifetime vs α (κ=0.5 for S2PO) ===")
+	fig1, err := experiments.Figure1(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatResults(fig1))
+
+	fmt.Println("\n=== Figure 2: EL of S2PO vs κ (log scale when plotted) ===")
+	fig2, err := experiments.Figure2(cfg, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatResults(fig2))
+
+	fmt.Println("\n=== §6 trends, paper vs measured ===")
+	for _, alpha := range []float64{0.0001, 0.001, 0.01} {
+		rep, err := experiments.OrderingChain(cfg, alpha, 0.5)
+		if err != nil {
+			return err
+		}
+		verdict := "REPRODUCED"
+		if !rep.Holds {
+			verdict = "NOT reproduced"
+		}
+		fmt.Printf("α=%-7g S0PO→S2PO→S1PO→S1SO→S0SO: %s (%s)\n", alpha, verdict, rep.Detail)
+	}
+
+	// The κ crossover: S2PO vs S1PO flips somewhere above κ=0.9.
+	fmt.Println("\n=== S2PO vs S1PO crossover in κ (paper: S2PO wins for κ ≤ 0.9) ===")
+	for _, kappa := range []float64{0.5, 0.9, 0.95, 1.0} {
+		rows, err := experiments.Figure2(experiments.Config{Trials: 0, Seed: 1, LaunchPadFraction: -1},
+			[]float64{0.01}, []float64{kappa})
+		if err != nil {
+			return err
+		}
+		s1Rows, err := experiments.Figure1(experiments.Config{Trials: 0, Seed: 1, LaunchPadFraction: -1},
+			[]float64{0.01})
+		if err != nil {
+			return err
+		}
+		var s1 float64
+		for _, r := range s1Rows {
+			if r.System == "S1PO" {
+				s1 = r.EL()
+			}
+		}
+		winner := "S2PO"
+		if rows[0].EL() <= s1 {
+			winner = "S1PO"
+		}
+		fmt.Printf("κ=%-5g EL(S2PO)=%.6g EL(S1PO)=%.6g → %s wins\n", kappa, rows[0].EL(), s1, winner)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Quickstart: stand up a FORTRESS-fortified primary-backup KV service
+// in-process, run requests end-to-end through the doubly-signed proxy path,
+// and survive a proactive-obfuscation epoch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// χ = 2¹⁶ mirrors PaX-style ASLR entropy on 32-bit machines — the
+	// configuration the paper evaluates.
+	space, err := keyspace.NewSpace(1 << 16)
+	if err != nil {
+		return err
+	}
+
+	sys, err := fortress.New(fortress.Config{
+		Servers:           3, // primary-backup tier, identically randomized
+		Proxies:           3, // distinct keys; clients never see servers
+		Space:             space,
+		Seed:              42,
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+		ServerTimeout:     2 * time.Second,
+		DetectorWindow:    time.Minute,
+		DetectorThreshold: 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Stop()
+	fmt.Println("FORTRESS deployed: 3 PB servers + 3 proxies + trusted name server")
+
+	// Clients read the name server snapshot: proxy addresses and keys,
+	// server indices and keys — never server addresses.
+	client, err := sys.Client("quickstart-client", 2*time.Second)
+	if err != nil {
+		return err
+	}
+
+	// Every request fans out to all proxies; each response carries a
+	// server signature over-signed by a proxy, and the client verifies
+	// both before accepting.
+	for _, req := range []struct{ id, body string }{
+		{"w1", `{"op":"put","key":"paper","value":"DSN 2010"}`},
+		{"w2", `{"op":"put","key":"system","value":"FORTRESS"}`},
+		{"r1", `{"op":"get","key":"paper"}`},
+	} {
+		resp, err := client.Invoke(req.id, []byte(req.body))
+		if err != nil {
+			return fmt.Errorf("invoke %s: %w", req.id, err)
+		}
+		fmt.Printf("  %s -> %s\n", req.body, resp)
+	}
+
+	// One proactive-obfuscation period boundary: every node reboots with a
+	// fresh randomization key; service state survives via the PB snapshot.
+	fmt.Println("re-randomizing all nodes (proactive obfuscation)...")
+	if err := sys.Rerandomize(); err != nil {
+		return err
+	}
+	client2, err := sys.Client("quickstart-client-2", 2*time.Second)
+	if err != nil {
+		return err
+	}
+	resp, err := client2.Invoke("r2", []byte(`{"op":"get","key":"system"}`))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after epoch %d, state preserved: %s\n", sys.Epoch(), resp)
+	return nil
+}

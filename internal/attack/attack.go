@@ -1,0 +1,313 @@
+// Package attack implements the attacker machinery of §2.1 and §4.2
+// against the executable stack: the classic two-phase de-randomization
+// attack over a direct connection (as in [10, 12]), and the full campaign
+// against a FORTRESS deployment combining direct proxy probes, paced
+// indirect server probes, and the captured-proxy launch pad.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fortress/internal/exploit"
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/memlayout"
+	"fortress/internal/netsim"
+	"fortress/internal/proxy"
+	"fortress/internal/xrand"
+)
+
+// DirectResult reports a completed two-phase de-randomization attack
+// against a directly accessible forking server.
+type DirectResult struct {
+	// ProbesUsed counts phase-1 probes (each one crashed a child).
+	ProbesUsed uint64
+	// Compromised reports phase-2 success.
+	Compromised bool
+}
+
+// Derandomize runs the [10, 12] attack against a forking daemon the
+// attacker can reach directly: probe candidate keys one by one — each
+// wrong guess crashes a child, observably, and the daemon forks a fresh
+// one — until a guess compromises the child.
+func Derandomize(space *keyspace.Space, daemon *memlayout.ForkingDaemon, rng *xrand.RNG) (DirectResult, error) {
+	guesser, err := keyspace.NewGuesser(space, rng)
+	if err != nil {
+		return DirectResult{}, fmt.Errorf("attack: %w", err)
+	}
+	var res DirectResult
+	for {
+		guess, ok := guesser.NextCandidate()
+		if !ok {
+			return res, errors.New("attack: key space exhausted without compromise")
+		}
+		outcome, err := daemon.DeliverExploit(guess)
+		if err != nil {
+			return res, fmt.Errorf("attack: deliver: %w", err)
+		}
+		if outcome == memlayout.ProbeCompromised {
+			res.Compromised = true
+			return res, nil
+		}
+		// ProbeCrashed: candidate eliminated, daemon forks a new child.
+		res.ProbesUsed++
+	}
+}
+
+// DerandomizeOverNetwork runs the same attack with the crash oracle
+// realized over the network: the attacker dials the victim, delivers one
+// probe, and watches whether its connection closes (victim crashed → wrong
+// guess) or a reply arrives (right guess → compromised).
+//
+// deliver sends one exploit payload on the connection; it is the transport
+// glue the caller provides (e.g. wrapping the payload in the victim's
+// request format).
+func DerandomizeOverNetwork(
+	space *keyspace.Space,
+	net *netsim.Network,
+	attackerAddr, victimAddr string,
+	deliver func(conn *netsim.Conn, probe []byte) error,
+	rng *xrand.RNG,
+) (DirectResult, error) {
+	guesser, err := keyspace.NewGuesser(space, rng)
+	if err != nil {
+		return DirectResult{}, fmt.Errorf("attack: %w", err)
+	}
+	var res DirectResult
+	for {
+		guess, ok := guesser.NextCandidate()
+		if !ok {
+			return res, errors.New("attack: key space exhausted without compromise")
+		}
+		conn, err := dialWithRetry(net, attackerAddr, victimAddr)
+		if err != nil {
+			return res, fmt.Errorf("attack: dial victim: %w", err)
+		}
+		if err := deliver(conn, exploit.NewPayload(exploit.TierServer, guess)); err != nil {
+			conn.Close()
+			return res, fmt.Errorf("attack: deliver: %w", err)
+		}
+		// The crash oracle: victim death closes the connection before any
+		// reply; survival produces a reply.
+		_, recvErr := conn.Recv()
+		conn.Close()
+		if recvErr == nil {
+			res.Compromised = true
+			return res, nil
+		}
+		res.ProbesUsed++
+	}
+}
+
+// dialWithRetry dials the victim, retrying briefly: right after a crash the
+// forking daemon needs a moment to bring the service back, and a real
+// attacker simply reconnects until it does.
+func dialWithRetry(net *netsim.Network, from, to string) (*netsim.Conn, error) {
+	const (
+		attempts = 500
+		backoff  = time.Millisecond
+	)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.Dial(from, to)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+	}
+	return nil, lastErr
+}
+
+// --- FORTRESS campaign --------------------------------------------------
+
+// CampaignConfig tunes a full attack on a FORTRESS deployment.
+type CampaignConfig struct {
+	// OmegaDirect is the probe budget per unit time-step for direct proxy
+	// attacks (and for launch-pad server attacks once a proxy falls).
+	OmegaDirect uint64
+	// OmegaIndirect is the paced budget for server probes through proxies
+	// (κ·ω in the model; the attacker throttles it to stay under the
+	// detector threshold).
+	OmegaIndirect uint64
+	// MaxSteps bounds the campaign.
+	MaxSteps uint64
+	// Rerandomize re-randomizes the target after every step (PO) when
+	// true; otherwise the system keeps its start-up keys (SO).
+	Rerandomize bool
+}
+
+func (c CampaignConfig) validate() error {
+	if c.MaxSteps == 0 {
+		return errors.New("attack: campaign needs MaxSteps")
+	}
+	if c.OmegaDirect == 0 && c.OmegaIndirect == 0 {
+		return errors.New("attack: campaign needs a probe budget")
+	}
+	return nil
+}
+
+// CampaignResult reports a campaign outcome.
+type CampaignResult struct {
+	// StepsElapsed is the number of whole unit time-steps completed before
+	// compromise — the empirical lifetime (Definition 7).
+	StepsElapsed uint64
+	// Compromised reports whether the system fell within MaxSteps.
+	Compromised bool
+	// Route records how it fell: "server-indirect", "server-launchpad" or
+	// "all-proxies".
+	Route string
+}
+
+// Campaign drives a de-randomization campaign against a live FORTRESS
+// system. Each unit time-step the attacker:
+//
+//  1. sends OmegaDirect proxy-targeted probes (request fan-out means one
+//     guess tests every live proxy's key);
+//  2. sends OmegaIndirect server-targeted probes through a surviving proxy;
+//  3. uses any captured proxy as a launch pad for unscreened direct server
+//     probes with the full direct budget.
+//
+// Per-tier guessers carry eliminated-candidate knowledge across steps and
+// are reset whenever the system re-randomizes — the with/without
+// replacement distinction of §4.1, enacted.
+func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, rng *xrand.RNG) (CampaignResult, error) {
+	if err := cfg.validate(); err != nil {
+		return CampaignResult{}, err
+	}
+	proxyGuesser, err := keyspace.NewGuesser(space, rng.Split())
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	serverGuesser, err := keyspace.NewGuesser(space, rng.Split())
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	var res CampaignResult
+	for step := uint64(0); step < cfg.MaxSteps; step++ {
+		route, err := campaignStep(sys, cfg, proxyGuesser, serverGuesser)
+		if err != nil {
+			return res, err
+		}
+		if route != "" {
+			res.Compromised = true
+			res.Route = route
+			res.StepsElapsed = step
+			return res, nil
+		}
+		// Period boundary: PO re-randomizes (attacker knowledge dies with
+		// the keys); SO merely recovers crashed nodes with unchanged keys
+		// (§4.1) — knowledge persists.
+		if cfg.Rerandomize {
+			if err := sys.Rerandomize(); err != nil {
+				return res, err
+			}
+			proxyGuesser.Reset()
+			serverGuesser.Reset()
+		} else if err := sys.Recover(); err != nil {
+			return res, err
+		}
+	}
+	res.StepsElapsed = cfg.MaxSteps
+	return res, nil
+}
+
+// campaignStep runs one unit time-step and returns the compromise route,
+// or "" if the system survived. After every crash-inducing probe the
+// target's forking daemons respawn the dead process (sys.Recover), which is
+// what lets an attacker sustain ω probes per step (§2.1).
+func campaignStep(sys *fortress.System, cfg CampaignConfig, proxyGuesser, serverGuesser *keyspace.Guesser) (string, error) {
+	// Stage 1: direct probes at the proxy tier. Request fan-out: each
+	// guess is delivered to every live proxy.
+	for i := uint64(0); i < cfg.OmegaDirect; i++ {
+		guess, ok := proxyGuesser.NextCandidate()
+		if !ok {
+			break
+		}
+		for _, p := range sys.Proxies() {
+			if p.Crashed() || p.Compromised() {
+				continue
+			}
+			deliverProbe(sys, p, exploit.NewPayload(exploit.TierProxy, guess))
+		}
+		if err := sys.Recover(); err != nil {
+			return "", err
+		}
+	}
+	if st := sys.Status(); st.ProxiesCompromised > 0 && st.Compromised {
+		return "all-proxies", nil
+	}
+
+	// Stage 2: paced indirect probes at the server tier.
+	for i := uint64(0); i < cfg.OmegaIndirect; i++ {
+		guess, ok := serverGuesser.NextCandidate()
+		if !ok {
+			break
+		}
+		deliverIndirectProbe(sys, exploit.NewPayload(exploit.TierServer, guess))
+		if err := sys.Recover(); err != nil {
+			return "", err
+		}
+		if sys.Status().ServersCompromised > 0 {
+			return "server-indirect", nil
+		}
+	}
+
+	// Stage 3: launch pad through the first captured proxy.
+	for _, p := range sys.Proxies() {
+		if !p.Compromised() {
+			continue
+		}
+		for i := uint64(0); i < cfg.OmegaDirect; i++ {
+			guess, ok := serverGuesser.NextCandidate()
+			if !ok {
+				break
+			}
+			_, _ = p.RawForward(0, fmt.Sprintf("lp-%d", i), exploit.NewPayload(exploit.TierServer, guess))
+			if err := sys.Recover(); err != nil {
+				return "", err
+			}
+			if sys.Status().ServersCompromised > 0 {
+				return "server-launchpad", nil
+			}
+		}
+		break // one launch pad suffices
+	}
+
+	if st := sys.Status(); st.Compromised {
+		if st.ServersCompromised > 0 {
+			return "server-indirect", nil
+		}
+		return "all-proxies", nil
+	}
+	return "", nil
+}
+
+// deliverProbe sends one exploit request directly to a proxy and waits for
+// the outcome (reply, block or crash-closure).
+func deliverProbe(sys *fortress.System, p *proxy.Proxy, payload []byte) {
+	conn, err := sys.Net().Dial("attacker", p.Addr())
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	if err := conn.Send(proxy.EncodeRequest("probe", payload)); err != nil {
+		return
+	}
+	_, _ = conn.Recv() // reply, error, or closure — state is read elsewhere
+}
+
+// deliverIndirectProbe sends one server-targeted exploit request through
+// the first live proxy.
+func deliverIndirectProbe(sys *fortress.System, payload []byte) {
+	for _, p := range sys.Proxies() {
+		if p.Crashed() {
+			continue
+		}
+		deliverProbe(sys, p, payload)
+		return
+	}
+}

@@ -1,0 +1,290 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/memlayout"
+	"fortress/internal/netsim"
+	"fortress/internal/service"
+	"fortress/internal/stats"
+	"fortress/internal/xrand"
+)
+
+func space(t *testing.T, chi uint64) *keyspace.Space {
+	t.Helper()
+	s, err := keyspace.NewSpace(chi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDerandomizeSucceeds(t *testing.T) {
+	s := space(t, 1024)
+	rng := xrand.New(1)
+	daemon := memlayout.NewForkingDaemon(s, rng.Split())
+	res, err := Derandomize(s, daemon, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compromised {
+		t.Fatal("attack failed")
+	}
+	if res.ProbesUsed >= s.Chi() {
+		t.Fatalf("needed %d probes for χ=%d", res.ProbesUsed, s.Chi())
+	}
+	if daemon.Respawns() != res.ProbesUsed {
+		t.Fatalf("respawns %d != probes %d — crash accounting wrong", daemon.Respawns(), res.ProbesUsed)
+	}
+}
+
+func TestDerandomizeMeanProbes(t *testing.T) {
+	// Phase-1 cost averages (χ+1)/2 probes — the [10, 12] result.
+	s := space(t, 256)
+	rng := xrand.New(2)
+	var acc stats.Accumulator
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		daemon := memlayout.NewForkingDaemon(s, rng.Split())
+		res, err := Derandomize(s, daemon, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(float64(res.ProbesUsed))
+	}
+	sum := acc.Summarize()
+	want := (float64(s.Chi()) + 1) / 2
+	if !sum.Contains(want, 4) {
+		t.Fatalf("mean probes %v, want ~%v", sum, want)
+	}
+}
+
+func TestDerandomizeOverNetwork(t *testing.T) {
+	// Full network loop: victim is a forking service behind a netsim
+	// listener; a wrong-key probe crashes the child (closing the
+	// attacker's connection — the oracle) and the daemon loop brings a
+	// fresh child, same key, back up for the next probe.
+	s := space(t, 128)
+	rng := xrand.New(3)
+	net := netsim.NewNetwork()
+	key := s.Draw(rng)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go runForkingVictim(net, "victim", key, stop, done)
+	t.Cleanup(func() {
+		close(stop)
+		net.CrashAddr("victim")
+		<-done
+	})
+
+	deliver := func(conn *netsim.Conn, probe []byte) error { return conn.Send(probe) }
+	res, err := DerandomizeOverNetwork(s, net, "attacker", "victim", deliver, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compromised {
+		t.Fatal("network attack failed")
+	}
+	if res.ProbesUsed >= s.Chi() {
+		t.Fatalf("probes %d ≥ χ", res.ProbesUsed)
+	}
+}
+
+// runForkingVictim is a forking daemon over the network: serve connections
+// sequentially; when a probe crashes the child, tear the address down
+// (closing the attacker's connection) and come back with a fresh child
+// under the same key.
+func runForkingVictim(net *netsim.Network, addr string, key keyspace.Key, stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		proc := memlayout.NewProcess(key)
+		l, err := net.Listen(addr)
+		if err != nil {
+			return
+		}
+		crashed := false
+		for !crashed {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed externally: daemon killed
+			}
+			for {
+				raw, rerr := conn.Recv()
+				if rerr != nil {
+					conn.Close()
+					break // attacker moved on; accept the next connection
+				}
+				guess, _, isProbe := exploitParse(raw)
+				if !isProbe {
+					_ = conn.Send([]byte("ok"))
+					continue
+				}
+				res, derr := proc.DeliverExploit(guess)
+				if derr != nil || res == memlayout.ProbeCrashed {
+					// Child died: the whole address goes away, observably.
+					net.CrashAddr(addr)
+					l.Close()
+					crashed = true
+					break
+				}
+				_ = conn.Send([]byte("pwned"))
+			}
+		}
+	}
+}
+
+func TestCampaignConfigValidation(t *testing.T) {
+	sys := buildFortress(t, 64, 0)
+	s := space(t, 64)
+	if _, err := Campaign(sys, s, CampaignConfig{}, xrand.New(1)); err == nil {
+		t.Fatal("zero MaxSteps accepted")
+	}
+	if _, err := Campaign(sys, s, CampaignConfig{MaxSteps: 1}, xrand.New(1)); err == nil {
+		t.Fatal("zero budgets accepted")
+	}
+}
+
+func buildFortress(t *testing.T, chi uint64, detectorThreshold int) *fortress.System {
+	t.Helper()
+	sp := space(t, chi)
+	cfg := fortress.Config{
+		Servers:           3,
+		Proxies:           3,
+		Space:             sp,
+		Seed:              11,
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  30 * time.Millisecond,
+		ServerTimeout:     250 * time.Millisecond,
+	}
+	if detectorThreshold > 0 {
+		cfg.DetectorWindow = time.Hour
+		cfg.DetectorThreshold = detectorThreshold
+	}
+	sys, err := fortress.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+func TestCampaignCompromisesSOSystem(t *testing.T) {
+	// Against a start-up-only system with a tiny key space, the campaign
+	// must win: without-replacement probing exhausts χ quickly.
+	sys := buildFortress(t, 32, 0)
+	s := space(t, 32)
+	res, err := Campaign(sys, s, CampaignConfig{
+		OmegaDirect:   4,
+		OmegaIndirect: 2,
+		MaxSteps:      48,
+		Rerandomize:   false,
+	}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compromised {
+		t.Fatalf("SO campaign failed within %d steps", res.StepsElapsed)
+	}
+	if res.Route == "" {
+		t.Fatal("no route recorded")
+	}
+}
+
+func TestCampaignRouteIsMeaningful(t *testing.T) {
+	sys := buildFortress(t, 16, 0)
+	s := space(t, 16)
+	res, err := Campaign(sys, s, CampaignConfig{
+		OmegaDirect:   2,
+		OmegaIndirect: 1,
+		MaxSteps:      40,
+		Rerandomize:   false,
+	}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compromised {
+		t.Fatal("campaign failed")
+	}
+	switch res.Route {
+	case "server-indirect", "server-launchpad", "all-proxies":
+	default:
+		t.Fatalf("unknown route %q", res.Route)
+	}
+	// The fortress's own status agrees.
+	if !sys.Status().Compromised {
+		t.Fatal("campaign claims compromise, system disagrees")
+	}
+}
+
+func TestCampaignPOOutlivesSO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial campaign comparison skipped in -short")
+	}
+	// Executable-stack validation of the §6 PO-vs-SO trend on a small χ:
+	// with re-randomization the system survives longer on average.
+	const chi = 24
+	const trials = 8
+	lifetime := func(rerandomize bool, seed uint64) uint64 {
+		var total uint64
+		for i := uint64(0); i < trials; i++ {
+			sys := buildFortress(t, chi, 0)
+			s := space(t, chi)
+			res, err := Campaign(sys, s, CampaignConfig{
+				OmegaDirect:   2,
+				OmegaIndirect: 1,
+				MaxSteps:      40,
+				Rerandomize:   rerandomize,
+			}, xrand.New(seed+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.StepsElapsed
+			sys.Stop()
+		}
+		return total
+	}
+	so := lifetime(false, 100)
+	po := lifetime(true, 200)
+	if po <= so {
+		t.Errorf("PO total lifetime %d ≤ SO total lifetime %d across %d trials", po, so, trials)
+	}
+}
+
+func TestCampaignDetectorSlowsIndirectAttack(t *testing.T) {
+	// With a strict detector, indirect probes get the attacker blocked;
+	// the campaign then has to win through the proxy tier, which takes
+	// longer on average (or fails within the horizon).
+	sysOpen := buildFortress(t, 48, 0)
+	sOpen := space(t, 48)
+	open, err := Campaign(sysOpen, sOpen, CampaignConfig{
+		OmegaDirect: 1, OmegaIndirect: 4, MaxSteps: 15, Rerandomize: false,
+	}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysGuard := buildFortress(t, 48, 2) // flag after 2 invalid requests
+	sGuard := space(t, 48)
+	guarded, err := Campaign(sysGuard, sGuard, CampaignConfig{
+		OmegaDirect: 1, OmegaIndirect: 4, MaxSteps: 15, Rerandomize: false,
+	}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open.Compromised {
+		t.Skip("open campaign did not finish; cannot compare")
+	}
+	if guarded.Compromised && guarded.StepsElapsed < open.StepsElapsed {
+		t.Errorf("detector made the attack FASTER: %d vs %d steps",
+			guarded.StepsElapsed, open.StepsElapsed)
+	}
+}

@@ -1,0 +1,11 @@
+package attack
+
+import (
+	"fortress/internal/exploit"
+	"fortress/internal/keyspace"
+)
+
+// exploitParse re-exports exploit.Parse for tests.
+func exploitParse(raw []byte) (keyspace.Key, exploit.Tier, bool) {
+	return exploit.Parse(raw)
+}

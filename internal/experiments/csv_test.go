@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	results := []Result{
+		{System: "S1PO", Alpha: 0.01, Kappa: 0.5, Analytic: 99.0, MC: 98.5, MCCI: 1.2, Trials: 1000},
+		{System: "S2SO", Alpha: 0.01, Kappa: 0.5, Analytic: math.NaN(), MC: 321, MCCI: 2, Trials: 1000},
+		{System: "S0PO", Alpha: 0.0001, Kappa: 0.5, Analytic: math.Inf(1), MC: math.NaN()},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "system,alpha,kappa,analytic_el,mc_el,mc_ci95,trials" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "S1PO,0.01,0.5,99,98.5,1.2,1000") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// NaN analytic renders empty; the two commas are adjacent.
+	if !strings.Contains(lines[2], "S2SO,0.01,0.5,,321,") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], ",inf,") {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}
+
+func TestWriteFortifyCSV(t *testing.T) {
+	rows := []FortifyComparison{
+		{Alpha: 0.001, Kappa: 0, S2SO: 595.2, S2SOCI: 2.1, S0SO: 396.7, Outlive: true},
+		{Alpha: 0.001, Kappa: 1, S2SO: 339.7, S2SOCI: 1.6, S0SO: 396.7, Outlive: false},
+	}
+	var b strings.Builder
+	if err := WriteFortifyCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Fatalf("verdicts missing:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "alpha,kappa,") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestWriteAlphaGrowthCSV(t *testing.T) {
+	rows, err := AlphaGrowth(0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteAlphaGrowthCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Fatalf("first data row = %q", lines[1])
+	}
+}
+
+func TestCSVRoundTripsFigure1(t *testing.T) {
+	results, err := Figure1(Config{Trials: 0, Seed: 1, LaunchPadFraction: -1}, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(results)+1 {
+		t.Fatalf("%d lines for %d results", len(lines), len(results))
+	}
+	for _, sys := range []string{"S0PO", "S2PO", "S1PO", "S1SO", "S0SO"} {
+		if !strings.Contains(b.String(), sys+",") {
+			t.Errorf("system %s missing from CSV", sys)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps Monte-Carlo budgets small for unit tests.
+func fastCfg() Config {
+	return Config{Trials: 20000, Seed: 7, LaunchPadFraction: -1}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	results, err := Figure1(fastCfg(), []float64{0.001, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 systems × 2 alphas.
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byKey := make(map[string]Result)
+	for _, r := range results {
+		byKey[r.System+"@"+formatAlpha(r.Alpha)] = r
+		if r.EL() < 0 || math.IsNaN(r.EL()) {
+			t.Errorf("%s@%v: bad EL %v", r.System, r.Alpha, r.EL())
+		}
+	}
+	// The §6 chain at each α.
+	for _, a := range []string{"0.001", "0.01"} {
+		chain := []string{"S0PO", "S2PO", "S1PO", "S1SO", "S0SO"}
+		for i := 1; i < len(chain); i++ {
+			hi := byKey[chain[i-1]+"@"+a].EL()
+			lo := byKey[chain[i]+"@"+a].EL()
+			if hi <= lo {
+				t.Errorf("α=%s: EL(%s)=%v ≤ EL(%s)=%v", a, chain[i-1], hi, chain[i], lo)
+			}
+		}
+	}
+	// EL must decrease with α for every system.
+	for _, sys := range []string{"S0PO", "S2PO", "S1PO", "S1SO", "S0SO"} {
+		if byKey[sys+"@0.001"].EL() <= byKey[sys+"@0.01"].EL() {
+			t.Errorf("%s: EL not decreasing in α", sys)
+		}
+	}
+}
+
+func formatAlpha(a float64) string {
+	switch a {
+	case 0.001:
+		return "0.001"
+	case 0.01:
+		return "0.01"
+	default:
+		return "other"
+	}
+}
+
+func TestFigure1MCAgreesWithAnalytic(t *testing.T) {
+	results, err := Figure1(fastCfg(), []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if math.IsNaN(r.MC) || math.IsNaN(r.Analytic) {
+			continue
+		}
+		if math.Abs(r.MC-r.Analytic) > 5*r.MCCI+0.05*r.Analytic {
+			t.Errorf("%s: MC %v ± %v vs analytic %v", r.System, r.MC, r.MCCI, r.Analytic)
+		}
+	}
+}
+
+func TestFigure2Monotonicity(t *testing.T) {
+	results, err := Figure2(fastCfg(), []float64{0.001}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultKappas) {
+		t.Fatalf("got %d results", len(results))
+	}
+	// EL(S2PO) must be non-increasing in κ.
+	for i := 1; i < len(results); i++ {
+		if results[i].EL() > results[i-1].EL()*(1+1e-9) {
+			t.Errorf("EL rose with κ: κ=%v EL=%v vs κ=%v EL=%v",
+				results[i].Kappa, results[i].EL(), results[i-1].Kappa, results[i-1].EL())
+		}
+	}
+	// The κ=0 point towers over κ=0.5 — the Figure 2 log-scale cliff.
+	if results[0].EL() < 10*elAt(results, 0.5) {
+		t.Errorf("κ=0 EL %v not ≫ κ=0.5 EL %v", results[0].EL(), elAt(results, 0.5))
+	}
+}
+
+func elAt(results []Result, kappa float64) float64 {
+	for _, r := range results {
+		if r.Kappa == kappa {
+			return r.EL()
+		}
+	}
+	return math.NaN()
+}
+
+func TestOrderingChainHolds(t *testing.T) {
+	for _, alpha := range []float64{0.0001, 0.001, 0.01} {
+		rep, err := OrderingChain(fastCfg(), alpha, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds {
+			t.Errorf("α=%v: %s", alpha, rep.Detail)
+		}
+	}
+}
+
+func TestOrderingChainBreaksAtKappaOne(t *testing.T) {
+	// At κ=1, S2PO drops below S1PO: the chain must NOT hold, and the
+	// report should say so rather than lie.
+	rep, err := OrderingChain(fastCfg(), 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatalf("chain claimed to hold at κ=1: %s", rep.Detail)
+	}
+	if !strings.Contains(rep.Detail, "BROKEN") {
+		t.Fatalf("detail does not flag breakage: %s", rep.Detail)
+	}
+}
+
+func TestFortifyE4(t *testing.T) {
+	rows, err := Fortify(fastCfg(), 0.001, []float64{0, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if !rows[0].Outlive {
+		t.Errorf("κ=0: fortified PB did not outlive recovered SMR (S2SO=%v, S0SO=%v)",
+			rows[0].S2SO, rows[0].S0SO)
+	}
+	if rows[2].Outlive {
+		t.Errorf("κ=1: fortified PB claimed to outlive recovered SMR (S2SO=%v, S0SO=%v)",
+			rows[2].S2SO, rows[2].S0SO)
+	}
+}
+
+func TestAlphaGrowth(t *testing.T) {
+	rows, err := AlphaGrowth(0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AlphaSO < rows[i-1].AlphaSO {
+			t.Fatalf("αᵢ decreased at step %d", i+1)
+		}
+		if rows[i].AlphaPO != rows[0].AlphaPO {
+			t.Fatalf("PO α changed at step %d", i+1)
+		}
+	}
+	if rows[50].AlphaSO <= rows[0].AlphaPO {
+		t.Error("SO hazard did not grow past PO hazard")
+	}
+}
+
+func TestAlphaGrowthValidation(t *testing.T) {
+	if _, err := AlphaGrowth(-1, 10); err == nil {
+		t.Fatal("negative α accepted")
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	results, err := Figure1(Config{Trials: 0, Seed: 1, LaunchPadFraction: -1}, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatResults(results)
+	for _, want := range []string{"system", "S0PO", "S0SO", "0.01"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	lines := strings.Count(text, "\n")
+	if lines != len(results)+1 {
+		t.Errorf("table has %d lines for %d results", lines, len(results))
+	}
+}
+
+func TestLaunchPadAblation(t *testing.T) {
+	// λ=0 (no same-step launch pad) must lengthen S2PO's life and λ=1
+	// shorten it, relative to the default ½ — the DESIGN.md §5 knob.
+	els := make([]float64, 0, 3)
+	for _, lp := range []float64{0, 0.5, 1} {
+		cfg := Config{Trials: 0, Seed: 1, LaunchPadFraction: lp}
+		res, err := Figure2(cfg, []float64{0.01}, []float64{0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		els = append(els, res[0].EL())
+	}
+	if !(els[0] > els[1] && els[1] > els[2]) {
+		t.Fatalf("λ ablation out of order: %v", els)
+	}
+}

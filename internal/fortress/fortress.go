@@ -1,0 +1,478 @@
+// Package fortress assembles the complete FORTRESS system (§3): a
+// primary-backup server tier fortified by a redundant proxy tier behind a
+// trusted name server, with the proactive-obfuscation scheduler that
+// re-randomizes every node at each period boundary.
+//
+// The paper's prescriptions implemented here:
+//
+//   - n_s servers and n_p proxies; clients talk only to proxies.
+//   - Servers are randomized identically (one shared key), so
+//     primary-to-backup state transfer needs no marshalling layer; proxies
+//     are randomized with n_p distinct keys. (n_p + 1) keys are in use at
+//     any time.
+//   - Clients learn proxy addresses/keys and server indices/keys from the
+//     read-only name server; server addresses stay hidden.
+//   - Responses reach clients doubly signed: by a server (with its index)
+//     and over-signed by a proxy.
+//   - Rerandomize reboots every node with fresh keys: executables change,
+//     attacker knowledge evaporates, service state survives via the
+//     primary-backup snapshot chain.
+package fortress
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fortress/internal/exploit"
+	"fortress/internal/keyspace"
+	"fortress/internal/memlayout"
+	"fortress/internal/nameserver"
+	"fortress/internal/netsim"
+	"fortress/internal/proxy"
+	"fortress/internal/replica/pb"
+	"fortress/internal/service"
+	"fortress/internal/sig"
+	"fortress/internal/xrand"
+)
+
+// Config describes a FORTRESS deployment.
+type Config struct {
+	// Servers is n_s, the PB server count (paper: 3).
+	Servers int
+	// Proxies is n_p, the proxy count (paper: 3).
+	Proxies int
+	// Space is the randomization key space (χ).
+	Space *keyspace.Space
+	// Seed drives all randomization draws.
+	Seed uint64
+	// ServiceFactory builds one fresh service instance per server per
+	// epoch; state carries over via snapshots.
+	ServiceFactory func() service.Service
+	// DetectorWindow and DetectorThreshold configure probe-source
+	// detection at the proxies; a zero window disables detection.
+	DetectorWindow    time.Duration
+	DetectorThreshold int
+	// HeartbeatInterval/Timeout tune the PB failure detector.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// ServerTimeout bounds proxy→server interactions.
+	ServerTimeout time.Duration
+	// Net is the network to deploy on; nil creates a private one.
+	Net *netsim.Network
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Servers < 1:
+		return errors.New("fortress: need at least one server")
+	case c.Proxies < 1:
+		return errors.New("fortress: need at least one proxy")
+	case c.Space == nil:
+		return errors.New("fortress: need a key space")
+	case c.ServiceFactory == nil:
+		return errors.New("fortress: need a service factory")
+	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0 || c.ServerTimeout <= 0:
+		return errors.New("fortress: need positive timings")
+	}
+	return nil
+}
+
+// System is a running FORTRESS deployment.
+type System struct {
+	cfg Config
+	net *netsim.Network
+	ns  *nameserver.NameServer
+	rng *xrand.RNG
+
+	// Signing identities are stable across epochs: re-randomization changes
+	// executables, not cryptographic identity.
+	serverSig []*sig.KeyPair
+	proxySig  []*sig.KeyPair
+
+	mu        sync.Mutex
+	epoch     uint64
+	serverKey keyspace.Key
+	proxyKeys []keyspace.Key
+	servers   []*pb.Replica
+	guards    []*exploit.Guard
+	proxies   []*proxy.Proxy
+	detector  *proxy.Detector
+	stopped   bool
+}
+
+// New deploys a FORTRESS system and starts epoch 0.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	net := cfg.Net
+	if net == nil {
+		net = netsim.NewNetwork()
+	}
+	ns, err := nameserver.New(nameserver.ReplicationPrimaryBackup, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, net: net, ns: ns, rng: xrand.New(cfg.Seed)}
+	for i := 0; i < cfg.Servers; i++ {
+		kp, err := sig.NewKeyPair()
+		if err != nil {
+			return nil, fmt.Errorf("fortress: server %d keys: %w", i, err)
+		}
+		s.serverSig = append(s.serverSig, kp)
+	}
+	for i := 0; i < cfg.Proxies; i++ {
+		kp, err := sig.NewKeyPair()
+		if err != nil {
+			return nil, fmt.Errorf("fortress: proxy %d keys: %w", i, err)
+		}
+		s.proxySig = append(s.proxySig, kp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buildEpochLocked(nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// serverAddr and proxyAddr derive stable addresses.
+func serverAddr(i int) string { return fmt.Sprintf("fortress-server-%d", i) }
+func proxyAddr(i int) string  { return fmt.Sprintf("fortress-proxy-%d", i) }
+
+// buildEpochLocked stands up all nodes for a new epoch, restoring service
+// state from snapshot when given. Caller holds s.mu.
+func (s *System) buildEpochLocked(snapshot []byte) error {
+	// Fresh randomization keys: one shared for servers, distinct per proxy.
+	s.serverKey = s.cfg.Space.Draw(s.rng)
+	s.proxyKeys = make([]keyspace.Key, s.cfg.Proxies)
+	for i := range s.proxyKeys {
+		s.proxyKeys[i] = s.cfg.Space.Draw(s.rng)
+	}
+	if s.cfg.DetectorWindow > 0 {
+		// The detector's log survives epochs: proxies log observations "for
+		// longer periods" (§2.2), and flagged sources stay flagged.
+		if s.detector == nil {
+			s.detector = proxy.NewDetector(s.cfg.DetectorWindow, s.cfg.DetectorThreshold)
+		}
+	}
+
+	peers := make(map[int]string, s.cfg.Servers)
+	for i := 0; i < s.cfg.Servers; i++ {
+		peers[i] = serverAddr(i)
+	}
+	s.servers = make([]*pb.Replica, s.cfg.Servers)
+	s.guards = make([]*exploit.Guard, s.cfg.Servers)
+	for i := 0; i < s.cfg.Servers; i++ {
+		svc := s.cfg.ServiceFactory()
+		if snapshot != nil {
+			if err := svc.Restore(snapshot); err != nil {
+				return fmt.Errorf("fortress: restore server %d: %w", i, err)
+			}
+		}
+		proc := memlayout.NewProcess(s.serverKey)
+		// The guard needs the replica for crash teardown; capture via
+		// pointer cell assigned after construction.
+		var replica *pb.Replica
+		guard := exploit.NewGuard(svc, exploit.TierServer, proc, func() {
+			if replica != nil {
+				replica.Crash()
+			}
+		}, nil)
+		r, err := pb.New(pb.Config{
+			Index:             i,
+			Addr:              peers[i],
+			Peers:             peers,
+			InitialPrimary:    0,
+			Service:           guard,
+			Keys:              s.serverSig[i],
+			Net:               s.net,
+			HeartbeatInterval: s.cfg.HeartbeatInterval,
+			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
+		})
+		if err != nil {
+			return fmt.Errorf("fortress: server %d: %w", i, err)
+		}
+		replica = r
+		s.servers[i] = r
+		s.guards[i] = guard
+		if err := s.ns.RegisterServer(i, peers[i], r.PublicKey()); err != nil {
+			return err
+		}
+	}
+
+	s.proxies = make([]*proxy.Proxy, s.cfg.Proxies)
+	for i := 0; i < s.cfg.Proxies; i++ {
+		p, err := proxy.New(proxy.Config{
+			ID:            fmt.Sprintf("proxy-%d", i),
+			Addr:          proxyAddr(i),
+			Keys:          s.proxySig[i],
+			NS:            s.ns,
+			Net:           s.net,
+			Detector:      s.detector,
+			Proc:          memlayout.NewProcess(s.proxyKeys[i]),
+			ServerTimeout: s.cfg.ServerTimeout,
+		})
+		if err != nil {
+			return fmt.Errorf("fortress: proxy %d: %w", i, err)
+		}
+		s.proxies[i] = p
+		if err := s.ns.RegisterProxy(p.ID(), p.Addr(), p.PublicKey()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// teardownLocked stops every node of the current epoch. Caller holds s.mu.
+func (s *System) teardownLocked() {
+	for _, p := range s.proxies {
+		p.Stop()
+	}
+	for _, r := range s.servers {
+		r.Stop()
+	}
+	// Clear any crashed addresses so fresh listeners can bind.
+	for i := 0; i < s.cfg.Servers; i++ {
+		s.net.CrashAddr(serverAddr(i))
+	}
+	for i := 0; i < s.cfg.Proxies; i++ {
+		s.net.CrashAddr(proxyAddr(i))
+	}
+}
+
+// Rerandomize performs one proactive-obfuscation period boundary: take a
+// state snapshot, reboot everything under fresh randomization keys, restore
+// the state. Attacker control of any node is lost (§2.3, §4.1).
+func (s *System) Rerandomize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	snapshot := s.snapshotLocked()
+	s.teardownLocked()
+	s.epoch++
+	return s.buildEpochLocked(snapshot)
+}
+
+// Recover restarts every crashed node with its CURRENT randomization key —
+// the start-up-only regime of §4.1 ("nodes are simply recovered at the end
+// of each unit time step"): the forking-daemon respawn that absorbs probe
+// crashes without giving the defender fresh keys. Compromised nodes stay
+// compromised: with an unchanged key the attacker walks straight back in.
+func (s *System) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	snapshot := s.snapshotLocked()
+	for i, g := range s.guards {
+		if !g.Process().Crashed() {
+			continue
+		}
+		if err := s.rebuildServerLocked(i, snapshot); err != nil {
+			return err
+		}
+	}
+	for i, p := range s.proxies {
+		if !p.Crashed() {
+			continue
+		}
+		if err := s.rebuildProxyLocked(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildServerLocked replaces server i with a fresh replica under the
+// current shared key, restoring state from snapshot. Caller holds s.mu.
+func (s *System) rebuildServerLocked(i int, snapshot []byte) error {
+	s.servers[i].Stop()
+	s.net.CrashAddr(serverAddr(i))
+
+	svc := s.cfg.ServiceFactory()
+	if snapshot != nil {
+		if err := svc.Restore(snapshot); err != nil {
+			return fmt.Errorf("fortress: recover server %d: %w", i, err)
+		}
+	}
+	peers := make(map[int]string, s.cfg.Servers)
+	for j := 0; j < s.cfg.Servers; j++ {
+		peers[j] = serverAddr(j)
+	}
+	proc := memlayout.NewProcess(s.serverKey)
+	var replica *pb.Replica
+	guard := exploit.NewGuard(svc, exploit.TierServer, proc, func() {
+		if replica != nil {
+			replica.Crash()
+		}
+	}, nil)
+	r, err := pb.New(pb.Config{
+		Index:             i,
+		Addr:              peers[i],
+		Peers:             peers,
+		InitialPrimary:    i, // a recovered node rejoins; peers re-elect
+		Service:           guard,
+		Keys:              s.serverSig[i],
+		Net:               s.net,
+		HeartbeatInterval: s.cfg.HeartbeatInterval,
+		HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
+	})
+	if err != nil {
+		return fmt.Errorf("fortress: recover server %d: %w", i, err)
+	}
+	replica = r
+	s.servers[i] = r
+	s.guards[i] = guard
+	return s.ns.RegisterServer(i, peers[i], r.PublicKey())
+}
+
+// rebuildProxyLocked replaces proxy i with a fresh instance under its
+// current key. Caller holds s.mu.
+func (s *System) rebuildProxyLocked(i int) error {
+	s.proxies[i].Stop()
+	s.net.CrashAddr(proxyAddr(i))
+	p, err := proxy.New(proxy.Config{
+		ID:            fmt.Sprintf("proxy-%d", i),
+		Addr:          proxyAddr(i),
+		Keys:          s.proxySig[i],
+		NS:            s.ns,
+		Net:           s.net,
+		Detector:      s.detector,
+		Proc:          memlayout.NewProcess(s.proxyKeys[i]),
+		ServerTimeout: s.cfg.ServerTimeout,
+	})
+	if err != nil {
+		return fmt.Errorf("fortress: recover proxy %d: %w", i, err)
+	}
+	s.proxies[i] = p
+	return s.ns.RegisterProxy(p.ID(), p.Addr(), p.PublicKey())
+}
+
+// snapshotLocked fetches the service state from the first live,
+// uncompromised server (state from a compromised node is untrustworthy).
+func (s *System) snapshotLocked() []byte {
+	for _, g := range s.guards {
+		if g.Compromised() || g.Process().Crashed() {
+			continue
+		}
+		if snap, err := g.Snapshot(); err == nil {
+			return snap
+		}
+	}
+	return nil
+}
+
+// Epoch returns the number of completed re-randomizations.
+func (s *System) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Net returns the network the system is deployed on.
+func (s *System) Net() *netsim.Network { return s.net }
+
+// NameServer returns the trusted directory.
+func (s *System) NameServer() *nameserver.NameServer { return s.ns }
+
+// Client builds a FORTRESS client with the given network identity.
+func (s *System) Client(from string, timeout time.Duration) (*proxy.Client, error) {
+	return proxy.NewClient(s.net, from, s.ns, timeout)
+}
+
+// Detector exposes the shared probe detector (nil when disabled).
+func (s *System) Detector() *proxy.Detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detector
+}
+
+// ServerKey returns the server tier's current shared randomization key.
+// Only tests and attack simulations peek at it.
+func (s *System) ServerKey() keyspace.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serverKey
+}
+
+// ProxyKeys returns the proxies' current randomization keys.
+func (s *System) ProxyKeys() []keyspace.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]keyspace.Key, len(s.proxyKeys))
+	copy(out, s.proxyKeys)
+	return out
+}
+
+// Proxies returns the current epoch's proxies.
+func (s *System) Proxies() []*proxy.Proxy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*proxy.Proxy, len(s.proxies))
+	copy(out, s.proxies)
+	return out
+}
+
+// Servers returns the current epoch's server replicas.
+func (s *System) Servers() []*pb.Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*pb.Replica, len(s.servers))
+	copy(out, s.servers)
+	return out
+}
+
+// Status summarizes the system's security state.
+type Status struct {
+	Epoch              uint64
+	ServersCompromised int
+	ServersCrashed     int
+	ProxiesCompromised int
+	ProxiesCrashed     int
+	// Compromised applies the paper's S2 failure condition: any server
+	// compromised, or every proxy compromised.
+	Compromised bool
+}
+
+// Status reports the current security state.
+func (s *System) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st Status
+	st.Epoch = s.epoch
+	for _, g := range s.guards {
+		if g.Compromised() {
+			st.ServersCompromised++
+		}
+		if g.Process().Crashed() {
+			st.ServersCrashed++
+		}
+	}
+	for _, p := range s.proxies {
+		if p.Compromised() {
+			st.ProxiesCompromised++
+		}
+		if p.Crashed() {
+			st.ProxiesCrashed++
+		}
+	}
+	st.Compromised = st.ServersCompromised > 0 || st.ProxiesCompromised == len(s.proxies)
+	return st
+}
+
+// Stop shuts the whole system down.
+func (s *System) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.teardownLocked()
+}

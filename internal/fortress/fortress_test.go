@@ -1,0 +1,277 @@
+package fortress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fortress/internal/exploit"
+	"fortress/internal/keyspace"
+	"fortress/internal/netsim"
+	"fortress/internal/proxy"
+	"fortress/internal/service"
+)
+
+const (
+	hbInterval = 5 * time.Millisecond
+	hbTimeout  = 50 * time.Millisecond
+	srvTimeout = 2 * time.Second
+)
+
+func build(t *testing.T, chi uint64, mutate func(*Config)) *System {
+	t.Helper()
+	space, err := keyspace.NewSpace(chi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Servers:           3,
+		Proxies:           3,
+		Space:             space,
+		Seed:              7,
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: hbInterval,
+		HeartbeatTimeout:  hbTimeout,
+		ServerTimeout:     srvTimeout,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	space, err := keyspace.NewSpace(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Config{
+		Servers: 1, Proxies: 1, Space: space,
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: time.Millisecond, HeartbeatTimeout: time.Millisecond,
+		ServerTimeout: time.Millisecond,
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Servers = 0 },
+		func(c *Config) { c.Proxies = 0 },
+		func(c *Config) { c.Space = nil },
+		func(c *Config) { c.ServiceFactory = nil },
+		func(c *Config) { c.HeartbeatInterval = 0 },
+		func(c *Config) { c.ServerTimeout = 0 },
+	}
+	for i, m := range muts {
+		c := good
+		m(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEndToEndService(t *testing.T) {
+	sys := build(t, 1<<16, nil)
+	client, err := sys.Client("alice", srvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke("w1", []byte(`{"op":"put","key":"city","value":"newcastle"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Invoke("r1", []byte(`{"op":"get","key":"city"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "newcastle") {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestRerandomizePreservesState(t *testing.T) {
+	sys := build(t, 1<<16, nil)
+	client, err := sys.Client("alice", srvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke("w1", []byte(`{"op":"put","key":"k","value":"v1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	oldServerKey := sys.ServerKey()
+	oldProxyKeys := sys.ProxyKeys()
+
+	if err := sys.Rerandomize(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Epoch() != 1 {
+		t.Fatalf("epoch = %d", sys.Epoch())
+	}
+	// Fresh keys with overwhelming probability for χ=2¹⁶; assert at least
+	// one changed to avoid a flaky exact-match requirement.
+	changed := sys.ServerKey() != oldServerKey
+	for i, k := range sys.ProxyKeys() {
+		if k != oldProxyKeys[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("no randomization key changed across the epoch")
+	}
+
+	// Clients built after the epoch see the preserved state.
+	client2, err := sys.Client("alice2", srvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client2.Invoke("r1", []byte(`{"op":"get","key":"k"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "v1") {
+		t.Fatalf("state lost across re-randomization: %s", got)
+	}
+}
+
+func TestRerandomizeCleansCompromise(t *testing.T) {
+	sys := build(t, 8, nil) // tiny space: compromise is easy
+	// Compromise a proxy by probing its actual key.
+	keys := sys.ProxyKeys()
+	conn, err := sys.Net().Dial("attacker", sys.Proxies()[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(proxy.EncodeRequest("x", exploit.NewPayload(exploit.TierProxy, keys[0]))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.RecvTimeout(srvTimeout); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if sys.Status().ProxiesCompromised != 1 {
+		t.Fatal("setup: proxy not compromised")
+	}
+	if err := sys.Rerandomize(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Status()
+	if st.ProxiesCompromised != 0 || st.ServersCompromised != 0 {
+		t.Fatalf("compromise survived re-randomization: %+v", st)
+	}
+}
+
+func TestStatusCompromiseConditions(t *testing.T) {
+	sys := build(t, 8, nil)
+	if sys.Status().Compromised {
+		t.Fatal("fresh system compromised")
+	}
+	// Compromise all proxies → system compromised (route 3).
+	for i, p := range sys.Proxies() {
+		conn, err := sys.Net().Dial("attacker", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(proxy.EncodeRequest("x", exploit.NewPayload(exploit.TierProxy, sys.ProxyKeys()[i]))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.RecvTimeout(srvTimeout); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	st := sys.Status()
+	if st.ProxiesCompromised != 3 || !st.Compromised {
+		t.Fatalf("all-proxies route not detected: %+v", st)
+	}
+}
+
+func TestServerCompromiseDetected(t *testing.T) {
+	sys := build(t, 8, nil)
+	// Indirect probe with the real server key through a proxy.
+	conn, err := sys.Net().Dial("attacker", sys.Proxies()[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proxy.EncodeRequest("x", exploit.NewPayload(exploit.TierServer, sys.ServerKey()))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.RecvTimeout(srvTimeout); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Status()
+	if st.ServersCompromised == 0 || !st.Compromised {
+		t.Fatalf("server compromise not detected: %+v", st)
+	}
+}
+
+func TestDetectorSharedAcrossEpochs(t *testing.T) {
+	sys := build(t, 1<<16, func(c *Config) {
+		c.DetectorWindow = time.Hour
+		c.DetectorThreshold = 2
+	})
+	det := sys.Detector()
+	if det == nil {
+		t.Fatal("detector not built")
+	}
+	det.ObserveInvalid("mallory")
+	if err := sys.Rerandomize(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Detector() != det {
+		t.Fatal("detector replaced across epochs — long-horizon logging lost")
+	}
+	det.ObserveInvalid("mallory")
+	if !det.Flagged("mallory") {
+		t.Fatal("observations across epochs not accumulated")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	sys := build(t, 1<<16, nil)
+	sys.Stop()
+	sys.Stop()
+	if err := sys.Rerandomize(); err == nil {
+		t.Fatal("re-randomize after stop accepted")
+	}
+}
+
+func TestSharedNetwork(t *testing.T) {
+	net := netsim.NewNetwork()
+	sys := build(t, 1<<16, func(c *Config) { c.Net = net })
+	if sys.Net() != net {
+		t.Fatal("system ignored provided network")
+	}
+}
+
+func TestManyEpochsStable(t *testing.T) {
+	sys := build(t, 1<<16, nil)
+	client, err := sys.Client("alice", srvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke("w", []byte(`{"op":"put","key":"n","value":"42"}`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sys.Rerandomize(); err != nil {
+			t.Fatalf("epoch %d: %v", i+1, err)
+		}
+	}
+	client2, err := sys.Client("bob", srvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client2.Invoke("r", []byte(`{"op":"get","key":"n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "42") {
+		t.Fatalf("state lost after 5 epochs: %s", got)
+	}
+	if sys.Epoch() != 5 {
+		t.Fatalf("epoch = %d", sys.Epoch())
+	}
+}

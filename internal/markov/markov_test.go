@@ -1,0 +1,313 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fortress/internal/xrand"
+)
+
+func TestGeometric(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 1},
+		{0.1, 9},
+		{1, 0},
+		{0.01, 99},
+	}
+	for _, c := range cases {
+		if got := Geometric(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geometric(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(Geometric(0), 1) {
+		t.Error("Geometric(0) should be +Inf")
+	}
+}
+
+// A two-state chain: transient -> absorbed with prob p each step.
+// Expected steps to absorption = 1/p; the paper's EL counts whole elapsed
+// steps, i.e. 1/p - 1 = (1-p)/p, handled by the callers via Geometric.
+func TestSingleHazard(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		c := NewChain()
+		alive := c.AddState("alive", false)
+		dead := c.AddState("dead", true)
+		if err := c.SetTransition(alive, dead, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetTransition(alive, alive, 1-p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ExpectedSteps(alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-1/p) > 1e-9/p {
+			t.Errorf("p=%v: ExpectedSteps = %v, want %v", p, got, 1/p)
+		}
+	}
+}
+
+func TestAbsorbingStartIsZero(t *testing.T) {
+	c := NewChain()
+	a := c.AddState("a", true)
+	got, err := c.ExpectedSteps(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("absorbing start = %v", got)
+	}
+}
+
+// Gambler's-ruin-like chain with known solution: states 0..3, 3 absorbing,
+// from i move to i+1 w.p. 1. Expected steps from 0 is 3.
+func TestDeterministicWalk(t *testing.T) {
+	c := NewChain()
+	var states []int
+	for i := 0; i < 4; i++ {
+		states = append(states, c.AddState("", i == 3))
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.SetTransition(states[i], states[i+1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.ExpectedSteps(states[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("walk expected steps = %v, want 3", got)
+	}
+}
+
+// Two-phase chain: alive -> half-broken w.p. q, half-broken -> dead w.p. r.
+// E[alive] = 1/q + 1/r.
+func TestTwoPhase(t *testing.T) {
+	q, r := 0.2, 0.05
+	c := NewChain()
+	alive := c.AddState("alive", false)
+	half := c.AddState("half", false)
+	dead := c.AddState("dead", true)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.SetTransition(alive, half, q))
+	must(c.SetTransition(alive, alive, 1-q))
+	must(c.SetTransition(half, dead, r))
+	must(c.SetTransition(half, half, 1-r))
+	got, err := c.ExpectedSteps(alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1/q + 1/r
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("two-phase = %v, want %v", got, want)
+	}
+}
+
+func TestValidationRejectsBadRowSums(t *testing.T) {
+	c := NewChain()
+	a := c.AddState("a", false)
+	_ = c.AddState("b", true)
+	if err := c.SetTransition(a, a, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExpectedSteps(a); err == nil {
+		t.Fatal("row sum 0.5 accepted")
+	}
+}
+
+func TestSetTransitionErrors(t *testing.T) {
+	c := NewChain()
+	a := c.AddState("a", false)
+	abs := c.AddState("abs", true)
+	if err := c.SetTransition(abs, a, 0.5); err == nil {
+		t.Fatal("transition out of absorbing state accepted")
+	}
+	if err := c.SetTransition(a, 99, 0.5); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if err := c.SetTransition(-1, a, 0.5); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if err := c.SetTransition(a, a, -0.1); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if err := c.SetTransition(a, a, math.NaN()); err == nil {
+		t.Fatal("NaN probability accepted")
+	}
+	if err := c.SetTransition(a, abs, 0); err != nil {
+		t.Fatal("zero probability should be a no-op, not an error")
+	}
+}
+
+func TestTransitionAccumulates(t *testing.T) {
+	c := NewChain()
+	a := c.AddState("a", false)
+	d := c.AddState("d", true)
+	// Two separate events each 0.25 into the same absorbing state.
+	if err := c.SetTransition(a, d, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition(a, d, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition(a, a, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExpectedSteps(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("accumulated chain = %v, want 2", got)
+	}
+}
+
+func TestNoAbsorbingReachable(t *testing.T) {
+	c := NewChain()
+	a := c.AddState("a", false)
+	b := c.AddState("b", false)
+	_ = c.AddState("dead", true)
+	if err := c.SetTransition(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition(b, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExpectedSteps(a); !errors.Is(err, ErrNoAbsorbing) {
+		t.Fatalf("want ErrNoAbsorbing, got %v", err)
+	}
+}
+
+func TestAbsorptionProbabilities(t *testing.T) {
+	// alive splits 30/70 between two absorbing states each step (plus stay).
+	c := NewChain()
+	alive := c.AddState("alive", false)
+	d1 := c.AddState("d1", true)
+	d2 := c.AddState("d2", true)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.SetTransition(alive, d1, 0.03))
+	must(c.SetTransition(alive, d2, 0.07))
+	must(c.SetTransition(alive, alive, 0.9))
+	probs, err := c.AbsorptionProbabilities(alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[d1]-0.3) > 1e-9 || math.Abs(probs[d2]-0.7) > 1e-9 {
+		t.Fatalf("absorption probs = %v", probs)
+	}
+	// From an absorbing start: itself with probability 1.
+	probs, err = c.AbsorptionProbabilities(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[d1] != 1 {
+		t.Fatalf("absorbing start probs = %v", probs)
+	}
+}
+
+func TestExpectedStepsOutOfRange(t *testing.T) {
+	c := NewChain()
+	a := c.AddState("a", false)
+	d := c.AddState("d", true)
+	if err := c.SetTransition(a, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExpectedSteps(5); err == nil {
+		t.Fatal("out-of-range start accepted")
+	}
+}
+
+// Property: for random birth-death absorbing chains, the analytic expected
+// absorption time matches a Monte-Carlo estimate.
+func TestExpectedStepsMatchesSimulationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte-carlo cross-check skipped in -short")
+	}
+	r := xrand.New(123)
+	prop := func(seed uint16) bool {
+		rr := xrand.New(uint64(seed)*2654435761 + 1)
+		n := 2 + rr.Intn(4) // transient states
+		c := NewChain()
+		states := make([]int, n+1)
+		for i := 0; i <= n; i++ {
+			states[i] = c.AddState("", i == n)
+		}
+		// From state i: advance w.p. p_i, stay otherwise.
+		ps := make([]float64, n)
+		var want float64
+		for i := 0; i < n; i++ {
+			ps[i] = 0.2 + 0.6*rr.Float64()
+			if err := c.SetTransition(states[i], states[i+1], ps[i]); err != nil {
+				return false
+			}
+			if err := c.SetTransition(states[i], states[i], 1-ps[i]); err != nil {
+				return false
+			}
+			want += 1 / ps[i]
+		}
+		got, err := c.ExpectedSteps(states[0])
+		if err != nil {
+			return false
+		}
+		if math.Abs(got-want) > 1e-9*want {
+			return false
+		}
+		// Monte-Carlo cross-check.
+		const trials = 2000
+		var sum float64
+		for tr := 0; tr < trials; tr++ {
+			s, steps := 0, 0
+			for s < n {
+				if r.Bernoulli(ps[s]) {
+					s++
+				}
+				steps++
+			}
+			sum += float64(steps)
+		}
+		mc := sum / trials
+		return math.Abs(mc-want) < 0.15*want+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExpectedSteps100(b *testing.B) {
+	c := NewChain()
+	const n = 100
+	states := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		states[i] = c.AddState("", i == n)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.SetTransition(states[i], states[i+1], 0.3); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SetTransition(states[i], states[i], 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ExpectedSteps(states[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package matrix implements the small dense linear algebra needed by the
+// absorbing-Markov-chain analysis: LU-style Gaussian elimination with partial
+// pivoting for solving A·x = b and inverting (I − Q).
+//
+// The state spaces in this repository are tiny (tens to a few thousand
+// states), so a straightforward O(n³) dense solver is both adequate and easy
+// to audit.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when elimination encounters a pivot that is
+// numerically zero, i.e. the system has no unique solution.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense creates a rows×cols zero matrix.
+func NewDense(rows, cols int) (*Dense, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid dimensions %dx%d", rows, cols)
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) (*Dense, error) {
+	m, err := NewDense(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m, nil
+}
+
+// Rows returns the row count.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := &Dense{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// Sub returns m − n. The shapes must match.
+func (m *Dense) Sub(n *Dense) (*Dense, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("matrix: shape mismatch %dx%d vs %dx%d",
+			m.rows, m.cols, n.rows, n.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= n.data[i]
+	}
+	return out, nil
+}
+
+// Mul returns the product m·n.
+func (m *Dense) Mul(n *Dense) (*Dense, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d",
+			m.rows, m.cols, n.rows, n.cols)
+	}
+	out, err := NewDense(m.rows, n.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				out.data[i*out.cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the product m·v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by vector of length %d",
+			m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for j := 0; j < m.cols; j++ {
+			sum += m.At(i, j) * v[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Solve returns x such that m·x = b, using Gaussian elimination with partial
+// pivoting. m must be square; m and b are not modified.
+func (m *Dense) Solve(b []float64) ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: Solve needs a square matrix, got %dx%d", m.rows, m.cols)
+	}
+	if len(b) != m.rows {
+		return nil, fmt.Errorf("matrix: Solve dimension mismatch: %dx%d vs b of length %d",
+			m.rows, m.cols, len(b))
+	}
+	n := m.rows
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.data[col*n+j], a.data[pivot*n+j] = a.data[pivot*n+j], a.data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			a.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				a.data[r*n+j] -= f * a.data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a.At(i, j) * x[j]
+		}
+		x[i] = sum / a.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns m⁻¹ by solving against each unit vector.
+func (m *Dense) Inverse() (*Dense, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: Inverse needs a square matrix, got %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	out, err := NewDense(n, n)
+	if err != nil {
+		return nil, err
+	}
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := m.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fortress/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseValidation(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		if _, err := NewDense(dims[0], dims[1]); err == nil {
+			t.Errorf("NewDense(%d,%d) succeeded", dims[0], dims[1])
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m, err := Identity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+	m, _ := NewDense(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	x, err := m.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	m, _ := NewDense(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := m.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-12) || !almostEq(x[1], 2, 1e-12) {
+		t.Fatalf("Solve = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m, _ := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := m.Solve([]float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	m, _ := NewDense(2, 3)
+	if _, err := m.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("non-square Solve succeeded")
+	}
+	sq, _ := NewDense(2, 2)
+	if _, err := sq.Solve([]float64{1}); err == nil {
+		t.Fatal("wrong-length b accepted")
+	}
+}
+
+func TestSolveDoesNotModifyInputs(t *testing.T) {
+	m, _ := NewDense(2, 2)
+	m.Set(0, 0, 4)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	b := []float64{1, 2}
+	if _, err := m.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 4 || m.At(1, 1) != 3 || b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve modified its inputs")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	r := xrand.New(8)
+	const n = 6
+	m, _ := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.Float64()-0.5)
+		}
+		// Diagonal dominance guarantees invertibility.
+		m.Set(i, i, m.At(i, i)+float64(n))
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := m.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(prod.At(i, j), want, 1e-9) {
+				t.Fatalf("M·M⁻¹[%d][%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	a, _ := NewDense(2, 3)
+	b, _ := NewDense(3, 4)
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 2 || c.Cols() != 4 {
+		t.Fatalf("product shape %dx%d", c.Rows(), c.Cols())
+	}
+	if _, err := b.Mul(a); err == nil {
+		t.Fatal("incompatible Mul succeeded")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("bad MulVec length accepted")
+	}
+}
+
+func TestSub(t *testing.T) {
+	a, _ := Identity(2)
+	b, _ := Identity(2)
+	d, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if d.At(i, j) != 0 {
+				t.Fatal("I - I != 0")
+			}
+		}
+	}
+	c, _ := NewDense(2, 3)
+	if _, err := a.Sub(c); err == nil {
+		t.Fatal("shape-mismatched Sub accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a, _ := Identity(2)
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: for random well-conditioned systems, A·x = b holds after Solve.
+func TestSolveResidualProperty(t *testing.T) {
+	r := xrand.New(55)
+	prop := func(seed uint16) bool {
+		rr := xrand.New(uint64(seed) ^ r.Uint64())
+		n := 2 + rr.Intn(8)
+		m, _ := NewDense(n, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			b[i] = rr.Float64() * 10
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rr.Float64()-0.5)
+			}
+			m.Set(i, i, m.At(i, i)+float64(n)) // diagonally dominant
+		}
+		x, err := m.Solve(b)
+		if err != nil {
+			return false
+		}
+		got, err := m.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !almostEq(got[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve32(b *testing.B) {
+	r := xrand.New(2)
+	const n = 32
+	m, _ := NewDense(n, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = r.Float64()
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.Float64())
+		}
+		m.Set(i, i, m.At(i, i)+n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

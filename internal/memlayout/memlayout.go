@@ -1,0 +1,234 @@
+// Package memlayout simulates the randomized-address-space defence that the
+// paper's attack model targets (§2.1).
+//
+// A real deployment randomizes stack/heap/GOT base addresses with a secret
+// key; a code-injection exploit must embed the correct addresses, so an
+// attempt built with the wrong key crashes the victim process, and a forking
+// daemon respawns a child with the same key (start-up-only) or the current
+// key (after re-randomization). This package reproduces exactly that
+// machinery — the only properties the paper's evaluation depends on are the
+// key entropy χ, the crash-on-wrong-key oracle, and the respawn loop.
+package memlayout
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fortress/internal/keyspace"
+	"fortress/internal/xrand"
+)
+
+// ErrCrashed is returned when interacting with a crashed process.
+var ErrCrashed = errors.New("memlayout: process crashed")
+
+// ProbeResult is the outcome of delivering an exploit attempt to a process.
+type ProbeResult int
+
+const (
+	// ProbeCrashed: the exploit used a wrong key; the process died. The
+	// attacker observes this through its connection closing.
+	ProbeCrashed ProbeResult = iota + 1
+	// ProbeCompromised: the exploit used the correct key; the attacker now
+	// controls the process.
+	ProbeCompromised
+	// ProbeRejected: the request never reached a vulnerable code path (e.g.
+	// a proxy filtered it); the process survives un-compromised.
+	ProbeRejected
+)
+
+// String implements fmt.Stringer.
+func (r ProbeResult) String() string {
+	switch r {
+	case ProbeCrashed:
+		return "crashed"
+	case ProbeCompromised:
+		return "compromised"
+	case ProbeRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("ProbeResult(%d)", int(r))
+	}
+}
+
+// Process is one simulated OS process whose address layout is derived from a
+// randomization key. It is safe for concurrent use.
+type Process struct {
+	mu          sync.Mutex
+	key         keyspace.Key
+	crashed     bool
+	compromised bool
+	onCrash     []func()
+}
+
+// NewProcess creates a process randomized with key.
+func NewProcess(key keyspace.Key) *Process {
+	return &Process{key: key}
+}
+
+// Key returns the process's current randomization key. (The defender knows
+// it; attackers must guess.)
+func (p *Process) Key() keyspace.Key {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.key
+}
+
+// Crashed reports whether the process is dead.
+func (p *Process) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// Compromised reports whether an exploit has succeeded against this process.
+func (p *Process) Compromised() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compromised
+}
+
+// OnCrash registers a hook invoked (once) when the process crashes. This is
+// how a netsim connection learns to close — giving the attacker the crash
+// oracle of [10, 12].
+func (p *Process) OnCrash(fn func()) {
+	p.mu.Lock()
+	crashed := p.crashed
+	if !crashed {
+		p.onCrash = append(p.onCrash, fn)
+	}
+	p.mu.Unlock()
+	if crashed {
+		fn()
+	}
+}
+
+// DeliverExploit delivers an exploit crafted for guessedKey. A wrong guess
+// crashes the process; the right guess compromises it. Delivering to a
+// crashed process returns ErrCrashed.
+func (p *Process) DeliverExploit(guessedKey keyspace.Key) (ProbeResult, error) {
+	p.mu.Lock()
+	if p.crashed {
+		p.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if guessedKey == p.key {
+		p.compromised = true
+		p.mu.Unlock()
+		return ProbeCompromised, nil
+	}
+	p.crashed = true
+	hooks := p.onCrash
+	p.onCrash = nil
+	p.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	return ProbeCrashed, nil
+}
+
+// Rerandomize installs a new key and clears any compromise: this is the
+// reboot + re-randomization step of proactive obfuscation. It also revives a
+// crashed process (re-randomization implies a restart).
+func (p *Process) Rerandomize(key keyspace.Key) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.key = key
+	p.crashed = false
+	p.compromised = false
+}
+
+// ForkingDaemon reproduces the forking-server behaviour the paper's attack
+// depends on (§2.1): whenever the working child crashes, a new child is
+// forked with the current key, silently absorbing crash-causing probes so
+// the attacker can keep probing.
+type ForkingDaemon struct {
+	mu       sync.Mutex
+	space    *keyspace.Space
+	rng      *xrand.RNG
+	key      keyspace.Key
+	child    *Process
+	respawns uint64
+	onCrash  func() // propagated to each new child
+}
+
+// NewForkingDaemon starts a daemon whose children all use the given fixed
+// key (start-up-only randomization draws it once).
+func NewForkingDaemon(space *keyspace.Space, rng *xrand.RNG) *ForkingDaemon {
+	d := &ForkingDaemon{space: space, rng: rng, key: space.Draw(rng)}
+	d.child = NewProcess(d.key)
+	return d
+}
+
+// SetCrashObserver registers a hook invoked every time a child crashes; it
+// models the attacker-visible connection closure. It must be set before
+// probing begins.
+func (d *ForkingDaemon) SetCrashObserver(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onCrash = fn
+	d.child.OnCrash(fn)
+}
+
+// Key returns the key currently baked into children.
+func (d *ForkingDaemon) Key() keyspace.Key {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.key
+}
+
+// Respawns returns how many children have crashed and been re-forked.
+func (d *ForkingDaemon) Respawns() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.respawns
+}
+
+// Child returns the currently serving child process.
+func (d *ForkingDaemon) Child() *Process {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.child
+}
+
+// DeliverExploit delivers an exploit to the current child. If the child
+// crashes, the daemon immediately forks a fresh one with the same key —
+// which is precisely why paced probing works against SO systems.
+func (d *ForkingDaemon) DeliverExploit(guessedKey keyspace.Key) (ProbeResult, error) {
+	d.mu.Lock()
+	child := d.child
+	d.mu.Unlock()
+
+	res, err := child.DeliverExploit(guessedKey)
+	if err != nil {
+		return 0, err
+	}
+	if res == ProbeCrashed {
+		d.mu.Lock()
+		d.respawns++
+		d.child = NewProcess(d.key)
+		if d.onCrash != nil {
+			d.child.OnCrash(d.onCrash)
+		}
+		d.mu.Unlock()
+	}
+	return res, nil
+}
+
+// Compromised reports whether the current child is attacker-controlled.
+func (d *ForkingDaemon) Compromised() bool {
+	return d.Child().Compromised()
+}
+
+// Rerandomize draws a fresh key and reboots the child with it — one
+// proactive-obfuscation period boundary. All attacker knowledge about the
+// previous key becomes worthless.
+func (d *ForkingDaemon) Rerandomize() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.key = d.space.Draw(d.rng)
+	d.child = NewProcess(d.key)
+	if d.onCrash != nil {
+		d.child.OnCrash(d.onCrash)
+	}
+}

@@ -1,0 +1,239 @@
+package memlayout
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"fortress/internal/keyspace"
+	"fortress/internal/xrand"
+)
+
+func space(t *testing.T, chi uint64) *keyspace.Space {
+	t.Helper()
+	s, err := keyspace.NewSpace(chi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProcessWrongKeyCrashes(t *testing.T) {
+	p := NewProcess(keyspace.Key(42))
+	res, err := p.DeliverExploit(keyspace.Key(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != ProbeCrashed {
+		t.Fatalf("result = %v", res)
+	}
+	if !p.Crashed() {
+		t.Fatal("process not crashed")
+	}
+	if p.Compromised() {
+		t.Fatal("crashed process reported compromised")
+	}
+}
+
+func TestProcessRightKeyCompromises(t *testing.T) {
+	p := NewProcess(keyspace.Key(42))
+	res, err := p.DeliverExploit(keyspace.Key(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != ProbeCompromised {
+		t.Fatalf("result = %v", res)
+	}
+	if !p.Compromised() || p.Crashed() {
+		t.Fatal("compromise state wrong")
+	}
+}
+
+func TestProcessDeliverToCrashed(t *testing.T) {
+	p := NewProcess(keyspace.Key(1))
+	if _, err := p.DeliverExploit(keyspace.Key(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeliverExploit(keyspace.Key(1)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+}
+
+func TestOnCrashHookFires(t *testing.T) {
+	p := NewProcess(keyspace.Key(9))
+	fired := 0
+	p.OnCrash(func() { fired++ })
+	if _, err := p.DeliverExploit(keyspace.Key(8)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times", fired)
+	}
+}
+
+func TestOnCrashAfterCrashFiresImmediately(t *testing.T) {
+	p := NewProcess(keyspace.Key(9))
+	if _, err := p.DeliverExploit(keyspace.Key(8)); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	p.OnCrash(func() { fired = true })
+	if !fired {
+		t.Fatal("late hook not fired")
+	}
+}
+
+func TestRerandomizeClearsEverything(t *testing.T) {
+	p := NewProcess(keyspace.Key(5))
+	if _, err := p.DeliverExploit(keyspace.Key(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Compromised() {
+		t.Fatal("setup failed")
+	}
+	p.Rerandomize(keyspace.Key(6))
+	if p.Compromised() || p.Crashed() {
+		t.Fatal("rerandomize did not clear state")
+	}
+	if p.Key() != 6 {
+		t.Fatalf("key = %d", p.Key())
+	}
+}
+
+func TestForkingDaemonRespawns(t *testing.T) {
+	s := space(t, 1<<16)
+	d := NewForkingDaemon(s, xrand.New(1))
+	key := d.Key()
+	// A wrong guess crashes the child, but the daemon forks a new one.
+	wrong := keyspace.Key((uint64(key) + 1) % s.Chi())
+	res, err := d.DeliverExploit(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != ProbeCrashed {
+		t.Fatalf("result = %v", res)
+	}
+	if d.Respawns() != 1 {
+		t.Fatalf("respawns = %d", d.Respawns())
+	}
+	if d.Child().Crashed() {
+		t.Fatal("new child should be alive")
+	}
+	if d.Key() != key {
+		t.Fatal("start-up-only daemon must keep its key across respawns")
+	}
+	// The same correct key then works — that is the SO weakness.
+	res, err = d.DeliverExploit(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != ProbeCompromised || !d.Compromised() {
+		t.Fatal("correct key did not compromise")
+	}
+}
+
+func TestForkingDaemonCrashObserver(t *testing.T) {
+	s := space(t, 256)
+	d := NewForkingDaemon(s, xrand.New(2))
+	var mu sync.Mutex
+	crashes := 0
+	d.SetCrashObserver(func() {
+		mu.Lock()
+		crashes++
+		mu.Unlock()
+	})
+	key := d.Key()
+	for i := 0; i < 5; i++ {
+		wrong := keyspace.Key((uint64(key) + 1 + uint64(i)) % s.Chi())
+		if _, err := d.DeliverExploit(wrong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if crashes != 5 {
+		t.Fatalf("observed %d crashes, want 5", crashes)
+	}
+}
+
+func TestForkingDaemonRerandomize(t *testing.T) {
+	s := space(t, 1<<16)
+	r := xrand.New(3)
+	d := NewForkingDaemon(s, r)
+	old := d.Key()
+	if _, err := d.DeliverExploit(old); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Compromised() {
+		t.Fatal("setup failed")
+	}
+	d.Rerandomize()
+	if d.Compromised() {
+		t.Fatal("rerandomize left child compromised")
+	}
+	// The old key almost surely no longer works; assert only the behaviour
+	// that must hold: child alive, not compromised.
+	if d.Child().Crashed() {
+		t.Fatal("fresh child crashed")
+	}
+}
+
+// Full phase-1 de-randomization against a forking daemon: the attacker must
+// find the key within χ probes, because missing probes eliminate candidates
+// and the daemon never re-randomizes.
+func TestDerandomizationPhase1Completes(t *testing.T) {
+	s := space(t, 1024)
+	r := xrand.New(4)
+	d := NewForkingDaemon(s, r)
+	g, err := keyspace.NewGuesser(s, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := uint64(0)
+	for !d.Compromised() {
+		guess := keyspace.Key(0)
+		// Drive the guesser by probing candidates in its order; we need the
+		// next candidate, which Probe consumes — emulate by probing the
+		// daemon with each candidate until compromise.
+		found := false
+		for k := uint64(0); k < s.Chi(); k++ {
+			if g.Probe(d.Key()) {
+				guess = d.Key() // guesser located it; attacker now exploits
+				found = true
+				break
+			}
+			probes++
+			wrong := keyspace.Key((uint64(d.Key()) + 1) % s.Chi())
+			if _, err := d.DeliverExploit(wrong); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !found {
+			t.Fatal("guesser exhausted without locating key")
+		}
+		if _, err := d.DeliverExploit(guess); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if probes > s.Chi() {
+		t.Fatalf("needed %d probes for χ=%d", probes, s.Chi())
+	}
+}
+
+func TestConcurrentExploitsSafe(t *testing.T) {
+	s := space(t, 64)
+	d := NewForkingDaemon(s, xrand.New(9))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				// Errors (racing a crash) are expected and fine; the test is
+				// the race detector finding no data races.
+				_, _ = d.DeliverExploit(keyspace.Key(uint64(i*100+j) % 64))
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// hypergeomPMF returns P(X = k) for X ~ Hypergeometric(N, K, n): the number
+// of special items drawn when n items are drawn without replacement from a
+// population of N containing K special items.
+//
+// It models one unit time-step of probing a tier whose replicas hold K
+// distinct randomization keys out of χ = N possibilities with ω = n probes:
+// X is how many of the tier's keys the step uncovers.
+//
+// Computed with an incremental product over min(k, n−k) factors — exact to
+// floating-point precision for the small K used here, with no factorial
+// overflow.
+func hypergeomPMF(N, K, n uint64, k int) (float64, error) {
+	if K > N || n > N {
+		return 0, fmt.Errorf("model: hypergeometric needs K ≤ N and n ≤ N, got N=%d K=%d n=%d", N, K, n)
+	}
+	if k < 0 || uint64(k) > K || uint64(k) > n {
+		return 0, nil
+	}
+	if n-uint64(k) > N-K {
+		return 0, nil // not enough non-special items to fill the draw
+	}
+	// P(X=k) = C(K,k)·C(N−K,n−k)/C(N,n), evaluated in log space. The
+	// log-gamma route is O(1), carries ~1e-12 relative error (more than
+	// enough for per-step hazards down to α³ ≈ 10⁻¹⁵, which are used
+	// multiplicatively, never in cancelling subtractions), and — unlike
+	// the product/step-up recurrences — has no division-by-zero pathology
+	// at the window boundaries where the non-special population runs out.
+	logP := lchoose(K, uint64(k)) + lchoose(N-K, n-uint64(k)) - lchoose(N, n)
+	p := math.Exp(logP)
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// lchoose returns ln C(n, k) via the log-gamma function.
+func lchoose(n, k uint64) float64 {
+	if k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n) + 1)
+	ln2, _ := math.Lgamma(float64(k) + 1)
+	ln3, _ := math.Lgamma(float64(n-k) + 1)
+	return ln1 - ln2 - ln3
+}
+
+// hypergeomTail returns P(X ≥ k) for the same distribution.
+func hypergeomTail(N, K, n uint64, k int) (float64, error) {
+	var sum float64
+	for j := k; uint64(j) <= K; j++ {
+		p, err := hypergeomPMF(N, K, n, j)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum, nil
+}
+
+// hypergeomPMFWindow returns P(X = k) for K special items among N when the
+// first m items of a fixed random order have been examined — used by the SO
+// analysis where the attacker's probe stream is one fixed pass over the key
+// space. It is the same distribution with n = min(m, N).
+func hypergeomPMFWindow(N, K, m uint64, k int) (float64, error) {
+	if m > N {
+		m = N
+	}
+	return hypergeomPMF(N, K, m, k)
+}

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fortress/internal/xrand"
+)
+
+func TestHypergeomSmallExact(t *testing.T) {
+	// Urn with N=10, K=3 special, draw n=4.
+	// P(X=0) = C(7,4)/C(10,4) = 35/210 = 1/6.
+	// P(X=1) = C(3,1)C(7,3)/C(10,4) = 3*35/210 = 1/2.
+	// P(X=2) = C(3,2)C(7,2)/C(10,4) = 3*21/210 = 3/10.
+	// P(X=3) = C(3,3)C(7,1)/C(10,4) = 7/210 = 1/30.
+	want := []float64{1.0 / 6, 0.5, 0.3, 1.0 / 30}
+	for k, w := range want {
+		got, err := hypergeomPMF(10, 3, 4, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("P(X=%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestHypergeomSumsToOne(t *testing.T) {
+	prop := func(nRaw, kRaw uint8) bool {
+		N := uint64(nRaw)%200 + 10
+		K := uint64(kRaw) % 5
+		if K > N {
+			return true
+		}
+		for _, n := range []uint64{0, 1, N / 3, N / 2, N} {
+			var sum float64
+			for k := 0; uint64(k) <= K; k++ {
+				p, err := hypergeomPMF(N, K, n, k)
+				if err != nil {
+					return false
+				}
+				if p < -1e-15 || p > 1+1e-12 {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypergeomImpossibleCases(t *testing.T) {
+	// More hits than draws or than special items: probability 0.
+	for _, c := range []struct {
+		N, K, n uint64
+		k       int
+	}{
+		{100, 3, 2, 3},  // k > n
+		{100, 2, 50, 3}, // k > K
+		{100, 3, 5, -1}, // negative
+	} {
+		got, err := hypergeomPMF(c.N, c.K, c.n, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Errorf("P(X=%d | N=%d K=%d n=%d) = %v, want 0", c.k, c.N, c.K, c.n, got)
+		}
+	}
+}
+
+func TestHypergeomValidation(t *testing.T) {
+	if _, err := hypergeomPMF(10, 11, 5, 0); err == nil {
+		t.Fatal("K > N accepted")
+	}
+	if _, err := hypergeomPMF(10, 3, 11, 0); err == nil {
+		t.Fatal("n > N accepted")
+	}
+}
+
+func TestHypergeomDrawAll(t *testing.T) {
+	// Drawing the full population uncovers every special item surely.
+	got, err := hypergeomPMF(50, 4, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("P(X=K | n=N) = %v", got)
+	}
+}
+
+func TestHypergeomTail(t *testing.T) {
+	// From the N=10,K=3,n=4 case: P(X ≥ 2) = 0.3 + 1/30 = 1/3.
+	got, err := hypergeomTail(10, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("tail = %v", got)
+	}
+	// P(X ≥ 0) = 1.
+	got, err = hypergeomTail(10, 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tail(0) = %v", got)
+	}
+}
+
+func TestHypergeomMatchesSampling(t *testing.T) {
+	// sampleTierHits must draw from the same distribution hypergeomPMF
+	// describes — the PO analytic and MC paths hinge on this agreement.
+	const (
+		chi    = 1 << 12
+		k      = 4
+		omega  = 300
+		trials = 200000
+	)
+	rng := xrand.New(99)
+	counts := make([]int, k+1)
+	for i := 0; i < trials; i++ {
+		hits, err := sampleTierHits(rng, chi, k, omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[hits]++
+	}
+	for h := 0; h <= k; h++ {
+		want, err := hypergeomPMF(chi, k, omega, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(counts[h]) / trials
+		se := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("P(X=%d): sampled %v, analytic %v (6se=%v)", h, got, want, 6*se)
+		}
+	}
+}

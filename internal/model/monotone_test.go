@@ -1,0 +1,108 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fortress/internal/xrand"
+)
+
+// analyticELOrMC returns the best EL for the property tests below.
+func analyticELOrMC(sys System, rng *xrand.RNG) (float64, error) {
+	el, err := sys.AnalyticEL()
+	if err == nil {
+		return el, nil
+	}
+	if !errors.Is(err, ErrAnalyticUnavailable) {
+		return 0, err
+	}
+	ls, ok := sys.(LifetimeSystem)
+	if !ok {
+		return 0, err
+	}
+	est, err := EstimateSO(ls, 40000, rng)
+	if err != nil {
+		return 0, err
+	}
+	return est.EL, nil
+}
+
+// Property: for every system, a stronger attacker (larger α) never extends
+// the expected lifetime. Checked across random (α, κ) pairs.
+func TestELMonotoneInAlphaProperty(t *testing.T) {
+	rng := xrand.New(424242)
+	prop := func(aRaw, kRaw uint16) bool {
+		// α pairs in [1e-4, 1e-2], a strictly above b by at least one probe.
+		lo := 0.0001 + float64(aRaw%800)/100000.0
+		hi := lo * (1.5 + float64(aRaw%7))
+		if hi > 0.01 {
+			hi = 0.01
+		}
+		if hi <= lo {
+			return true
+		}
+		kappa := float64(kRaw%11) / 10
+		pLo := DefaultParams(lo, kappa)
+		pHi := DefaultParams(hi, kappa)
+		if pLo.Omega() >= pHi.Omega() {
+			return true // rounding collapsed the pair; nothing to compare
+		}
+		systems := func(p Params) []System {
+			return []System{S0PO{P: p}, S1PO{P: p}, S2PO{P: p}, S0SO{P: p}, S1SO{P: p}, S2SO{P: p}}
+		}
+		weak := systems(pLo)
+		strong := systems(pHi)
+		for i := range weak {
+			elWeak, err := analyticELOrMC(weak[i], rng.Split())
+			if err != nil {
+				return false
+			}
+			elStrong, err := analyticELOrMC(strong[i], rng.Split())
+			if err != nil {
+				return false
+			}
+			// Allow a whisker of MC noise on the S2SO fallback path.
+			if elStrong > elWeak*1.02+1 {
+				t.Logf("%s: EL(α=%v)=%v < EL(α=%v)=%v", weak[i].Name(), lo, elWeak, hi, elStrong)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the §6 chain's PO segment (S0PO ≥ S2PO ≥ S1PO for κ ≤ 0.9)
+// holds across random admissible parameters, not just the grid points the
+// figures use.
+func TestPOChainProperty(t *testing.T) {
+	prop := func(aRaw, kRaw uint16) bool {
+		alpha := 0.0001 + float64(aRaw%9900)/1000000.0 // [1e-4, ~1e-2]
+		kappa := float64(kRaw%10) / 10                 // [0, 0.9]
+		p := DefaultParams(alpha, kappa)
+		s0, err := S0PO{P: p}.AnalyticEL()
+		if err != nil {
+			return false
+		}
+		s2, err := S2PO{P: p}.AnalyticEL()
+		if err != nil {
+			return false
+		}
+		s1, err := S1PO{P: p}.AnalyticEL()
+		if err != nil {
+			return false
+		}
+		if kappa == 0 {
+			// At κ=0 the S0PO-vs-S2PO order reverses; only S2PO ≥ S1PO is
+			// universal here.
+			return s2 >= s1
+		}
+		return s0 >= s2 && s2 >= s1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"fortress/internal/stats"
+	"fortress/internal/xrand"
+)
+
+// Estimate is a Monte-Carlo EL estimate with its 95% confidence half-width.
+type Estimate struct {
+	System string
+	EL     float64
+	CI95   float64
+	Trials uint64
+	// Method records how the estimate was produced ("step-hazard" for PO
+	// systems, "lifetime" for SO systems).
+	Method string
+}
+
+// String formats the estimate compactly.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s: EL %.6g ± %.3g (%s, n=%d)", e.System, e.EL, e.CI95, e.Method, e.Trials)
+}
+
+// Summary converts to a stats.Summary for interval comparisons.
+func (e Estimate) Summary() stats.Summary {
+	return stats.Summary{N: e.Trials, Mean: e.EL, CI95: e.CI95}
+}
+
+// EstimatePO estimates the EL of a PO system by simulating `trials`
+// independent unit time-steps, estimating the per-step compromise hazard p̂,
+// and mapping through EL = (1−p)/p with a delta-method confidence interval.
+//
+// Re-randomization every step makes lifetimes exactly Geometric(p), so
+// estimating p is statistically equivalent to — and enormously cheaper
+// than — stepping through lifetimes that reach 10⁹ steps at small α.
+func EstimatePO(sys StepSystem, trials uint64, rng *xrand.RNG) (Estimate, error) {
+	if trials == 0 {
+		return Estimate{}, fmt.Errorf("model: EstimatePO needs trials > 0")
+	}
+	var hits uint64
+	for i := uint64(0); i < trials; i++ {
+		compromised, err := sys.SimulateStep(rng)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("simulate %s: %w", sys.Name(), err)
+		}
+		if compromised {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(trials)
+	if hits == 0 {
+		// No compromise observed: report a lower bound using the
+		// rule-of-three upper bound on p.
+		pUpper := 3 / float64(trials)
+		return Estimate{
+			System: sys.Name(),
+			EL:     math.Inf(1),
+			CI95:   (1 - pUpper) / pUpper,
+			Trials: trials,
+			Method: "step-hazard",
+		}, nil
+	}
+	se := math.Sqrt(p * (1 - p) / float64(trials))
+	el := (1 - p) / p
+	// Delta method: d/dp[(1−p)/p] = −1/p².
+	ci := 1.96 * se / (p * p)
+	return Estimate{System: sys.Name(), EL: el, CI95: ci, Trials: trials, Method: "step-hazard"}, nil
+}
+
+// EstimateSO estimates the EL of an SO system by sampling whole lifetimes.
+func EstimateSO(sys LifetimeSystem, trials uint64, rng *xrand.RNG) (Estimate, error) {
+	if trials == 0 {
+		return Estimate{}, fmt.Errorf("model: EstimateSO needs trials > 0")
+	}
+	var acc stats.Accumulator
+	for i := uint64(0); i < trials; i++ {
+		life, err := sys.SimulateLifetime(rng)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("simulate %s: %w", sys.Name(), err)
+		}
+		acc.Add(float64(life))
+	}
+	s := acc.Summarize()
+	return Estimate{System: sys.Name(), EL: s.Mean, CI95: s.CI95, Trials: trials, Method: "lifetime"}, nil
+}
+
+// Estimator evaluates any of the six systems with the appropriate
+// Monte-Carlo method.
+func Estimator(sys System, trials uint64, rng *xrand.RNG) (Estimate, error) {
+	switch s := sys.(type) {
+	case StepSystem:
+		return EstimatePO(s, trials, rng)
+	case LifetimeSystem:
+		return EstimateSO(s, trials, rng)
+	default:
+		return Estimate{}, fmt.Errorf("model: %s supports no Monte-Carlo method", sys.Name())
+	}
+}
+
+// AllSystems instantiates the five Figure-1 systems plus S2SO for the given
+// parameters, in the paper's resilience order (most resilient first,
+// assuming κ > 0; see §6).
+func AllSystems(p Params) []System {
+	return []System{
+		S0PO{P: p},
+		S2PO{P: p},
+		S1PO{P: p},
+		S2SO{P: p},
+		S1SO{P: p},
+		S0SO{P: p},
+	}
+}

@@ -1,0 +1,125 @@
+// Package model implements the paper's abstract stochastic models of the
+// three system classes (§4) and both evaluation methods (§5): closed-form /
+// Markov-chain analysis and Monte-Carlo simulation of the expected lifetime
+// (EL) — the expected number of whole unit time-steps until compromise.
+//
+// Model recap:
+//
+//   - S0: 4-replica SMR, replicas diversely randomized; compromised when
+//     more than one replica is compromised.
+//   - S1: 3-replica primary-backup, replicas identically randomized;
+//     compromised when any replica (≡ the primary) is compromised.
+//   - S2: FORTRESS = 3 proxies (distinct keys) + 3 PB servers (one shared
+//     key); compromised when the server tier falls (indirectly at rate κ·α,
+//     or directly from a captured proxy), or when all proxies are captured.
+//
+// Obfuscation regimes: PO re-randomizes every node each step (guessing is
+// sampling with replacement — constant per-step hazard); SO randomizes only
+// at start-up (guessing is sampling without replacement — the hazard αᵢ
+// grows as candidates are eliminated).
+//
+// Because clients of an SMR (and FORTRESS clients via proxies) send every
+// request to every replica of a tier, one probe request tests its guessed
+// key against every key in that tier simultaneously; this is the basis of
+// the paper's 4/(χ−i) vs 1/(χ−i) comparison in §6 and is modelled here as a
+// single probe stream per tier.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the attack/defence parameters shared by all system models.
+type Params struct {
+	// Chi is the number of possible randomization keys (χ). The paper
+	// evaluates χ = 2¹⁶.
+	Chi uint64
+	// Alpha is the per-step direct-attack success probability against a
+	// freshly randomized node: α = ω/χ (Definition 6).
+	Alpha float64
+	// Kappa is the indirect-attack coefficient (Definition 5): an indirect
+	// attack through proxies succeeds with probability κ·αᵢ.
+	Kappa float64
+	// LaunchPadFraction (λ) is the fraction of a unit time-step's direct
+	// probe budget still usable after a proxy is captured mid-step, for
+	// same-step direct attacks on servers. The paper leaves the in-step
+	// sequencing implicit; λ = 0.5 models capture at a uniformly random
+	// point of the step, λ = 0 disables the same-step launch pad entirely
+	// (see DESIGN.md §5 and the ablation bench).
+	LaunchPadFraction float64
+	// SMRReplicas is S0's replica count (paper: 4).
+	SMRReplicas int
+	// SMRTolerance is S0's intrusion tolerance f (paper: 1; compromise
+	// requires f+1 = 2 captured replicas).
+	SMRTolerance int
+	// PBReplicas is S1's (and S2's server tier's) replica count (paper: 3).
+	// It does not affect lifetimes — the tier shares one key — but is kept
+	// for reporting.
+	PBReplicas int
+	// Proxies is S2's proxy count n_p (paper: 3).
+	Proxies int
+}
+
+// DefaultParams returns the paper's evaluation configuration for a given α
+// and κ: χ = 2¹⁶, 4-replica 1-tolerant SMR, 3-replica PB, 3 proxies, λ = ½.
+func DefaultParams(alpha, kappa float64) Params {
+	return Params{
+		Chi:               1 << 16,
+		Alpha:             alpha,
+		Kappa:             kappa,
+		LaunchPadFraction: 0.5,
+		SMRReplicas:       4,
+		SMRTolerance:      1,
+		PBReplicas:        3,
+		Proxies:           3,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Chi == 0:
+		return errors.New("model: χ must be positive")
+	case p.Alpha < 0 || p.Alpha > 1:
+		return fmt.Errorf("model: α = %v outside [0,1]", p.Alpha)
+	case p.Kappa < 0 || p.Kappa > 1:
+		return fmt.Errorf("model: κ = %v outside [0,1]", p.Kappa)
+	case p.LaunchPadFraction < 0 || p.LaunchPadFraction > 1:
+		return fmt.Errorf("model: λ = %v outside [0,1]", p.LaunchPadFraction)
+	case p.SMRReplicas < 2:
+		return fmt.Errorf("model: SMR needs ≥2 replicas, got %d", p.SMRReplicas)
+	case p.SMRTolerance < 1 || p.SMRTolerance >= p.SMRReplicas:
+		return fmt.Errorf("model: SMR tolerance %d invalid for %d replicas", p.SMRTolerance, p.SMRReplicas)
+	case p.PBReplicas < 1:
+		return fmt.Errorf("model: PB needs ≥1 replica, got %d", p.PBReplicas)
+	case p.Proxies < 1:
+		return fmt.Errorf("model: FORTRESS needs ≥1 proxy, got %d", p.Proxies)
+	}
+	if p.Omega() > p.Chi {
+		return fmt.Errorf("model: ω = %d exceeds χ = %d", p.Omega(), p.Chi)
+	}
+	return nil
+}
+
+// Omega is the attacker's probe budget per unit time-step, ω = α·χ rounded
+// to at least one probe for positive α.
+func (p Params) Omega() uint64 {
+	if p.Alpha <= 0 {
+		return 0
+	}
+	w := uint64(p.Alpha*float64(p.Chi) + 0.5)
+	if w == 0 {
+		w = 1
+	}
+	if w > p.Chi {
+		w = p.Chi
+	}
+	return w
+}
+
+// EffectiveAlpha is ω/χ after rounding ω to whole probes; analytic and
+// Monte-Carlo paths both use it so they agree exactly.
+func (p Params) EffectiveAlpha() float64 {
+	return float64(p.Omega()) / float64(p.Chi)
+}

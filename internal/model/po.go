@@ -1,0 +1,251 @@
+package model
+
+import (
+	"fmt"
+
+	"fortress/internal/markov"
+	"fortress/internal/xrand"
+)
+
+// System is one (system class, obfuscation regime) pair whose expected
+// lifetime can be computed analytically.
+type System interface {
+	// Name identifies the system, e.g. "S2PO".
+	Name() string
+	// AnalyticEL returns the expected number of whole unit time-steps that
+	// elapse before the system is compromised (Definition 7).
+	AnalyticEL() (float64, error)
+}
+
+// StepSystem is a PO system: re-randomization every step makes the per-step
+// compromise probability constant, so a lifetime is Geometric(p).
+type StepSystem interface {
+	System
+	// StepCompromiseProb returns the constant per-step compromise
+	// probability p.
+	StepCompromiseProb() (float64, error)
+	// SimulateStep simulates the within-step probe structure once and
+	// reports whether the system was compromised in that step.
+	SimulateStep(rng *xrand.RNG) (bool, error)
+}
+
+// --- S1PO ---------------------------------------------------------------
+
+// S1PO is primary-backup with proactive obfuscation: one shared key per
+// step, per-step hazard α.
+type S1PO struct {
+	P Params
+}
+
+var (
+	_ StepSystem = S1PO{}
+	_ StepSystem = S0PO{}
+	_ StepSystem = S2PO{}
+)
+
+// Name implements System.
+func (s S1PO) Name() string { return "S1PO" }
+
+// StepCompromiseProb implements StepSystem: the single shared key is hit by
+// ω distinct within-step probes with probability ω/χ.
+func (s S1PO) StepCompromiseProb() (float64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	return s.P.EffectiveAlpha(), nil
+}
+
+// AnalyticEL implements System.
+func (s S1PO) AnalyticEL() (float64, error) {
+	p, err := s.StepCompromiseProb()
+	if err != nil {
+		return 0, err
+	}
+	return markov.Geometric(p), nil
+}
+
+// SimulateStep implements StepSystem.
+func (s S1PO) SimulateStep(rng *xrand.RNG) (bool, error) {
+	if err := s.P.Validate(); err != nil {
+		return false, err
+	}
+	// ω distinct probes against one key hidden in χ: hit iff the key's
+	// position in the probe order falls inside the first ω.
+	return rng.Uint64n(s.P.Chi) < s.P.Omega(), nil
+}
+
+// --- S0PO ---------------------------------------------------------------
+
+// S0PO is 4-replica SMR with proactive obfuscation: per step, ω probes test
+// all 4 distinct keys (every replica processes every request); the system
+// is compromised when a single step captures more than f replicas.
+type S0PO struct {
+	P Params
+}
+
+// Name implements System.
+func (s S0PO) Name() string { return "S0PO" }
+
+// StepCompromiseProb implements StepSystem: P(X ≥ f+1) with
+// X ~ Hypergeometric(χ, n_replicas, ω).
+func (s S0PO) StepCompromiseProb() (float64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	return hypergeomTail(s.P.Chi, uint64(s.P.SMRReplicas), s.P.Omega(), s.P.SMRTolerance+1)
+}
+
+// AnalyticEL implements System.
+func (s S0PO) AnalyticEL() (float64, error) {
+	p, err := s.StepCompromiseProb()
+	if err != nil {
+		return 0, err
+	}
+	return markov.Geometric(p), nil
+}
+
+// SimulateStep implements StepSystem.
+func (s S0PO) SimulateStep(rng *xrand.RNG) (bool, error) {
+	if err := s.P.Validate(); err != nil {
+		return false, err
+	}
+	hits, err := sampleTierHits(rng, s.P.Chi, s.P.SMRReplicas, s.P.Omega())
+	if err != nil {
+		return false, err
+	}
+	return hits > s.P.SMRTolerance, nil
+}
+
+// --- S2PO ---------------------------------------------------------------
+
+// S2PO is FORTRESS with proactive obfuscation. Within one step:
+//
+//  1. ω probes test the n_p distinct proxy keys (X proxies captured);
+//  2. the indirect stream tests the shared server key at rate κ·ω
+//     (success probability κ·α);
+//  3. if X ≥ 1, the attacker gains a same-step launch pad and spends the
+//     remaining λ·ω direct probes on the server key (probability λ·α);
+//  4. compromise iff the server key fell (2 or 3) or X = n_p.
+//
+// Re-randomization at the step boundary cleanses everything, so the state
+// does not carry over (Definition 4 and §4.1).
+type S2PO struct {
+	P Params
+}
+
+// Name implements System.
+func (s S2PO) Name() string { return "S2PO" }
+
+// StepCompromiseProb implements StepSystem, summing over the proxy-hit
+// count X.
+func (s S2PO) StepCompromiseProb() (float64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	alpha := s.P.EffectiveAlpha()
+	indirectMiss := 1 - s.P.Kappa*alpha
+	lpMiss := 1 - s.P.LaunchPadFraction*alpha
+
+	var survive float64
+	for x := 0; x < s.P.Proxies; x++ { // X = n_p is compromise outright
+		px, err := hypergeomPMF(s.P.Chi, uint64(s.P.Proxies), s.P.Omega(), x)
+		if err != nil {
+			return 0, err
+		}
+		miss := indirectMiss
+		if x >= 1 {
+			miss *= lpMiss
+		}
+		survive += px * miss
+	}
+	p := 1 - survive
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}
+
+// AnalyticEL implements System.
+func (s S2PO) AnalyticEL() (float64, error) {
+	p, err := s.StepCompromiseProb()
+	if err != nil {
+		return 0, err
+	}
+	return markov.Geometric(p), nil
+}
+
+// SimulateStep implements StepSystem.
+func (s S2PO) SimulateStep(rng *xrand.RNG) (bool, error) {
+	if err := s.P.Validate(); err != nil {
+		return false, err
+	}
+	alpha := s.P.EffectiveAlpha()
+	proxyHits, err := sampleTierHits(rng, s.P.Chi, s.P.Proxies, s.P.Omega())
+	if err != nil {
+		return false, err
+	}
+	if proxyHits == s.P.Proxies {
+		return true, nil // route 3: all proxies captured
+	}
+	if rng.Bernoulli(s.P.Kappa * alpha) {
+		return true, nil // route 1: indirect server capture
+	}
+	if proxyHits >= 1 && rng.Bernoulli(s.P.LaunchPadFraction*alpha) {
+		return true, nil // route 2: same-step launch pad
+	}
+	return false, nil
+}
+
+// MarkovChainEL builds the explicit absorbing Markov chain for a PO system
+// (one transient "healthy" state, one absorbing "compromised" state) and
+// solves it with the fundamental-matrix method — the §5 calculation done
+// literally, used to cross-validate the closed forms.
+func MarkovChainEL(sys StepSystem) (float64, error) {
+	p, err := sys.StepCompromiseProb()
+	if err != nil {
+		return 0, err
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("model: %s has zero compromise probability", sys.Name())
+	}
+	c := markov.NewChain()
+	healthy := c.AddState("healthy", false)
+	dead := c.AddState("compromised", true)
+	if err := c.SetTransition(healthy, dead, p); err != nil {
+		return 0, err
+	}
+	if err := c.SetTransition(healthy, healthy, 1-p); err != nil {
+		return 0, err
+	}
+	steps, err := c.ExpectedSteps(healthy)
+	if err != nil {
+		return 0, err
+	}
+	// ExpectedSteps counts the compromising step itself; EL counts whole
+	// steps that elapse before it.
+	return steps - 1, nil
+}
+
+// sampleTierHits draws how many of a tier's k distinct keys are uncovered
+// by ω distinct probes into a χ-sized space — one hypergeometric sample,
+// drawn by direct simulation of the k key positions.
+func sampleTierHits(rng *xrand.RNG, chi uint64, k int, omega uint64) (int, error) {
+	if uint64(k) > chi {
+		return 0, fmt.Errorf("model: %d keys exceed χ=%d", k, chi)
+	}
+	// Draw k distinct positions in [0, χ); count how many land in the
+	// probed window [0, ω). Rejection sampling is cheap for k ≪ χ.
+	positions := make(map[uint64]struct{}, k)
+	hits := 0
+	for len(positions) < k {
+		pos := rng.Uint64n(chi)
+		if _, dup := positions[pos]; dup {
+			continue
+		}
+		positions[pos] = struct{}{}
+		if pos < omega {
+			hits++
+		}
+	}
+	return hits, nil
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fortress/internal/xrand"
+)
+
+func TestS2SOAnalyticMatchesMonteCarlo(t *testing.T) {
+	rng := xrand.New(8888)
+	for _, tc := range []struct {
+		alpha, kappa float64
+	}{
+		{0.001, 0},
+		{0.001, 0.5},
+		{0.001, 1},
+		{0.01, 0.3},
+		{0.005, 0.9},
+	} {
+		p := DefaultParams(tc.alpha, tc.kappa)
+		analytic, err := S2SO{P: p}.AnalyticEL()
+		if err != nil {
+			t.Fatalf("α=%v κ=%v: %v", tc.alpha, tc.kappa, err)
+		}
+		est, err := EstimateSO(S2SO{P: p}, 200000, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The analytic form treats the indirect stream continuously while
+		// the sampler quantizes positions to whole probes, so allow the CI
+		// plus a small discretization margin.
+		if math.Abs(est.EL-analytic) > 4*est.CI95+0.01*analytic+1 {
+			t.Errorf("α=%v κ=%v: MC %v ± %v vs analytic %v",
+				tc.alpha, tc.kappa, est.EL, est.CI95, analytic)
+		}
+	}
+}
+
+func TestS2SOAnalyticHorizonGuard(t *testing.T) {
+	// α = 1e-5 means ω = 1 and a 2¹⁶-step horizon: the O(T²) sum is
+	// declined in favour of Monte-Carlo.
+	_, err := S2SO{P: DefaultParams(0.00001, 0.5)}.AnalyticEL()
+	if !errors.Is(err, ErrAnalyticUnavailable) {
+		t.Fatalf("want ErrAnalyticUnavailable, got %v", err)
+	}
+}
+
+func TestS2SOAnalyticKappaMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, kappa := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		p := DefaultParams(0.001, kappa)
+		el, err := S2SO{P: p}.AnalyticEL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el > prev+1e-9 {
+			t.Fatalf("EL rose with κ at %v: %v > %v", kappa, el, prev)
+		}
+		prev = el
+	}
+}
+
+func TestS2SOAnalyticAgainstE4Numbers(t *testing.T) {
+	// The Monte-Carlo E4 table (EXPERIMENTS.md) pinned EL(S2SO) ≈ 595.2 at
+	// α=0.001, κ=0 and ≈ 339.7 at κ=1; the analytic path must land there.
+	p0 := DefaultParams(0.001, 0)
+	el0, err := S2SO{P: p0}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(el0-595) > 8 {
+		t.Errorf("EL(S2SO, κ=0) analytic = %v, MC table says ≈ 595", el0)
+	}
+	p1 := DefaultParams(0.001, 1)
+	el1, err := S2SO{P: p1}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(el1-340) > 8 {
+		t.Errorf("EL(S2SO, κ=1) analytic = %v, MC table says ≈ 340", el1)
+	}
+}

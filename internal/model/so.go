@@ -1,0 +1,338 @@
+package model
+
+import (
+	"errors"
+	"math"
+
+	"fortress/internal/xrand"
+)
+
+// ErrAnalyticUnavailable is returned by AnalyticEL for systems whose state
+// space is too large for the closed-form/Markov treatment; the paper (§5)
+// uses Monte-Carlo simulation for exactly these cases, and so does this
+// package (see LifetimeSystem and EstimateSO).
+var ErrAnalyticUnavailable = errors.New("model: analytic EL unavailable, use Monte-Carlo")
+
+// LifetimeSystem is an SO system: the without-replacement probing makes the
+// hazard grow over time, so whole lifetimes are sampled directly.
+type LifetimeSystem interface {
+	System
+	// SimulateLifetime samples one lifetime: the number of whole unit
+	// time-steps that elapse before compromise.
+	SimulateLifetime(rng *xrand.RNG) (uint64, error)
+}
+
+// soSurvivalEL computes EL = Σ_{t≥1} P(alive after step t) for a tier of K
+// distinct keys probed ω per step by a single stream, where compromise
+// means uncovering more than f of the keys. P(alive after t) is the
+// hypergeometric probability of at most f special items within the first
+// min(ω·t, χ) probed candidates.
+func soSurvivalEL(chi uint64, k, f int, omega uint64) (float64, error) {
+	if omega == 0 {
+		return math.Inf(1), nil
+	}
+	maxSteps := chi/omega + 2
+	var el float64
+	for t := uint64(1); t <= maxSteps; t++ {
+		window := t * omega
+		if window >= chi {
+			break // every key uncovered by now: survival is 0
+		}
+		var survive float64
+		for j := 0; j <= f; j++ {
+			p, err := hypergeomPMFWindow(chi, uint64(k), window, j)
+			if err != nil {
+				return 0, err
+			}
+			survive += p
+		}
+		el += survive
+	}
+	return el, nil
+}
+
+// sampleDistinctPositions draws k distinct probe-order positions, each in
+// [1, χ], sorted ascending: the moments at which a single probe stream
+// uncovers each of a tier's k keys.
+func sampleDistinctPositions(rng *xrand.RNG, chi uint64, k int) []uint64 {
+	seen := make(map[uint64]struct{}, k)
+	out := make([]uint64, 0, k)
+	for len(out) < k {
+		pos := rng.Uint64n(chi) + 1
+		if _, dup := seen[pos]; dup {
+			continue
+		}
+		seen[pos] = struct{}{}
+		out = append(out, pos)
+	}
+	// Insertion sort: k ≤ 4.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// stepOf converts a probe-order position to the unit time-step in which
+// that probe is issued, at ω probes per step.
+func stepOf(pos, omega uint64) uint64 {
+	return (pos + omega - 1) / omega
+}
+
+// --- S1SO ---------------------------------------------------------------
+
+// S1SO is primary-backup with start-up-only randomization: one shared key,
+// fixed for ever; each unsuccessful probe eliminates a candidate for good.
+type S1SO struct {
+	P Params
+}
+
+var (
+	_ LifetimeSystem = S1SO{}
+	_ LifetimeSystem = S0SO{}
+	_ LifetimeSystem = S2SO{}
+)
+
+// Name implements System.
+func (s S1SO) Name() string { return "S1SO" }
+
+// AnalyticEL implements System.
+func (s S1SO) AnalyticEL() (float64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	return soSurvivalEL(s.P.Chi, 1, 0, s.P.Omega())
+}
+
+// SimulateLifetime implements LifetimeSystem: the key's position in the
+// probe order is uniform; the compromise step follows directly.
+func (s S1SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	omega := s.P.Omega()
+	if omega == 0 {
+		return math.MaxUint64, nil
+	}
+	pos := rng.Uint64n(s.P.Chi) + 1
+	return stepOf(pos, omega) - 1, nil
+}
+
+// --- S0SO ---------------------------------------------------------------
+
+// S0SO is 4-replica SMR with start-up-only diverse randomization and
+// proactive recovery: the probe stream uncovers the replicas' distinct keys
+// one by one; compromise when more than f are uncovered. This is the
+// system the paper identifies as the least resilient (§6).
+type S0SO struct {
+	P Params
+}
+
+// Name implements System.
+func (s S0SO) Name() string { return "S0SO" }
+
+// AnalyticEL implements System.
+func (s S0SO) AnalyticEL() (float64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	return soSurvivalEL(s.P.Chi, s.P.SMRReplicas, s.P.SMRTolerance, s.P.Omega())
+}
+
+// SimulateLifetime implements LifetimeSystem.
+func (s S0SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	omega := s.P.Omega()
+	if omega == 0 {
+		return math.MaxUint64, nil
+	}
+	positions := sampleDistinctPositions(rng, s.P.Chi, s.P.SMRReplicas)
+	// Compromise at the (f+1)-th uncovered key.
+	critical := positions[s.P.SMRTolerance]
+	return stepOf(critical, omega) - 1, nil
+}
+
+// --- S2SO ---------------------------------------------------------------
+
+// S2SO is FORTRESS with start-up-only randomization and per-step recovery:
+// proxies hold n_p distinct keys probed by one direct stream; servers share
+// one key in an independent space, probed indirectly at rate κ·ω from the
+// start and directly (launch pad) once the first proxy has been captured —
+// under SO a captured proxy stays captured, so the launch pad persists.
+// Compromise when the server key is uncovered or all proxies are captured.
+//
+// The state space (candidates eliminated per tier × proxies captured) is
+// far too large for the fundamental-matrix method, so this system is
+// evaluated by Monte-Carlo only, as the paper does (§5).
+type S2SO struct {
+	P Params
+}
+
+// Name implements System.
+func (s S2SO) Name() string { return "S2SO" }
+
+// maxAnalyticSteps bounds the O(T²) exact summation in AnalyticEL; beyond
+// it (small α, ω = a handful of probes) Monte-Carlo is the right tool, as
+// the paper notes for large state spaces.
+const maxAnalyticSteps = 4096
+
+// AnalyticEL implements System. For horizons T = ⌈χ/ω⌉ up to
+// maxAnalyticSteps it computes the exact expectation by conditioning on
+// the step u in which the first proxy falls:
+//
+//	E[EL] = Σ_{t≥1} P(T > t),   P(T > t) = Σ_u P(t_first = u, t_all > t) · P(server survives c_u(t))
+//	                                      + P(t_first > t) · P(server pos > κωt)
+//
+// with the order-statistic identity (positions of the n_p proxy keys are a
+// uniform without-replacement sample):
+//
+//	P(q₁ > a, q_np > b) = [C(χ−a, n_p) − C(b−a, n_p)] / C(χ, n_p)   (a ≤ b)
+//
+// evaluated as exact products. Larger horizons return
+// ErrAnalyticUnavailable; use EstimateSO.
+func (s S2SO) AnalyticEL() (float64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	omega := s.P.Omega()
+	if omega == 0 {
+		return math.Inf(1), nil
+	}
+	horizon := (s.P.Chi + omega - 1) / omega
+	if horizon > maxAnalyticSteps {
+		return 0, ErrAnalyticUnavailable
+	}
+	chi := float64(s.P.Chi)
+	w := float64(omega)
+	np := s.P.Proxies
+	kappaRate := s.P.Kappa * w
+	lp := s.P.LaunchPadFraction * w
+
+	// ratioAllAbove(a) = P(all n_p proxy positions > a) = C(χ−a, np)/C(χ, np).
+	ratioAllAbove := func(a uint64) float64 {
+		if a >= s.P.Chi {
+			return 0
+		}
+		p := 1.0
+		for j := 0; j < np; j++ {
+			num := float64(s.P.Chi-a) - float64(j)
+			if num <= 0 {
+				return 0
+			}
+			p *= num / (chi - float64(j))
+		}
+		return p
+	}
+	// ratioAllWithin(a, b) = P(all positions in (a, b]) = C(b−a, np)/C(χ, np).
+	ratioAllWithin := func(a, b uint64) float64 {
+		if b <= a {
+			return 0
+		}
+		span := b - a
+		p := 1.0
+		for j := 0; j < np; j++ {
+			num := float64(span) - float64(j)
+			if num <= 0 {
+				return 0
+			}
+			p *= num / (chi - float64(j))
+		}
+		return p
+	}
+	window := func(t uint64) uint64 {
+		m := t * omega
+		if m > s.P.Chi {
+			m = s.P.Chi
+		}
+		return m
+	}
+	// serverSurvive(c) = P(server key position > c probes) with the
+	// cumulative server-stream probe count c (continuous approximation).
+	serverSurvive := func(c float64) float64 {
+		if c <= 0 {
+			return 1
+		}
+		if c >= chi {
+			return 0
+		}
+		return (chi - c) / chi
+	}
+
+	var el float64
+	for t := uint64(1); t <= horizon; t++ {
+		wt := window(t)
+		// Case t_first > t: no proxy captured yet; only the indirect stream
+		// has been probing the server.
+		survive := ratioAllAbove(wt) * serverSurvive(kappaRate*float64(t))
+		// Case t_first = u ≤ t, with all n_p proxies NOT yet captured.
+		for u := uint64(1); u <= t; u++ {
+			pu := ratioAllAbove(window(u-1)) - ratioAllWithin(window(u-1), wt) -
+				ratioAllAbove(window(u)) + ratioAllWithin(window(u), wt)
+			if pu <= 0 {
+				continue
+			}
+			c := kappaRate*float64(t) + lp + w*float64(t-u)
+			survive += pu * serverSurvive(c)
+		}
+		el += survive
+		if survive < 1e-15 {
+			break
+		}
+	}
+	return el, nil
+}
+
+// SimulateLifetime implements LifetimeSystem.
+func (s S2SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+	if err := s.P.Validate(); err != nil {
+		return 0, err
+	}
+	omega := s.P.Omega()
+	if omega == 0 {
+		return math.MaxUint64, nil
+	}
+	w := float64(omega)
+
+	proxyPos := sampleDistinctPositions(rng, s.P.Chi, s.P.Proxies)
+	tFirst := stepOf(proxyPos[0], omega)             // first proxy captured
+	tAll := stepOf(proxyPos[len(proxyPos)-1], omega) // all proxies captured
+	serverPos := float64(rng.Uint64n(s.P.Chi) + 1)   // server key position
+	kappaRate := s.P.Kappa * w                       // indirect probes/step
+	lp := s.P.LaunchPadFraction * w                  // launch-pad probes in step tFirst
+
+	// Cumulative server-stream probes by the end of step t:
+	//   c(t) = κ·ω·t                                   for t <  tFirst
+	//   c(t) = κ·ω·t + λ·ω + ω·(t − tFirst)            for t ≥ tFirst
+	// The server falls at the first step with c(t) ≥ serverPos. Both pieces
+	// are linear in t, so each is solved in closed form.
+	tServer := uint64(math.MaxUint64)
+	if kappaRate > 0 {
+		t := math.Ceil(serverPos / kappaRate)
+		if uint64(t) < tFirst {
+			tServer = uint64(t)
+		}
+	}
+	if tServer == math.MaxUint64 {
+		// Not captured before the launch pad opens; solve the second piece.
+		// c(t) = (κω+ω)t + λω − ω·tFirst ≥ serverPos.
+		rate := kappaRate + w
+		offset := lp - w*float64(tFirst)
+		t := math.Ceil((serverPos - offset) / rate)
+		if t < float64(tFirst) {
+			t = float64(tFirst)
+		}
+		tServer = uint64(t)
+	}
+
+	compromise := tServer
+	if tAll < compromise {
+		compromise = tAll
+	}
+	if compromise == 0 {
+		compromise = 1
+	}
+	return compromise - 1, nil
+}

@@ -1,0 +1,103 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fortress/internal/xrand"
+)
+
+func TestStaggeredAnalyticUnavailable(t *testing.T) {
+	_, err := S0Staggered{P: DefaultParams(0.01, 0)}.AnalyticEL()
+	if !errors.Is(err, ErrAnalyticUnavailable) {
+		t.Fatalf("want ErrAnalyticUnavailable, got %v", err)
+	}
+}
+
+func TestStaggeredShorterThanIdealPO(t *testing.T) {
+	// Batched re-randomization leaves captured replicas standing for up to
+	// n/f steps, so the staggered system must die sooner than idealized
+	// S0PO, yet far outlive the never-re-randomized S0SO.
+	p := DefaultParams(0.01, 0)
+	rng := xrand.New(99)
+	stag, err := EstimateSO(S0Staggered{P: p}, 30000, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := S0PO{P: p}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := S0SO{P: p}.AnalyticEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stag.EL >= ideal {
+		t.Errorf("staggered EL %v ≥ ideal PO EL %v", stag.EL, ideal)
+	}
+	if stag.EL <= so {
+		t.Errorf("staggered EL %v ≤ SO EL %v", stag.EL, so)
+	}
+}
+
+func TestStaggeredBiggerBatchLivesLonger(t *testing.T) {
+	// Re-randomizing more replicas per step shrinks the capture-persistence
+	// window and lengthens life.
+	p := DefaultParams(0.02, 0)
+	rng := xrand.New(123)
+	slow, err := EstimateSO(S0Staggered{P: p, BatchSize: 1}, 20000, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := EstimateSO(S0Staggered{P: p, BatchSize: 3}, 20000, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.EL <= slow.EL {
+		t.Errorf("batch=3 EL %v ≤ batch=1 EL %v", fast.EL, slow.EL)
+	}
+}
+
+func TestStaggeredBatchValidation(t *testing.T) {
+	s := S0Staggered{P: DefaultParams(0.01, 0), BatchSize: 99}
+	if _, err := s.SimulateLifetime(xrand.New(1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestStaggeredZeroAlphaImmortal(t *testing.T) {
+	p := DefaultParams(0, 0)
+	life, err := S0Staggered{P: p}.SimulateLifetime(xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life != math.MaxUint64 {
+		t.Fatalf("life = %d with α=0", life)
+	}
+}
+
+// Regression: the hypergeometric evaluation must stay finite at window
+// boundaries (ω=1 sweeps the window right up to χ−1), where the previous
+// product/step-up formulation produced NaN.
+func TestSOAnalyticFiniteAtOmegaOne(t *testing.T) {
+	for _, alpha := range []float64{0.00001, 0.00002} {
+		p := DefaultParams(alpha, 0)
+		if p.Omega() != 1 {
+			t.Fatalf("precondition: ω=%d", p.Omega())
+		}
+		el, err := S0SO{P: p}.AnalyticEL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(el) || math.IsInf(el, 0) || el <= 0 {
+			t.Fatalf("α=%v: EL = %v", alpha, el)
+		}
+		// ω=1 means the discovery position IS the step count: the 2nd of 4
+		// keys sits at expected position 2(χ+1)/5.
+		want := 2*(float64(p.Chi)+1)/5 - 1
+		if math.Abs(el-want) > 0.01*want {
+			t.Fatalf("α=%v: EL = %v, want ≈ %v", alpha, el, want)
+		}
+	}
+}

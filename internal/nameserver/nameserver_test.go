@@ -1,0 +1,193 @@
+package nameserver
+
+import (
+	"errors"
+	"testing"
+
+	"fortress/internal/sig"
+)
+
+func key(t *testing.T) []byte {
+	t.Helper()
+	k, err := sig.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.Public()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(ReplicationSMR, -1); err == nil {
+		t.Fatal("negative fault degree accepted")
+	}
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns == nil {
+		t.Fatal("nil name server")
+	}
+}
+
+func TestRegisterAndSnapshot(t *testing.T) {
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterProxy("p1", "addr-p1", key(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterProxy("p0", "addr-p0", key(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterServer(1, "addr-s1", key(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterServer(0, "addr-s0", key(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	view := ns.ClientSnapshot()
+	if len(view.Proxies) != 2 || len(view.Servers) != 2 {
+		t.Fatalf("snapshot sizes: %d proxies, %d servers", len(view.Proxies), len(view.Servers))
+	}
+	// Deterministic ordering.
+	if view.Proxies[0].ID != "p0" || view.Proxies[1].ID != "p1" {
+		t.Fatalf("proxy order: %v, %v", view.Proxies[0].ID, view.Proxies[1].ID)
+	}
+	if view.Servers[0].Index != 0 || view.Servers[1].Index != 1 {
+		t.Fatal("server order wrong")
+	}
+	if view.Replication != ReplicationPrimaryBackup {
+		t.Fatalf("replication = %v", view.Replication)
+	}
+}
+
+func TestClientViewHidesServerAddresses(t *testing.T) {
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterServer(0, "secret-addr", key(t)); err != nil {
+		t.Fatal(err)
+	}
+	view := ns.ClientSnapshot()
+	// ServerRecord has no address field at all; assert the visible fields.
+	if view.Servers[0].Index != 0 || len(view.Servers[0].PublicKey) == 0 {
+		t.Fatal("server record incomplete")
+	}
+	// Proxies can resolve it.
+	addr, err := ns.ServerAddr(0)
+	if err != nil || addr != "secret-addr" {
+		t.Fatalf("ServerAddr = %q, %v", addr, err)
+	}
+}
+
+func TestServerAddrNotFound(t *testing.T) {
+	ns, err := New(ReplicationSMR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.ServerAddr(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestProxyRecordByID(t *testing.T) {
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := key(t)
+	if err := ns.RegisterProxy("p", "addr", pub); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ns.ProxyRecordByID("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Addr != "addr" {
+		t.Fatalf("addr = %q", rec.Addr)
+	}
+	if _, err := ns.ProxyRecordByID("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := key(t)
+	if err := ns.RegisterProxy("", "a", good); err == nil {
+		t.Error("empty proxy id accepted")
+	}
+	if err := ns.RegisterProxy("p", "", good); err == nil {
+		t.Error("empty proxy addr accepted")
+	}
+	if err := ns.RegisterProxy("p", "a", []byte{1}); err == nil {
+		t.Error("short proxy key accepted")
+	}
+	if err := ns.RegisterServer(-1, "a", good); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := ns.RegisterServer(0, "", good); err == nil {
+		t.Error("empty server addr accepted")
+	}
+	if err := ns.RegisterServer(0, "a", []byte{1}); err == nil {
+		t.Error("short server key accepted")
+	}
+}
+
+func TestServerIndices(t *testing.T) {
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{2, 0, 1} {
+		if err := ns.RegisterServer(i, "a", key(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := ns.ServerIndices()
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("indices = %v", idx)
+	}
+}
+
+func TestReplicationTypeString(t *testing.T) {
+	cases := map[ReplicationType]string{
+		ReplicationNone:          "none",
+		ReplicationPrimaryBackup: "primary-backup",
+		ReplicationSMR:           "smr",
+		ReplicationType(42):      "ReplicationType(42)",
+	}
+	for rt, want := range cases {
+		if got := rt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(rt), got, want)
+		}
+	}
+}
+
+func TestReRegistrationOverwrites(t *testing.T) {
+	// Re-randomization epochs re-register nodes with fresh keys.
+	ns, err := New(ReplicationPrimaryBackup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := key(t), key(t)
+	if err := ns.RegisterProxy("p", "a", k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterProxy("p", "a2", k2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ns.ProxyRecordByID("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Addr != "a2" || string(rec.PublicKey) != string(k2) {
+		t.Fatal("re-registration did not overwrite")
+	}
+}

@@ -1,0 +1,395 @@
+// Package netsim provides an in-process simulated network with TCP-like
+// connection semantics.
+//
+// The property the paper's attack model depends on (§2.1–2.2) is that a
+// connection to a process that crashes is observably closed: that closure is
+// the oracle a de-randomization attacker uses to distinguish wrong key
+// guesses from right ones. netsim reproduces it: crashing a node (CrashAddr)
+// closes its listener and every connection terminating at it, and the remote
+// peers' Recv/Send fail with ErrClosed.
+//
+// Connections carry opaque byte payloads; higher layers (replication
+// engines, proxies) marshal their own messages. Delivery within a connection
+// is FIFO and reliable unless a drop rate or partition is configured.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fortress/internal/xrand"
+)
+
+var (
+	// ErrClosed is returned by operations on a closed connection or listener.
+	ErrClosed = errors.New("netsim: closed")
+	// ErrAddrInUse is returned by Listen when the address already has a listener.
+	ErrAddrInUse = errors.New("netsim: address in use")
+	// ErrRefused is returned by Dial when no listener accepts at the address.
+	ErrRefused = errors.New("netsim: connection refused")
+	// ErrTimeout is returned by RecvTimeout on expiry.
+	ErrTimeout = errors.New("netsim: timeout")
+	// ErrUnreachable is returned by Dial across a partition.
+	ErrUnreachable = errors.New("netsim: unreachable")
+)
+
+// Network is a simulated network. It is safe for concurrent use.
+type Network struct {
+	mu         sync.Mutex
+	listeners  map[string]*Listener
+	conns      map[*Conn]struct{}
+	partitions map[[2]string]struct{}
+	dropRate   float64
+	rng        *xrand.RNG
+	nextEph    int
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDropRate makes every Send independently drop its message with
+// probability p, using the deterministic generator rng. Connections remain
+// open; only payloads vanish — modelling a lossy but unbroken link.
+func WithDropRate(p float64, rng *xrand.RNG) Option {
+	return func(n *Network) {
+		n.dropRate = p
+		n.rng = rng
+	}
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		listeners:  make(map[string]*Listener),
+		conns:      make(map[*Conn]struct{}),
+		partitions: make(map[[2]string]struct{}),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+func partKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition severs communication between addresses a and b: existing
+// connections between them are closed and new dials fail with
+// ErrUnreachable until Heal.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.partitions[partKey(a, b)] = struct{}{}
+	var toClose []*Conn
+	for c := range n.conns {
+		if (c.local == a && c.remote == b) || (c.local == b && c.remote == a) {
+			toClose = append(toClose, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range toClose {
+		c.Close()
+	}
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, partKey(a, b))
+}
+
+func (n *Network) partitioned(a, b string) bool {
+	_, ok := n.partitions[partKey(a, b)]
+	return ok
+}
+
+// Listen opens a listener at addr.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("listen %q: %w", addr, ErrAddrInUse)
+	}
+	l := &Listener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan *Conn),
+		closed: make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects from the local address to a listener at remote. The local
+// address identifies the caller for partition and crash semantics; pass ""
+// for an ephemeral client address.
+func (n *Network) Dial(local, remote string) (*Conn, error) {
+	n.mu.Lock()
+	if local == "" {
+		n.nextEph++
+		local = fmt.Sprintf("eph-%d", n.nextEph)
+	}
+	if n.partitioned(local, remote) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrUnreachable)
+	}
+	l, ok := n.listeners[remote]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrRefused)
+	}
+
+	client, server := newConnPair(n, local, remote)
+	select {
+	case l.accept <- server:
+	case <-l.closed:
+		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrRefused)
+	}
+	n.mu.Lock()
+	n.conns[client] = struct{}{}
+	n.conns[server] = struct{}{}
+	n.mu.Unlock()
+	return client, nil
+}
+
+// CrashAddr simulates the process at addr crashing: its listener closes and
+// every connection with an endpoint at addr closes, observably to peers.
+func (n *Network) CrashAddr(addr string) {
+	n.mu.Lock()
+	l := n.listeners[addr]
+	delete(n.listeners, addr)
+	var toClose []*Conn
+	for c := range n.conns {
+		if c.local == addr || c.remote == addr {
+			toClose = append(toClose, c)
+		}
+	}
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range toClose {
+		c.Close()
+	}
+}
+
+// OpenConns reports the number of live connection endpoints, for tests.
+func (n *Network) OpenConns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+func (n *Network) forget(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+func (n *Network) shouldDrop() bool {
+	if n.dropRate <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rng == nil {
+		return false
+	}
+	return n.rng.Bernoulli(n.dropRate)
+}
+
+// Listener accepts inbound connections at a fixed address.
+type Listener struct {
+	net       *Network
+	addr      string
+	accept    chan *Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() string { return l.addr }
+
+// Accept blocks until a connection arrives or the listener closes.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the listener. Established connections are unaffected.
+func (l *Listener) Close() {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+	})
+}
+
+// Conn is one endpoint of a bidirectional connection. Closing either
+// endpoint closes both directions, and the peer observes it — the TCP-reset
+// behaviour the de-randomization oracle needs.
+type Conn struct {
+	net    *Network
+	local  string
+	remote string
+	peer   *Conn
+
+	mu    sync.Mutex
+	queue [][]byte
+	ready chan struct{} // wake-up signal: buffered, size 1
+
+	// closed and once are shared by both endpoints of a pair, so a close
+	// from either side closes both directions atomically and concurrent
+	// closes from both sides cannot deadlock.
+	closed chan struct{}
+	once   *sync.Once
+}
+
+func newConnPair(n *Network, dialer, listener string) (client, server *Conn) {
+	closed := make(chan struct{})
+	once := &sync.Once{}
+	client = &Conn{net: n, local: dialer, remote: listener,
+		ready: make(chan struct{}, 1), closed: closed, once: once}
+	server = &Conn{net: n, local: listener, remote: dialer,
+		ready: make(chan struct{}, 1), closed: closed, once: once}
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+// LocalAddr returns this endpoint's address.
+func (c *Conn) LocalAddr() string { return c.local }
+
+// RemoteAddr returns the peer endpoint's address.
+func (c *Conn) RemoteAddr() string { return c.remote }
+
+// Send enqueues msg for the peer. It copies msg, so the caller may reuse the
+// buffer. It fails with ErrClosed once either endpoint has closed.
+func (c *Conn) Send(msg []byte) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	if c.net != nil && c.net.shouldDrop() {
+		return nil // dropped in flight; sender cannot tell
+	}
+	p := c.peer
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		return ErrClosed
+	default:
+	}
+	p.queue = append(p.queue, cp)
+	select {
+	case p.ready <- struct{}{}:
+	default:
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until a message arrives or the connection closes.
+func (c *Conn) Recv() ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			msg := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			return msg, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.ready:
+		case <-c.closed:
+			// Drain any message that raced with the close.
+			c.mu.Lock()
+			if len(c.queue) > 0 {
+				msg := c.queue[0]
+				c.queue = c.queue[1:]
+				c.mu.Unlock()
+				return msg, nil
+			}
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+	}
+}
+
+// RecvTimeout is Recv with a deadline; it returns ErrTimeout on expiry.
+func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			msg := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			return msg, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.ready:
+		case <-c.closed:
+			c.mu.Lock()
+			if len(c.queue) > 0 {
+				msg := c.queue[0]
+				c.queue = c.queue[1:]
+				c.mu.Unlock()
+				return msg, nil
+			}
+			c.mu.Unlock()
+			return nil, ErrClosed
+		case <-timer.C:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Close closes both endpoints of the connection. It is idempotent and safe
+// to call concurrently from both sides.
+func (c *Conn) Close() {
+	c.once.Do(func() {
+		close(c.closed)
+		if c.net != nil {
+			c.net.forget(c)
+			c.net.forget(c.peer)
+		}
+	})
+}
+
+// Closed reports whether the connection has been closed (by either side).
+// This is the attacker's crash oracle: polling Closed on a connection to a
+// victim reveals whether the victim process died.
+func (c *Conn) Closed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns a channel closed when the connection closes, for select-based
+// observers.
+func (c *Conn) Done() <-chan struct{} { return c.closed }

@@ -1,0 +1,478 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fortress/internal/xrand"
+)
+
+// pipe sets up a listener at addr and returns the dial-side and accept-side
+// connections.
+func pipe(t *testing.T, n *Network, from, addr string) (client, server *Conn) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = l.Accept()
+	}()
+	client, derr := n.Dial(from, addr)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "client", "server")
+	if err := c.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	// And the reverse direction.
+	if err := s.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	const count = 1000
+	for i := 0; i < count; i++ {
+		if err := c.Send([]byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		got, err := s.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("%d", i) {
+			t.Fatalf("message %d arrived as %q", i, got)
+		}
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	buf := []byte("abc")
+	if err := c.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'z'
+	got, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("message aliased sender buffer: %q", got)
+	}
+}
+
+func TestCloseObservableByPeer(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "attacker", "victim")
+	if c.Closed() || s.Closed() {
+		t.Fatal("fresh connection reports closed")
+	}
+	s.Close()
+	if !c.Closed() {
+		t.Fatal("peer close not observable — the crash oracle is broken")
+	}
+	if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after peer close: %v", err)
+	}
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after peer close: %v", err)
+	}
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); c.Close() }()
+		go func() { defer wg.Done(); s.Close() }()
+	}
+	wg.Wait()
+	if n.OpenConns() != 0 {
+		t.Fatalf("OpenConns = %d after close", n.OpenConns())
+	}
+}
+
+func TestRecvDrainsAfterClose(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	if err := c.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	got, err := s.Recv()
+	if err != nil {
+		t.Fatalf("in-flight message lost: %v", err)
+	}
+	if string(got) != "last words" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := s.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", err)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	got := make(chan []byte, 1)
+	go func() {
+		msg, err := s.Recv()
+		if err == nil {
+			got <- msg
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("Recv returned before Send")
+	default:
+	}
+	if err := c.Send([]byte("now")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if string(msg) != "now" {
+			t.Fatalf("got %q", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv never woke")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	n := NewNetwork()
+	_, s := pipe(t, n, "a", "b")
+	start := time.Now()
+	_, err := s.RecvTimeout(20 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("timeout fired early")
+	}
+}
+
+func TestRecvTimeoutDelivers(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	if err := c.Send([]byte("quick")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "quick" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestListenDuplicate(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("x"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("want ErrAddrInUse, got %v", err)
+	}
+}
+
+func TestListenReuseAfterClose(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := n.Listen("x")
+	if err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestDialNoListener(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("a", "nobody"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want ErrRefused, got %v", err)
+	}
+}
+
+func TestDialEphemeralLocal(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, aerr := l.Accept()
+		if aerr == nil {
+			_ = c.Send([]byte("hi"))
+		}
+	}()
+	c, err := n.Dial("", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LocalAddr() == "" {
+		t.Fatal("no ephemeral address assigned")
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptAfterListenerClose(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go l.Close()
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestCrashAddrClosesEverything(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, aerr := l.Accept(); aerr != nil {
+				return
+			}
+		}
+	}()
+	c1, err := n.Dial("attacker", "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Dial("other", "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, _ := pipe(t, n, "a", "b")
+
+	n.CrashAddr("victim")
+
+	if !c1.Closed() || !c2.Closed() {
+		t.Fatal("connections to crashed node still open")
+	}
+	if bystander.Closed() {
+		t.Fatal("bystander connection closed")
+	}
+	// Listener is gone: dialing is refused.
+	if _, err := n.Dial("x", "victim"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to crashed node: %v", err)
+	}
+}
+
+func TestCrashOracleEndToEnd(t *testing.T) {
+	// The de-randomization feedback loop: attacker holds a connection,
+	// victim crashes, attacker's poll of Closed() flips to true.
+	n := NewNetwork()
+	attacker, _ := pipe(t, n, "attacker", "victim")
+	if attacker.Closed() {
+		t.Fatal("premature close")
+	}
+	n.CrashAddr("victim")
+	select {
+	case <-attacker.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done channel never closed")
+	}
+	if !attacker.Closed() {
+		t.Fatal("oracle did not fire")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := NewNetwork()
+	c, _ := pipe(t, n, "a", "b")
+	n.Partition("a", "b")
+	if !c.Closed() {
+		t.Fatal("partition did not close existing connection")
+	}
+	if _, err := n.Dial("a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial across partition: %v", err)
+	}
+	// Symmetric.
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Dial("b", "a"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("reverse dial across partition: %v", err)
+	}
+	n.Heal("a", "b")
+	go func() {
+		if conn, aerr := l.Accept(); aerr == nil {
+			defer conn.Close()
+			_, _ = conn.Recv()
+		}
+	}()
+	c2, err := n.Dial("b", "a")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Close()
+}
+
+func TestDropRate(t *testing.T) {
+	rng := xrand.New(42)
+	n := NewNetwork(WithDropRate(0.5, rng))
+	c, s := pipe(t, n, "a", "b")
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		if err := c.Send([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	delivered := 0
+	for {
+		if _, err := s.Recv(); err != nil {
+			break
+		}
+		delivered++
+	}
+	if delivered == 0 || delivered == sent {
+		t.Fatalf("delivered %d/%d with 50%% drop", delivered, sent)
+	}
+	if delivered < sent/3 || delivered > 2*sent/3 {
+		t.Fatalf("delivered %d/%d, far from 50%%", delivered, sent)
+	}
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	n := NewNetwork()
+	const pairs = 8
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		srvAddr := fmt.Sprintf("s%d", p)
+		l, err := n.Listen(srvAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			conn, aerr := l.Accept()
+			if aerr != nil {
+				return
+			}
+			for {
+				msg, rerr := conn.Recv()
+				if rerr != nil {
+					return
+				}
+				if serr := conn.Send(msg); serr != nil {
+					return
+				}
+			}
+		}()
+		go func(p int) {
+			defer wg.Done()
+			conn, derr := n.Dial(fmt.Sprintf("c%d", p), srvAddr)
+			if derr != nil {
+				t.Error(derr)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 200; i++ {
+				if serr := conn.Send([]byte{byte(i)}); serr != nil {
+					t.Error(serr)
+					return
+				}
+				got, rerr := conn.Recv()
+				if rerr != nil {
+					t.Error(rerr)
+					return
+				}
+				if got[0] != byte(i) {
+					t.Errorf("echo mismatch %d vs %d", got[0], i)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	n := NewNetwork()
+	l, err := n.Listen("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	var server *Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, _ = l.Accept()
+	}()
+	client, err := n.Dial("c", "s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

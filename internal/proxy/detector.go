@@ -1,0 +1,127 @@
+package proxy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Detector is the proxy-side probe-source identifier the paper credits with
+// reducing an attacker's usable probe rate (§2.2): proxies do no request
+// processing, so they can afford to log invalid-request observations per
+// source over long periods and flag sources whose invalid-request rate is
+// inconsistent with an honest client.
+//
+// The rule: a source is flagged once it accumulates Threshold invalid
+// observations within a sliding Window. A de-randomization attacker needs
+// on the order of χ/2 wrong probes, so to stay under Threshold per Window
+// it must pace probes to ω ≈ Threshold/Window — the mechanism behind the
+// indirect-attack coefficient κ.
+type Detector struct {
+	mu        sync.Mutex
+	window    time.Duration
+	threshold int
+	now       func() time.Time
+	history   map[string][]time.Time
+	flagged   map[string]bool
+}
+
+// NewDetector creates a detector flagging sources that produce threshold or
+// more invalid requests within window.
+func NewDetector(window time.Duration, threshold int) *Detector {
+	return &Detector{
+		window:    window,
+		threshold: threshold,
+		now:       time.Now,
+		history:   make(map[string][]time.Time),
+		flagged:   make(map[string]bool),
+	}
+}
+
+// SetClock overrides the time source for deterministic tests.
+func (d *Detector) SetClock(now func() time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = now
+}
+
+// ObserveInvalid records one invalid request from source and reports
+// whether the source is now (or already was) flagged.
+func (d *Detector) ObserveInvalid(source string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.flagged[source] {
+		return true
+	}
+	now := d.now()
+	events := append(d.history[source], now)
+	cutoff := now.Add(-d.window)
+	// Drop events older than the window; events are appended in time order,
+	// so find the first one still inside it.
+	first := sort.Search(len(events), func(i int) bool { return events[i].After(cutoff) })
+	events = events[first:]
+	d.history[source] = events
+	if len(events) >= d.threshold {
+		d.flagged[source] = true
+		delete(d.history, source)
+		return true
+	}
+	return false
+}
+
+// Flagged reports whether source has been identified as a probe source.
+func (d *Detector) Flagged(source string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flagged[source]
+}
+
+// FlaggedSources returns all flagged sources, sorted.
+func (d *Detector) FlaggedSources() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.flagged))
+	for s := range d.flagged {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InvalidCount returns the number of in-window invalid observations for
+// source (0 once flagged, since history is dropped).
+func (d *Detector) InvalidCount(source string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.history[source])
+}
+
+// MaxSafeProbeRate returns the highest per-window probe count an attacker
+// can sustain without being flagged — the quantity that turns the detector
+// threshold into the paper's κ (Definition 5): for a direct-attack budget
+// ω_direct per unit time-step, an indirect attacker through this proxy is
+// limited to min(ω_direct, Threshold−1) probes, i.e.
+// κ = min(1, (Threshold−1)/ω_direct).
+func (d *Detector) MaxSafeProbeRate() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.threshold <= 1 {
+		return 0
+	}
+	return d.threshold - 1
+}
+
+// Kappa computes the effective indirect-attack coefficient for an attacker
+// whose unhindered probe budget per unit time-step is omegaDirect and whose
+// time-step equals the detector window.
+func (d *Detector) Kappa(omegaDirect uint64) float64 {
+	if omegaDirect == 0 {
+		return 0
+	}
+	safe := d.MaxSafeProbeRate()
+	k := float64(safe) / float64(omegaDirect)
+	if k > 1 {
+		return 1
+	}
+	return k
+}

@@ -1,0 +1,135 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock advances manually.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000000, 0)} }
+func withClock(d *Detector, c *fakeClock) *Detector {
+	d.SetClock(c.now)
+	return d
+}
+
+func TestDetectorFlagsAtThreshold(t *testing.T) {
+	c := newFakeClock()
+	d := withClock(NewDetector(time.Minute, 5), c)
+	for i := 0; i < 4; i++ {
+		if d.ObserveInvalid("mallory") {
+			t.Fatalf("flagged after %d observations", i+1)
+		}
+		c.advance(time.Second)
+	}
+	if !d.ObserveInvalid("mallory") {
+		t.Fatal("not flagged at threshold")
+	}
+	if !d.Flagged("mallory") {
+		t.Fatal("Flagged disagrees")
+	}
+}
+
+func TestDetectorWindowExpiry(t *testing.T) {
+	c := newFakeClock()
+	d := withClock(NewDetector(time.Minute, 3), c)
+	// Two invalids, then a long pause: the window forgets them.
+	d.ObserveInvalid("alice")
+	c.advance(time.Second)
+	d.ObserveInvalid("alice")
+	c.advance(2 * time.Minute)
+	if d.ObserveInvalid("alice") {
+		t.Fatal("stale observations counted")
+	}
+	if d.InvalidCount("alice") != 1 {
+		t.Fatalf("in-window count = %d", d.InvalidCount("alice"))
+	}
+}
+
+func TestDetectorPacedAttackerEvades(t *testing.T) {
+	// The paper's point: pacing probes below threshold/window evades
+	// detection — at the price of a uselessly low probe rate.
+	c := newFakeClock()
+	d := withClock(NewDetector(time.Minute, 10), c)
+	for i := 0; i < 1000; i++ {
+		if d.ObserveInvalid("patient") {
+			t.Fatalf("paced attacker flagged at probe %d", i)
+		}
+		c.advance(7 * time.Second) // ~9 probes/minute < threshold 10
+	}
+}
+
+func TestDetectorSeparatesSources(t *testing.T) {
+	c := newFakeClock()
+	d := withClock(NewDetector(time.Minute, 2), c)
+	d.ObserveInvalid("a")
+	d.ObserveInvalid("b")
+	if d.Flagged("a") || d.Flagged("b") {
+		t.Fatal("cross-source contamination")
+	}
+	d.ObserveInvalid("a")
+	if !d.Flagged("a") {
+		t.Fatal("a not flagged")
+	}
+	if d.Flagged("b") {
+		t.Fatal("b flagged by a's behaviour")
+	}
+	got := d.FlaggedSources()
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("FlaggedSources = %v", got)
+	}
+}
+
+func TestDetectorFlagIsSticky(t *testing.T) {
+	c := newFakeClock()
+	d := withClock(NewDetector(time.Minute, 2), c)
+	d.ObserveInvalid("m")
+	d.ObserveInvalid("m")
+	c.advance(24 * time.Hour)
+	if !d.ObserveInvalid("m") || !d.Flagged("m") {
+		t.Fatal("flag expired; it must be sticky")
+	}
+}
+
+func TestMaxSafeProbeRateAndKappa(t *testing.T) {
+	d := NewDetector(time.Minute, 10)
+	if d.MaxSafeProbeRate() != 9 {
+		t.Fatalf("MaxSafeProbeRate = %d", d.MaxSafeProbeRate())
+	}
+	if k := d.Kappa(90); k != 0.1 {
+		t.Fatalf("Kappa(90) = %v", k)
+	}
+	if k := d.Kappa(5); k != 1 {
+		t.Fatalf("Kappa(5) = %v, want clamp to 1", k)
+	}
+	if k := d.Kappa(0); k != 0 {
+		t.Fatalf("Kappa(0) = %v", k)
+	}
+	d1 := NewDetector(time.Minute, 1)
+	if d1.MaxSafeProbeRate() != 0 {
+		t.Fatalf("threshold-1 detector allows %d", d1.MaxSafeProbeRate())
+	}
+}
+
+func TestDetectorManySources(t *testing.T) {
+	c := newFakeClock()
+	d := withClock(NewDetector(time.Minute, 3), c)
+	for i := 0; i < 100; i++ {
+		src := fmt.Sprintf("src-%d", i)
+		d.ObserveInvalid(src)
+		d.ObserveInvalid(src)
+	}
+	if n := len(d.FlaggedSources()); n != 0 {
+		t.Fatalf("%d sources flagged below threshold", n)
+	}
+	for i := 0; i < 100; i++ {
+		d.ObserveInvalid(fmt.Sprintf("src-%d", i))
+	}
+	if n := len(d.FlaggedSources()); n != 100 {
+		t.Fatalf("%d sources flagged, want 100", n)
+	}
+}

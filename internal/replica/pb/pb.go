@@ -1,0 +1,606 @@
+// Package pb implements classical primary-backup replication (paper §1, §3),
+// the server tier FORTRESS fortifies.
+//
+// One replica — the primary — executes client requests; after each execution
+// it ships the response and a full state snapshot to every backup. Each
+// replica (primary and backups alike) signs the response together with its
+// own index and returns it to the requester, exactly as §3 prescribes for
+// the FORTRESS interaction pattern. Backups never execute requests, which is
+// why the hosted service need not be deterministic.
+//
+// Failure handling: the primary heartbeats the backups; a backup that
+// misses heartbeats for the configured timeout deterministically promotes
+// the lowest-indexed surviving replica (itself included) to primary.
+package pb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fortress/internal/netsim"
+	"fortress/internal/service"
+	"fortress/internal/sig"
+)
+
+// Role distinguishes the primary from backups.
+type Role int
+
+const (
+	// RolePrimary executes requests and ships state updates.
+	RolePrimary Role = iota + 1
+	// RoleBackup applies state updates and co-signs responses.
+	RoleBackup
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// wire message types exchanged between replicas and with requesters.
+const (
+	msgRequest   = "request"   // requester → replica: please serve
+	msgResponse  = "response"  // replica → requester: signed response
+	msgUpdate    = "update"    // primary → backup: executed request + state
+	msgAck       = "ack"       // backup → primary
+	msgHeartbeat = "heartbeat" // primary → backup
+)
+
+type wireMsg struct {
+	Type      string              `json:"type"`
+	RequestID string              `json:"requestId,omitempty"`
+	Body      []byte              `json:"body,omitempty"`
+	Seq       uint64              `json:"seq,omitempty"`
+	Snapshot  []byte              `json:"snapshot,omitempty"`
+	RespBody  []byte              `json:"respBody,omitempty"`
+	RespErr   string              `json:"respErr,omitempty"`
+	From      int                 `json:"from,omitempty"`
+	Response  *sig.ServerResponse `json:"response,omitempty"`
+}
+
+func encode(m wireMsg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// wireMsg contains only marshal-safe fields; this cannot happen.
+		panic(fmt.Sprintf("pb: marshal wire message: %v", err))
+	}
+	return b
+}
+
+// Config describes one replica.
+type Config struct {
+	// Index is this replica's unique server index, known to proxies and
+	// clients through the name server.
+	Index int
+	// Addr is the netsim address this replica listens on.
+	Addr string
+	// Peers maps every replica index (including this one) to its address.
+	Peers map[int]string
+	// InitialPrimary is the index of the replica that starts as primary.
+	InitialPrimary int
+	// Service is the hosted service instance (each replica owns one).
+	Service service.Service
+	// Keys signs this replica's responses.
+	Keys *sig.KeyPair
+	// Net is the simulated network.
+	Net *netsim.Network
+	// HeartbeatInterval is how often the primary pings backups.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a backup waits before declaring the
+	// primary dead. It should be several intervals.
+	HeartbeatTimeout time.Duration
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Service == nil:
+		return errors.New("pb: config needs a Service")
+	case c.Keys == nil:
+		return errors.New("pb: config needs Keys")
+	case c.Net == nil:
+		return errors.New("pb: config needs Net")
+	case c.Addr == "":
+		return errors.New("pb: config needs Addr")
+	case len(c.Peers) == 0:
+		return errors.New("pb: config needs Peers")
+	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0:
+		return errors.New("pb: config needs positive heartbeat timings")
+	}
+	if _, ok := c.Peers[c.Index]; !ok {
+		return fmt.Errorf("pb: Peers must contain own index %d", c.Index)
+	}
+	if _, ok := c.Peers[c.InitialPrimary]; !ok {
+		return fmt.Errorf("pb: Peers must contain initial primary %d", c.InitialPrimary)
+	}
+	return nil
+}
+
+// Replica is one primary-backup replica.
+type Replica struct {
+	cfg Config
+
+	mu            sync.Mutex
+	role          Role
+	primaryIdx    int
+	seq           uint64
+	lastHeartbeat time.Time
+	respCache     map[string]cachedResp
+	pending       map[string][]*netsim.Conn
+	peerConns     map[int]*netsim.Conn
+	suspected     map[int]bool
+	stopped       bool
+
+	listener *netsim.Listener
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+type cachedResp struct {
+	body   []byte
+	errMsg string
+}
+
+// New starts a replica. Call Stop to shut it down.
+func New(cfg Config) (*Replica, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l, err := cfg.Net.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("pb: listen: %w", err)
+	}
+	r := &Replica{
+		cfg:        cfg,
+		role:       RoleBackup,
+		primaryIdx: cfg.InitialPrimary,
+		respCache:  make(map[string]cachedResp),
+		pending:    make(map[string][]*netsim.Conn),
+		peerConns:  make(map[int]*netsim.Conn),
+		suspected:  make(map[int]bool),
+		listener:   l,
+		stop:       make(chan struct{}),
+	}
+	if cfg.Index == cfg.InitialPrimary {
+		r.role = RolePrimary
+	}
+	r.mu.Lock()
+	r.lastHeartbeat = time.Now()
+	r.mu.Unlock()
+
+	r.done.Add(2)
+	go r.acceptLoop()
+	go r.timerLoop()
+	return r, nil
+}
+
+// Index returns the replica's server index.
+func (r *Replica) Index() int { return r.cfg.Index }
+
+// Addr returns the replica's network address.
+func (r *Replica) Addr() string { return r.cfg.Addr }
+
+// Role returns the replica's current role.
+func (r *Replica) Role() Role {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role
+}
+
+// PrimaryIndex returns who this replica currently believes is primary.
+func (r *Replica) PrimaryIndex() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primaryIdx
+}
+
+// Seq returns the number of state updates applied (or, on the primary,
+// executed).
+func (r *Replica) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// PublicKey exposes the verification key for name-server registration.
+func (r *Replica) PublicKey() []byte { return r.cfg.Keys.Public() }
+
+// Stop shuts the replica down and waits for its goroutines to exit.
+func (r *Replica) Stop() {
+	r.shutdown()
+	r.done.Wait()
+}
+
+// shutdown makes the replica inert — no new dials, no new accepts, existing
+// peer connections closed — without waiting for goroutines, so it is safe
+// to call from within a serving goroutine. Idempotent.
+func (r *Replica) shutdown() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	conns := make([]*netsim.Conn, 0, len(r.peerConns))
+	for _, c := range r.peerConns {
+		conns = append(conns, c)
+	}
+	r.peerConns = make(map[int]*netsim.Conn)
+	r.mu.Unlock()
+
+	close(r.stop)
+	r.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Crash simulates a node crash: the replica is made inert and its address
+// torn out of the network synchronously — every peer and requester observes
+// closed connections and the replica can take no further protocol actions —
+// while goroutine shutdown completes in the background.
+//
+// Crash is safe to call from within request handling (a wrong-key exploit
+// probe crashes the node mid-request): nothing here waits on the caller's
+// own serving goroutine.
+func (r *Replica) Crash() {
+	r.shutdown()
+	r.cfg.Net.CrashAddr(r.cfg.Addr)
+}
+
+func (r *Replica) acceptLoop() {
+	defer r.done.Done()
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			return
+		}
+		r.done.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Replica) serveConn(conn *netsim.Conn) {
+	defer r.done.Done()
+	defer conn.Close()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var m wireMsg
+		if err := json.Unmarshal(raw, &m); err != nil {
+			continue // malformed traffic is dropped, never crashes a replica
+		}
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		switch m.Type {
+		case msgRequest:
+			r.handleRequest(conn, m)
+		case msgUpdate:
+			r.handleUpdate(conn, m)
+		case msgHeartbeat:
+			r.handleHeartbeat(m)
+		case msgAck:
+			// Asynchronous PB: acks are informational.
+		}
+	}
+}
+
+// handleRequest serves a request according to the current role.
+func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
+	r.mu.Lock()
+	if cached, ok := r.respCache[m.RequestID]; ok {
+		r.mu.Unlock()
+		r.reply(conn, m.RequestID, cached)
+		return
+	}
+	isPrimary := r.role == RolePrimary
+	if !isPrimary {
+		// Backup: park the connection until the primary's update arrives.
+		r.pending[m.RequestID] = append(r.pending[m.RequestID], conn)
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	// Primary path: execute, snapshot, replicate, reply.
+	body, applyErr := r.cfg.Service.Apply(m.Body)
+	cached := cachedResp{body: body}
+	if applyErr != nil {
+		cached = cachedResp{errMsg: applyErr.Error()}
+	}
+	snapshot, snapErr := r.cfg.Service.Snapshot()
+
+	r.mu.Lock()
+	// Re-check: a concurrent duplicate may have won the race.
+	if prior, ok := r.respCache[m.RequestID]; ok {
+		r.mu.Unlock()
+		r.reply(conn, m.RequestID, prior)
+		return
+	}
+	r.seq++
+	seq := r.seq
+	r.respCache[m.RequestID] = cached
+	r.mu.Unlock()
+
+	if snapErr == nil {
+		update := encode(wireMsg{
+			Type:      msgUpdate,
+			RequestID: m.RequestID,
+			Seq:       seq,
+			Snapshot:  snapshot,
+			RespBody:  cached.body,
+			RespErr:   cached.errMsg,
+			From:      r.cfg.Index,
+		})
+		r.broadcastToBackups(update)
+	}
+	r.reply(conn, m.RequestID, cached)
+}
+
+// reply signs and sends the response for a request on the given connection.
+func (r *Replica) reply(conn *netsim.Conn, requestID string, c cachedResp) {
+	payload := c.body
+	if c.errMsg != "" {
+		payload = []byte("error: " + c.errMsg)
+	}
+	resp := sig.SignServerResponse(r.cfg.Keys, requestID, payload, r.cfg.Index)
+	_ = conn.Send(encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp}))
+}
+
+// handleUpdate applies a primary state update on a backup.
+func (r *Replica) handleUpdate(conn *netsim.Conn, m wireMsg) {
+	r.mu.Lock()
+	if r.role == RolePrimary {
+		// A deposed primary re-joining as backup would handle this; a live
+		// primary ignores stale updates.
+		r.mu.Unlock()
+		return
+	}
+	if m.Seq <= r.seq {
+		r.mu.Unlock() // duplicate or out-of-date snapshot
+		return
+	}
+	r.seq = m.Seq
+	r.primaryIdx = m.From
+	r.lastHeartbeat = time.Now()
+	cached := cachedResp{body: m.RespBody, errMsg: m.RespErr}
+	r.respCache[m.RequestID] = cached
+	waiting := r.pending[m.RequestID]
+	delete(r.pending, m.RequestID)
+	r.mu.Unlock()
+
+	if err := r.cfg.Service.Restore(m.Snapshot); err == nil {
+		_ = conn.Send(encode(wireMsg{Type: msgAck, RequestID: m.RequestID, Seq: m.Seq, From: r.cfg.Index}))
+	}
+	for _, w := range waiting {
+		r.reply(w, m.RequestID, cached)
+	}
+}
+
+func (r *Replica) handleHeartbeat(m wireMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role == RolePrimary && m.From != r.cfg.Index {
+		// Two primaries: the lower index wins, the higher demotes itself.
+		if m.From < r.cfg.Index {
+			r.role = RoleBackup
+			r.primaryIdx = m.From
+		}
+		return
+	}
+	r.primaryIdx = m.From
+	r.lastHeartbeat = time.Now()
+}
+
+// timerLoop drives heartbeats (primary) and failure detection (backup).
+func (r *Replica) timerLoop() {
+	defer r.done.Done()
+	ticker := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		role := r.role
+		stale := time.Since(r.lastHeartbeat) > r.cfg.HeartbeatTimeout
+		primary := r.primaryIdx
+		r.mu.Unlock()
+
+		switch role {
+		case RolePrimary:
+			r.broadcastToBackups(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
+		case RoleBackup:
+			if stale {
+				r.promote(primary)
+			}
+		}
+	}
+}
+
+// promote deterministically elects the next primary after deadPrimary: the
+// lowest index greater than the dead one, wrapping around, excluding
+// suspected-dead replicas. Every backup applies the same rule, so they
+// converge without coordination.
+func (r *Replica) promote(deadPrimary int) {
+	r.mu.Lock()
+	r.suspected[deadPrimary] = true
+	indices := make([]int, 0, len(r.cfg.Peers))
+	for i := range r.cfg.Peers {
+		if !r.suspected[i] {
+			indices = append(indices, i)
+		}
+	}
+	if len(indices) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	sort.Ints(indices)
+	next := indices[0]
+	for _, i := range indices {
+		if i > deadPrimary {
+			next = i
+			break
+		}
+	}
+	r.primaryIdx = next
+	r.lastHeartbeat = time.Now()
+	becamePrimary := next == r.cfg.Index && r.role != RolePrimary
+	if becamePrimary {
+		r.role = RolePrimary
+	}
+	r.mu.Unlock()
+
+	if becamePrimary {
+		// Announce immediately so peers stop their own failover timers.
+		r.broadcastToBackups(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
+	}
+	// Requests parked waiting for the dead primary's update will never be
+	// answered; close them so requesters resubmit (to the new primary).
+	r.serveParkedRequests()
+}
+
+// serveParkedRequests re-executes requests that were parked while this
+// replica was a backup and never got an update from the dead primary.
+func (r *Replica) serveParkedRequests() {
+	r.mu.Lock()
+	parked := r.pending
+	r.pending = make(map[string][]*netsim.Conn)
+	r.mu.Unlock()
+	for reqID, conns := range parked {
+		r.mu.Lock()
+		cached, ok := r.respCache[reqID]
+		r.mu.Unlock()
+		if !ok {
+			// The request body is gone with the parked message; requesters
+			// resubmit on timeout (proxies do). Close so they notice now.
+			for _, c := range conns {
+				c.Close()
+			}
+			continue
+		}
+		for _, c := range conns {
+			r.reply(c, reqID, cached)
+		}
+	}
+}
+
+// broadcastToBackups sends raw to every other replica, dialing lazily and
+// dropping peers that cannot be reached (they are crashed or partitioned;
+// retries happen on the next broadcast).
+func (r *Replica) broadcastToBackups(raw []byte) {
+	for idx, addr := range r.cfg.Peers {
+		if idx == r.cfg.Index {
+			continue
+		}
+		conn := r.peerConn(idx, addr)
+		if conn == nil {
+			continue
+		}
+		if err := conn.Send(raw); err != nil {
+			r.dropPeerConn(idx, conn)
+			// One immediate re-dial attempt, then give up until next round.
+			if conn = r.peerConn(idx, addr); conn != nil {
+				_ = conn.Send(raw)
+			}
+		}
+	}
+}
+
+func (r *Replica) peerConn(idx int, addr string) *netsim.Conn {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return nil
+	}
+	if c, ok := r.peerConns[idx]; ok && !c.Closed() {
+		r.mu.Unlock()
+		return c
+	}
+	r.mu.Unlock()
+
+	c, err := r.cfg.Net.Dial(r.cfg.Addr, addr)
+	if err != nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	if existing, ok := r.peerConns[idx]; ok && !existing.Closed() {
+		r.mu.Unlock()
+		c.Close()
+		return existing
+	}
+	r.peerConns[idx] = c
+	r.mu.Unlock()
+	return c
+}
+
+func (r *Replica) dropPeerConn(idx int, c *netsim.Conn) {
+	c.Close()
+	r.mu.Lock()
+	if r.peerConns[idx] == c {
+		delete(r.peerConns, idx)
+	}
+	r.mu.Unlock()
+}
+
+// --- Requester --------------------------------------------------------
+
+// Request sends one request to the replica at addr over net and waits for
+// its signed response. It is the requester-side helper proxies and tests
+// use; from is the caller's network identity.
+func Request(net *netsim.Network, from, addr, requestID string, body []byte, timeout time.Duration) (sig.ServerResponse, error) {
+	conn, err := net.Dial(from, addr)
+	if err != nil {
+		return sig.ServerResponse{}, fmt.Errorf("pb: request dial: %w", err)
+	}
+	defer conn.Close()
+	return RequestOn(conn, requestID, body, timeout)
+}
+
+// RequestOn issues a request on an existing connection and waits for the
+// matching signed response, skipping unrelated traffic.
+func RequestOn(conn *netsim.Conn, requestID string, body []byte, timeout time.Duration) (sig.ServerResponse, error) {
+	if err := conn.Send(encode(wireMsg{Type: msgRequest, RequestID: requestID, Body: body})); err != nil {
+		return sig.ServerResponse{}, fmt.Errorf("pb: request send: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return sig.ServerResponse{}, netsim.ErrTimeout
+		}
+		raw, err := conn.RecvTimeout(remaining)
+		if err != nil {
+			return sig.ServerResponse{}, fmt.Errorf("pb: request recv: %w", err)
+		}
+		var m wireMsg
+		if err := json.Unmarshal(raw, &m); err != nil {
+			continue
+		}
+		if m.Type == msgResponse && m.RequestID == requestID && m.Response != nil {
+			return *m.Response, nil
+		}
+	}
+}

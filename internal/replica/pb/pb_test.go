@@ -1,0 +1,381 @@
+package pb
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"fortress/internal/netsim"
+	"fortress/internal/service"
+	"fortress/internal/sig"
+	"fortress/internal/xrand"
+)
+
+const (
+	hbInterval = 5 * time.Millisecond
+	hbTimeout  = 40 * time.Millisecond
+	reqTimeout = 2 * time.Second
+)
+
+// cluster stands up n replicas hosting fresh services built by mk.
+func cluster(t *testing.T, n int, mk func(i int) service.Service) (*netsim.Network, []*Replica) {
+	t.Helper()
+	net := netsim.NewNetwork()
+	peers := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		peers[i] = fmt.Sprintf("server-%d", i)
+	}
+	replicas := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		keys, err := sig.NewKeyPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(Config{
+			Index:             i,
+			Addr:              peers[i],
+			Peers:             peers,
+			InitialPrimary:    0,
+			Service:           mk(i),
+			Keys:              keys,
+			Net:               net,
+			HeartbeatInterval: hbInterval,
+			HeartbeatTimeout:  hbTimeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+		t.Cleanup(r.Stop)
+	}
+	return net, replicas
+}
+
+func kvPut(t *testing.T, key, val string) []byte {
+	t.Helper()
+	b, err := json.Marshal(service.KVRequest{Op: "put", Key: key, Value: val})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func kvGet(t *testing.T, key string) []byte {
+	t.Helper()
+	b, err := json.Marshal(service.KVRequest{Op: "get", Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := netsim.NewNetwork()
+	keys, err := sig.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Config{
+		Index: 0, Addr: "a", Peers: map[int]string{0: "a"},
+		InitialPrimary: 0, Service: service.NewKV(), Keys: keys, Net: net,
+		HeartbeatInterval: time.Millisecond, HeartbeatTimeout: time.Millisecond,
+	}
+	mutations := []func(c *Config){
+		func(c *Config) { c.Service = nil },
+		func(c *Config) { c.Keys = nil },
+		func(c *Config) { c.Net = nil },
+		func(c *Config) { c.Addr = "" },
+		func(c *Config) { c.Peers = nil },
+		func(c *Config) { c.Peers = map[int]string{9: "x"} },
+		func(c *Config) { c.InitialPrimary = 7 },
+		func(c *Config) { c.HeartbeatInterval = 0 },
+		func(c *Config) { c.HeartbeatTimeout = 0 },
+	}
+	for i, mutate := range mutations {
+		c := good
+		c.Peers = map[int]string{0: "a"}
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	r, err := New(good)
+	if err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	r.Stop()
+}
+
+func TestPrimaryServesSignedResponse(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	resp, err := Request(net, "client", reps[0].Addr(), "r1", kvPut(t, "k", "v"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ServerIndex != 0 {
+		t.Fatalf("signed by %d, want 0", resp.ServerIndex)
+	}
+	if err := sig.VerifyServerResponse(reps[0].PublicKey(), resp); err != nil {
+		t.Fatalf("signature invalid: %v", err)
+	}
+	var kr service.KVResponse
+	if err := json.Unmarshal(resp.Body, &kr); err != nil {
+		t.Fatal(err)
+	}
+	if !kr.Found || kr.Value != "v" {
+		t.Fatalf("response = %+v", kr)
+	}
+}
+
+func TestBackupCoSignsAfterUpdate(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+
+	// Ask primary and a backup for the same request, as a proxy would.
+	done := make(chan sig.ServerResponse, 1)
+	go func() {
+		resp, err := Request(net, "proxy-b", reps[1].Addr(), "r1", kvPut(t, "k", "v"), reqTimeout)
+		if err == nil {
+			done <- resp
+		}
+	}()
+	// Give the backup a moment to park the request, then drive the primary.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := Request(net, "proxy-a", reps[0].Addr(), "r1", kvPut(t, "k", "v"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case resp := <-done:
+		if resp.ServerIndex != 1 {
+			t.Fatalf("backup response signed by %d", resp.ServerIndex)
+		}
+		if err := sig.VerifyServerResponse(reps[1].PublicKey(), resp); err != nil {
+			t.Fatalf("backup signature invalid: %v", err)
+		}
+		var kr service.KVResponse
+		if err := json.Unmarshal(resp.Body, &kr); err != nil {
+			t.Fatal(err)
+		}
+		if kr.Value != "v" {
+			t.Fatalf("backup response = %+v", kr)
+		}
+	case <-time.After(reqTimeout):
+		t.Fatal("backup never co-signed")
+	}
+}
+
+func TestBackupRepliesFromCacheOnLateRequest(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	if _, err := Request(net, "p", reps[0].Addr(), "r1", kvPut(t, "a", "1"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return reps[1].Seq() >= 1 })
+	// Now the backup already has the update; a late request is served
+	// immediately from cache.
+	resp, err := Request(net, "p", reps[1].Addr(), "r1", kvPut(t, "a", "1"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ServerIndex != 1 {
+		t.Fatalf("signed by %d", resp.ServerIndex)
+	}
+}
+
+func TestStateReplicationReachesAllBackups(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	for i := 0; i < 5; i++ {
+		reqID := fmt.Sprintf("r%d", i)
+		if _, err := Request(net, "c", reps[0].Addr(), reqID, kvPut(t, fmt.Sprintf("k%d", i), "v"), reqTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return reps[1].Seq() == 5 && reps[2].Seq() == 5 })
+}
+
+func TestDuplicateRequestIdempotent(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewCounter() })
+	r1, err := Request(net, "c", reps[0].Addr(), "dup", []byte("inc"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Request(net, "c", reps[0].Addr(), "dup", []byte("inc"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Body) != "1" || string(r2.Body) != "1" {
+		t.Fatalf("duplicate executed twice: %s then %s", r1.Body, r2.Body)
+	}
+}
+
+func TestApplicationErrorPropagates(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewCounter() })
+	resp, err := Request(net, "c", reps[0].Addr(), "bad", []byte("explode"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body[:6]) != "error:" {
+		t.Fatalf("body = %s", resp.Body)
+	}
+}
+
+func TestFailoverPromotesNextIndex(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	if _, err := Request(net, "c", reps[0].Addr(), "r1", kvPut(t, "k", "v1"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return reps[1].Seq() == 1 && reps[2].Seq() == 1 })
+
+	reps[0].Crash()
+	waitFor(t, func() bool { return reps[1].Role() == RolePrimary })
+
+	// The new primary serves with the preserved state.
+	resp, err := Request(net, "c", reps[1].Addr(), "r2", kvGet(t, "k"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr service.KVResponse
+	if err := json.Unmarshal(resp.Body, &kr); err != nil {
+		t.Fatal(err)
+	}
+	if !kr.Found || kr.Value != "v1" {
+		t.Fatalf("state lost across failover: %+v", kr)
+	}
+	// The remaining backup follows the new primary.
+	waitFor(t, func() bool { return reps[2].PrimaryIndex() == 1 })
+}
+
+func TestDoubleFailover(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewCounter() })
+	if _, err := Request(net, "c", reps[0].Addr(), "a", []byte("add 5"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return reps[1].Seq() == 1 && reps[2].Seq() == 1 })
+	reps[0].Crash()
+	waitFor(t, func() bool { return reps[1].Role() == RolePrimary })
+	if _, err := Request(net, "c", reps[1].Addr(), "b", []byte("add 2"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return reps[2].Seq() == 2 })
+	reps[1].Crash()
+	waitFor(t, func() bool { return reps[2].Role() == RolePrimary })
+	resp, err := Request(net, "c", reps[2].Addr(), "c", []byte("read"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "7" {
+		t.Fatalf("state after two failovers = %s, want 7", resp.Body)
+	}
+}
+
+func TestNondeterministicServiceReplicatesFine(t *testing.T) {
+	// The paper's point: PB hosts non-DSM services because backups never
+	// re-execute.
+	rng := xrand.New(77)
+	net, reps := cluster(t, 3, func(i int) service.Service {
+		return service.NewNondet(service.NewCounter(), rng.Split())
+	})
+	if _, err := Request(net, "c", reps[0].Addr(), "n1", []byte("add 3"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return reps[1].Seq() == 1 && reps[2].Seq() == 1 })
+	reps[0].Crash()
+	waitFor(t, func() bool { return reps[1].Role() == RolePrimary })
+	resp, err := Request(net, "c", reps[1].Addr(), "n2", []byte("read"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Inner []byte `json:"inner"`
+	}
+	if err := json.Unmarshal(resp.Body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Inner) != "3" {
+		t.Fatalf("nondet state lost: %s", env.Inner)
+	}
+}
+
+func TestRequestToCrashedReplicaFails(t *testing.T) {
+	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	reps[2].Crash()
+	if _, err := Request(net, "c", reps[2].Addr(), "x", kvGet(t, "k"), 100*time.Millisecond); err == nil {
+		t.Fatal("request to crashed replica succeeded")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	_, reps := cluster(t, 2, func(int) service.Service { return service.NewKV() })
+	reps[0].Stop()
+	reps[0].Stop() // must not panic or deadlock
+}
+
+func TestRoleString(t *testing.T) {
+	if RolePrimary.String() != "primary" || RoleBackup.String() != "backup" {
+		t.Fatal("role strings wrong")
+	}
+	if Role(9).String() == "" {
+		t.Fatal("unknown role empty")
+	}
+}
+
+func TestPrimaryHeartbeatKeepsBackupsQuiet(t *testing.T) {
+	_, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	time.Sleep(4 * hbTimeout)
+	if reps[1].Role() != RoleBackup || reps[2].Role() != RoleBackup {
+		t.Fatal("backup promoted despite live primary")
+	}
+	if reps[0].Role() != RolePrimary {
+		t.Fatal("primary demoted itself")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func BenchmarkPrimaryRequest(b *testing.B) {
+	net := netsim.NewNetwork()
+	peers := map[int]string{0: "s0", 1: "s1", 2: "s2"}
+	var reps []*Replica
+	for i := 0; i < 3; i++ {
+		keys, err := sig.NewKeyPair()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := New(Config{
+			Index: i, Addr: peers[i], Peers: peers, InitialPrimary: 0,
+			Service: service.NewKV(), Keys: keys, Net: net,
+			HeartbeatInterval: 50 * time.Millisecond,
+			HeartbeatTimeout:  500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps = append(reps, r)
+	}
+	defer func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	}()
+	conn, err := net.Dial("bench-client", "s0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	body := []byte(`{"op":"put","key":"k","value":"v"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RequestOn(conn, fmt.Sprintf("b%d", i), body, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

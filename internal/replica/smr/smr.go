@@ -1,0 +1,658 @@
+// Package smr implements state machine replication (paper Def. 1): n
+// replicas hosting a deterministic state machine behind a leader-sequenced
+// total order, with client-side response voting.
+//
+// This is the S0 system class: clients send each request to every replica;
+// the replicas run an order protocol (here: the lowest-indexed live replica
+// acts as sequencer and broadcasts the execution order); every correct
+// replica executes the same requests in the same order and produces an
+// identical signed response; the client accepts a response once f+1
+// replicas agree on its body.
+//
+// The engine enforces the paper's central SMR precondition: the hosted
+// service must be a deterministic state machine. New rejects services whose
+// Deterministic method reports false (the check can be disabled to
+// demonstrate, in tests and examples, how nondeterminism breaks voting).
+package smr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fortress/internal/netsim"
+	"fortress/internal/service"
+	"fortress/internal/sig"
+)
+
+var (
+	// ErrNotDeterministic is returned by New for non-DSM services.
+	ErrNotDeterministic = errors.New("smr: service is not a deterministic state machine")
+	// ErrNoQuorum is returned by Vote when no response body reaches f+1
+	// matching copies.
+	ErrNoQuorum = errors.New("smr: no f+1 matching responses")
+)
+
+const (
+	msgRequest   = "request"   // client → replica
+	msgForward   = "forward"   // follower → leader: please order this
+	msgOrder     = "order"     // leader → all: execute at sequence
+	msgResponse  = "response"  // replica → client
+	msgHeartbeat = "heartbeat" // leader → followers
+)
+
+type wireMsg struct {
+	Type      string              `json:"type"`
+	RequestID string              `json:"requestId,omitempty"`
+	Body      []byte              `json:"body,omitempty"`
+	Seq       uint64              `json:"seq,omitempty"`
+	From      int                 `json:"from,omitempty"`
+	Response  *sig.ServerResponse `json:"response,omitempty"`
+}
+
+func encode(m wireMsg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("smr: marshal wire message: %v", err))
+	}
+	return b
+}
+
+// Config describes one SMR replica.
+type Config struct {
+	// Index is this replica's unique index.
+	Index int
+	// Addr is the netsim address the replica listens on.
+	Addr string
+	// Peers maps every replica index (including this one) to its address.
+	Peers map[int]string
+	// Service is the hosted deterministic state machine.
+	Service service.Service
+	// Keys signs responses.
+	Keys *sig.KeyPair
+	// Net is the simulated network.
+	Net *netsim.Network
+	// HeartbeatInterval is how often the leader pings followers.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a follower waits before electing the
+	// next leader.
+	HeartbeatTimeout time.Duration
+	// AllowNondeterministic disables the DSM check; used only to
+	// demonstrate why the check exists.
+	AllowNondeterministic bool
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Service == nil:
+		return errors.New("smr: config needs a Service")
+	case c.Keys == nil:
+		return errors.New("smr: config needs Keys")
+	case c.Net == nil:
+		return errors.New("smr: config needs Net")
+	case c.Addr == "":
+		return errors.New("smr: config needs Addr")
+	case len(c.Peers) == 0:
+		return errors.New("smr: config needs Peers")
+	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0:
+		return errors.New("smr: config needs positive heartbeat timings")
+	}
+	if _, ok := c.Peers[c.Index]; !ok {
+		return fmt.Errorf("smr: Peers must contain own index %d", c.Index)
+	}
+	if !c.AllowNondeterministic && !c.Service.Deterministic() {
+		return fmt.Errorf("%w: %s", ErrNotDeterministic, c.Service.Name())
+	}
+	return nil
+}
+
+// orderEntry is a sequenced request waiting for (or past) execution.
+type orderEntry struct {
+	requestID string
+	body      []byte
+}
+
+// Replica is one SMR replica.
+type Replica struct {
+	cfg Config
+
+	mu            sync.Mutex
+	leaderIdx     int
+	nextAssign    uint64 // leader: next sequence number to hand out
+	nextExec      uint64 // everyone: next sequence number to execute
+	log           map[uint64]orderEntry
+	ordered       map[string]bool // request IDs already sequenced (leader)
+	respCache     map[string][]byte
+	pending       map[string][]*netsim.Conn
+	peerConns     map[int]*netsim.Conn
+	suspected     map[int]bool
+	lastHeartbeat time.Time
+	stopped       bool
+
+	listener *netsim.Listener
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+// New starts a replica. The initial leader is the lowest peer index.
+func New(cfg Config) (*Replica, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l, err := cfg.Net.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("smr: listen: %w", err)
+	}
+	r := &Replica{
+		cfg:        cfg,
+		leaderIdx:  lowestIndex(cfg.Peers, nil),
+		nextExec:   1,
+		nextAssign: 1,
+		log:        make(map[uint64]orderEntry),
+		ordered:    make(map[string]bool),
+		respCache:  make(map[string][]byte),
+		pending:    make(map[string][]*netsim.Conn),
+		peerConns:  make(map[int]*netsim.Conn),
+		suspected:  make(map[int]bool),
+		listener:   l,
+		stop:       make(chan struct{}),
+	}
+	r.lastHeartbeat = time.Now()
+	r.done.Add(2)
+	go r.acceptLoop()
+	go r.timerLoop()
+	return r, nil
+}
+
+func lowestIndex(peers map[int]string, suspected map[int]bool) int {
+	best := -1
+	for i := range peers {
+		if suspected[i] {
+			continue
+		}
+		if best == -1 || i < best {
+			best = i
+		}
+	}
+	return best
+}
+
+// Index returns the replica's index.
+func (r *Replica) Index() int { return r.cfg.Index }
+
+// Addr returns the replica's address.
+func (r *Replica) Addr() string { return r.cfg.Addr }
+
+// PublicKey exposes the verification key.
+func (r *Replica) PublicKey() []byte { return r.cfg.Keys.Public() }
+
+// LeaderIndex returns who this replica currently follows.
+func (r *Replica) LeaderIndex() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaderIdx
+}
+
+// IsLeader reports whether this replica is currently the sequencer.
+func (r *Replica) IsLeader() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaderIdx == r.cfg.Index
+}
+
+// Executed returns how many requests this replica has executed.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextExec - 1
+}
+
+// Stop shuts the replica down and waits for its goroutines to exit.
+func (r *Replica) Stop() {
+	r.shutdown()
+	r.done.Wait()
+}
+
+// shutdown makes the replica inert without waiting for goroutines, so it is
+// safe to call from within a serving goroutine. Idempotent.
+func (r *Replica) shutdown() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	conns := make([]*netsim.Conn, 0, len(r.peerConns))
+	for _, c := range r.peerConns {
+		conns = append(conns, c)
+	}
+	r.peerConns = make(map[int]*netsim.Conn)
+	r.mu.Unlock()
+
+	close(r.stop)
+	r.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Crash simulates a node crash observable by all peers: the replica is made
+// inert and its address torn down synchronously; goroutine shutdown
+// completes in the background, so Crash may be called from within request
+// handling.
+func (r *Replica) Crash() {
+	r.shutdown()
+	r.cfg.Net.CrashAddr(r.cfg.Addr)
+}
+
+func (r *Replica) acceptLoop() {
+	defer r.done.Done()
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			return
+		}
+		r.done.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Replica) serveConn(conn *netsim.Conn) {
+	defer r.done.Done()
+	defer conn.Close()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var m wireMsg
+		if err := json.Unmarshal(raw, &m); err != nil {
+			continue
+		}
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		switch m.Type {
+		case msgRequest:
+			r.handleRequest(conn, m)
+		case msgForward:
+			r.handleForward(m)
+		case msgOrder:
+			r.handleOrder(m)
+		case msgHeartbeat:
+			r.handleHeartbeat(m)
+		}
+	}
+}
+
+// handleRequest registers the client connection and routes the request into
+// the order protocol.
+func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
+	r.mu.Lock()
+	if body, ok := r.respCache[m.RequestID]; ok {
+		r.mu.Unlock()
+		r.reply(conn, m.RequestID, body)
+		return
+	}
+	r.pending[m.RequestID] = append(r.pending[m.RequestID], conn)
+	isLeader := r.leaderIdx == r.cfg.Index
+	leader := r.leaderIdx
+	r.mu.Unlock()
+
+	if isLeader {
+		r.sequence(m.RequestID, m.Body)
+		return
+	}
+	// Follower: forward to the leader for ordering. The client also sent
+	// the request to the leader directly, so this is belt-and-braces that
+	// makes progress even if the client reached only this replica.
+	if addr, ok := r.cfg.Peers[leader]; ok {
+		r.sendTo(leader, addr, encode(wireMsg{
+			Type: msgForward, RequestID: m.RequestID, Body: m.Body, From: r.cfg.Index,
+		}))
+	}
+}
+
+// handleForward is the leader receiving a follower's order request.
+func (r *Replica) handleForward(m wireMsg) {
+	r.mu.Lock()
+	isLeader := r.leaderIdx == r.cfg.Index
+	r.mu.Unlock()
+	if isLeader {
+		r.sequence(m.RequestID, m.Body)
+	}
+}
+
+// sequence assigns the next sequence number to a request (once) and
+// broadcasts the order.
+func (r *Replica) sequence(requestID string, body []byte) {
+	r.mu.Lock()
+	if r.ordered[requestID] {
+		r.mu.Unlock()
+		return
+	}
+	r.ordered[requestID] = true
+	seq := r.nextAssign
+	r.nextAssign++
+	r.mu.Unlock()
+
+	order := wireMsg{Type: msgOrder, RequestID: requestID, Body: body, Seq: seq, From: r.cfg.Index}
+	r.handleOrder(order) // execute locally
+	raw := encode(order)
+	for idx, addr := range r.cfg.Peers {
+		if idx == r.cfg.Index {
+			continue
+		}
+		r.sendTo(idx, addr, raw)
+	}
+}
+
+// handleOrder buffers the sequenced request and executes everything that is
+// now contiguous.
+func (r *Replica) handleOrder(m wireMsg) {
+	r.mu.Lock()
+	if m.Seq < r.nextExec {
+		r.mu.Unlock()
+		return // already executed
+	}
+	r.log[m.Seq] = orderEntry{requestID: m.RequestID, body: m.Body}
+	// Track leader liveness through orders too.
+	if m.From != r.cfg.Index {
+		r.lastHeartbeat = time.Now()
+	}
+
+	type executed struct {
+		requestID string
+		respBody  []byte
+		conns     []*netsim.Conn
+	}
+	var ready []executed
+	for {
+		entry, ok := r.log[r.nextExec]
+		if !ok {
+			break
+		}
+		delete(r.log, r.nextExec)
+		r.nextExec++
+		r.mu.Unlock()
+		// Execute outside the lock: Apply may be slow.
+		respBody, applyErr := r.cfg.Service.Apply(entry.body)
+		if applyErr != nil {
+			respBody = []byte("error: " + applyErr.Error())
+		}
+		r.mu.Lock()
+		r.respCache[entry.requestID] = respBody
+		conns := r.pending[entry.requestID]
+		delete(r.pending, entry.requestID)
+		ready = append(ready, executed{entry.requestID, respBody, conns})
+	}
+	r.mu.Unlock()
+
+	for _, e := range ready {
+		for _, c := range e.conns {
+			r.reply(c, e.requestID, e.respBody)
+		}
+	}
+}
+
+func (r *Replica) reply(conn *netsim.Conn, requestID string, body []byte) {
+	resp := sig.SignServerResponse(r.cfg.Keys, requestID, body, r.cfg.Index)
+	_ = conn.Send(encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp}))
+}
+
+func (r *Replica) handleHeartbeat(m wireMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.From <= r.leaderIdx {
+		r.leaderIdx = m.From
+		r.lastHeartbeat = time.Now()
+	}
+}
+
+func (r *Replica) timerLoop() {
+	defer r.done.Done()
+	ticker := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		isLeader := r.leaderIdx == r.cfg.Index
+		stale := time.Since(r.lastHeartbeat) > r.cfg.HeartbeatTimeout
+		leader := r.leaderIdx
+		r.mu.Unlock()
+
+		if isLeader {
+			raw := encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index})
+			for idx, addr := range r.cfg.Peers {
+				if idx != r.cfg.Index {
+					r.sendTo(idx, addr, raw)
+				}
+			}
+			continue
+		}
+		if stale {
+			r.electNext(leader)
+		}
+	}
+}
+
+// electNext marks the current leader dead and deterministically adopts the
+// lowest surviving index as the new leader.
+func (r *Replica) electNext(deadLeader int) {
+	r.mu.Lock()
+	r.suspected[deadLeader] = true
+	next := lowestIndex(r.cfg.Peers, r.suspected)
+	if next == -1 {
+		r.mu.Unlock()
+		return
+	}
+	r.leaderIdx = next
+	r.lastHeartbeat = time.Now()
+	becameLeader := next == r.cfg.Index
+	if becameLeader && r.nextAssign < r.nextExec {
+		// Fresh leader: continue sequencing after everything it executed.
+		r.nextAssign = r.nextExec
+	}
+	r.mu.Unlock()
+
+	if becameLeader {
+		raw := encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index})
+		for idx, addr := range r.cfg.Peers {
+			if idx != r.cfg.Index {
+				r.sendTo(idx, addr, raw)
+			}
+		}
+	}
+}
+
+// sendTo delivers raw to a peer over a cached connection, re-dialing once.
+func (r *Replica) sendTo(idx int, addr string, raw []byte) {
+	conn := r.peerConn(idx, addr)
+	if conn == nil {
+		return
+	}
+	if err := conn.Send(raw); err != nil {
+		r.dropPeerConn(idx, conn)
+		if conn = r.peerConn(idx, addr); conn != nil {
+			_ = conn.Send(raw)
+		}
+	}
+}
+
+func (r *Replica) peerConn(idx int, addr string) *netsim.Conn {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return nil
+	}
+	if c, ok := r.peerConns[idx]; ok && !c.Closed() {
+		r.mu.Unlock()
+		return c
+	}
+	r.mu.Unlock()
+
+	c, err := r.cfg.Net.Dial(r.cfg.Addr, addr)
+	if err != nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	if existing, ok := r.peerConns[idx]; ok && !existing.Closed() {
+		r.mu.Unlock()
+		c.Close()
+		return existing
+	}
+	r.peerConns[idx] = c
+	r.mu.Unlock()
+	return c
+}
+
+func (r *Replica) dropPeerConn(idx int, c *netsim.Conn) {
+	c.Close()
+	r.mu.Lock()
+	if r.peerConns[idx] == c {
+		delete(r.peerConns, idx)
+	}
+	r.mu.Unlock()
+}
+
+// --- Client -----------------------------------------------------------
+
+// Client submits requests to every replica and votes on the responses, as
+// S0 clients do.
+type Client struct {
+	net     *netsim.Network
+	from    string
+	addrs   map[int]string
+	pubKeys map[int][]byte
+	f       int
+	timeout time.Duration
+}
+
+// NewClient builds a client. addrs and pubKeys map replica index to address
+// and verification key; f is the fault tolerance degree: f+1 matching,
+// correctly signed responses are required for acceptance.
+func NewClient(net *netsim.Network, from string, addrs map[int]string, pubKeys map[int][]byte, f int, timeout time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("smr: client needs replica addresses")
+	}
+	if f < 0 || len(addrs) < f+1 {
+		return nil, fmt.Errorf("smr: need at least f+1=%d replicas, have %d", f+1, len(addrs))
+	}
+	return &Client{net: net, from: from, addrs: addrs, pubKeys: pubKeys, f: f, timeout: timeout}, nil
+}
+
+// Invoke sends the request to all replicas and returns the body agreed on
+// by at least f+1 of them, or ErrNoQuorum.
+func (c *Client) Invoke(requestID string, body []byte) ([]byte, error) {
+	type result struct {
+		resp sig.ServerResponse
+		err  error
+	}
+	results := make(chan result, len(c.addrs))
+	var wg sync.WaitGroup
+	for idx, addr := range c.addrs {
+		wg.Add(1)
+		go func(idx int, addr string) {
+			defer wg.Done()
+			resp, err := request(c.net, fmt.Sprintf("%s-to-%d", c.from, idx), addr, requestID, body, c.timeout)
+			if err == nil {
+				if pk, ok := c.pubKeys[idx]; ok {
+					if verr := sig.VerifyServerResponse(pk, resp); verr != nil {
+						err = verr
+					} else if resp.ServerIndex != idx {
+						err = fmt.Errorf("smr: replica %d signed as %d", idx, resp.ServerIndex)
+					}
+				}
+			}
+			results <- result{resp, err}
+		}(idx, addr)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var responses []sig.ServerResponse
+	for res := range results {
+		if res.err != nil {
+			continue
+		}
+		responses = append(responses, res.resp)
+		if body, err := Vote(responses, c.f); err == nil {
+			return body, nil
+		}
+	}
+	if body, err := Vote(responses, c.f); err == nil {
+		return body, nil
+	}
+	return nil, fmt.Errorf("%w (got %d verified responses)", ErrNoQuorum, len(responses))
+}
+
+// Vote returns the response body shared by at least f+1 responses from
+// distinct replicas, or ErrNoQuorum.
+func Vote(responses []sig.ServerResponse, f int) ([]byte, error) {
+	counts := make(map[string]map[int]bool)
+	for _, r := range responses {
+		key := string(r.Body)
+		if counts[key] == nil {
+			counts[key] = make(map[int]bool)
+		}
+		counts[key][r.ServerIndex] = true
+	}
+	// Deterministic iteration for reproducible error behaviour.
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if len(counts[k]) >= f+1 {
+			return []byte(k), nil
+		}
+	}
+	return nil, ErrNoQuorum
+}
+
+// request mirrors pb.Request but speaks the smr wire format.
+func request(net *netsim.Network, from, addr, requestID string, body []byte, timeout time.Duration) (sig.ServerResponse, error) {
+	conn, err := net.Dial(from, addr)
+	if err != nil {
+		return sig.ServerResponse{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(encode(wireMsg{Type: msgRequest, RequestID: requestID, Body: body})); err != nil {
+		return sig.ServerResponse{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return sig.ServerResponse{}, netsim.ErrTimeout
+		}
+		raw, err := conn.RecvTimeout(remaining)
+		if err != nil {
+			return sig.ServerResponse{}, err
+		}
+		var m wireMsg
+		if err := json.Unmarshal(raw, &m); err != nil {
+			continue
+		}
+		if m.Type == msgResponse && m.RequestID == requestID && m.Response != nil {
+			return *m.Response, nil
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package service defines the replicatable-service abstraction and several
+// concrete services used by the replication engines and examples.
+//
+// The paper's motivating distinction (§1) is that state machine replication
+// requires the hosted service to be a deterministic state machine (DSM),
+// whereas primary-backup can replicate any service because only the primary
+// executes requests and backups apply state updates. The Service interface
+// supports both styles: Apply for execution, and Snapshot/Restore for
+// primary-to-backup state transfer.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fortress/internal/xrand"
+)
+
+// ErrBadRequest is returned for malformed or unsupported requests.
+var ErrBadRequest = errors.New("service: bad request")
+
+// Service is a replicatable service.
+//
+// Implementations must be safe for concurrent use. Deterministic reports
+// whether Apply is a pure function of (current state, request); SMR hosting
+// requires it, primary-backup does not.
+type Service interface {
+	// Name identifies the service type.
+	Name() string
+	// Apply executes one request and returns the response.
+	Apply(req []byte) ([]byte, error)
+	// Snapshot serializes the full service state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state with a previous Snapshot.
+	Restore(snapshot []byte) error
+	// Deterministic reports whether Apply is replay-safe on a DSM.
+	Deterministic() bool
+}
+
+// --- KV store ---------------------------------------------------------
+
+// KVRequest is the request format of the KV store: op is "get", "put" or
+// "delete".
+type KVRequest struct {
+	Op    string `json:"op"`
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+}
+
+// KVResponse is the KV store's reply.
+type KVResponse struct {
+	Found bool   `json:"found"`
+	Value string `json:"value,omitempty"`
+}
+
+// KV is a deterministic key-value store.
+type KV struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+var _ Service = (*KV)(nil)
+
+// NewKV returns an empty KV store.
+func NewKV() *KV {
+	return &KV{data: make(map[string]string)}
+}
+
+// Name implements Service.
+func (kv *KV) Name() string { return "kv" }
+
+// Deterministic implements Service.
+func (kv *KV) Deterministic() bool { return true }
+
+// Apply implements Service.
+func (kv *KV) Apply(req []byte) ([]byte, error) {
+	var r KVRequest
+	if err := json.Unmarshal(req, &r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	var resp KVResponse
+	switch r.Op {
+	case "get":
+		v, ok := kv.data[r.Key]
+		resp = KVResponse{Found: ok, Value: v}
+	case "put":
+		kv.data[r.Key] = r.Value
+		resp = KVResponse{Found: true, Value: r.Value}
+	case "delete":
+		_, ok := kv.data[r.Key]
+		delete(kv.data, r.Key)
+		resp = KVResponse{Found: ok}
+	default:
+		return nil, fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.Op)
+	}
+	return json.Marshal(resp)
+}
+
+// Snapshot implements Service.
+func (kv *KV) Snapshot() ([]byte, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return json.Marshal(kv.data)
+}
+
+// Restore implements Service.
+func (kv *KV) Restore(snapshot []byte) error {
+	data := make(map[string]string)
+	if err := json.Unmarshal(snapshot, &data); err != nil {
+		return fmt.Errorf("service: restore kv: %w", err)
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.data = data
+	return nil
+}
+
+// Len reports the number of stored keys (for tests and examples).
+func (kv *KV) Len() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.data)
+}
+
+// --- Counter ----------------------------------------------------------
+
+// Counter is a deterministic monotonic counter; requests are "inc", "add N"
+// or "read", responses the decimal value.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+var _ Service = (*Counter)(nil)
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Name implements Service.
+func (c *Counter) Name() string { return "counter" }
+
+// Deterministic implements Service.
+func (c *Counter) Deterministic() bool { return true }
+
+// Apply implements Service.
+func (c *Counter) Apply(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := string(req)
+	switch {
+	case s == "inc":
+		c.n++
+	case s == "read":
+	case len(s) > 4 && s[:4] == "add ":
+		d, err := strconv.ParseInt(s[4:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		c.n += d
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadRequest, s)
+	}
+	return []byte(strconv.FormatInt(c.n, 10)), nil
+}
+
+// Snapshot implements Service.
+func (c *Counter) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return []byte(strconv.FormatInt(c.n, 10)), nil
+}
+
+// Restore implements Service.
+func (c *Counter) Restore(snapshot []byte) error {
+	n, err := strconv.ParseInt(string(snapshot), 10, 64)
+	if err != nil {
+		return fmt.Errorf("service: restore counter: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = n
+	return nil
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// --- Bank -------------------------------------------------------------
+
+// BankRequest operates on accounts: op is "open", "deposit", "withdraw",
+// "transfer" or "balance".
+type BankRequest struct {
+	Op     string `json:"op"`
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Amount int64  `json:"amount,omitempty"`
+}
+
+// BankResponse reports the outcome and resulting balance of From (when
+// meaningful).
+type BankResponse struct {
+	OK      bool   `json:"ok"`
+	Balance int64  `json:"balance"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Bank is a deterministic multi-account ledger with non-negative balances.
+type Bank struct {
+	mu       sync.Mutex
+	accounts map[string]int64
+}
+
+var _ Service = (*Bank)(nil)
+
+// NewBank returns a bank with no accounts.
+func NewBank() *Bank {
+	return &Bank{accounts: make(map[string]int64)}
+}
+
+// Name implements Service.
+func (b *Bank) Name() string { return "bank" }
+
+// Deterministic implements Service.
+func (b *Bank) Deterministic() bool { return true }
+
+// Apply implements Service.
+func (b *Bank) Apply(req []byte) ([]byte, error) {
+	var r BankRequest
+	if err := json.Unmarshal(req, &r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp := b.apply(r)
+	return json.Marshal(resp)
+}
+
+func (b *Bank) apply(r BankRequest) BankResponse {
+	fail := func(msg string) BankResponse { return BankResponse{Err: msg} }
+	switch r.Op {
+	case "open":
+		if _, ok := b.accounts[r.From]; ok {
+			return fail("account exists")
+		}
+		b.accounts[r.From] = 0
+		return BankResponse{OK: true}
+	case "deposit":
+		if _, ok := b.accounts[r.From]; !ok {
+			return fail("no such account")
+		}
+		if r.Amount < 0 {
+			return fail("negative amount")
+		}
+		b.accounts[r.From] += r.Amount
+		return BankResponse{OK: true, Balance: b.accounts[r.From]}
+	case "withdraw":
+		bal, ok := b.accounts[r.From]
+		if !ok {
+			return fail("no such account")
+		}
+		if r.Amount < 0 || bal < r.Amount {
+			return fail("insufficient funds")
+		}
+		b.accounts[r.From] = bal - r.Amount
+		return BankResponse{OK: true, Balance: b.accounts[r.From]}
+	case "transfer":
+		fromBal, ok := b.accounts[r.From]
+		if !ok {
+			return fail("no such account")
+		}
+		if _, ok := b.accounts[r.To]; !ok {
+			return fail("no such destination")
+		}
+		if r.Amount < 0 || fromBal < r.Amount {
+			return fail("insufficient funds")
+		}
+		b.accounts[r.From] -= r.Amount
+		b.accounts[r.To] += r.Amount
+		return BankResponse{OK: true, Balance: b.accounts[r.From]}
+	case "balance":
+		bal, ok := b.accounts[r.From]
+		if !ok {
+			return fail("no such account")
+		}
+		return BankResponse{OK: true, Balance: bal}
+	default:
+		return fail("unknown op " + r.Op)
+	}
+}
+
+// TotalFunds returns the sum over all balances — conserved by transfers,
+// used as a property-test invariant.
+func (b *Bank) TotalFunds() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sum int64
+	for _, v := range b.accounts {
+		sum += v
+	}
+	return sum
+}
+
+// Snapshot implements Service. Account order is canonicalized so identical
+// states produce identical snapshots.
+func (b *Bank) Snapshot() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys := make([]string, 0, len(b.accounts))
+	for k := range b.accounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type entry struct {
+		Account string `json:"account"`
+		Balance int64  `json:"balance"`
+	}
+	entries := make([]entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, entry{Account: k, Balance: b.accounts[k]})
+	}
+	return json.Marshal(entries)
+}
+
+// Restore implements Service.
+func (b *Bank) Restore(snapshot []byte) error {
+	type entry struct {
+		Account string `json:"account"`
+		Balance int64  `json:"balance"`
+	}
+	var entries []entry
+	if err := json.Unmarshal(snapshot, &entries); err != nil {
+		return fmt.Errorf("service: restore bank: %w", err)
+	}
+	accounts := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		accounts[e.Account] = e.Balance
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.accounts = accounts
+	return nil
+}
+
+// --- Nondeterministic wrapper -----------------------------------------
+
+// Nondet wraps a service and injects per-execution nondeterminism (a random
+// token folded into every response). A primary-backup system hosts it
+// without trouble — only the primary executes, and backups receive state
+// updates. An SMR system cannot: replicas executing the same request produce
+// divergent responses, which the SMR engine's response voting detects. This
+// realizes the paper's motivating example for why PB "can replicate any
+// service" (§1).
+type Nondet struct {
+	inner Service
+	mu    sync.Mutex
+	rng   *xrand.RNG
+}
+
+var _ Service = (*Nondet)(nil)
+
+// NewNondet wraps inner with nondeterminism drawn from rng.
+func NewNondet(inner Service, rng *xrand.RNG) *Nondet {
+	return &Nondet{inner: inner, rng: rng}
+}
+
+// Name implements Service.
+func (n *Nondet) Name() string { return "nondet-" + n.inner.Name() }
+
+// Deterministic implements Service.
+func (n *Nondet) Deterministic() bool { return false }
+
+// nondetEnvelope is the response format: the inner response plus the token.
+type nondetEnvelope struct {
+	Inner []byte `json:"inner"`
+	Token uint64 `json:"token"`
+}
+
+// Apply implements Service.
+func (n *Nondet) Apply(req []byte) ([]byte, error) {
+	inner, err := n.inner.Apply(req)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	token := n.rng.Uint64()
+	n.mu.Unlock()
+	return json.Marshal(nondetEnvelope{Inner: inner, Token: token})
+}
+
+// Snapshot implements Service.
+func (n *Nondet) Snapshot() ([]byte, error) { return n.inner.Snapshot() }
+
+// Restore implements Service.
+func (n *Nondet) Restore(snapshot []byte) error { return n.inner.Restore(snapshot) }

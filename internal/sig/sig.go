@@ -1,0 +1,169 @@
+// Package sig implements the message authentication FORTRESS prescribes
+// (§3): servers sign responses together with their index, proxies over-sign
+// one authentic server response, and clients accept a response only if it
+// carries two authentic signatures — one from a proxy they know and one from
+// a server index they know.
+//
+// Ed25519 (crypto/ed25519, stdlib) provides the signatures.
+package sig
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrBadSignature is returned when signature verification fails.
+	ErrBadSignature = errors.New("sig: bad signature")
+	// ErrUnknownSigner is returned when the signer is not in the verifier's
+	// trusted set.
+	ErrUnknownSigner = errors.New("sig: unknown signer")
+)
+
+// KeyPair is an Ed25519 signing identity.
+type KeyPair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewKeyPair generates a fresh identity.
+func NewKeyPair() (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generate key: %w", err)
+	}
+	return &KeyPair{pub: pub, priv: priv}, nil
+}
+
+// Public returns the verification key.
+func (k *KeyPair) Public() ed25519.PublicKey { return k.pub }
+
+// Sign returns the signature over msg.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.priv, msg)
+}
+
+// Verify checks sig over msg against pub.
+func Verify(pub ed25519.PublicKey, msg, signature []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("sig: bad public key length %d", len(pub))
+	}
+	if !ed25519.Verify(pub, msg, signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// ServerResponse is a server's signed reply: the response body bound to the
+// server's index (the paper: "Each server signs the response together with
+// its index").
+type ServerResponse struct {
+	RequestID   string `json:"requestId"`
+	Body        []byte `json:"body"`
+	ServerIndex int    `json:"serverIndex"`
+	Signature   []byte `json:"signature"`
+}
+
+// serverSigningBytes is the canonical byte string a server signs.
+func serverSigningBytes(requestID string, body []byte, index int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("server-response\x00")
+	buf.WriteString(requestID)
+	buf.WriteByte(0)
+	fmt.Fprintf(&buf, "%d", index)
+	buf.WriteByte(0)
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// SignServerResponse builds a server-signed response.
+func SignServerResponse(k *KeyPair, requestID string, body []byte, serverIndex int) ServerResponse {
+	return ServerResponse{
+		RequestID:   requestID,
+		Body:        append([]byte(nil), body...),
+		ServerIndex: serverIndex,
+		Signature:   k.Sign(serverSigningBytes(requestID, body, serverIndex)),
+	}
+}
+
+// VerifyServerResponse checks the server signature against pub.
+func VerifyServerResponse(pub ed25519.PublicKey, r ServerResponse) error {
+	return Verify(pub, serverSigningBytes(r.RequestID, r.Body, r.ServerIndex), r.Signature)
+}
+
+// DoublySigned is a proxy's over-signed forwarding of one authentic server
+// response. Clients require both signatures to verify.
+type DoublySigned struct {
+	Response  ServerResponse `json:"response"`
+	ProxyID   string         `json:"proxyId"`
+	Signature []byte         `json:"signature"`
+}
+
+// proxySigningBytes is the canonical byte string a proxy signs: the entire
+// server response (including the server's signature), bound to the proxy ID,
+// so a tampered inner response invalidates the outer signature too.
+func proxySigningBytes(r ServerResponse, proxyID string) ([]byte, error) {
+	inner, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("sig: marshal inner response: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("proxy-oversign\x00")
+	buf.WriteString(proxyID)
+	buf.WriteByte(0)
+	buf.Write(inner)
+	return buf.Bytes(), nil
+}
+
+// OverSign wraps a server response in a proxy signature.
+func OverSign(k *KeyPair, proxyID string, r ServerResponse) (DoublySigned, error) {
+	msg, err := proxySigningBytes(r, proxyID)
+	if err != nil {
+		return DoublySigned{}, err
+	}
+	return DoublySigned{Response: r, ProxyID: proxyID, Signature: k.Sign(msg)}, nil
+}
+
+// VerifierSet is what a FORTRESS client learns from the trusted name server:
+// proxy public keys by proxy ID, and server public keys by index.
+type VerifierSet struct {
+	Proxies map[string]ed25519.PublicKey
+	Servers map[int]ed25519.PublicKey
+}
+
+// NewVerifierSet returns an empty verifier set.
+func NewVerifierSet() *VerifierSet {
+	return &VerifierSet{
+		Proxies: make(map[string]ed25519.PublicKey),
+		Servers: make(map[int]ed25519.PublicKey),
+	}
+}
+
+// VerifyDoublySigned performs the client-side acceptance check of §3: the
+// outer signature must verify under a known proxy key and the inner one
+// under the known key for the claimed server index.
+func (v *VerifierSet) VerifyDoublySigned(d DoublySigned) error {
+	proxyPub, ok := v.Proxies[d.ProxyID]
+	if !ok {
+		return fmt.Errorf("proxy %q: %w", d.ProxyID, ErrUnknownSigner)
+	}
+	msg, err := proxySigningBytes(d.Response, d.ProxyID)
+	if err != nil {
+		return err
+	}
+	if err := Verify(proxyPub, msg, d.Signature); err != nil {
+		return fmt.Errorf("proxy %q over-signature: %w", d.ProxyID, err)
+	}
+	serverPub, ok := v.Servers[d.Response.ServerIndex]
+	if !ok {
+		return fmt.Errorf("server index %d: %w", d.Response.ServerIndex, ErrUnknownSigner)
+	}
+	if err := VerifyServerResponse(serverPub, d.Response); err != nil {
+		return fmt.Errorf("server %d signature: %w", d.Response.ServerIndex, err)
+	}
+	return nil
+}

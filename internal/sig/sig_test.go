@@ -1,0 +1,251 @@
+package sig
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func pair(t *testing.T) *KeyPair {
+	t.Helper()
+	k, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSignVerify(t *testing.T) {
+	k := pair(t)
+	msg := []byte("attack at dawn")
+	s := k.Sign(msg)
+	if err := Verify(k.Public(), msg, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	k := pair(t)
+	msg := []byte("attack at dawn")
+	s := k.Sign(msg)
+	msg[0] ^= 1
+	if err := Verify(k.Public(), msg, s); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	k1, k2 := pair(t), pair(t)
+	msg := []byte("msg")
+	if err := Verify(k2.Public(), msg, k1.Sign(msg)); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsBadKeyLength(t *testing.T) {
+	if err := Verify([]byte{1, 2, 3}, []byte("m"), []byte("s")); err == nil {
+		t.Fatal("short public key accepted")
+	}
+}
+
+func TestServerResponseRoundTrip(t *testing.T) {
+	k := pair(t)
+	r := SignServerResponse(k, "req-1", []byte("result"), 2)
+	if err := VerifyServerResponse(k.Public(), r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ServerIndex != 2 || r.RequestID != "req-1" || string(r.Body) != "result" {
+		t.Fatalf("fields mangled: %+v", r)
+	}
+}
+
+func TestServerResponseBindsIndex(t *testing.T) {
+	k := pair(t)
+	r := SignServerResponse(k, "req-1", []byte("result"), 2)
+	r.ServerIndex = 3 // a compromised proxy relabeling the signer
+	if err := VerifyServerResponse(k.Public(), r); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("index swap not caught: %v", err)
+	}
+}
+
+func TestServerResponseBindsRequestID(t *testing.T) {
+	k := pair(t)
+	r := SignServerResponse(k, "req-1", []byte("result"), 2)
+	r.RequestID = "req-9" // replaying a response for a different request
+	if err := VerifyServerResponse(k.Public(), r); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("request-id swap not caught: %v", err)
+	}
+}
+
+func TestServerResponseBindsBody(t *testing.T) {
+	k := pair(t)
+	r := SignServerResponse(k, "req-1", []byte("result"), 2)
+	r.Body = []byte("forged")
+	if err := VerifyServerResponse(k.Public(), r); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("body swap not caught: %v", err)
+	}
+}
+
+func TestSignServerResponseCopiesBody(t *testing.T) {
+	k := pair(t)
+	body := []byte("abc")
+	r := SignServerResponse(k, "req", body, 0)
+	body[0] = 'z'
+	if string(r.Body) != "abc" {
+		t.Fatal("response aliases caller's buffer")
+	}
+}
+
+func TestDoubleSignatureAcceptance(t *testing.T) {
+	serverKey, proxyKey := pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Servers[1] = serverKey.Public()
+	vs.Proxies["p0"] = proxyKey.Public()
+
+	inner := SignServerResponse(serverKey, "r", []byte("ok"), 1)
+	d, err := OverSign(proxyKey, "p0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.VerifyDoublySigned(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleSignatureRejectsUnknownProxy(t *testing.T) {
+	serverKey, proxyKey := pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Servers[1] = serverKey.Public()
+	// proxy key NOT registered
+	inner := SignServerResponse(serverKey, "r", []byte("ok"), 1)
+	d, err := OverSign(proxyKey, "p0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.VerifyDoublySigned(d); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("want ErrUnknownSigner, got %v", err)
+	}
+}
+
+func TestDoubleSignatureRejectsUnknownServerIndex(t *testing.T) {
+	serverKey, proxyKey := pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Proxies["p0"] = proxyKey.Public()
+	vs.Servers[1] = serverKey.Public()
+	inner := SignServerResponse(serverKey, "r", []byte("ok"), 7) // index 7 unknown
+	d, err := OverSign(proxyKey, "p0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.VerifyDoublySigned(d); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("want ErrUnknownSigner, got %v", err)
+	}
+}
+
+func TestDoubleSignatureRejectsForgedInner(t *testing.T) {
+	// A compromised proxy cannot forge a server response: it can over-sign,
+	// but the inner signature fails under the real server key.
+	serverKey, proxyKey, attackerKey := pair(t), pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Servers[1] = serverKey.Public()
+	vs.Proxies["p0"] = proxyKey.Public()
+
+	forged := SignServerResponse(attackerKey, "r", []byte("lies"), 1)
+	d, err := OverSign(proxyKey, "p0", forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.VerifyDoublySigned(d); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged inner response accepted: %v", err)
+	}
+}
+
+func TestDoubleSignatureRejectsTamperedInnerAfterOverSign(t *testing.T) {
+	serverKey, proxyKey := pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Servers[1] = serverKey.Public()
+	vs.Proxies["p0"] = proxyKey.Public()
+	inner := SignServerResponse(serverKey, "r", []byte("ok"), 1)
+	d, err := OverSign(proxyKey, "p0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Response.Body = []byte("swapped") // tamper after over-signing
+	if err := vs.VerifyDoublySigned(d); err == nil {
+		t.Fatal("tampered inner accepted")
+	}
+}
+
+func TestDoubleSignatureRejectsProxyIDSwap(t *testing.T) {
+	serverKey, p0, p1 := pair(t), pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Servers[1] = serverKey.Public()
+	vs.Proxies["p0"] = p0.Public()
+	vs.Proxies["p1"] = p1.Public()
+	inner := SignServerResponse(serverKey, "r", []byte("ok"), 1)
+	d, err := OverSign(p0, "p0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ProxyID = "p1" // claim another proxy signed it
+	if err := vs.VerifyDoublySigned(d); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("proxy-id swap not caught: %v", err)
+	}
+}
+
+// Property: round-trip holds for arbitrary bodies and indices.
+func TestSignVerifyProperty(t *testing.T) {
+	serverKey, proxyKey := pair(t), pair(t)
+	vs := NewVerifierSet()
+	vs.Proxies["p"] = proxyKey.Public()
+	prop := func(body []byte, idxRaw uint8, reqID string) bool {
+		idx := int(idxRaw)
+		vs.Servers[idx] = serverKey.Public()
+		inner := SignServerResponse(serverKey, reqID, body, idx)
+		d, err := OverSign(proxyKey, "p", inner)
+		if err != nil {
+			return false
+		}
+		return vs.VerifyDoublySigned(d) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignServerResponse(b *testing.B) {
+	k, err := NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := []byte("a typical small response body")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SignServerResponse(k, "req", body, 1)
+	}
+}
+
+func BenchmarkVerifyDoublySigned(b *testing.B) {
+	serverKey, err := NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxyKey, err := NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := NewVerifierSet()
+	vs.Servers[1] = serverKey.Public()
+	vs.Proxies["p"] = proxyKey.Public()
+	inner := SignServerResponse(serverKey, "req", []byte("body"), 1)
+	d, err := OverSign(proxyKey, "p", inner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vs.VerifyDoublySigned(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fortress/internal/xrand"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 3 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if math.Abs(a.Variance()-2.5) > 1e-12 {
+		t.Fatalf("Variance = %v, want 2.5", a.Variance())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(7)
+	if a.Variance() != 0 {
+		t.Fatalf("single-sample variance = %v", a.Variance())
+	}
+	if a.Min() != 7 || a.Max() != 7 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestWelfordMatchesNaiveProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Constrain to a sane range to keep the naive formula stable.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naive := ss / float64(len(xs)-1)
+		scale := math.Max(1, naive)
+		return math.Abs(a.Variance()-naive) < 1e-6*scale
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryCI(t *testing.T) {
+	var a Accumulator
+	r := xrand.New(99)
+	for i := 0; i < 10000; i++ {
+		a.Add(r.Float64())
+	}
+	s := a.Summarize()
+	if !s.Contains(0.5, 3) {
+		t.Fatalf("uniform mean CI %v does not contain 0.5", s)
+	}
+	if s.CI95 <= 0 {
+		t.Fatal("CI95 should be positive")
+	}
+}
+
+func TestSummaryOverlaps(t *testing.T) {
+	a := Summary{Mean: 10, CI95: 2}
+	b := Summary{Mean: 11, CI95: 0.5}
+	c := Summary{Mean: 20, CI95: 1}
+	if !a.Overlaps(b) {
+		t.Fatal("expected a and b to overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("expected a and c to be disjoint")
+	}
+	if !a.Overlaps(a) {
+		t.Fatal("summary must overlap itself")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 1.5, CI95: 0.25, N: 10}
+	if got := s.String(); got == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{2, 4, 6})
+	if err != nil || m != 4 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be modified.
+	if xs[0] != 5 {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Fatal("want error for q < 0")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Fatal("want error for q > 1")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	got, err := Quantile([]float64{42}, 0.99)
+	if err != nil || got != 42 {
+		t.Fatalf("Quantile single = %v, %v", got, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 9.99, -5, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Buckets[0] != 3 { // 0, 1.9, clamped -5
+		t.Fatalf("bucket 0 = %d, want 3", h.Buckets[0])
+	}
+	if h.Buckets[4] != 2 { // 9.99, clamped 100
+		t.Fatalf("bucket 4 = %d, want 2", h.Buckets[4])
+	}
+	lo, hi := h.BucketRange(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("BucketRange(1) = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("want error for zero buckets")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("want error for lo == hi")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Fatal("want error for lo > hi")
+	}
+}
+
+func TestAccumulatorMinMaxOrderProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var a Accumulator
+		ok := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Constrain magnitude so the incremental mean cannot lose the
+			// min <= mean <= max invariant to floating-point rounding.
+			a.Add(math.Mod(x, 1e9))
+			ok++
+		}
+		if ok == 0 {
+			return true
+		}
+		tol := 1e-6 * (math.Abs(a.Min()) + math.Abs(a.Max()) + 1)
+		return a.Min() <= a.Mean()+tol && a.Mean() <= a.Max()+tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

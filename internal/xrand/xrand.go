@@ -1,0 +1,166 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for reproducible simulation runs.
+//
+// Every Monte-Carlo component in this repository draws randomness through an
+// *xrand.RNG seeded explicitly by the caller, so that any experiment can be
+// replayed bit-for-bit from its seed. The generator is a 64-bit SplitMix64
+// followed by xoshiro256**, a small, fast, well-tested combination that needs
+// nothing outside the standard library.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator.
+//
+// RNG is NOT safe for concurrent use; derive one generator per goroutine with
+// Split, which produces statistically independent streams.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds yield independent
+// streams for all practical simulation purposes.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	// Seed the xoshiro state with SplitMix64 outputs, as recommended by the
+	// xoshiro authors, so that even seed=0 produces a well-mixed state.
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is independent of the receiver's
+// future output. It advances the receiver.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits into the mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	threshold := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Bernoulli reports true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Binomial returns the number of successes in n independent Bernoulli(p)
+// trials. It is exact (trial-by-trial) for the small n used in this
+// repository's models (n <= a handful of replicas).
+func (r *RNG) Binomial(n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}
+
+// Geometric returns the number of failures before the first success of a
+// Bernoulli(p) process, i.e. a sample of the geometric distribution on
+// {0, 1, 2, ...}. It panics if p <= 0 or p > 1.
+func (r *RNG) Geometric(p float64) uint64 {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric needs p in (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(ln(U) / ln(1-p)) with U in (0, 1).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	g := math.Floor(math.Log(u) / math.Log1p(-p))
+	if g < 0 {
+		return 0
+	}
+	if g > math.MaxUint64/2 {
+		return math.MaxUint64 / 2
+	}
+	return uint64(g)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, as math/rand.Shuffle does.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,266 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced repeats within 100 draws: %d unique", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			t.Fatalf("split streams collided at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 65536} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(13)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) frequency %v", p, freq)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 1000; i++ {
+		k := r.Binomial(4, 0.5)
+		if k < 0 || k > 4 {
+			t.Fatalf("Binomial(4, .5) = %d", k)
+		}
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(19)
+	const n, p, trials = 10, 0.25, 50000
+	var sum int
+	for i := 0; i < trials; i++ {
+		sum += r.Binomial(n, p)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-n*p) > 0.05 {
+		t.Fatalf("Binomial mean %v, want %v", mean, n*p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(23)
+	const p, trials = 0.01, 50000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / trials
+	want := (1 - p) / p
+	if math.Abs(mean-want) > want*0.05 {
+		t.Fatalf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(37)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestUint64nPowerOfTwoFastPath(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		v := r.Uint64n(1 << 16)
+		if v >= 1<<16 {
+			t.Fatalf("Uint64n(2^16) = %d", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Bernoulli(0.001)
+	}
+}
