@@ -10,6 +10,7 @@ package main_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"fortress/internal/memlayout"
 	"fortress/internal/model"
 	"fortress/internal/service"
+	"fortress/internal/sim"
 	"fortress/internal/xrand"
 )
 
@@ -27,81 +29,132 @@ import (
 // larger defaults for publication-quality confidence intervals.
 const benchTrials = 20000
 
+// workerVariants pairs each Monte-Carlo benchmark with a serial and a
+// parallel sub-benchmark so the speedup of the sharded engine is a tracked
+// metric (see scripts/bench.sh, which records serial/parallel ratios). The
+// engine guarantees both variants produce bit-identical estimates.
+var workerVariants = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", runtime.GOMAXPROCS(0)},
+}
+
+func benchConfig(workers int) experiments.Config {
+	return experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1, Workers: workers}
+}
+
 // BenchmarkFigure1 regenerates E1: the Figure 1 EL-vs-α comparison of
 // S0SO, S1SO, S1PO, S2PO and S0PO (analytic + Monte-Carlo cross-check).
 func BenchmarkFigure1(b *testing.B) {
-	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
-	var results []experiments.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		results, err = experiments.Figure1(cfg, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	// Surface the α=0.001 column as metrics.
-	for _, r := range results {
-		if r.Alpha == 0.001 {
-			b.ReportMetric(r.EL(), "EL("+r.System+")@a=1e-3")
-		}
+	for _, v := range workerVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig(v.workers)
+			var results []experiments.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				results, err = experiments.Figure1(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Surface the α=0.001 column as metrics.
+			for _, r := range results {
+				if r.Alpha == 0.001 {
+					b.ReportMetric(r.EL(), "EL("+r.System+")@a=1e-3")
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkFigure2 regenerates E2: EL of S2PO as κ varies.
 func BenchmarkFigure2(b *testing.B) {
-	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
-	var results []experiments.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		results, err = experiments.Figure2(cfg, []float64{0.001}, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, r := range results {
-		switch r.Kappa {
-		case 0, 0.5, 1:
-			b.ReportMetric(r.EL(), fmt.Sprintf("EL(S2PO)@k=%g", r.Kappa))
-		}
+	for _, v := range workerVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig(v.workers)
+			var results []experiments.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				results, err = experiments.Figure2(cfg, []float64{0.001}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range results {
+				switch r.Kappa {
+				case 0, 0.5, 1:
+					b.ReportMetric(r.EL(), fmt.Sprintf("EL(S2PO)@k=%g", r.Kappa))
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkOrderingChain regenerates E3: the §6 summary ordering
 // S0PO → S2PO → S1PO → S1SO → S0SO.
 func BenchmarkOrderingChain(b *testing.B) {
-	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
-	var rep experiments.OrderingReport
-	for i := 0; i < b.N; i++ {
-		var err error
-		rep, err = experiments.OrderingChain(cfg, 0.001, 0.5)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !rep.Holds {
-			b.Fatalf("ordering chain broken: %s", rep.Detail)
-		}
-	}
-	for i, name := range rep.Order {
-		b.ReportMetric(rep.ELs[i], "EL("+name+")")
+	for _, v := range workerVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig(v.workers)
+			var rep experiments.OrderingReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = experiments.OrderingChain(cfg, 0.001, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Holds {
+					b.Fatalf("ordering chain broken: %s", rep.Detail)
+				}
+			}
+			for i, name := range rep.Order {
+				b.ReportMetric(rep.ELs[i], "EL("+name+")")
+			}
+		})
 	}
 }
 
 // BenchmarkFortify regenerates E4: fortified PB under SO vs proactively
 // recovered SMR, the background [7] claim the paper builds on.
 func BenchmarkFortify(b *testing.B) {
-	cfg := experiments.Config{Trials: benchTrials, Seed: 1, LaunchPadFraction: -1}
-	var rows []experiments.FortifyComparison
-	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = experiments.Fortify(cfg, 0.001, []float64{0, 0.5, 1})
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, v := range workerVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig(v.workers)
+			var rows []experiments.FortifyComparison
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.Fortify(cfg, 0.001, []float64{0, 0.5, 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range rows {
+				b.ReportMetric(r.S2SO, fmt.Sprintf("EL(S2SO)@k=%g", r.Kappa))
+			}
+			b.ReportMetric(rows[0].S0SO, "EL(S0SO)")
+		})
 	}
-	for _, r := range rows {
-		b.ReportMetric(r.S2SO, fmt.Sprintf("EL(S2SO)@k=%g", r.Kappa))
+}
+
+// BenchmarkEstimateSOParallel isolates the engine itself (no sweep logic):
+// one 200k-trial S2SO estimate, serial vs sharded-parallel.
+func BenchmarkEstimateSOParallel(b *testing.B) {
+	sys := model.S2SO{P: model.DefaultParams(0.001, 0.5)}
+	for _, v := range workerVariants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := sim.EstimateSO(sys, 200000, xrand.New(9), sim.Config{Workers: v.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if est.Trials != 200000 {
+					b.Fatalf("trials = %d", est.Trials)
+				}
+			}
+		})
 	}
-	b.ReportMetric(rows[0].S0SO, "EL(S0SO)")
 }
 
 // BenchmarkDerandomization regenerates E5: phase-1 probe cost of the

@@ -3,19 +3,27 @@
 //
 // Usage:
 //
-//	fortress fig1 [-trials N] [-seed S]           Figure 1: EL vs α
-//	fortress fig2 [-trials N] [-seed S]           Figure 2: EL of S2PO vs κ
-//	fortress ordering [-alpha A] [-kappa K]       §6 resilience chain check
-//	fortress fortify [-alpha A] [-trials N]       E4: S2SO vs S0SO across κ
-//	fortress alphas [-alpha A] [-steps N]         E6: αᵢ growth, SO vs PO
-//	fortress demo                                 end-to-end FORTRESS service
-//	fortress attack [-chi N] [-steps N] [-po]     campaign vs live deployment
+//	fortress fig1 [-trials N] [-seed S] [-workers W]     Figure 1: EL vs α
+//	fortress fig2 [-trials N] [-seed S] [-workers W]     Figure 2: EL of S2PO vs κ
+//	fortress ordering [-alpha A] [-kappa K] [-workers W] §6 resilience chain check
+//	fortress fortify [-alpha A] [-trials N] [-workers W] E4: S2SO vs S0SO across κ
+//	fortress alphas [-alpha A] [-steps N]                E6: αᵢ growth, SO vs PO
+//	fortress demo                                        end-to-end FORTRESS service
+//	fortress attack [-chi N] [-steps N] [-po]            campaign vs live deployment
+//
+// Every Monte-Carlo subcommand takes -workers (default: runtime.GOMAXPROCS,
+// i.e. all cores): experiment cells and the trial shards within each cell
+// run on that many workers through the deterministic engine in internal/sim,
+// so the output for a given -seed and -trials is bit-identical at any
+// -workers value — including -workers 1. Use -workers to bound CPU usage,
+// never to pin results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -58,20 +66,22 @@ func run(args []string) error {
 	}
 }
 
-func commonFlags(fs *flag.FlagSet) (trials *uint64, seed *uint64) {
+func commonFlags(fs *flag.FlagSet) (trials, seed *uint64, workers *int) {
 	trials = fs.Uint64("trials", 100000, "Monte-Carlo trials per cell (0 = analytic only)")
 	seed = fs.Uint64("seed", 1, "simulation seed")
-	return trials, seed
+	workers = fs.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent workers for cells and trial shards (results are identical at any value)")
+	return trials, seed, workers
 }
 
 func runFig1(args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ContinueOnError)
-	trials, seed := commonFlags(fs)
+	trials, seed, workers := commonFlags(fs)
 	csvPath := fs.String("csv", "", "also write the series to this CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1, Workers: *workers}
 	results, err := experiments.Figure1(cfg, nil)
 	if err != nil {
 		return err
@@ -83,12 +93,12 @@ func runFig1(args []string) error {
 
 func runFig2(args []string) error {
 	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
-	trials, seed := commonFlags(fs)
+	trials, seed, workers := commonFlags(fs)
 	csvPath := fs.String("csv", "", "also write the series to this CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1, Workers: *workers}
 	results, err := experiments.Figure2(cfg, nil, nil)
 	if err != nil {
 		return err
@@ -119,11 +129,11 @@ func runOrdering(args []string) error {
 	fs := flag.NewFlagSet("ordering", flag.ContinueOnError)
 	alpha := fs.Float64("alpha", 0.001, "per-step direct-attack success probability α")
 	kappa := fs.Float64("kappa", 0.5, "indirect attack coefficient κ")
-	trials, seed := commonFlags(fs)
+	trials, seed, workers := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1, Workers: *workers}
 	rep, err := experiments.OrderingChain(cfg, *alpha, *kappa)
 	if err != nil {
 		return err
@@ -139,11 +149,11 @@ func runOrdering(args []string) error {
 func runFortify(args []string) error {
 	fs := flag.NewFlagSet("fortify", flag.ContinueOnError)
 	alpha := fs.Float64("alpha", 0.001, "per-step direct-attack success probability α")
-	trials, seed := commonFlags(fs)
+	trials, seed, workers := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, LaunchPadFraction: -1, Workers: *workers}
 	rows, err := experiments.Fortify(cfg, *alpha, nil)
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module fortress
+
+go 1.24

@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 
 	"fortress/internal/model"
+	"fortress/internal/sim"
 	"fortress/internal/xrand"
 )
 
@@ -62,11 +64,26 @@ type Config struct {
 	Seed uint64
 	// LaunchPadFraction overrides the default λ = 0.5 when non-negative.
 	LaunchPadFraction float64
+	// Workers bounds the total concurrency of a sweep; 0 selects
+	// runtime.GOMAXPROCS(0). The budget is split across the two fan-out
+	// levels — cells run on up to Workers goroutines, and each cell's trial
+	// shards get Workers/numCells (at least 1) engine workers — so a sweep
+	// never schedules more than ~Workers CPU-bound goroutines in total. The
+	// worker count never affects results: per-cell random streams are split
+	// in a fixed order before any cell runs, and each cell's Monte-Carlo
+	// goes through the deterministic sharded engine in internal/sim, so a
+	// sweep is reproducible from (Seed, Trials) alone.
+	Workers int
 }
 
 // DefaultConfig is the configuration the benches and CLI use.
 func DefaultConfig() Config {
 	return Config{Trials: 100000, Seed: 1, LaunchPadFraction: -1}
+}
+
+// simConfig is the per-cell engine configuration.
+func (c Config) simConfig() sim.Config {
+	return sim.Config{Workers: c.Workers}
 }
 
 func (c Config) params(alpha, kappa float64) model.Params {
@@ -93,7 +110,7 @@ func evaluate(sys model.System, alpha, kappa float64, cfg Config, rng *xrand.RNG
 		return r, fmt.Errorf("experiments: %s analytic: %w", sys.Name(), err)
 	}
 	if cfg.Trials > 0 {
-		est, err := model.Estimator(sys, cfg.Trials, rng)
+		est, err := sim.Estimator(sys, cfg.Trials, rng, cfg.simConfig())
 		if err != nil {
 			return r, fmt.Errorf("experiments: %s monte-carlo: %w", sys.Name(), err)
 		}
@@ -104,14 +121,72 @@ func evaluate(sys model.System, alpha, kappa float64, cfg Config, rng *xrand.RNG
 	return r, nil
 }
 
+// sweepCell is one (system, parameter point) unit of a sweep, with its
+// random stream pre-split in grid order so cells can run concurrently
+// without the schedule leaking into the results.
+type sweepCell struct {
+	sys   model.System
+	alpha float64
+	kappa float64
+	cfg   Config
+	rng   *xrand.RNG
+}
+
+// innerWorkers divides a sweep's worker budget between the cell fan-out and
+// each cell's trial-shard engine: with the outer pool already `workers`
+// wide, each cell gets workers/cells shard workers (at least 1), keeping
+// total leaf concurrency within the budget while still filling cores when
+// the grid is smaller than the machine.
+func innerWorkers(workers, cells int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	inner := workers / cells
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}
+
+// runCells evaluates every cell on a bounded worker pool and returns the
+// results in cell order. The shard budget is divided among the cells that
+// actually run Monte-Carlo — analytic-only cells finish in microseconds and
+// must not dilute it.
+func runCells(cells []sweepCell, workers int) ([]Result, error) {
+	mcCells := 0
+	for _, c := range cells {
+		if c.cfg.Trials > 0 {
+			mcCells++
+		}
+	}
+	inner := innerWorkers(workers, mcCells)
+	out := make([]Result, len(cells))
+	err := sim.ForEach(len(cells), workers, func(i int) error {
+		c := cells[i]
+		cc := c.cfg
+		cc.Workers = inner
+		res, err := evaluate(c.sys, c.alpha, c.kappa, cc, c.rng)
+		out[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Figure1 regenerates the paper's Figure 1: EL for the five compared
-// systems across the α range, κ fixed at Figure1Kappa for S2PO.
+// systems across the α range, κ fixed at Figure1Kappa for S2PO. Cells fan
+// out across cfg.Workers concurrently.
 func Figure1(cfg Config, alphas []float64) ([]Result, error) {
 	if len(alphas) == 0 {
 		alphas = DefaultAlphas
 	}
 	rng := xrand.New(cfg.Seed)
-	var out []Result
+	var cells []sweepCell
 	for _, alpha := range alphas {
 		p := cfg.params(alpha, Figure1Kappa)
 		systems := []model.System{
@@ -128,18 +203,15 @@ func Figure1(cfg Config, alphas []float64) ([]Result, error) {
 			if _, isPO := sys.(model.StepSystem); isPO && alpha < 0.001 {
 				c.Trials = 0
 			}
-			res, err := evaluate(sys, alpha, Figure1Kappa, c, rng.Split())
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, res)
+			cells = append(cells, sweepCell{sys, alpha, Figure1Kappa, c, rng.Split()})
 		}
 	}
-	return out, nil
+	return runCells(cells, cfg.Workers)
 }
 
 // Figure2 regenerates the paper's Figure 2: EL of S2PO as κ varies, one
-// series per α (log-scale in the paper; we emit raw values).
+// series per α (log-scale in the paper; we emit raw values). Cells fan out
+// across cfg.Workers concurrently.
 func Figure2(cfg Config, alphas, kappas []float64) ([]Result, error) {
 	if len(alphas) == 0 {
 		alphas = []float64{0.0001, 0.001, 0.01}
@@ -148,7 +220,7 @@ func Figure2(cfg Config, alphas, kappas []float64) ([]Result, error) {
 		kappas = DefaultKappas
 	}
 	rng := xrand.New(cfg.Seed + 2)
-	var out []Result
+	var cells []sweepCell
 	for _, alpha := range alphas {
 		for _, kappa := range kappas {
 			p := cfg.params(alpha, kappa)
@@ -156,14 +228,10 @@ func Figure2(cfg Config, alphas, kappas []float64) ([]Result, error) {
 			if alpha < 0.001 {
 				c.Trials = 0
 			}
-			res, err := evaluate(model.S2PO{P: p}, alpha, kappa, c, rng.Split())
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, res)
+			cells = append(cells, sweepCell{model.S2PO{P: p}, alpha, kappa, c, rng.Split()})
 		}
 	}
-	return out, nil
+	return runCells(cells, cfg.Workers)
 }
 
 // OrderingReport is the outcome of checking the §6 summary chain
@@ -177,7 +245,10 @@ type OrderingReport struct {
 	Detail string
 }
 
-// OrderingChain verifies the §6 chain at the given parameter point.
+// OrderingChain verifies the §6 chain at the given parameter point. The
+// five systems are evaluated concurrently across cfg.Workers; each system
+// uses its analytic EL when available and falls back to Monte-Carlo (on its
+// own pre-split random stream) otherwise.
 func OrderingChain(cfg Config, alpha, kappa float64) (OrderingReport, error) {
 	rng := xrand.New(cfg.Seed + 3)
 	p := cfg.params(alpha, kappa)
@@ -193,19 +264,29 @@ func OrderingChain(cfg Config, alpha, kappa float64) (OrderingReport, error) {
 		name string
 		el   float64
 	}
-	cells := make([]cell, 0, len(systems))
-	for _, sys := range systems {
-		res, err := evaluate(sys, alpha, kappa, Config{Trials: 0, Seed: cfg.Seed}, rng.Split())
+	mcCfg := cfg
+	mcCfg.Workers = innerWorkers(cfg.Workers, len(systems))
+	analyticOnly := mcCfg
+	analyticOnly.Trials = 0
+	rngs := sim.SplitRNGs(rng, len(systems))
+	cells := make([]cell, len(systems))
+	err := sim.ForEach(len(systems), cfg.Workers, func(i int) error {
+		sys := systems[i]
+		res, err := evaluate(sys, alpha, kappa, analyticOnly, rngs[i])
 		if err != nil {
 			if cfg.Trials == 0 {
-				return rep, err
+				return err
 			}
-			res, err = evaluate(sys, alpha, kappa, cfg, rng.Split())
+			res, err = evaluate(sys, alpha, kappa, mcCfg, rngs[i])
 			if err != nil {
-				return rep, err
+				return err
 			}
 		}
-		cells = append(cells, cell{sys.Name(), res.EL()})
+		cells[i] = cell{sys.Name(), res.EL()}
+		return nil
+	})
+	if err != nil {
+		return rep, err
 	}
 	expected := make([]string, len(cells))
 	for i, c := range cells {
@@ -244,7 +325,8 @@ type FortifyComparison struct {
 	Outlive bool // S2SO ≥ S0SO within CI
 }
 
-// Fortify runs E4 at one α across the κ grid.
+// Fortify runs E4 at one α across the κ grid. The κ cells fan out across
+// cfg.Workers concurrently, each on its own pre-split random stream.
 func Fortify(cfg Config, alpha float64, kappas []float64) ([]FortifyComparison, error) {
 	if len(kappas) == 0 {
 		kappas = DefaultKappas
@@ -254,22 +336,29 @@ func Fortify(cfg Config, alpha float64, kappas []float64) ([]FortifyComparison, 
 		trials = 100000
 	}
 	rng := xrand.New(cfg.Seed + 4)
-	out := make([]FortifyComparison, 0, len(kappas))
-	for _, kappa := range kappas {
+	rngs := sim.SplitRNGs(rng, len(kappas))
+	engine := sim.Config{Workers: innerWorkers(cfg.Workers, len(kappas))}
+	out := make([]FortifyComparison, len(kappas))
+	err := sim.ForEach(len(kappas), cfg.Workers, func(i int) error {
+		kappa := kappas[i]
 		p := cfg.params(alpha, kappa)
-		est, err := model.EstimateSO(model.S2SO{P: p}, trials, rng.Split())
+		est, err := sim.EstimateSO(model.S2SO{P: p}, trials, rngs[i], engine)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s0, err := model.S0SO{P: p}.AnalyticEL()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, FortifyComparison{
+		out[i] = FortifyComparison{
 			Alpha: alpha, Kappa: kappa,
 			S2SO: est.EL, S2SOCI: est.CI95, S0SO: s0,
 			Outlive: est.EL+est.CI95 >= s0,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -207,3 +207,101 @@ func TestLaunchPadAblation(t *testing.T) {
 		t.Fatalf("λ ablation out of order: %v", els)
 	}
 }
+
+// TestSweepsDeterministicAcrossWorkers: every sweep's full result set must
+// be bit-identical whether the cells (and their trial shards) run on one
+// worker or many — the reproducibility contract of the parallel engine.
+func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
+	withWorkers := func(w int) Config {
+		cfg := fastCfg()
+		cfg.Trials = 5000
+		cfg.Workers = w
+		return cfg
+	}
+	t.Run("Figure1", func(t *testing.T) {
+		base, err := Figure1(withWorkers(1), []float64{0.001, 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			got, err := Figure1(withWorkers(w), []float64{0.001, 0.01})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, w, base, got)
+		}
+	})
+	t.Run("Figure2", func(t *testing.T) {
+		base, err := Figure2(withWorkers(1), []float64{0.001}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			got, err := Figure2(withWorkers(w), []float64{0.001}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, w, base, got)
+		}
+	})
+	t.Run("OrderingChain", func(t *testing.T) {
+		base, err := OrderingChain(withWorkers(1), 0.001, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			got, err := OrderingChain(withWorkers(w), 0.001, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Detail != base.Detail {
+				t.Errorf("workers=%d: detail %q vs %q", w, got.Detail, base.Detail)
+			}
+			for i := range base.ELs {
+				if got.ELs[i] != base.ELs[i] {
+					t.Errorf("workers=%d: EL[%d] %v vs %v", w, i, got.ELs[i], base.ELs[i])
+				}
+			}
+		}
+	})
+	t.Run("Fortify", func(t *testing.T) {
+		base, err := Fortify(withWorkers(1), 0.001, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			got, err := Fortify(withWorkers(w), 0.001, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(base) {
+				t.Fatalf("workers=%d: %d rows vs %d", w, len(got), len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Errorf("workers=%d: row %d %+v vs %+v", w, i, got[i], base[i])
+				}
+			}
+		}
+	})
+}
+
+// compareResults asserts two sweep outputs are identical, NaN-aware (NaN
+// marks "not computed", and NaN != NaN under ==).
+func compareResults(t *testing.T, workers int, base, got []Result) {
+	t.Helper()
+	if len(got) != len(base) {
+		t.Fatalf("workers=%d: %d results vs %d", workers, len(got), len(base))
+	}
+	sameFloat := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for i := range base {
+		b, g := base[i], got[i]
+		if g.System != b.System || g.Alpha != b.Alpha || g.Kappa != b.Kappa ||
+			g.Trials != b.Trials || !sameFloat(g.Analytic, b.Analytic) ||
+			!sameFloat(g.MC, b.MC) || !sameFloat(g.MCCI, b.MCCI) {
+			t.Errorf("workers=%d: result %d %+v differs from %+v", workers, i, g, b)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"testing"
+
+	"fortress/internal/xrand"
+)
+
+// sinkUint64 defeats dead-code elimination in the alloc checks and benches.
+var sinkUint64 uint64
+
+// TestSampleDistinctPositionsNoAllocs pins the fixed-array rejection scan:
+// drawing a tier's distinct key positions must not touch the heap (the old
+// implementation allocated a map and a slice per trial).
+func TestSampleDistinctPositionsNoAllocs(t *testing.T) {
+	rng := xrand.New(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var buf [smallTierKeys]uint64
+		out := sampleDistinctPositions(rng, 1<<16, 4, buf[:0])
+		sinkUint64 += out[0]
+	})
+	if allocs != 0 {
+		t.Fatalf("sampleDistinctPositions allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestSampleTierHitsNoAllocs pins the PO counterpart.
+func TestSampleTierHitsNoAllocs(t *testing.T) {
+	rng := xrand.New(2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		hits, err := sampleTierHits(rng, 1<<16, 4, 655)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinkUint64 += uint64(hits)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampleTierHits allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestSampleDistinctPositionsContract: k distinct, sorted, in [1, χ].
+func TestSampleDistinctPositionsContract(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 1000; trial++ {
+		var buf [smallTierKeys]uint64
+		out := sampleDistinctPositions(rng, 97, 4, buf[:0])
+		if len(out) != 4 {
+			t.Fatalf("got %d positions", len(out))
+		}
+		for i, pos := range out {
+			if pos < 1 || pos > 97 {
+				t.Fatalf("position %d outside [1, 97]", pos)
+			}
+			if i > 0 && out[i-1] >= pos {
+				t.Fatalf("positions not strictly ascending: %v", out)
+			}
+		}
+	}
+}
+
+// TestSampleDistinctPositionsBeyondBuffer: k larger than the stack buffer
+// spills to the heap but stays correct.
+func TestSampleDistinctPositionsBeyondBuffer(t *testing.T) {
+	rng := xrand.New(4)
+	var buf [smallTierKeys]uint64
+	out := sampleDistinctPositions(rng, 50, smallTierKeys+4, buf[:0])
+	if len(out) != smallTierKeys+4 {
+		t.Fatalf("got %d positions", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= out[i] {
+			t.Fatalf("positions not strictly ascending: %v", out)
+		}
+	}
+}
+
+func BenchmarkSampleDistinctPositions(b *testing.B) {
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf [smallTierKeys]uint64
+		out := sampleDistinctPositions(rng, 1<<16, 4, buf[:0])
+		sinkUint64 += out[0]
+	}
+}
+
+func BenchmarkSampleTierHits(b *testing.B) {
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hits, err := sampleTierHits(rng, 1<<16, 4, 655)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkUint64 += uint64(hits)
+	}
+}
+
+// BenchmarkPOTrial measures one step-hazard trial through the hoisted
+// validation path — params are validated once per POHits call, not per
+// trial.
+func BenchmarkPOTrial(b *testing.B) {
+	sys := S2PO{P: DefaultParams(0.01, 0.5)}
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	hits, err := POHits(sys, uint64(b.N), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sinkUint64 += hits
+}
+
+// BenchmarkSOTrial measures one lifetime trial, likewise hoisted.
+func BenchmarkSOTrial(b *testing.B) {
+	sys := S2SO{P: DefaultParams(0.01, 0.5)}
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	acc, err := SOAccumulate(sys, uint64(b.N), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sinkUint64 += acc.N()
+}

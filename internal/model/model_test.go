@@ -27,6 +27,8 @@ func TestParamsValidate(t *testing.T) {
 		func(p *Params) { p.SMRTolerance = 4 },
 		func(p *Params) { p.PBReplicas = 0 },
 		func(p *Params) { p.Proxies = 0 },
+		func(p *Params) { p.Chi = 3 },                    // fewer keys than SMR replicas
+		func(p *Params) { p.Chi = 2; p.SMRReplicas = 2 }, // fewer keys than proxies
 	}
 	for i, mutate := range bad {
 		p := DefaultParams(0.001, 0.5)

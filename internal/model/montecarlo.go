@@ -29,6 +29,114 @@ func (e Estimate) Summary() stats.Summary {
 	return stats.Summary{N: e.Trials, Mean: e.EL, CI95: e.CI95}
 }
 
+// stepSampler is the validation-hoisted fast path of a StepSystem: the six
+// in-package systems expose their per-trial kernel separately from the
+// parameter check so that hot loops validate once, not once per trial.
+type stepSampler interface {
+	params() Params
+	stepOnce(rng *xrand.RNG) (bool, error)
+}
+
+// lifetimeSampler is the validation-hoisted fast path of a LifetimeSystem.
+type lifetimeSampler interface {
+	params() Params
+	lifetimeOnce(rng *xrand.RNG) (uint64, error)
+}
+
+// stepFunc returns the per-trial step kernel for sys with parameter
+// validation hoisted out of the loop. Systems outside this package fall back
+// to SimulateStep, which validates per call.
+func stepFunc(sys StepSystem) (func(*xrand.RNG) (bool, error), error) {
+	if f, ok := sys.(stepSampler); ok {
+		if err := f.params().Validate(); err != nil {
+			return nil, fmt.Errorf("simulate %s: %w", sys.Name(), err)
+		}
+		return f.stepOnce, nil
+	}
+	return sys.SimulateStep, nil
+}
+
+// lifetimeFunc is stepFunc's counterpart for SO systems.
+func lifetimeFunc(sys LifetimeSystem) (func(*xrand.RNG) (uint64, error), error) {
+	if f, ok := sys.(lifetimeSampler); ok {
+		if err := f.params().Validate(); err != nil {
+			return nil, fmt.Errorf("simulate %s: %w", sys.Name(), err)
+		}
+		return f.lifetimeOnce, nil
+	}
+	return sys.SimulateLifetime, nil
+}
+
+// POHits simulates `trials` independent unit time-steps and counts how many
+// compromise the system — the raw material of a step-hazard estimate. It is
+// the per-shard kernel of the parallel engine: hit counts from disjoint
+// shards sum exactly, so a sharded run reproduces the single-threaded count.
+func POHits(sys StepSystem, trials uint64, rng *xrand.RNG) (uint64, error) {
+	step, err := stepFunc(sys)
+	if err != nil {
+		return 0, err
+	}
+	var hits uint64
+	for i := uint64(0); i < trials; i++ {
+		compromised, err := step(rng)
+		if err != nil {
+			return 0, fmt.Errorf("simulate %s: %w", sys.Name(), err)
+		}
+		if compromised {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
+// SOAccumulate samples `trials` whole lifetimes into a streaming
+// accumulator — the per-shard kernel for SO systems. Shard accumulators are
+// combined with stats.Accumulator.Merge in shard order.
+func SOAccumulate(sys LifetimeSystem, trials uint64, rng *xrand.RNG) (stats.Accumulator, error) {
+	var acc stats.Accumulator
+	lifetime, err := lifetimeFunc(sys)
+	if err != nil {
+		return acc, err
+	}
+	for i := uint64(0); i < trials; i++ {
+		life, err := lifetime(rng)
+		if err != nil {
+			return acc, fmt.Errorf("simulate %s: %w", sys.Name(), err)
+		}
+		acc.Add(float64(life))
+	}
+	return acc, nil
+}
+
+// EstimateFromHits maps a step-hazard hit count to an EL estimate through
+// EL = (1−p)/p with a delta-method confidence interval.
+func EstimateFromHits(name string, hits, trials uint64) Estimate {
+	p := float64(hits) / float64(trials)
+	if hits == 0 {
+		// No compromise observed: report a lower bound using the
+		// rule-of-three upper bound on p.
+		pUpper := 3 / float64(trials)
+		return Estimate{
+			System: name,
+			EL:     math.Inf(1),
+			CI95:   (1 - pUpper) / pUpper,
+			Trials: trials,
+			Method: "step-hazard",
+		}
+	}
+	se := math.Sqrt(p * (1 - p) / float64(trials))
+	el := (1 - p) / p
+	// Delta method: d/dp[(1−p)/p] = −1/p².
+	ci := 1.96 * se / (p * p)
+	return Estimate{System: name, EL: el, CI95: ci, Trials: trials, Method: "step-hazard"}
+}
+
+// EstimateFromAccumulator converts accumulated lifetimes to an EL estimate.
+func EstimateFromAccumulator(name string, acc stats.Accumulator) Estimate {
+	s := acc.Summarize()
+	return Estimate{System: name, EL: s.Mean, CI95: s.CI95, Trials: s.N, Method: "lifetime"}
+}
+
 // EstimatePO estimates the EL of a PO system by simulating `trials`
 // independent unit time-steps, estimating the per-step compromise hazard p̂,
 // and mapping through EL = (1−p)/p with a delta-method confidence interval.
@@ -40,34 +148,11 @@ func EstimatePO(sys StepSystem, trials uint64, rng *xrand.RNG) (Estimate, error)
 	if trials == 0 {
 		return Estimate{}, fmt.Errorf("model: EstimatePO needs trials > 0")
 	}
-	var hits uint64
-	for i := uint64(0); i < trials; i++ {
-		compromised, err := sys.SimulateStep(rng)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("simulate %s: %w", sys.Name(), err)
-		}
-		if compromised {
-			hits++
-		}
+	hits, err := POHits(sys, trials, rng)
+	if err != nil {
+		return Estimate{}, err
 	}
-	p := float64(hits) / float64(trials)
-	if hits == 0 {
-		// No compromise observed: report a lower bound using the
-		// rule-of-three upper bound on p.
-		pUpper := 3 / float64(trials)
-		return Estimate{
-			System: sys.Name(),
-			EL:     math.Inf(1),
-			CI95:   (1 - pUpper) / pUpper,
-			Trials: trials,
-			Method: "step-hazard",
-		}, nil
-	}
-	se := math.Sqrt(p * (1 - p) / float64(trials))
-	el := (1 - p) / p
-	// Delta method: d/dp[(1−p)/p] = −1/p².
-	ci := 1.96 * se / (p * p)
-	return Estimate{System: sys.Name(), EL: el, CI95: ci, Trials: trials, Method: "step-hazard"}, nil
+	return EstimateFromHits(sys.Name(), hits, trials), nil
 }
 
 // EstimateSO estimates the EL of an SO system by sampling whole lifetimes.
@@ -75,16 +160,11 @@ func EstimateSO(sys LifetimeSystem, trials uint64, rng *xrand.RNG) (Estimate, er
 	if trials == 0 {
 		return Estimate{}, fmt.Errorf("model: EstimateSO needs trials > 0")
 	}
-	var acc stats.Accumulator
-	for i := uint64(0); i < trials; i++ {
-		life, err := sys.SimulateLifetime(rng)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("simulate %s: %w", sys.Name(), err)
-		}
-		acc.Add(float64(life))
+	acc, err := SOAccumulate(sys, trials, rng)
+	if err != nil {
+		return Estimate{}, err
 	}
-	s := acc.Summarize()
-	return Estimate{System: sys.Name(), EL: s.Mean, CI95: s.CI95, Trials: trials, Method: "lifetime"}, nil
+	return EstimateFromAccumulator(sys.Name(), acc), nil
 }
 
 // Estimator evaluates any of the six systems with the appropriate

@@ -95,6 +95,12 @@ func (p Params) Validate() error {
 		return fmt.Errorf("model: PB needs ≥1 replica, got %d", p.PBReplicas)
 	case p.Proxies < 1:
 		return fmt.Errorf("model: FORTRESS needs ≥1 proxy, got %d", p.Proxies)
+	case uint64(p.SMRReplicas) > p.Chi:
+		// Each replica needs a distinct key; more replicas than keys would
+		// make the distinct-position samplers loop forever.
+		return fmt.Errorf("model: %d SMR replicas exceed χ = %d", p.SMRReplicas, p.Chi)
+	case uint64(p.Proxies) > p.Chi:
+		return fmt.Errorf("model: %d proxies exceed χ = %d", p.Proxies, p.Chi)
 	}
 	if p.Omega() > p.Chi {
 		return fmt.Errorf("model: ω = %d exceeds χ = %d", p.Omega(), p.Chi)

@@ -46,6 +46,10 @@ var (
 // Name implements System.
 func (s S1PO) Name() string { return "S1PO" }
 
+func (s S1PO) params() Params { return s.P }
+func (s S0PO) params() Params { return s.P }
+func (s S2PO) params() Params { return s.P }
+
 // StepCompromiseProb implements StepSystem: the single shared key is hit by
 // ω distinct within-step probes with probability ω/χ.
 func (s S1PO) StepCompromiseProb() (float64, error) {
@@ -69,6 +73,11 @@ func (s S1PO) SimulateStep(rng *xrand.RNG) (bool, error) {
 	if err := s.P.Validate(); err != nil {
 		return false, err
 	}
+	return s.stepOnce(rng)
+}
+
+// stepOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S1PO) stepOnce(rng *xrand.RNG) (bool, error) {
 	// ω distinct probes against one key hidden in χ: hit iff the key's
 	// position in the probe order falls inside the first ω.
 	return rng.Uint64n(s.P.Chi) < s.P.Omega(), nil
@@ -109,6 +118,11 @@ func (s S0PO) SimulateStep(rng *xrand.RNG) (bool, error) {
 	if err := s.P.Validate(); err != nil {
 		return false, err
 	}
+	return s.stepOnce(rng)
+}
+
+// stepOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S0PO) stepOnce(rng *xrand.RNG) (bool, error) {
 	hits, err := sampleTierHits(rng, s.P.Chi, s.P.SMRReplicas, s.P.Omega())
 	if err != nil {
 		return false, err
@@ -179,6 +193,11 @@ func (s S2PO) SimulateStep(rng *xrand.RNG) (bool, error) {
 	if err := s.P.Validate(); err != nil {
 		return false, err
 	}
+	return s.stepOnce(rng)
+}
+
+// stepOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S2PO) stepOnce(rng *xrand.RNG) (bool, error) {
 	alpha := s.P.EffectiveAlpha()
 	proxyHits, err := sampleTierHits(rng, s.P.Chi, s.P.Proxies, s.P.Omega())
 	if err != nil {
@@ -229,23 +248,46 @@ func MarkovChainEL(sys StepSystem) (float64, error) {
 // sampleTierHits draws how many of a tier's k distinct keys are uncovered
 // by ω distinct probes into a χ-sized space — one hypergeometric sample,
 // drawn by direct simulation of the k key positions.
+//
+// Duplicate rejection scans a small fixed-size array rather than a map: the
+// tiers evaluated here hold k ≤ 4 keys, and the linear scan keeps the whole
+// sample allocation-free (the O(k²) scan only matters for k far beyond any
+// tier size in this repository). The probe sequence consumed from rng is
+// identical to the former map-based implementation.
 func sampleTierHits(rng *xrand.RNG, chi uint64, k int, omega uint64) (int, error) {
 	if uint64(k) > chi {
 		return 0, fmt.Errorf("model: %d keys exceed χ=%d", k, chi)
 	}
 	// Draw k distinct positions in [0, χ); count how many land in the
 	// probed window [0, ω). Rejection sampling is cheap for k ≪ χ.
-	positions := make(map[uint64]struct{}, k)
+	var buf [smallTierKeys]uint64
+	positions := buf[:0]
 	hits := 0
 	for len(positions) < k {
 		pos := rng.Uint64n(chi)
-		if _, dup := positions[pos]; dup {
+		if containsUint64(positions, pos) {
 			continue
 		}
-		positions[pos] = struct{}{}
+		positions = append(positions, pos)
 		if pos < omega {
 			hits++
 		}
 	}
 	return hits, nil
+}
+
+// smallTierKeys sizes the stack buffers used when sampling distinct key
+// positions; every tier in the paper holds at most 4 keys, so 8 leaves
+// ample headroom before append spills to the heap.
+const smallTierKeys = 8
+
+// containsUint64 reports whether xs holds v — the duplicate check for the
+// tiny distinct-position samples above.
+func containsUint64(xs []uint64, v uint64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

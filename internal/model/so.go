@@ -53,16 +53,19 @@ func soSurvivalEL(chi uint64, k, f int, omega uint64) (float64, error) {
 
 // sampleDistinctPositions draws k distinct probe-order positions, each in
 // [1, χ], sorted ascending: the moments at which a single probe stream
-// uncovers each of a tier's k keys.
-func sampleDistinctPositions(rng *xrand.RNG, chi uint64, k int) []uint64 {
-	seen := make(map[uint64]struct{}, k)
-	out := make([]uint64, 0, k)
+// uncovers each of a tier's k keys. Results are appended to out, which
+// callers pass as a stack-backed buffer (`var buf [smallTierKeys]uint64;
+// sampleDistinctPositions(rng, chi, k, buf[:0])`) so the per-trial sample
+// allocates nothing; duplicates are rejected by scanning the k ≤ 4 drawn
+// values instead of a map, consuming exactly the same rng sequence as the
+// former map-based implementation.
+func sampleDistinctPositions(rng *xrand.RNG, chi uint64, k int, out []uint64) []uint64 {
+	out = out[:0]
 	for len(out) < k {
 		pos := rng.Uint64n(chi) + 1
-		if _, dup := seen[pos]; dup {
+		if containsUint64(out, pos) {
 			continue
 		}
-		seen[pos] = struct{}{}
 		out = append(out, pos)
 	}
 	// Insertion sort: k ≤ 4.
@@ -97,6 +100,10 @@ var (
 // Name implements System.
 func (s S1SO) Name() string { return "S1SO" }
 
+func (s S1SO) params() Params { return s.P }
+func (s S0SO) params() Params { return s.P }
+func (s S2SO) params() Params { return s.P }
+
 // AnalyticEL implements System.
 func (s S1SO) AnalyticEL() (float64, error) {
 	if err := s.P.Validate(); err != nil {
@@ -111,6 +118,11 @@ func (s S1SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
+	return s.lifetimeOnce(rng)
+}
+
+// lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S1SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
 	omega := s.P.Omega()
 	if omega == 0 {
 		return math.MaxUint64, nil
@@ -145,11 +157,17 @@ func (s S0SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
+	return s.lifetimeOnce(rng)
+}
+
+// lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S0SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
 	omega := s.P.Omega()
 	if omega == 0 {
 		return math.MaxUint64, nil
 	}
-	positions := sampleDistinctPositions(rng, s.P.Chi, s.P.SMRReplicas)
+	var buf [smallTierKeys]uint64
+	positions := sampleDistinctPositions(rng, s.P.Chi, s.P.SMRReplicas, buf[:0])
 	// Compromise at the (f+1)-th uncovered key.
 	critical := positions[s.P.SMRTolerance]
 	return stepOf(critical, omega) - 1, nil
@@ -290,13 +308,19 @@ func (s S2SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
+	return s.lifetimeOnce(rng)
+}
+
+// lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S2SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
 	omega := s.P.Omega()
 	if omega == 0 {
 		return math.MaxUint64, nil
 	}
 	w := float64(omega)
 
-	proxyPos := sampleDistinctPositions(rng, s.P.Chi, s.P.Proxies)
+	var buf [smallTierKeys]uint64
+	proxyPos := sampleDistinctPositions(rng, s.P.Chi, s.P.Proxies, buf[:0])
 	tFirst := stepOf(proxyPos[0], omega)             // first proxy captured
 	tAll := stepOf(proxyPos[len(proxyPos)-1], omega) // all proxies captured
 	serverPos := float64(rng.Uint64n(s.P.Chi) + 1)   // server key position

@@ -30,6 +30,8 @@ var _ LifetimeSystem = S0Staggered{}
 // Name implements System.
 func (s S0Staggered) Name() string { return "S0PO-staggered" }
 
+func (s S0Staggered) params() Params { return s.P }
+
 func (s S0Staggered) batch() int {
 	if s.BatchSize > 0 {
 		return s.BatchSize
@@ -58,6 +60,11 @@ func (s S0Staggered) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
+	return s.lifetimeOnce(rng)
+}
+
+// lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
+func (s S0Staggered) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
 	alpha := s.P.EffectiveAlpha()
 	if alpha <= 0 {
 		return math.MaxUint64, nil

@@ -1,0 +1,209 @@
+// Package sim is the deterministic parallel Monte-Carlo engine: it shards
+// trial budgets into a fixed number of logical shards, runs the shards on a
+// bounded worker pool, and merges per-shard results in shard order, so that
+// a given (seed, trials) pair produces bit-identical estimates whether it
+// runs on 1 worker or 64.
+//
+// The determinism recipe has three parts:
+//
+//  1. The shard layout is a pure function of the trial budget and the fixed
+//     logical shard count — never of the worker count.
+//  2. One xrand.RNG is derived per shard with Split() in a fixed order
+//     before any work is dispatched, so the random streams each shard
+//     consumes are independent of scheduling.
+//  3. Per-shard results (hit counts for the PO step-hazard path, Welford
+//     accumulators for the SO lifetime path) are merged in shard order;
+//     integer hit counts sum exactly, and stats.Accumulator.Merge folds
+//     floating-point state in a fixed order.
+//
+// Workers defaults to runtime.GOMAXPROCS(0); the worker pool only decides
+// how many shards are in flight at once, never what any shard computes.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fortress/internal/model"
+	"fortress/internal/stats"
+	"fortress/internal/xrand"
+)
+
+// DefaultShards is the fixed logical shard count. It is deliberately larger
+// than any plausible core count so that the work splits evenly on machines
+// of any size, while staying small enough that per-shard overhead (one RNG
+// split, one accumulator) is negligible against Monte-Carlo budgets of 10⁴+.
+const DefaultShards = 64
+
+// Config tunes the engine. The zero value is ready to use.
+type Config struct {
+	// Shards is the logical shard count. Changing it changes which random
+	// stream each trial draws from (and therefore the exact estimate), so it
+	// is part of a run's reproducibility key alongside the seed; the default
+	// DefaultShards is what the CLI and experiments use. Zero or negative
+	// selects the default.
+	Shards int
+	// Workers bounds how many shards run concurrently. It never affects
+	// results, only wall-clock time. Zero or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (c Config) shardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return DefaultShards
+}
+
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardTrials splits a trial budget across n shards as evenly as possible:
+// the first trials%n shards get one extra trial. The layout depends only on
+// (trials, n).
+func shardTrials(trials uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	base := trials / uint64(n)
+	extra := trials % uint64(n)
+	for i := range out {
+		out[i] = base
+		if uint64(i) < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// SplitRNGs derives n independent generators from rng, in index order,
+// before any work is dispatched. The parent rng is advanced exactly n
+// times regardless of how much of the derived work later runs, so the
+// stream layout is a pure function of n — the pre-split every deterministic
+// fan-out (trial shards here, experiment cells in callers) relies on.
+func SplitRNGs(rng *xrand.RNG, n int) []*xrand.RNG {
+	out := make([]*xrand.RNG, n)
+	for i := range out {
+		out[i] = rng.Split()
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of at most `workers`
+// goroutines (workers <= 0 selects runtime.GOMAXPROCS(0)). All n calls are
+// attempted; if any fail, the error with the smallest index is returned, so
+// the reported failure is deterministic under any schedule.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EstimatePO estimates the EL of a PO system by sharding the step-hazard
+// trials: per-shard hit counts are summed (exactly) in shard order, so the
+// estimate equals a single-threaded run over the same shard streams.
+func EstimatePO(sys model.StepSystem, trials uint64, rng *xrand.RNG, cfg Config) (model.Estimate, error) {
+	if trials == 0 {
+		return model.Estimate{}, fmt.Errorf("sim: EstimatePO needs trials > 0")
+	}
+	shards := shardTrials(trials, cfg.shardCount())
+	rngs := SplitRNGs(rng, len(shards))
+	hits := make([]uint64, len(shards))
+	err := ForEach(len(shards), cfg.workerCount(), func(i int) error {
+		if shards[i] == 0 {
+			return nil
+		}
+		h, err := model.POHits(sys, shards[i], rngs[i])
+		hits[i] = h
+		return err
+	})
+	if err != nil {
+		return model.Estimate{}, err
+	}
+	var total uint64
+	for _, h := range hits {
+		total += h
+	}
+	return model.EstimateFromHits(sys.Name(), total, trials), nil
+}
+
+// EstimateSO estimates the EL of an SO system by sharding the lifetime
+// trials: per-shard Welford accumulators are folded in shard order with
+// stats.Accumulator.Merge, so the floating-point reduction order — and the
+// resulting estimate — is independent of the worker count.
+func EstimateSO(sys model.LifetimeSystem, trials uint64, rng *xrand.RNG, cfg Config) (model.Estimate, error) {
+	if trials == 0 {
+		return model.Estimate{}, fmt.Errorf("sim: EstimateSO needs trials > 0")
+	}
+	shards := shardTrials(trials, cfg.shardCount())
+	rngs := SplitRNGs(rng, len(shards))
+	accs := make([]stats.Accumulator, len(shards))
+	err := ForEach(len(shards), cfg.workerCount(), func(i int) error {
+		if shards[i] == 0 {
+			return nil
+		}
+		acc, err := model.SOAccumulate(sys, shards[i], rngs[i])
+		accs[i] = acc
+		return err
+	})
+	if err != nil {
+		return model.Estimate{}, err
+	}
+	var merged stats.Accumulator
+	for _, acc := range accs {
+		merged.Merge(acc)
+	}
+	return model.EstimateFromAccumulator(sys.Name(), merged), nil
+}
+
+// Estimator evaluates any of the six systems with the appropriate sharded
+// Monte-Carlo method — the parallel counterpart of model.Estimator.
+func Estimator(sys model.System, trials uint64, rng *xrand.RNG, cfg Config) (model.Estimate, error) {
+	switch s := sys.(type) {
+	case model.StepSystem:
+		return EstimatePO(s, trials, rng, cfg)
+	case model.LifetimeSystem:
+		return EstimateSO(s, trials, rng, cfg)
+	default:
+		return model.Estimate{}, fmt.Errorf("sim: %s supports no Monte-Carlo method", sys.Name())
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"fortress/internal/model"
+	"fortress/internal/xrand"
+)
+
+// TestEstimatesBitIdenticalAcrossWorkers is the engine's core contract: for
+// every one of the six systems, the estimate from a given (seed, trials)
+// pair is bit-identical — every field, including the floating-point EL and
+// CI — whether the shards run on 1, 2 or 8 workers.
+func TestEstimatesBitIdenticalAcrossWorkers(t *testing.T) {
+	const trials = 20001 // deliberately not divisible by the shard count
+	p := model.DefaultParams(0.01, 0.5)
+	for _, sys := range model.AllSystems(p) {
+		base, err := Estimator(sys, trials, xrand.New(42), Config{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Estimator(sys, trials, xrand.New(42), Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", sys.Name(), workers, err)
+			}
+			if got != base {
+				t.Errorf("%s: workers=%d estimate %+v differs from workers=1 %+v",
+					sys.Name(), workers, got, base)
+			}
+		}
+	}
+}
+
+// TestStaggeredBitIdenticalAcrossWorkers covers the seventh lifetime system,
+// which is not part of AllSystems.
+func TestStaggeredBitIdenticalAcrossWorkers(t *testing.T) {
+	sys := model.S0Staggered{P: model.DefaultParams(0.01, 0)}
+	base, err := EstimateSO(sys, 5000, xrand.New(7), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := EstimateSO(sys, 5000, xrand.New(7), Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Errorf("workers=%d estimate %+v differs from workers=1 %+v", workers, got, base)
+		}
+	}
+}
+
+// TestAgreesWithSerialEstimator checks the sharded estimates land where the
+// single-stream estimator does, statistically: different random streams,
+// same distribution.
+func TestAgreesWithSerialEstimator(t *testing.T) {
+	const trials = 100000
+	p := model.DefaultParams(0.01, 0.5)
+	for _, sys := range model.AllSystems(p) {
+		serial, err := model.Estimator(sys, trials, xrand.New(1))
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		sharded, err := Estimator(sys, trials, xrand.New(1), Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if math.IsInf(serial.EL, 1) || math.IsInf(sharded.EL, 1) {
+			continue // hazard below resolution either way; nothing to compare
+		}
+		if !serial.Summary().Overlaps(sharded.Summary()) {
+			t.Errorf("%s: serial %v ± %v vs sharded %v ± %v do not overlap",
+				sys.Name(), serial.EL, serial.CI95, sharded.EL, sharded.CI95)
+		}
+	}
+}
+
+// TestTrialsFewerThanShards: tiny budgets leave most shards empty but must
+// still produce the full trial count, deterministically.
+func TestTrialsFewerThanShards(t *testing.T) {
+	sys := model.S1SO{P: model.DefaultParams(0.01, 0)}
+	base, err := EstimateSO(sys, 5, xrand.New(3), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Trials != 5 {
+		t.Fatalf("trials = %d, want 5", base.Trials)
+	}
+	got, err := EstimateSO(sys, 5, xrand.New(3), Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Errorf("workers=8 %+v differs from workers=1 %+v", got, base)
+	}
+}
+
+func TestZeroTrialsRejected(t *testing.T) {
+	p := model.DefaultParams(0.01, 0.5)
+	if _, err := EstimatePO(model.S1PO{P: p}, 0, xrand.New(1), Config{}); err == nil {
+		t.Error("EstimatePO accepted zero trials")
+	}
+	if _, err := EstimateSO(model.S1SO{P: p}, 0, xrand.New(1), Config{}); err == nil {
+		t.Error("EstimateSO accepted zero trials")
+	}
+}
+
+func TestInvalidParamsSurface(t *testing.T) {
+	p := model.DefaultParams(0.01, 0.5)
+	p.Chi = 0
+	if _, err := Estimator(model.S1SO{P: p}, 1000, xrand.New(1), Config{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestShardTrialsLayout(t *testing.T) {
+	for _, tc := range []struct {
+		trials uint64
+		n      int
+	}{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100001, 64},
+	} {
+		shards := shardTrials(tc.trials, tc.n)
+		if len(shards) != tc.n {
+			t.Fatalf("len = %d, want %d", len(shards), tc.n)
+		}
+		var sum uint64
+		for i, s := range shards {
+			sum += s
+			if i > 0 && s > shards[i-1] {
+				t.Errorf("trials=%d n=%d: shard %d (%d) larger than shard %d (%d)",
+					tc.trials, tc.n, i, s, i-1, shards[i-1])
+			}
+		}
+		if sum != tc.trials {
+			t.Errorf("trials=%d n=%d: shards sum to %d", tc.trials, tc.n, sum)
+		}
+	}
+}
+
+// TestForEachReturnsLowestIndexError: the reported error must not depend on
+// which worker hits its failure first.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(20, workers, func(i int) error {
+			if i == 3 || i == 17 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: got %v, want cell 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	counts := make([]int, n)
+	err := ForEach(n, 7, func(i int) error {
+		counts[i]++ // safe: each index is dispatched exactly once
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestEstimatorRejectsUnknownSystem(t *testing.T) {
+	if _, err := Estimator(analyticOnly{}, 100, xrand.New(1), Config{}); err == nil {
+		t.Error("system without a Monte-Carlo method accepted")
+	}
+}
+
+type analyticOnly struct{}
+
+func (analyticOnly) Name() string                 { return "analytic-only" }
+func (analyticOnly) AnalyticEL() (float64, error) { return 0, errors.New("n/a") }

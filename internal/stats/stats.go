@@ -43,6 +43,34 @@ func (a *Accumulator) Add(x float64) {
 	a.m2 += delta * (x - a.mean)
 }
 
+// Merge folds another accumulator into a, as if every observation recorded
+// by other had been Added to a. It uses the Chan et al. pairwise combination
+// of counts, means and M2 sums, which is numerically stable for shards of
+// any relative size. Merging is deterministic: folding the same shards in
+// the same order always yields bit-identical state, which is what lets the
+// parallel Monte-Carlo engine reproduce results independently of worker
+// count.
+func (a *Accumulator) Merge(other Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = other
+		return
+	}
+	n := a.n + other.n
+	delta := other.mean - a.mean
+	a.mean += delta * float64(other.n) / float64(n)
+	a.m2 += other.m2 + delta*delta*float64(a.n)*float64(other.n)/float64(n)
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+	a.n = n
+}
+
 // N returns the number of observations recorded.
 func (a *Accumulator) N() uint64 { return a.n }
 

@@ -224,3 +224,112 @@ func TestAccumulatorMinMaxOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMergeMatchesSequentialProperty: splitting a random observation
+// sequence at random points, accumulating each chunk independently and
+// folding the chunks with Merge must agree with one sequential pass — N,
+// Min and Max exactly, mean and variance to floating-point accuracy. This
+// is the reduction the parallel Monte-Carlo engine relies on.
+func TestMergeMatchesSequentialProperty(t *testing.T) {
+	rng := xrand.New(90210)
+	prop := func(seed uint64, nRaw, cutsRaw uint16) bool {
+		n := int(nRaw%2000) + 2
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*2000 - 1000
+		}
+
+		var sequential Accumulator
+		for _, x := range xs {
+			sequential.Add(x)
+		}
+
+		// Split into 1 + cuts chunks at random boundaries (possibly empty).
+		chunks := int(cutsRaw%8) + 1
+		var merged Accumulator
+		start := 0
+		for c := 0; c < chunks; c++ {
+			end := n
+			if c < chunks-1 {
+				end = start + rng.Intn(n-start+1)
+			}
+			var part Accumulator
+			for _, x := range xs[start:end] {
+				part.Add(x)
+			}
+			merged.Merge(part)
+			start = end
+		}
+
+		if merged.N() != sequential.N() {
+			t.Logf("N: merged %d vs sequential %d", merged.N(), sequential.N())
+			return false
+		}
+		if merged.Min() != sequential.Min() || merged.Max() != sequential.Max() {
+			t.Logf("min/max: merged %v/%v vs %v/%v",
+				merged.Min(), merged.Max(), sequential.Min(), sequential.Max())
+			return false
+		}
+		if !nearlyEqual(merged.Mean(), sequential.Mean(), 1e-9) {
+			t.Logf("mean: merged %v vs sequential %v", merged.Mean(), sequential.Mean())
+			return false
+		}
+		if !nearlyEqual(merged.Variance(), sequential.Variance(), 1e-9) {
+			t.Logf("variance: merged %v vs sequential %v", merged.Variance(), sequential.Variance())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nearlyEqual compares with relative tolerance (absolute near zero).
+func nearlyEqual(a, b, tol float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestMergeEmptyAndZeroValue(t *testing.T) {
+	var a, b Accumulator
+	a.Merge(b) // zero into zero: still empty
+	if a.N() != 0 {
+		t.Fatalf("N = %d after empty merge", a.N())
+	}
+	b.Add(4)
+	b.Add(8)
+	a.Merge(b) // into zero value: adopts b wholesale
+	if a.N() != 2 || a.Mean() != 6 || a.Min() != 4 || a.Max() != 8 {
+		t.Fatalf("merge into zero value: %+v", a.Summarize())
+	}
+	before := a.Summarize()
+	a.Merge(Accumulator{}) // empty into populated: no-op
+	if a.Summarize() != before {
+		t.Fatalf("empty merge changed state: %+v vs %+v", a.Summarize(), before)
+	}
+}
+
+// TestMergeDeterministicOrder: folding the same shards in the same order is
+// bit-identical, run to run — the property the worker pool leans on.
+func TestMergeDeterministicOrder(t *testing.T) {
+	build := func() Summary {
+		rng := xrand.New(5)
+		var merged Accumulator
+		for s := 0; s < 16; s++ {
+			var part Accumulator
+			for i := 0; i < 100; i++ {
+				part.Add(rng.Float64() * 100)
+			}
+			merged.Merge(part)
+		}
+		return merged.Summarize()
+	}
+	if build() != build() {
+		t.Fatal("same shard fold produced different state")
+	}
+}

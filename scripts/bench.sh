@@ -1,0 +1,96 @@
+#!/bin/sh
+# bench.sh — run the repository's benchmarks and record the perf trajectory.
+#
+# Runs `go test -bench -benchmem` across every package and emits
+# BENCH_<date>.json in the repo root: one entry per benchmark (ns/op,
+# B/op, allocs/op, custom metrics) plus a "speedups" section with the
+# serial-vs-parallel ratio for every benchmark that has both variants
+# (BenchmarkFigure1, BenchmarkFigure2, BenchmarkOrderingChain,
+# BenchmarkFortify, BenchmarkEstimateSOParallel). Compare files across
+# dates to see whether a PR moved the hot paths.
+#
+# Usage:
+#   scripts/bench.sh [bench-regex]        # default: . (all benchmarks)
+# Environment:
+#   BENCHTIME=1s scripts/bench.sh         # default: 1x (one artifact
+#                                         # regeneration per benchmark —
+#                                         # these are whole-figure runs,
+#                                         # already seconds long)
+#   TIMEOUT=10m scripts/bench.sh          # per-package go test timeout
+#
+# A failing (or timed-out) package does not abort the run: its benchmarks
+# are simply absent from the JSON and a warning is printed, so one flaky
+# live-system bench cannot lose the whole day's perf record.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+TIMEOUT="${TIMEOUT:-10m}"
+DATE="$(date +%Y-%m-%d)"
+OUT="BENCH_${DATE}.json"
+if [ "$PATTERN" != "." ]; then
+    # A scoped run must not clobber the day's full record.
+    OUT="BENCH_${DATE}_$(printf '%s' "$PATTERN" | tr -c 'A-Za-z0-9' _).json"
+fi
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "# go test -run ^\$ -bench $PATTERN -benchmem -benchtime $BENCHTIME -timeout $TIMEOUT ./..." >&2
+status=0
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout "$TIMEOUT" ./... >"$RAW" 2>&1 || status=$?
+cat "$RAW" >&2
+if [ "$status" -ne 0 ]; then
+    echo "WARNING: go test exited $status; failing packages are missing from $OUT" >&2
+fi
+
+awk -v date="$DATE" -v goversion="$(go version)" -v cpus="$(getconf _NPROCESSORS_ONLN)" '
+function esc(s) { gsub(/["\\]/, "", s); return s }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    order[++count] = name
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op")          ns[name] = val
+        else if (unit == "B/op")      bytes[name] = val
+        else if (unit == "allocs/op") allocs[name] = val
+        else                          metrics[name] = metrics[name] sprintf("%s\"%s\": %s", \
+                                          (metrics[name] == "" ? "" : ", "), esc(unit), val)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", esc(goversion)
+    printf "  \"cpus\": %s,\n", cpus
+    printf "  \"benchtime\": \"%s\",\n", "'"$BENCHTIME"'"
+    printf "  \"benchmarks\": {\n"
+    for (k = 1; k <= count; k++) {
+        name = order[k]
+        printf "    \"%s\": {\"ns_per_op\": %s", esc(name), ns[name]
+        if (name in bytes)   printf ", \"bytes_per_op\": %s", bytes[name]
+        if (name in allocs)  printf ", \"allocs_per_op\": %s", allocs[name]
+        if (name in metrics) printf ", \"metrics\": {%s}", metrics[name]
+        printf "}%s\n", (k < count ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"speedups\": {\n"
+    nsp = 0
+    for (k = 1; k <= count; k++) {
+        name = order[k]
+        if (name ~ /\/serial$/) {
+            base = name
+            sub(/\/serial$/, "", base)
+            par = base "/parallel"
+            if ((par in ns) && ns[par] > 0)
+                pair[++nsp] = sprintf("    \"%s\": %.3f", esc(base), ns[name] / ns[par])
+        }
+    }
+    for (k = 1; k <= nsp; k++) printf "%s%s\n", pair[k], (k < nsp ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
