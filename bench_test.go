@@ -227,6 +227,65 @@ func BenchmarkCampaignSOvsPO(b *testing.B) {
 	}
 }
 
+// campaignVariants pairs the campaign-series benchmark with a serial and a
+// parallel sub-benchmark, like workerVariants does for the Monte-Carlo
+// sweeps — scripts/bench.sh records the serial/parallel ratio. Unlike the
+// CPU-bound trial shards, campaign repetitions are latency-bound (heartbeat,
+// recovery and teardown waits inside each live deployment), so the parallel
+// variant uses a fixed worker count above GOMAXPROCS: overlapping those
+// waits shows a real speedup even on a single-core machine.
+var campaignVariants = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", 4},
+}
+
+// BenchmarkCampaignSeries measures live-campaign throughput end-to-end: a
+// series of full de-randomization campaigns, each against its own FORTRESS
+// deployment on its own simulated network, sharded across workers. Both
+// variants produce bit-identical merged results (see
+// attack.TestCampaignSeriesBitIdenticalAcrossWorkers).
+func BenchmarkCampaignSeries(b *testing.B) {
+	for _, v := range campaignVariants {
+		b.Run(v.name, func(b *testing.B) {
+			var series attack.SeriesResult
+			for i := 0; i < b.N; i++ {
+				space, err := keyspace.NewSpace(24)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tmpl := fortress.Config{
+					Servers:           3,
+					Proxies:           3,
+					ServiceFactory:    func() service.Service { return service.NewKV() },
+					HeartbeatInterval: 5 * time.Millisecond,
+					HeartbeatTimeout:  50 * time.Millisecond,
+					ServerTimeout:     time.Second,
+				}
+				// Fixed seed: both variants run the identical repetition
+				// set (and, per the determinism contract, produce the
+				// identical merged result), so the serial/parallel ratio
+				// in BENCH_<date>.json compares equal work.
+				series, err = attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
+					Campaign: attack.CampaignConfig{
+						OmegaDirect:   2,
+						OmegaIndirect: 1,
+						MaxSteps:      60,
+					},
+					Workers: v.workers,
+				}, 4, xrand.New(100))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(series.Lifetime.Mean, "lifetime-steps")
+			b.ReportMetric(float64(series.Compromised)/float64(series.Reps), "compromise-rate")
+		})
+	}
+}
+
 // BenchmarkLaunchPadAblation quantifies the λ design knob from DESIGN.md
 // §5: how the same-step launch-pad fraction moves EL(S2PO).
 func BenchmarkLaunchPadAblation(b *testing.B) {

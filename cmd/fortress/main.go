@@ -9,21 +9,29 @@
 //	fortress fortify [-alpha A] [-trials N] [-workers W] E4: S2SO vs S0SO across κ
 //	fortress alphas [-alpha A] [-steps N]                E6: αᵢ growth, SO vs PO
 //	fortress demo                                        end-to-end FORTRESS service
-//	fortress attack [-chi N] [-steps N] [-po]            campaign vs live deployment
+//	fortress attack [-chi N] [-steps N] [-po]            one campaign vs one live deployment
+//	fortress campaign [-reps N] [-workers W] [-po]       live-campaign sweep: (proxies ×
+//	                                                     detector × pacing) grid, N campaign
+//	                                                     repetitions per cell
 //
 // Every Monte-Carlo subcommand takes -workers (default: runtime.GOMAXPROCS,
 // i.e. all cores): experiment cells and the trial shards within each cell
 // run on that many workers through the deterministic engine in internal/sim,
 // so the output for a given -seed and -trials is bit-identical at any
 // -workers value — including -workers 1. Use -workers to bound CPU usage,
-// never to pin results.
+// never to pin results. The campaign sweep follows the same contract — its
+// repetitions run whole live deployments, sharded across workers with
+// pre-split random streams — and, being latency-bound rather than CPU-bound,
+// profits from -workers above the core count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,7 +52,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack")
+		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack, campaign")
 	}
 	switch args[0] {
 	case "fig1":
@@ -61,6 +69,8 @@ func run(args []string) error {
 		return runDemo(args[1:])
 	case "attack":
 		return runAttack(args[1:])
+	case "campaign":
+		return runCampaign(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -239,6 +249,136 @@ func runDemo(args []string) error {
 		return err
 	}
 	fmt.Printf("state preserved across epoch %d: %s\n", sys.Epoch(), got)
+	return nil
+}
+
+// parseIntList parses a comma-separated list of non-negative ints ("2,3,4").
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 31)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("invalid list entry %q", p)
+		}
+		out = append(out, int(v))
+	}
+	return out, nil
+}
+
+// parseUint64List parses a comma-separated list of uint64s ("0,1,2").
+func parseUint64List(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid list entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	reps := fs.Int("reps", 8, "campaign repetitions per grid cell")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent repetitions/cells (results are identical at any value; repetitions are latency-bound, so values above the core count help)")
+	chi := fs.Uint64("chi", 24, "key space size χ (small so live campaigns terminate)")
+	steps := fs.Uint64("steps", 40, "campaign horizon in unit time-steps")
+	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
+	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
+	servers := fs.Int("servers", 3, "PB server count n_s")
+	proxiesList := fs.String("proxies", "2,3,4", "comma-separated proxy-count grid")
+	pacingList := fs.String("pacing", "0,1,2", "comma-separated indirect-probe (κ·ω) grid")
+	detector := fs.String("detector", "both", "detector grid: off, on, or both")
+	threshold := fs.Int("detector-threshold", 8, "invalid requests before a probe source is flagged")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The sweep config treats zero fields as "use the default", so explicit
+	// zeros on the command line must be rejected here, not silently
+	// rewritten — except -omega-direct, where zero is a real configuration
+	// (an indirect-only sweep) the config layer passes through untouched.
+	if *reps <= 0 {
+		return fmt.Errorf("-reps must be at least 1, got %d", *reps)
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("-detector-threshold must be at least 1, got %d", *threshold)
+	}
+	if *chi == 0 {
+		return errors.New("-chi must be at least 1")
+	}
+	if *steps == 0 {
+		return errors.New("-steps must be at least 1")
+	}
+	if *servers <= 0 {
+		return fmt.Errorf("-servers must be at least 1, got %d", *servers)
+	}
+	proxyCounts, err := parseIntList(*proxiesList)
+	if err != nil {
+		return fmt.Errorf("-proxies: %w", err)
+	}
+	pacings, err := parseUint64List(*pacingList)
+	if err != nil {
+		return fmt.Errorf("-pacing: %w", err)
+	}
+	var detectors []bool
+	switch *detector {
+	case "off":
+		detectors = []bool{false}
+	case "on":
+		detectors = []bool{true}
+	case "both":
+		detectors = []bool{false, true}
+	default:
+		return fmt.Errorf("-detector must be off, on or both, got %q", *detector)
+	}
+	cfg := experiments.LiveCampaignConfig{
+		Chi:               *chi,
+		Reps:              *reps,
+		Seed:              *seed,
+		Workers:           *workers,
+		MaxSteps:          *steps,
+		Rerandomize:       *po,
+		OmegaDirect:       *omegaD,
+		Servers:           *servers,
+		ProxyCounts:       proxyCounts,
+		Detectors:         detectors,
+		Pacings:           pacings,
+		DetectorThreshold: *threshold,
+	}
+	rows, err := experiments.LiveCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	mode := "SO (start-up-only randomization)"
+	if *po {
+		mode = "PO (re-randomize every step)"
+	}
+	fmt.Printf("# live-campaign sweep: χ=%d, %d reps/cell, horizon %d steps, ω_direct=%d, %s\n",
+		*chi, *reps, *steps, *omegaD, mode)
+	fmt.Print(experiments.FormatLiveCampaign(rows))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *csvPath, err)
+		}
+		defer f.Close()
+		if err := experiments.WriteLiveCampaignCSV(f, rows); err != nil {
+			return fmt.Errorf("write %s: %w", *csvPath, err)
+		}
+		fmt.Println("# CSV written to", *csvPath)
+	}
 	return nil
 }
 

@@ -66,6 +66,52 @@ func TestRunAttackPO(t *testing.T) {
 	}
 }
 
+func TestRunCampaign(t *testing.T) {
+	if err := run([]string{"campaign",
+		"-chi", "16", "-reps", "2", "-steps", "20",
+		"-proxies", "2", "-pacing", "1", "-detector", "off",
+		"-servers", "2", "-workers", "4", "-seed", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCampaignCSV(t *testing.T) {
+	path := t.TempDir() + "/campaign.csv"
+	if err := run([]string{"campaign",
+		"-chi", "16", "-reps", "2", "-steps", "20",
+		"-proxies", "2", "-pacing", "0", "-detector", "off",
+		"-servers", "2", "-workers", "4", "-csv", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "proxies,detector,omega_indirect") {
+		t.Fatalf("campaign csv header wrong: %.60s", data)
+	}
+}
+
+func TestRunCampaignBadFlags(t *testing.T) {
+	if err := run([]string{"campaign", "-detector", "sideways"}); err == nil {
+		t.Fatal("bad -detector value accepted")
+	}
+	if err := run([]string{"campaign", "-proxies", "2,x"}); err == nil {
+		t.Fatal("bad -proxies list accepted")
+	}
+	if err := run([]string{"campaign", "-proxies", "2x"}); err == nil {
+		t.Fatal("trailing garbage in -proxies entry accepted")
+	}
+	if err := run([]string{"campaign", "-pacing", "3.5"}); err == nil {
+		t.Fatal("fractional -pacing entry accepted")
+	}
+	if err := run([]string{"campaign", "-pacing", "1,,2"}); err == nil {
+		t.Fatal("bad -pacing list accepted")
+	}
+}
+
 func TestFlagErrorsSurface(t *testing.T) {
 	err := run([]string{"fig1", "-trials", "not-a-number"})
 	if err == nil || !strings.Contains(err.Error(), "invalid") {
@@ -87,5 +133,14 @@ func TestRunFig1CSV(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "S2PO") {
 		t.Fatal("csv missing S2PO series")
+	}
+}
+
+func TestRunCampaignRejectsExplicitZeros(t *testing.T) {
+	if err := run([]string{"campaign", "-reps", "0"}); err == nil {
+		t.Fatal("-reps 0 accepted")
+	}
+	if err := run([]string{"campaign", "-detector-threshold", "0"}); err == nil {
+		t.Fatal("-detector-threshold 0 accepted")
 	}
 }

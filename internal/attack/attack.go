@@ -91,7 +91,10 @@ func DerandomizeOverNetwork(
 		}
 		// The crash oracle: victim death closes the connection before any
 		// reply; survival produces a reply.
-		_, recvErr := conn.Recv()
+		reply, recvErr := conn.Recv()
+		if recvErr == nil {
+			netsim.Release(reply)
+		}
 		conn.Close()
 		if recvErr == nil {
 			res.Compromised = true
@@ -297,7 +300,9 @@ func deliverProbe(sys *fortress.System, p *proxy.Proxy, payload []byte) {
 	if err := conn.Send(proxy.EncodeRequest("probe", payload)); err != nil {
 		return
 	}
-	_, _ = conn.Recv() // reply, error, or closure — state is read elsewhere
+	if reply, err := conn.Recv(); err == nil { // reply, error, or closure — state is read elsewhere
+		netsim.Release(reply)
+	}
 }
 
 // deliverIndirectProbe sends one server-targeted exploit request through

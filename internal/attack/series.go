@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/netsim"
+	"fortress/internal/sim"
+	"fortress/internal/stats"
+	"fortress/internal/xrand"
+)
+
+// SeriesConfig tunes a parallel series of independent campaign repetitions.
+type SeriesConfig struct {
+	// Campaign is the per-repetition attack configuration.
+	Campaign CampaignConfig
+	// Workers bounds how many repetitions run concurrently through
+	// sim.ForEach. It never affects results — repetitions are fully
+	// isolated and their random streams are pre-split in repetition order —
+	// only wall-clock time. Zero or negative selects runtime.GOMAXPROCS(0).
+	// Campaign repetitions are latency-bound (heartbeats, recovery and
+	// teardown waits inside each live deployment), so Workers above the
+	// core count still buys wall-clock time by overlapping those waits.
+	Workers int
+}
+
+// SeriesResult aggregates n campaign repetitions.
+type SeriesResult struct {
+	// Reps is the number of repetitions run.
+	Reps uint64
+	// Compromised counts repetitions that fell within the horizon.
+	Compromised uint64
+	// Routes histograms the compromise routes observed.
+	Routes map[string]uint64
+	// Lifetime summarizes the empirical lifetimes (StepsElapsed) across all
+	// repetitions, folded in repetition order.
+	Lifetime stats.Summary
+	// Results holds every repetition's outcome, in repetition order.
+	Results []CampaignResult
+}
+
+// CampaignSeries runs n independent repetitions of a de-randomization
+// campaign and merges their outcomes — the live-system counterpart of the
+// Monte-Carlo engine's sharded trials, with the same determinism contract:
+// the merged result is bit-identical at any Workers value.
+//
+// Each repetition is a fully isolated deployment: its own netsim.Network,
+// its own fortress.System built from tmpl (with Space, a derived Seed and
+// the private network substituted in), and its own attacker randomness. The
+// n random streams are pre-split from rng in repetition order before any
+// repetition runs, so scheduling cannot leak into the results; per-rep
+// lifetime values are folded into one accumulator in repetition order, so
+// the floating-point summary is reduction-order-stable too.
+func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfig, n int, rng *xrand.RNG) (SeriesResult, error) {
+	if n <= 0 {
+		return SeriesResult{}, errors.New("attack: series needs at least one repetition")
+	}
+	if err := cfg.Campaign.validate(); err != nil {
+		return SeriesResult{}, err
+	}
+	rngs := sim.SplitRNGs(rng, n)
+	results := make([]CampaignResult, n)
+	err := sim.ForEach(n, cfg.Workers, func(i int) error {
+		repRNG := rngs[i]
+		c := tmpl
+		c.Space = space
+		c.Seed = repRNG.Uint64()
+		c.Net = netsim.NewNetwork()
+		sys, err := fortress.New(c)
+		if err != nil {
+			return fmt.Errorf("attack: series repetition %d deploy: %w", i, err)
+		}
+		defer sys.Stop()
+		res, err := Campaign(sys, space, cfg.Campaign, repRNG)
+		if err != nil {
+			return fmt.Errorf("attack: series repetition %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return SeriesResult{}, err
+	}
+
+	out := SeriesResult{
+		Reps:    uint64(n),
+		Routes:  make(map[string]uint64),
+		Results: results,
+	}
+	var acc stats.Accumulator
+	for _, r := range results {
+		acc.Add(float64(r.StepsElapsed))
+		if r.Compromised {
+			out.Compromised++
+			out.Routes[r.Route]++
+		}
+	}
+	out.Lifetime = acc.Summarize()
+	return out, nil
+}

@@ -51,6 +51,34 @@ func WriteFortifyCSV(w io.Writer, rows []FortifyComparison) error {
 	return nil
 }
 
+// WriteLiveCampaignCSV emits live-campaign sweep rows as CSV, one row per
+// (proxy count, detector, pacing) cell, ready for plotting next to the
+// fig1/fig2 series.
+func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
+	if _, err := io.WriteString(w,
+		"proxies,detector,omega_indirect,reps,compromised,mean_lifetime,ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := fmt.Sprintf("%d,%t,%d,%d,%d,%s,%s,%d,%d,%d\n",
+			r.Proxies,
+			r.Detector,
+			r.OmegaIndirect,
+			r.Reps,
+			r.Compromised,
+			formatFloat(r.MeanLifetime),
+			formatFloat(r.CI95),
+			r.Routes["server-indirect"],
+			r.Routes["server-launchpad"],
+			r.Routes["all-proxies"],
+		)
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteAlphaGrowthCSV emits E6 rows as CSV.
 func WriteAlphaGrowthCSV(w io.Writer, rows []AlphaGrowthRow) error {
 	if _, err := io.WriteString(w, "step,alpha_so,alpha_po\n"); err != nil {

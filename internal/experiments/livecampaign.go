@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fortress/internal/attack"
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/service"
+	"fortress/internal/sim"
+	"fortress/internal/xrand"
+)
+
+// LiveCampaignConfig tunes the live-campaign sweep: a grid of
+// (proxy count × detector on/off × indirect pacing) cells, each evaluated by
+// a series of independent campaign repetitions against real FORTRESS
+// deployments (attack.CampaignSeries). Zero-valued fields select defaults,
+// except Seed and OmegaDirect, for which zero is itself meaningful (see the
+// field docs).
+type LiveCampaignConfig struct {
+	// Chi is the randomization key-space size χ. Live campaigns actually
+	// drive every probe through the executable stack, so χ stays small by
+	// design — the sweep is about shapes, not about the χ = 2¹⁶ the
+	// analytic models evaluate. Default 24.
+	Chi uint64
+	// Reps is the number of campaign repetitions per cell. Default 8.
+	Reps int
+	// Seed makes the sweep reproducible. Unlike the other fields, zero is
+	// not rewritten to a default: 0 is itself a valid, reproducible seed.
+	Seed uint64
+	// Workers bounds the sweep's total concurrency, split across the cell
+	// fan-out and each cell's repetition series exactly like the
+	// Monte-Carlo sweeps split theirs; it never affects results. Campaign
+	// repetitions are latency-bound, so values above the core count help.
+	Workers int
+	// MaxSteps is the per-repetition campaign horizon. Default 40.
+	MaxSteps uint64
+	// Rerandomize selects the obfuscation regime for every cell: true runs
+	// PO (re-randomize each step), false runs SO.
+	Rerandomize bool
+	// OmegaDirect is the direct probe budget per step. Zero means no
+	// direct probes at all (an indirect-only sweep) — it is deliberately
+	// NOT rewritten to a default, so the header a caller prints always
+	// reflects the budget that actually ran; cells whose pacing is also
+	// zero then fail validation with "needs a probe budget".
+	OmegaDirect uint64
+	// Servers is the PB server count n_s. Default 3.
+	Servers int
+	// ProxyCounts is the n_p grid. Default {2, 3, 4}.
+	ProxyCounts []int
+	// Detectors is the detector on/off grid. Default {false, true}.
+	Detectors []bool
+	// Pacings is the OmegaIndirect (κ·ω) grid: indirect server probes per
+	// step the attacker risks against the detector. Default {0, 1, 2}.
+	Pacings []uint64
+	// DetectorThreshold flags a probe source after this many invalid
+	// requests when the detector is on. Default 8.
+	DetectorThreshold int
+}
+
+// DefaultLiveCampaignConfig is the grid the CLI and benchmarks use.
+func DefaultLiveCampaignConfig() LiveCampaignConfig {
+	return LiveCampaignConfig{
+		Chi:               24,
+		Reps:              8,
+		Seed:              1,
+		MaxSteps:          40,
+		OmegaDirect:       2,
+		Servers:           3,
+		ProxyCounts:       []int{2, 3, 4},
+		Detectors:         []bool{false, true},
+		Pacings:           []uint64{0, 1, 2},
+		DetectorThreshold: 8,
+	}
+}
+
+// withDefaults fills zero-valued fields from DefaultLiveCampaignConfig.
+// Seed and OmegaDirect are exempt: zero is meaningful for both (seed 0 is a
+// valid seed; ω_direct 0 is an indirect-only sweep).
+func (c LiveCampaignConfig) withDefaults() LiveCampaignConfig {
+	d := DefaultLiveCampaignConfig()
+	if c.Chi == 0 {
+		c.Chi = d.Chi
+	}
+	if c.Reps == 0 {
+		c.Reps = d.Reps
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = d.MaxSteps
+	}
+	if c.Servers == 0 {
+		c.Servers = d.Servers
+	}
+	if len(c.ProxyCounts) == 0 {
+		c.ProxyCounts = d.ProxyCounts
+	}
+	if len(c.Detectors) == 0 {
+		c.Detectors = d.Detectors
+	}
+	if len(c.Pacings) == 0 {
+		c.Pacings = d.Pacings
+	}
+	if c.DetectorThreshold == 0 {
+		c.DetectorThreshold = d.DetectorThreshold
+	}
+	return c
+}
+
+// LiveCampaignRow is one sweep cell: a (proxy count, detector, pacing)
+// point with its aggregated campaign-series outcome.
+type LiveCampaignRow struct {
+	Proxies       int
+	Detector      bool
+	OmegaIndirect uint64
+	Reps          uint64
+	Compromised   uint64
+	// MeanLifetime and CI95 summarize the empirical lifetimes
+	// (whole steps survived) across the cell's repetitions.
+	MeanLifetime float64
+	CI95         float64
+	// Routes histograms how the compromised repetitions fell.
+	Routes map[string]uint64
+}
+
+// LiveCampaign runs the live-campaign sweep: every grid cell drives Reps
+// full de-randomization campaigns against its own fleet of FORTRESS
+// deployments through attack.CampaignSeries, and the rows come back in grid
+// order (proxy count, then detector, then pacing).
+//
+// Determinism matches the Monte-Carlo sweeps: per-cell random streams are
+// pre-split in grid order, each cell's series is itself bit-identical at any
+// worker count, so the whole sweep reproduces from (Seed, Reps) alone
+// regardless of Workers.
+func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Reps < 0 {
+		return nil, errors.New("experiments: live campaign needs a positive repetition count")
+	}
+	space, err := keyspace.NewSpace(cfg.Chi)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		proxies  int
+		detector bool
+		pacing   uint64
+	}
+	var cells []cell
+	for _, np := range cfg.ProxyCounts {
+		for _, det := range cfg.Detectors {
+			for _, pacing := range cfg.Pacings {
+				cells = append(cells, cell{np, det, pacing})
+			}
+		}
+	}
+	rng := xrand.New(cfg.Seed + 6)
+	rngs := sim.SplitRNGs(rng, len(cells))
+	inner := innerWorkers(cfg.Workers, len(cells))
+	rows := make([]LiveCampaignRow, len(cells))
+	err = sim.ForEach(len(cells), cfg.Workers, func(i int) error {
+		c := cells[i]
+		tmpl := fortress.Config{
+			Servers:        cfg.Servers,
+			Proxies:        c.proxies,
+			ServiceFactory: func() service.Service { return service.NewKV() },
+			// Generous relative timings: the sweep measures probe economics,
+			// not timeout behaviour, and must stay deterministic under load.
+			HeartbeatInterval: 10 * time.Millisecond,
+			HeartbeatTimeout:  200 * time.Millisecond,
+			ServerTimeout:     5 * time.Second,
+		}
+		if c.detector {
+			// An effectively unbounded window keeps flagging a pure
+			// function of probe counts, never of wall-clock timing.
+			tmpl.DetectorWindow = time.Hour
+			tmpl.DetectorThreshold = cfg.DetectorThreshold
+		}
+		series, err := attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
+			Campaign: attack.CampaignConfig{
+				OmegaDirect:   cfg.OmegaDirect,
+				OmegaIndirect: c.pacing,
+				MaxSteps:      cfg.MaxSteps,
+				Rerandomize:   cfg.Rerandomize,
+			},
+			Workers: inner,
+		}, cfg.Reps, rngs[i])
+		if err != nil {
+			return fmt.Errorf("experiments: cell (np=%d det=%v pace=%d): %w",
+				c.proxies, c.detector, c.pacing, err)
+		}
+		rows[i] = LiveCampaignRow{
+			Proxies:       c.proxies,
+			Detector:      c.detector,
+			OmegaIndirect: c.pacing,
+			Reps:          series.Reps,
+			Compromised:   series.Compromised,
+			MeanLifetime:  series.Lifetime.Mean,
+			CI95:          series.Lifetime.CI95,
+			Routes:        series.Routes,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatLiveCampaign renders sweep rows as an aligned text table.
+func FormatLiveCampaign(rows []LiveCampaignRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-9s %-6s %-6s %-12s %-14s %-10s %s\n",
+		"proxies", "detector", "pace", "reps", "compromised", "meanLifetime", "ci95", "routes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-9v %-6d %-6d %-12d %-14.6g %-10.3g %s\n",
+			r.Proxies, r.Detector, r.OmegaIndirect, r.Reps, r.Compromised,
+			r.MeanLifetime, r.CI95, formatRoutes(r.Routes))
+	}
+	return b.String()
+}
+
+// formatRoutes renders a route histogram compactly and deterministically.
+func formatRoutes(routes map[string]uint64) string {
+	if len(routes) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(routes))
+	for k := range routes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, routes[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,81 @@
+package model
+
+import "sync"
+
+// Memoization for the analytic hot spots (the ROADMAP "analytic-EL caching"
+// item): the hypergeometric reductions behind the SO survival sums and the
+// PO per-step compromise probabilities are exact functions of small integer
+// and float parameter tuples, yet sweeps, the ordering chain and benchmark
+// loops revisit the same tuples over and over. Each cache below is keyed on
+// the complete input tuple and stores the float64 a fresh computation would
+// produce, bit for bit — memoization can therefore never change a result,
+// only skip recomputation, and analytic-only sweeps (`fig1 -trials 0`)
+// become O(grid) lookups after first touch.
+//
+// hypergeomPMFWindow needs no cache of its own: its only caller is
+// soSurvivalEL, whose result (the whole O(χ/ω · f) summation) is cached
+// here, which is both a bigger win and a smaller table than caching the
+// individual window PMFs would be.
+//
+// The caches are sync.Maps because sweep cells run concurrently on the
+// parallel engine's worker pool; a racing first computation stores the same
+// bits twice, which is benign. Keys per process are bounded by the distinct
+// parameter points visited — a few hundred for the largest sweeps — so the
+// tables never need eviction.
+
+// soELKey identifies one soSurvivalEL computation: tier of k keys, failure
+// threshold f, probed ω per step out of χ candidates.
+type soELKey struct {
+	chi, omega uint64
+	k, f       int
+}
+
+var soELCache sync.Map // soELKey → float64
+
+// soSurvivalELCached memoizes soSurvivalEL on (χ, ω, k, f).
+func soSurvivalELCached(chi uint64, k, f int, omega uint64) (float64, error) {
+	key := soELKey{chi: chi, omega: omega, k: k, f: f}
+	if v, ok := soELCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	el, err := soSurvivalEL(chi, k, f, omega)
+	if err != nil {
+		return 0, err
+	}
+	soELCache.Store(key, el)
+	return el, nil
+}
+
+// tailKey identifies one hypergeometric tail P(X ≥ k) for
+// X ~ Hypergeometric(N, K, n).
+type tailKey struct {
+	n, special, draws uint64
+	threshold         int
+}
+
+var tailCache sync.Map // tailKey → float64
+
+// hypergeomTailCached memoizes hypergeomTail on its full argument tuple.
+func hypergeomTailCached(N, K, n uint64, k int) (float64, error) {
+	key := tailKey{n: N, special: K, draws: n, threshold: k}
+	if v, ok := tailCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	tail, err := hypergeomTail(N, K, n, k)
+	if err != nil {
+		return 0, err
+	}
+	tailCache.Store(key, tail)
+	return tail, nil
+}
+
+// s2poStepKey identifies one S2PO per-step compromise probability: the
+// proxy-tier hypergeometric sum combined with the κ-paced indirect and
+// λ-fraction launch-pad server streams.
+type s2poStepKey struct {
+	chi, omega uint64
+	proxies    int
+	kappa, lp  float64
+}
+
+var s2poStepCache sync.Map // s2poStepKey → float64

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSOSurvivalELCachedMatchesFresh: the memoized value must be bit-identical
+// to a fresh computation, for a spread of parameter tuples, on first and
+// repeated lookups.
+func TestSOSurvivalELCachedMatchesFresh(t *testing.T) {
+	cases := []struct {
+		chi   uint64
+		k, f  int
+		omega uint64
+	}{
+		{1 << 16, 1, 0, 65},
+		{1 << 16, 4, 1, 655},
+		{1 << 12, 4, 1, 40},
+		{997, 3, 1, 10},
+	}
+	for _, c := range cases {
+		fresh, err := soSurvivalEL(c.chi, c.k, c.f, c.omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, err := soSurvivalELCached(c.chi, c.k, c.f, c.omega)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != fresh {
+				t.Fatalf("cached soSurvivalEL(%+v) pass %d = %v, fresh = %v", c, pass, got, fresh)
+			}
+		}
+	}
+}
+
+// TestHypergeomTailCachedMatchesFresh covers the S0PO step-probability cache.
+func TestHypergeomTailCachedMatchesFresh(t *testing.T) {
+	fresh, err := hypergeomTail(1<<16, 4, 655, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := hypergeomTailCached(1<<16, 4, 655, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh {
+			t.Fatalf("cached tail pass %d = %v, fresh = %v", pass, got, fresh)
+		}
+	}
+}
+
+// TestHypergeomTailCachedKeysDistinct: close-by tuples must not collide.
+func TestHypergeomTailCachedKeysDistinct(t *testing.T) {
+	a, err := hypergeomTailCached(1<<12, 4, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hypergeomTailCached(1<<12, 4, 41, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("distinct tuples returned identical tails %v — key collision?", a)
+	}
+}
+
+// TestS2POStepProbCached: repeated and concurrent StepCompromiseProb calls
+// return the same bits the first computation produced. Run with -race this
+// also exercises the cache's concurrent first-touch path, which the parallel
+// sweep engine hits in production.
+func TestS2POStepProbCached(t *testing.T) {
+	sys := S2PO{P: DefaultParams(0.003, 0.7)}
+	want, err := sys.StepCompromiseProb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got, err := sys.StepCompromiseProb()
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got != want {
+					errs[g] = errMismatch{got, want}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errMismatch struct{ got, want float64 }
+
+func (e errMismatch) Error() string {
+	return "cached step probability diverged"
+}
+
+// TestAnalyticELCachedAcrossSystems: the user-visible property — calling
+// AnalyticEL twice on SO systems yields identical values (via the cache) and
+// agrees with the direct summation.
+func TestAnalyticELCachedAcrossSystems(t *testing.T) {
+	p := DefaultParams(0.01, 0.5)
+	for _, sys := range []System{S1SO{P: p}, S0SO{P: p}, S0PO{P: p}} {
+		first, err := sys.AnalyticEL()
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		second, err := sys.AnalyticEL()
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if first != second {
+			t.Fatalf("%s: AnalyticEL not stable across calls: %v vs %v", sys.Name(), first, second)
+		}
+	}
+}

@@ -34,19 +34,19 @@ func (e Estimate) Summary() stats.Summary {
 // parameter check so that hot loops validate once, not once per trial.
 type stepSampler interface {
 	params() Params
-	stepOnce(rng *xrand.RNG) (bool, error)
+	stepOnce(src xrand.Source) (bool, error)
 }
 
 // lifetimeSampler is the validation-hoisted fast path of a LifetimeSystem.
 type lifetimeSampler interface {
 	params() Params
-	lifetimeOnce(rng *xrand.RNG) (uint64, error)
+	lifetimeOnce(src xrand.Source) (uint64, error)
 }
 
 // stepFunc returns the per-trial step kernel for sys with parameter
 // validation hoisted out of the loop. Systems outside this package fall back
 // to SimulateStep, which validates per call.
-func stepFunc(sys StepSystem) (func(*xrand.RNG) (bool, error), error) {
+func stepFunc(sys StepSystem) (func(xrand.Source) (bool, error), error) {
 	if f, ok := sys.(stepSampler); ok {
 		if err := f.params().Validate(); err != nil {
 			return nil, fmt.Errorf("simulate %s: %w", sys.Name(), err)
@@ -57,7 +57,7 @@ func stepFunc(sys StepSystem) (func(*xrand.RNG) (bool, error), error) {
 }
 
 // lifetimeFunc is stepFunc's counterpart for SO systems.
-func lifetimeFunc(sys LifetimeSystem) (func(*xrand.RNG) (uint64, error), error) {
+func lifetimeFunc(sys LifetimeSystem) (func(xrand.Source) (uint64, error), error) {
 	if f, ok := sys.(lifetimeSampler); ok {
 		if err := f.params().Validate(); err != nil {
 			return nil, fmt.Errorf("simulate %s: %w", sys.Name(), err)
@@ -66,6 +66,15 @@ func lifetimeFunc(sys LifetimeSystem) (func(*xrand.RNG) (uint64, error), error) 
 	}
 	return sys.SimulateLifetime, nil
 }
+
+// The shard kernels draw through an xrand.Block (size 0 selects xrand's
+// tuned default): per-trial draws come out of a pre-generated Fill block
+// instead of advancing the xoshiro state one value at a time, amortizing the
+// per-call state loads and stores across the whole block. The served stream
+// is identical to direct RNG use, so estimates are unchanged; the underlying
+// generator merely ends up advanced to the next block boundary, which is
+// harmless for the per-shard generators these kernels consume (split off
+// per run and then discarded).
 
 // POHits simulates `trials` independent unit time-steps and counts how many
 // compromise the system — the raw material of a step-hazard estimate. It is
@@ -76,9 +85,10 @@ func POHits(sys StepSystem, trials uint64, rng *xrand.RNG) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	src := xrand.NewBlock(rng, 0)
 	var hits uint64
 	for i := uint64(0); i < trials; i++ {
-		compromised, err := step(rng)
+		compromised, err := step(src)
 		if err != nil {
 			return 0, fmt.Errorf("simulate %s: %w", sys.Name(), err)
 		}
@@ -98,8 +108,9 @@ func SOAccumulate(sys LifetimeSystem, trials uint64, rng *xrand.RNG) (stats.Accu
 	if err != nil {
 		return acc, err
 	}
+	src := xrand.NewBlock(rng, 0)
 	for i := uint64(0); i < trials; i++ {
-		life, err := lifetime(rng)
+		life, err := lifetime(src)
 		if err != nil {
 			return acc, fmt.Errorf("simulate %s: %w", sys.Name(), err)
 		}

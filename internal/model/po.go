@@ -25,8 +25,9 @@ type StepSystem interface {
 	// probability p.
 	StepCompromiseProb() (float64, error)
 	// SimulateStep simulates the within-step probe structure once and
-	// reports whether the system was compromised in that step.
-	SimulateStep(rng *xrand.RNG) (bool, error)
+	// reports whether the system was compromised in that step. Both
+	// *xrand.RNG and the block-buffered *xrand.Block satisfy Source.
+	SimulateStep(src xrand.Source) (bool, error)
 }
 
 // --- S1PO ---------------------------------------------------------------
@@ -69,18 +70,18 @@ func (s S1PO) AnalyticEL() (float64, error) {
 }
 
 // SimulateStep implements StepSystem.
-func (s S1PO) SimulateStep(rng *xrand.RNG) (bool, error) {
+func (s S1PO) SimulateStep(src xrand.Source) (bool, error) {
 	if err := s.P.Validate(); err != nil {
 		return false, err
 	}
-	return s.stepOnce(rng)
+	return s.stepOnce(src)
 }
 
 // stepOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S1PO) stepOnce(rng *xrand.RNG) (bool, error) {
+func (s S1PO) stepOnce(src xrand.Source) (bool, error) {
 	// ω distinct probes against one key hidden in χ: hit iff the key's
 	// position in the probe order falls inside the first ω.
-	return rng.Uint64n(s.P.Chi) < s.P.Omega(), nil
+	return src.Uint64n(s.P.Chi) < s.P.Omega(), nil
 }
 
 // --- S0PO ---------------------------------------------------------------
@@ -96,12 +97,14 @@ type S0PO struct {
 func (s S0PO) Name() string { return "S0PO" }
 
 // StepCompromiseProb implements StepSystem: P(X ≥ f+1) with
-// X ~ Hypergeometric(χ, n_replicas, ω).
+// X ~ Hypergeometric(χ, n_replicas, ω). The tail sum is memoized on
+// (χ, n_replicas, ω, f+1) — see cache.go — so sweeps and benchmarks that
+// revisit a parameter point pay for it once.
 func (s S0PO) StepCompromiseProb() (float64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return hypergeomTail(s.P.Chi, uint64(s.P.SMRReplicas), s.P.Omega(), s.P.SMRTolerance+1)
+	return hypergeomTailCached(s.P.Chi, uint64(s.P.SMRReplicas), s.P.Omega(), s.P.SMRTolerance+1)
 }
 
 // AnalyticEL implements System.
@@ -114,16 +117,16 @@ func (s S0PO) AnalyticEL() (float64, error) {
 }
 
 // SimulateStep implements StepSystem.
-func (s S0PO) SimulateStep(rng *xrand.RNG) (bool, error) {
+func (s S0PO) SimulateStep(src xrand.Source) (bool, error) {
 	if err := s.P.Validate(); err != nil {
 		return false, err
 	}
-	return s.stepOnce(rng)
+	return s.stepOnce(src)
 }
 
 // stepOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S0PO) stepOnce(rng *xrand.RNG) (bool, error) {
-	hits, err := sampleTierHits(rng, s.P.Chi, s.P.SMRReplicas, s.P.Omega())
+func (s S0PO) stepOnce(src xrand.Source) (bool, error) {
+	hits, err := sampleTierHits(src, s.P.Chi, s.P.SMRReplicas, s.P.Omega())
 	if err != nil {
 		return false, err
 	}
@@ -151,10 +154,22 @@ type S2PO struct {
 func (s S2PO) Name() string { return "S2PO" }
 
 // StepCompromiseProb implements StepSystem, summing over the proxy-hit
-// count X.
+// count X. The probability is memoized on the complete parameter tuple
+// (χ, ω, n_p, κ, λ) — see cache.go — so every κ cell of a sweep computes its
+// hypergeometric sum exactly once per process.
 func (s S2PO) StepCompromiseProb() (float64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
+	}
+	key := s2poStepKey{
+		chi:     s.P.Chi,
+		omega:   s.P.Omega(),
+		proxies: s.P.Proxies,
+		kappa:   s.P.Kappa,
+		lp:      s.P.LaunchPadFraction,
+	}
+	if v, ok := s2poStepCache.Load(key); ok {
+		return v.(float64), nil
 	}
 	alpha := s.P.EffectiveAlpha()
 	indirectMiss := 1 - s.P.Kappa*alpha
@@ -176,6 +191,7 @@ func (s S2PO) StepCompromiseProb() (float64, error) {
 	if p < 0 {
 		p = 0
 	}
+	s2poStepCache.Store(key, p)
 	return p, nil
 }
 
@@ -189,27 +205,27 @@ func (s S2PO) AnalyticEL() (float64, error) {
 }
 
 // SimulateStep implements StepSystem.
-func (s S2PO) SimulateStep(rng *xrand.RNG) (bool, error) {
+func (s S2PO) SimulateStep(src xrand.Source) (bool, error) {
 	if err := s.P.Validate(); err != nil {
 		return false, err
 	}
-	return s.stepOnce(rng)
+	return s.stepOnce(src)
 }
 
 // stepOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S2PO) stepOnce(rng *xrand.RNG) (bool, error) {
+func (s S2PO) stepOnce(src xrand.Source) (bool, error) {
 	alpha := s.P.EffectiveAlpha()
-	proxyHits, err := sampleTierHits(rng, s.P.Chi, s.P.Proxies, s.P.Omega())
+	proxyHits, err := sampleTierHits(src, s.P.Chi, s.P.Proxies, s.P.Omega())
 	if err != nil {
 		return false, err
 	}
 	if proxyHits == s.P.Proxies {
 		return true, nil // route 3: all proxies captured
 	}
-	if rng.Bernoulli(s.P.Kappa * alpha) {
+	if src.Bernoulli(s.P.Kappa * alpha) {
 		return true, nil // route 1: indirect server capture
 	}
-	if proxyHits >= 1 && rng.Bernoulli(s.P.LaunchPadFraction*alpha) {
+	if proxyHits >= 1 && src.Bernoulli(s.P.LaunchPadFraction*alpha) {
 		return true, nil // route 2: same-step launch pad
 	}
 	return false, nil
@@ -254,7 +270,7 @@ func MarkovChainEL(sys StepSystem) (float64, error) {
 // sample allocation-free (the O(k²) scan only matters for k far beyond any
 // tier size in this repository). The probe sequence consumed from rng is
 // identical to the former map-based implementation.
-func sampleTierHits(rng *xrand.RNG, chi uint64, k int, omega uint64) (int, error) {
+func sampleTierHits(src xrand.Source, chi uint64, k int, omega uint64) (int, error) {
 	if uint64(k) > chi {
 		return 0, fmt.Errorf("model: %d keys exceed χ=%d", k, chi)
 	}
@@ -264,7 +280,7 @@ func sampleTierHits(rng *xrand.RNG, chi uint64, k int, omega uint64) (int, error
 	positions := buf[:0]
 	hits := 0
 	for len(positions) < k {
-		pos := rng.Uint64n(chi)
+		pos := src.Uint64n(chi)
 		if containsUint64(positions, pos) {
 			continue
 		}

@@ -18,8 +18,9 @@ var ErrAnalyticUnavailable = errors.New("model: analytic EL unavailable, use Mon
 type LifetimeSystem interface {
 	System
 	// SimulateLifetime samples one lifetime: the number of whole unit
-	// time-steps that elapse before compromise.
-	SimulateLifetime(rng *xrand.RNG) (uint64, error)
+	// time-steps that elapse before compromise. Both *xrand.RNG and the
+	// block-buffered *xrand.Block the shard kernels use satisfy Source.
+	SimulateLifetime(src xrand.Source) (uint64, error)
 }
 
 // soSurvivalEL computes EL = Σ_{t≥1} P(alive after step t) for a tier of K
@@ -55,14 +56,14 @@ func soSurvivalEL(chi uint64, k, f int, omega uint64) (float64, error) {
 // [1, χ], sorted ascending: the moments at which a single probe stream
 // uncovers each of a tier's k keys. Results are appended to out, which
 // callers pass as a stack-backed buffer (`var buf [smallTierKeys]uint64;
-// sampleDistinctPositions(rng, chi, k, buf[:0])`) so the per-trial sample
+// sampleDistinctPositions(src, chi, k, buf[:0])`) so the per-trial sample
 // allocates nothing; duplicates are rejected by scanning the k ≤ 4 drawn
-// values instead of a map, consuming exactly the same rng sequence as the
+// values instead of a map, consuming exactly the same random sequence as the
 // former map-based implementation.
-func sampleDistinctPositions(rng *xrand.RNG, chi uint64, k int, out []uint64) []uint64 {
+func sampleDistinctPositions(src xrand.Source, chi uint64, k int, out []uint64) []uint64 {
 	out = out[:0]
 	for len(out) < k {
-		pos := rng.Uint64n(chi) + 1
+		pos := src.Uint64n(chi) + 1
 		if containsUint64(out, pos) {
 			continue
 		}
@@ -109,25 +110,25 @@ func (s S1SO) AnalyticEL() (float64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return soSurvivalEL(s.P.Chi, 1, 0, s.P.Omega())
+	return soSurvivalELCached(s.P.Chi, 1, 0, s.P.Omega())
 }
 
 // SimulateLifetime implements LifetimeSystem: the key's position in the
 // probe order is uniform; the compromise step follows directly.
-func (s S1SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+func (s S1SO) SimulateLifetime(src xrand.Source) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return s.lifetimeOnce(rng)
+	return s.lifetimeOnce(src)
 }
 
 // lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S1SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
+func (s S1SO) lifetimeOnce(src xrand.Source) (uint64, error) {
 	omega := s.P.Omega()
 	if omega == 0 {
 		return math.MaxUint64, nil
 	}
-	pos := rng.Uint64n(s.P.Chi) + 1
+	pos := src.Uint64n(s.P.Chi) + 1
 	return stepOf(pos, omega) - 1, nil
 }
 
@@ -149,25 +150,25 @@ func (s S0SO) AnalyticEL() (float64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return soSurvivalEL(s.P.Chi, s.P.SMRReplicas, s.P.SMRTolerance, s.P.Omega())
+	return soSurvivalELCached(s.P.Chi, s.P.SMRReplicas, s.P.SMRTolerance, s.P.Omega())
 }
 
 // SimulateLifetime implements LifetimeSystem.
-func (s S0SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+func (s S0SO) SimulateLifetime(src xrand.Source) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return s.lifetimeOnce(rng)
+	return s.lifetimeOnce(src)
 }
 
 // lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S0SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
+func (s S0SO) lifetimeOnce(src xrand.Source) (uint64, error) {
 	omega := s.P.Omega()
 	if omega == 0 {
 		return math.MaxUint64, nil
 	}
 	var buf [smallTierKeys]uint64
-	positions := sampleDistinctPositions(rng, s.P.Chi, s.P.SMRReplicas, buf[:0])
+	positions := sampleDistinctPositions(src, s.P.Chi, s.P.SMRReplicas, buf[:0])
 	// Compromise at the (f+1)-th uncovered key.
 	critical := positions[s.P.SMRTolerance]
 	return stepOf(critical, omega) - 1, nil
@@ -304,15 +305,15 @@ func (s S2SO) AnalyticEL() (float64, error) {
 }
 
 // SimulateLifetime implements LifetimeSystem.
-func (s S2SO) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+func (s S2SO) SimulateLifetime(src xrand.Source) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return s.lifetimeOnce(rng)
+	return s.lifetimeOnce(src)
 }
 
 // lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S2SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
+func (s S2SO) lifetimeOnce(src xrand.Source) (uint64, error) {
 	omega := s.P.Omega()
 	if omega == 0 {
 		return math.MaxUint64, nil
@@ -320,10 +321,10 @@ func (s S2SO) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
 	w := float64(omega)
 
 	var buf [smallTierKeys]uint64
-	proxyPos := sampleDistinctPositions(rng, s.P.Chi, s.P.Proxies, buf[:0])
+	proxyPos := sampleDistinctPositions(src, s.P.Chi, s.P.Proxies, buf[:0])
 	tFirst := stepOf(proxyPos[0], omega)             // first proxy captured
 	tAll := stepOf(proxyPos[len(proxyPos)-1], omega) // all proxies captured
-	serverPos := float64(rng.Uint64n(s.P.Chi) + 1)   // server key position
+	serverPos := float64(src.Uint64n(s.P.Chi) + 1)   // server key position
 	kappaRate := s.P.Kappa * w                       // indirect probes/step
 	lp := s.P.LaunchPadFraction * w                  // launch-pad probes in step tFirst
 

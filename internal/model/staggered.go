@@ -56,15 +56,15 @@ func (s S0Staggered) AnalyticEL() (float64, error) {
 // applies per replica. Then the step's batch re-randomizes, cleansing any
 // captured replica in it. The system dies the moment more than f replicas
 // are captured simultaneously.
-func (s S0Staggered) SimulateLifetime(rng *xrand.RNG) (uint64, error) {
+func (s S0Staggered) SimulateLifetime(src xrand.Source) (uint64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
 	}
-	return s.lifetimeOnce(rng)
+	return s.lifetimeOnce(src)
 }
 
 // lifetimeOnce is the per-trial kernel, with validation hoisted to the caller.
-func (s S0Staggered) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
+func (s S0Staggered) lifetimeOnce(src xrand.Source) (uint64, error) {
 	alpha := s.P.EffectiveAlpha()
 	if alpha <= 0 {
 		return math.MaxUint64, nil
@@ -84,7 +84,7 @@ func (s S0Staggered) lifetimeOnce(rng *xrand.RNG) (uint64, error) {
 	const maxSteps = 50_000_000
 	for step := uint64(1); step <= maxSteps; step++ {
 		for i := 0; i < n; i++ {
-			if !captured[i] && rng.Bernoulli(alpha) {
+			if !captured[i] && src.Bernoulli(alpha) {
 				captured[i] = true
 				capturedCount++
 			}

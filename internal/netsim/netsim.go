@@ -1,5 +1,5 @@
 // Package netsim provides an in-process simulated network with TCP-like
-// connection semantics.
+// connection semantics and batched message delivery.
 //
 // The property the paper's attack model depends on (§2.1–2.2) is that a
 // connection to a process that crashes is observably closed: that closure is
@@ -11,6 +11,22 @@
 // Connections carry opaque byte payloads; higher layers (replication
 // engines, proxies) marshal their own messages. Delivery within a connection
 // is FIFO and reliable unless a drop rate or partition is configured.
+//
+// # Batched delivery model
+//
+// Delivery is batched at both ends of a connection. Each endpoint owns a
+// ring-indexed receive queue guarded by its own mutex: Send and SendBatch
+// append whole payload batches under a single lock acquisition of the
+// receiving endpoint, and Recv/RecvBatch pop or drain under a single
+// acquisition, so the per-message cost is one append and one index bump
+// rather than a channel operation. Payload buffers are copies of the
+// caller's bytes taken from a sync.Pool; a receiver owns each returned
+// buffer outright (the pool never hands it out again while the receiver
+// holds it) and may return it for reuse with Release once decoded.
+// Per-connection queue mutexes plus a dedicated drop-rate mutex keep
+// steady-state traffic entirely off the global Network mutex, so concurrent
+// campaigns on one network — or many networks in one process — stop
+// serializing on a single lock.
 package netsim
 
 import (
@@ -35,15 +51,63 @@ var (
 	ErrUnreachable = errors.New("netsim: unreachable")
 )
 
+// Payload buffers are recycled through a pair of sync.Pools chosen so that
+// neither obtaining nor releasing a buffer allocates in steady state:
+// bufPool holds loaded *[]byte boxes (pointer-typed, so pooling them never
+// boxes a slice header); hdrPool holds empty boxes whose slice has been
+// handed to a sender. getBuf moves a box from bufPool to hdrPool as it takes
+// the slice out, and Release moves one back as it puts a slice in.
+var (
+	bufPool sync.Pool
+	hdrPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// getBuf returns a payload buffer of length n, reusing pooled capacity when
+// it suffices.
+func getBuf(n int) []byte {
+	var b []byte
+	if bp, ok := bufPool.Get().(*[]byte); ok {
+		b = *bp
+		*bp = nil
+		hdrPool.Put(bp)
+	}
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+// Release returns a payload buffer previously obtained from Recv, RecvBatch
+// or RecvTimeout to the pool for reuse by future Sends. Calling it is
+// optional — unreleased buffers are simply collected by the GC — but hot
+// paths that release their buffers make the whole delivery loop
+// allocation-free in steady state. The caller must not touch buf after
+// Release; until then the buffer is exclusively the receiver's, never
+// aliased by the pool.
+func Release(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	bp := hdrPool.Get().(*[]byte)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+}
+
 // Network is a simulated network. It is safe for concurrent use.
 type Network struct {
 	mu         sync.Mutex
 	listeners  map[string]*Listener
 	conns      map[*Conn]struct{}
 	partitions map[[2]string]struct{}
-	dropRate   float64
-	rng        *xrand.RNG
 	nextEph    int
+
+	// The drop-rate generator has its own mutex so lossy-link sampling on
+	// the Send fast path never touches the topology lock above: concurrent
+	// connections (and concurrent campaigns sharing a process) contend only
+	// on dropMu, and only when a drop rate is configured at all.
+	dropMu   sync.Mutex
+	dropRate float64
+	rng      *xrand.RNG
 }
 
 // Option configures a Network.
@@ -129,6 +193,13 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 // Dial connects from the local address to a listener at remote. The local
 // address identifies the caller for partition and crash semantics; pass ""
 // for an ephemeral client address.
+//
+// The connection pair is registered in the network's connection table in the
+// same critical section as the listener lookup, before the accept handoff.
+// This closes the crash-oracle race the old two-phase registration had: a
+// CrashAddr (or Partition) that interleaves with a Dial now always sees the
+// new connection and closes it — a conn can never slip past the teardown
+// scan and stay observably open to a crashed address.
 func (n *Network) Dial(local, remote string) (*Conn, error) {
 	n.mu.Lock()
 	if local == "" {
@@ -140,21 +211,23 @@ func (n *Network) Dial(local, remote string) (*Conn, error) {
 		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrUnreachable)
 	}
 	l, ok := n.listeners[remote]
-	n.mu.Unlock()
 	if !ok {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrRefused)
 	}
-
 	client, server := newConnPair(n, local, remote)
-	select {
-	case l.accept <- server:
-	case <-l.closed:
-		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrRefused)
-	}
-	n.mu.Lock()
 	n.conns[client] = struct{}{}
 	n.conns[server] = struct{}{}
 	n.mu.Unlock()
+
+	select {
+	case l.accept <- server:
+	case <-l.closed:
+		// The listener went away between registration and handoff (closed
+		// or crashed); tear the pair down — Close also deregisters it.
+		client.Close()
+		return nil, fmt.Errorf("dial %q→%q: %w", local, remote, ErrRefused)
+	}
 	return client, nil
 }
 
@@ -192,12 +265,14 @@ func (n *Network) forget(c *Conn) {
 	n.mu.Unlock()
 }
 
+// shouldDrop samples the lossy-link model. It touches only dropMu, never the
+// topology lock, and not even that when no drop rate is configured.
 func (n *Network) shouldDrop() bool {
 	if n.dropRate <= 0 {
 		return false
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.dropMu.Lock()
+	defer n.dropMu.Unlock()
 	if n.rng == nil {
 		return false
 	}
@@ -247,8 +322,13 @@ type Conn struct {
 	remote string
 	peer   *Conn
 
+	// The receive queue is ring-indexed: queue[head:] holds undelivered
+	// messages, and draining resets the slice in place so the backing array
+	// is reused across batches instead of re-allocated as a sliced-forward
+	// queue would be.
 	mu    sync.Mutex
 	queue [][]byte
+	head  int
 	ready chan struct{} // wake-up signal: buffered, size 1
 
 	// closed and once are shared by both endpoints of a pair, so a close
@@ -276,8 +356,9 @@ func (c *Conn) LocalAddr() string { return c.local }
 // RemoteAddr returns the peer endpoint's address.
 func (c *Conn) RemoteAddr() string { return c.remote }
 
-// Send enqueues msg for the peer. It copies msg, so the caller may reuse the
-// buffer. It fails with ErrClosed once either endpoint has closed.
+// Send enqueues msg for the peer. It copies msg into a pooled buffer, so the
+// caller may reuse its own buffer immediately. It fails with ErrClosed once
+// either endpoint has closed.
 func (c *Conn) Send(msg []byte) error {
 	select {
 	case <-c.closed:
@@ -287,14 +368,15 @@ func (c *Conn) Send(msg []byte) error {
 	if c.net != nil && c.net.shouldDrop() {
 		return nil // dropped in flight; sender cannot tell
 	}
-	p := c.peer
-	cp := make([]byte, len(msg))
+	cp := getBuf(len(msg))
 	copy(cp, msg)
 
+	p := c.peer
 	p.mu.Lock()
 	select {
 	case <-p.closed:
 		p.mu.Unlock()
+		Release(cp)
 		return ErrClosed
 	default:
 	}
@@ -307,13 +389,117 @@ func (c *Conn) Send(msg []byte) error {
 	return nil
 }
 
-// Recv blocks until a message arrives or the connection closes.
+// sendChunk is how many staged messages SendBatch appends per acquisition
+// of the receiving queue's mutex. Batches up to this size see exactly one
+// acquisition; larger ones amortize to one per chunk.
+const sendChunk = 32
+
+// SendBatch enqueues every message in msgs for the peer, appending whole
+// staged chunks (sendChunk messages at a time) under one lock acquisition of
+// the receiving queue each — the batched counterpart of calling Send in a
+// loop, with identical copy and drop-rate semantics per message. Drop-rate
+// sampling and payload copying happen before the queue lock is taken, so a
+// lossy-link configuration never holds the receiver's mutex while drawing
+// from the shared drop RNG. It fails with ErrClosed once either endpoint has
+// closed; if the close lands between chunks of an oversized batch, earlier
+// chunks have already been delivered.
+func (c *Conn) SendBatch(msgs [][]byte) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	p := c.peer
+	var staged [sendChunk][]byte
+	i := 0
+	for i < len(msgs) {
+		n := 0
+		for i < len(msgs) && n < sendChunk {
+			msg := msgs[i]
+			i++
+			if c.net != nil && c.net.shouldDrop() {
+				continue
+			}
+			cp := getBuf(len(msg))
+			copy(cp, msg)
+			staged[n] = cp
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		p.mu.Lock()
+		select {
+		case <-p.closed:
+			p.mu.Unlock()
+			for _, cp := range staged[:n] {
+				Release(cp)
+			}
+			return ErrClosed
+		default:
+		}
+		p.queue = append(p.queue, staged[:n]...)
+		select {
+		case p.ready <- struct{}{}:
+		default:
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// compactAt is the consumed-prefix length beyond which popLocked compacts
+// the queue in place, so a connection whose backlog never momentarily drains
+// still sheds its dead prefix instead of growing the backing array with
+// every message ever sent.
+const compactAt = 64
+
+// popLocked removes and returns the oldest queued message. Caller holds c.mu.
+func (c *Conn) popLocked() ([]byte, bool) {
+	if c.head == len(c.queue) {
+		return nil, false
+	}
+	msg := c.queue[c.head]
+	c.queue[c.head] = nil // drop the queue's reference: the receiver owns msg now
+	c.head++
+	switch {
+	case c.head == len(c.queue):
+		c.queue = c.queue[:0]
+		c.head = 0
+	case c.head >= compactAt && c.head >= len(c.queue)/2:
+		// Compact once the dead prefix dominates: move the live window to
+		// the front and clear the vacated tail references.
+		n := copy(c.queue, c.queue[c.head:])
+		for i := n; i < len(c.queue); i++ {
+			c.queue[i] = nil
+		}
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+	return msg, true
+}
+
+// drainLocked appends every queued message to dst and resets the queue for
+// backing-array reuse. Caller holds c.mu.
+func (c *Conn) drainLocked(dst [][]byte) ([][]byte, bool) {
+	if c.head == len(c.queue) {
+		return dst, false
+	}
+	for i := c.head; i < len(c.queue); i++ {
+		dst = append(dst, c.queue[i])
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:0]
+	c.head = 0
+	return dst, true
+}
+
+// Recv blocks until a message arrives or the connection closes. The returned
+// buffer is owned by the caller; pass it to Release when done to recycle it.
 func (c *Conn) Recv() ([]byte, error) {
 	for {
 		c.mu.Lock()
-		if len(c.queue) > 0 {
-			msg := c.queue[0]
-			c.queue = c.queue[1:]
+		if msg, ok := c.popLocked(); ok {
 			c.mu.Unlock()
 			return msg, nil
 		}
@@ -323,14 +509,44 @@ func (c *Conn) Recv() ([]byte, error) {
 		case <-c.closed:
 			// Drain any message that raced with the close.
 			c.mu.Lock()
-			if len(c.queue) > 0 {
-				msg := c.queue[0]
-				c.queue = c.queue[1:]
-				c.mu.Unlock()
+			msg, ok := c.popLocked()
+			c.mu.Unlock()
+			if ok {
 				return msg, nil
 			}
-			c.mu.Unlock()
 			return nil, ErrClosed
+		}
+	}
+}
+
+// RecvBatch blocks until at least one message is available (or the
+// connection closes), then moves the connection's whole queued backlog into
+// dst under a single lock acquisition and returns the extended slice. Like
+// append, it may grow dst; pass a previous call's result (re-sliced to [:0])
+// to amortize the slice itself. Each returned buffer is owned by the caller,
+// exactly as with Recv.
+//
+// After both endpoints close, any backlog that raced with the close is still
+// delivered first; only then does RecvBatch fail with ErrClosed, matching
+// Recv's drain semantics.
+func (c *Conn) RecvBatch(dst [][]byte) ([][]byte, error) {
+	for {
+		c.mu.Lock()
+		out, ok := c.drainLocked(dst)
+		c.mu.Unlock()
+		if ok {
+			return out, nil
+		}
+		select {
+		case <-c.ready:
+		case <-c.closed:
+			c.mu.Lock()
+			out, ok := c.drainLocked(dst)
+			c.mu.Unlock()
+			if ok {
+				return out, nil
+			}
+			return dst, ErrClosed
 		}
 	}
 }
@@ -341,9 +557,7 @@ func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
 	defer timer.Stop()
 	for {
 		c.mu.Lock()
-		if len(c.queue) > 0 {
-			msg := c.queue[0]
-			c.queue = c.queue[1:]
+		if msg, ok := c.popLocked(); ok {
 			c.mu.Unlock()
 			return msg, nil
 		}
@@ -352,13 +566,11 @@ func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
 		case <-c.ready:
 		case <-c.closed:
 			c.mu.Lock()
-			if len(c.queue) > 0 {
-				msg := c.queue[0]
-				c.queue = c.queue[1:]
-				c.mu.Unlock()
+			msg, ok := c.popLocked()
+			c.mu.Unlock()
+			if ok {
 				return msg, nil
 			}
-			c.mu.Unlock()
 			return nil, ErrClosed
 		case <-timer.C:
 			return nil, ErrTimeout

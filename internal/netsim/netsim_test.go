@@ -447,6 +447,271 @@ func TestConcurrentTraffic(t *testing.T) {
 	wg.Wait()
 }
 
+func TestSendBatchFIFOAcrossBatchBoundaries(t *testing.T) {
+	// Messages must arrive in global FIFO order no matter how sends and
+	// receives are batched: single sends interleaved with batches, drained
+	// by a mix of Recv and RecvBatch.
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	var want []string
+	next := 0
+	push := func(k int) [][]byte {
+		var batch [][]byte
+		for i := 0; i < k; i++ {
+			m := fmt.Sprintf("%d", next)
+			next++
+			want = append(want, m)
+			batch = append(batch, []byte(m))
+		}
+		return batch
+	}
+	if err := c.SendBatch(push(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(push(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(push(5)); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < 2; i++ { // two singles off the front
+		m, err := s.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(m))
+	}
+	batch, err := s.RecvBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range batch {
+		got = append(got, string(m))
+	}
+	if err := c.SendBatch(push(4)); err != nil { // queue reuse after full drain
+		t.Fatal(err)
+	}
+	batch, err = s.RecvBatch(batch[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range batch {
+		got = append(got, string(m))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("received %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d arrived as %q, want %q (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSendBatchEmptyAndClosed(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	if err := c.SendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	s.Close()
+	if err := c.SendBatch([][]byte{[]byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SendBatch after close: %v", err)
+	}
+}
+
+func TestRecvBatchDrainsAfterClose(t *testing.T) {
+	// The close-drain contract: a backlog enqueued before the close is
+	// delivered in full by one RecvBatch, and only the next call reports
+	// ErrClosed.
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	if err := c.SendBatch([][]byte{[]byte("one"), []byte("two"), []byte("three")}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	got, err := s.RecvBatch(nil)
+	if err != nil {
+		t.Fatalf("backlog lost at close: %v", err)
+	}
+	if len(got) != 3 || string(got[0]) != "one" || string(got[2]) != "three" {
+		t.Fatalf("drained %q", got)
+	}
+	if _, err := s.RecvBatch(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", err)
+	}
+}
+
+func TestRecvBatchBlocksUntilSend(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	got := make(chan [][]byte, 1)
+	go func() {
+		msgs, err := s.RecvBatch(nil)
+		if err == nil {
+			got <- msgs
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("RecvBatch returned before any send")
+	default:
+	}
+	if err := c.SendBatch([][]byte{[]byte("x"), []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msgs := <-got:
+		if len(msgs) != 2 {
+			t.Fatalf("drained %d messages, want 2", len(msgs))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvBatch never woke")
+	}
+}
+
+func TestPooledBuffersNotAliasedAfterRecv(t *testing.T) {
+	// Once Recv hands a buffer to the receiver, later sends must never
+	// scribble on it — even with the pool warm from Released buffers.
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	// Warm the pool so sends actually exercise reuse.
+	for i := 0; i < 8; i++ {
+		Release(make([]byte, 64))
+	}
+	const rounds = 200
+	held := make([][]byte, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		if err := c.Send([]byte(fmt.Sprintf("msg-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, got) // hold every buffer; none released
+	}
+	for i, msg := range held {
+		if want := fmt.Sprintf("msg-%03d", i); string(msg) != want {
+			t.Fatalf("held buffer %d corrupted: %q, want %q — pool aliased a live buffer", i, msg, want)
+		}
+	}
+}
+
+func TestReleaseRecyclesBuffers(t *testing.T) {
+	// The cooperative path: receive, decode, Release. Contents must stay
+	// correct through arbitrary reuse.
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	for i := 0; i < 500; i++ {
+		want := fmt.Sprintf("round-%d", i)
+		if err := c.Send([]byte(want)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("round %d: got %q", i, got)
+		}
+		Release(got)
+	}
+}
+
+func TestQueueCompactsUnderSustainedBacklog(t *testing.T) {
+	// A connection whose backlog never momentarily drains must still shed
+	// its consumed prefix: memory stays proportional to the backlog, not to
+	// the total messages ever sent.
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+	// Establish a standing backlog of 2, then push/pop far more messages
+	// than any reasonable queue capacity.
+	for i := 0; i < 2; i++ {
+		if err := c.Send([]byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 50000
+	for i := 0; i < rounds; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := s.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := byte(0)
+		if i >= 2 {
+			want = byte(i - 2) // two standing-backlog messages drain first
+		}
+		if msg[0] != want {
+			t.Fatalf("round %d: got byte %d, want %d — FIFO broken across compaction", i, msg[0], want)
+		}
+		Release(msg)
+	}
+	s.mu.Lock()
+	capacity := cap(s.queue)
+	s.mu.Unlock()
+	if capacity > 4*compactAt {
+		t.Fatalf("queue capacity %d after %d backlogged rounds — consumed prefix not compacted", capacity, rounds)
+	}
+	// FIFO integrity across compactions: the standing backlog drains last.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDialCrashAddrRace(t *testing.T) {
+	// The satellite race fix: a connection must never survive, observably
+	// open, to a crashed address. Dials race CrashAddr; after both settle,
+	// every successfully dialed connection must be closed.
+	for iter := 0; iter < 50; iter++ {
+		n := NewNetwork()
+		l, err := n.Listen("victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				if _, aerr := l.Accept(); aerr != nil {
+					return
+				}
+			}
+		}()
+		var mu sync.Mutex
+		var conns []*Conn
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				c, derr := n.Dial(fmt.Sprintf("attacker-%d", i), "victim")
+				if derr != nil {
+					return // listener crashed: refused from here on
+				}
+				mu.Lock()
+				conns = append(conns, c)
+				mu.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			n.CrashAddr("victim")
+		}()
+		wg.Wait()
+		for i, c := range conns {
+			if !c.Closed() {
+				t.Fatalf("iter %d: conn %d to crashed address still open — oracle race", iter, i)
+			}
+		}
+	}
+}
+
 func BenchmarkSendRecv(b *testing.B) {
 	n := NewNetwork()
 	l, err := n.Listen("s")
@@ -471,8 +736,51 @@ func BenchmarkSendRecv(b *testing.B) {
 		if err := client.Send(payload); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := server.Recv(); err != nil {
+		msg, err := server.Recv()
+		if err != nil {
 			b.Fatal(err)
+		}
+		Release(msg)
+	}
+}
+
+// BenchmarkSendRecvBatch measures the batched path: one SendBatch and one
+// RecvBatch per 16 messages, per op.
+func BenchmarkSendRecvBatch(b *testing.B) {
+	n := NewNetwork()
+	l, err := n.Listen("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	var server *Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, _ = l.Accept()
+	}()
+	client, err := n.Dial("c", "s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	const batchLen = 16
+	batch := make([][]byte, batchLen)
+	for i := range batch {
+		batch[i] = []byte("0123456789abcdef")
+	}
+	var recvBuf [][]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.SendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		recvBuf, err = server.RecvBatch(recvBuf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, msg := range recvBuf {
+			Release(msg)
 		}
 	}
 }

@@ -229,7 +229,9 @@ func (p *Proxy) serveClient(conn *netsim.Conn) {
 		default:
 		}
 		var m clientMsg
-		if err := json.Unmarshal(raw, &m); err != nil {
+		uerr := json.Unmarshal(raw, &m)
+		netsim.Release(raw) // decoded: json copied every field out of raw
+		if uerr != nil {
 			p.observeInvalid(source)
 			continue
 		}
@@ -452,7 +454,9 @@ func (c *Client) invokeVia(pr nameserver.ProxyRecord, requestID string, body []b
 			return nil, err
 		}
 		var m clientMsg
-		if err := json.Unmarshal(raw, &m); err != nil {
+		uerr := json.Unmarshal(raw, &m)
+		netsim.Release(raw) // decoded: json copied every field out of raw
+		if uerr != nil {
 			continue
 		}
 		if m.RequestID != requestID {

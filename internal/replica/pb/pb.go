@@ -138,6 +138,7 @@ type Replica struct {
 	respCache     map[string]cachedResp
 	pending       map[string][]*netsim.Conn
 	peerConns     map[int]*netsim.Conn
+	inbound       map[*netsim.Conn]struct{}
 	suspected     map[int]bool
 	stopped       bool
 
@@ -167,6 +168,7 @@ func New(cfg Config) (*Replica, error) {
 		respCache:  make(map[string]cachedResp),
 		pending:    make(map[string][]*netsim.Conn),
 		peerConns:  make(map[int]*netsim.Conn),
+		inbound:    make(map[*netsim.Conn]struct{}),
 		suspected:  make(map[int]bool),
 		listener:   l,
 		stop:       make(chan struct{}),
@@ -231,11 +233,19 @@ func (r *Replica) shutdown() {
 		return
 	}
 	r.stopped = true
-	conns := make([]*netsim.Conn, 0, len(r.peerConns))
+	conns := make([]*netsim.Conn, 0, len(r.peerConns)+len(r.inbound))
 	for _, c := range r.peerConns {
 		conns = append(conns, c)
 	}
 	r.peerConns = make(map[int]*netsim.Conn)
+	// Served (inbound) connections too: Stop must never depend on a peer
+	// sending one more message to wake a serving goroutine out of Recv —
+	// an idle connection from a peer that has nothing more to say would
+	// otherwise park serveConn, and done.Wait with it, forever.
+	for c := range r.inbound {
+		conns = append(conns, c)
+	}
+	r.inbound = make(map[*netsim.Conn]struct{})
 	r.mu.Unlock()
 
 	close(r.stop)
@@ -265,13 +275,39 @@ func (r *Replica) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !r.registerInbound(conn) {
+			continue // shutting down: conn closed, Accept fails next
+		}
 		r.done.Add(1)
 		go r.serveConn(conn)
 	}
 }
 
+// registerInbound tracks a served connection so shutdown can close it. It
+// reports false — closing the connection — when the replica has already
+// begun shutting down, which an Accept completing concurrently with
+// shutdown can race into.
+func (r *Replica) registerInbound(conn *netsim.Conn) bool {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	r.inbound[conn] = struct{}{}
+	r.mu.Unlock()
+	return true
+}
+
+func (r *Replica) forgetInbound(conn *netsim.Conn) {
+	r.mu.Lock()
+	delete(r.inbound, conn)
+	r.mu.Unlock()
+}
+
 func (r *Replica) serveConn(conn *netsim.Conn) {
 	defer r.done.Done()
+	defer r.forgetInbound(conn)
 	defer conn.Close()
 	for {
 		raw, err := conn.Recv()
@@ -279,7 +315,9 @@ func (r *Replica) serveConn(conn *netsim.Conn) {
 			return
 		}
 		var m wireMsg
-		if err := json.Unmarshal(raw, &m); err != nil {
+		uerr := json.Unmarshal(raw, &m)
+		netsim.Release(raw) // decoded: json copied every field out of raw
+		if uerr != nil {
 			continue // malformed traffic is dropped, never crashes a replica
 		}
 		select {
@@ -596,7 +634,9 @@ func RequestOn(conn *netsim.Conn, requestID string, body []byte, timeout time.Du
 			return sig.ServerResponse{}, fmt.Errorf("pb: request recv: %w", err)
 		}
 		var m wireMsg
-		if err := json.Unmarshal(raw, &m); err != nil {
+		uerr := json.Unmarshal(raw, &m)
+		netsim.Release(raw) // decoded: json copied every field out of raw
+		if uerr != nil {
 			continue
 		}
 		if m.Type == msgResponse && m.RequestID == requestID && m.Response != nil {

@@ -379,3 +379,24 @@ func BenchmarkPrimaryRequest(b *testing.B) {
 		}
 	}
 }
+
+// TestStopTerminatesWithIdleInboundConns pins the shutdown liveness fix:
+// stopping replicas in index order must terminate promptly even while peers
+// still hold open connections to the stopped node that will never carry
+// another message — shutdown closes inbound connections instead of waiting
+// for traffic to wake their serving goroutines.
+func TestStopTerminatesWithIdleInboundConns(t *testing.T) {
+	net, replicas := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	if _, err := Request(net, "client", replicas[0].Addr(), "w1", kvPut(t, "k", "v"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range replicas {
+		done := make(chan struct{})
+		go func() { r.Stop(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("replica %d Stop did not terminate — inbound conns not closed on shutdown", i)
+		}
+	}
+}

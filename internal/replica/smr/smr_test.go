@@ -318,3 +318,28 @@ func BenchmarkInvoke(b *testing.B) {
 		}
 	}
 }
+
+// TestStopTerminatesWithIdleInboundConns pins the shutdown liveness fix:
+// stopping replicas in index order must terminate promptly even though the
+// stopped leader still holds served connections (follower forwards) that
+// will never carry another message — shutdown closes inbound connections
+// instead of waiting for traffic to wake their serving goroutines.
+func TestStopTerminatesWithIdleInboundConns(t *testing.T) {
+	_, replicas, client := cluster(t, 4, func(int) service.Service { return service.NewCounter() }, false)
+	// Several invokes so every follower has forwarded to the leader at
+	// least once, caching follower→leader connections.
+	for i := 0; i < 3; i++ {
+		if _, err := client.Invoke(fmt.Sprintf("stop-%d", i), []byte("inc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range replicas {
+		done := make(chan struct{})
+		go func() { r.Stop(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("replica %d Stop did not terminate — inbound conns not closed on shutdown", i)
+		}
+	}
+}

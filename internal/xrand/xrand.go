@@ -59,11 +59,76 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
-// Float64 returns a uniform value in [0, 1).
-func (r *RNG) Float64() float64 {
-	// 53 high-quality bits into the mantissa.
-	return float64(r.Uint64()>>11) / (1 << 53)
+// Fill writes the next len(dst) values of the stream into dst. The result is
+// bit-identical to len(dst) successive Uint64 calls, but the generator state
+// lives in locals for the whole block, so bulk consumers (Block, the
+// Monte-Carlo shard kernels) avoid the per-call state loads and stores.
+func (r *RNG) Fill(dst []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		dst[i] = rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 }
+
+// Source is the minimal drawing interface the Monte-Carlo kernels consume.
+// Both *RNG and *Block satisfy it; a kernel fed a Block sees exactly the
+// value stream it would have drawn from the underlying RNG directly.
+type Source interface {
+	Uint64() uint64
+	Uint64n(n uint64) uint64
+	Float64() float64
+	Bernoulli(p float64) bool
+}
+
+// rawSource is the generic constraint the shared sampling algorithms build
+// on: one implementation of Lemire rejection etc., statically instantiated
+// for each concrete generator so the hot paths stay devirtualized.
+type rawSource interface{ Uint64() uint64 }
+
+func float64Of[S rawSource](s S) float64 {
+	// 53 high-quality bits into the mantissa.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// uint64nOf returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func uint64nOf[S rawSource](s S, n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return s.Uint64() & (n - 1)
+	}
+	threshold := -n % n
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+func bernoulliOf[S rawSource](s S, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64Of(s) < p
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return float64Of(r) }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0, matching
 // math/rand semantics.
@@ -76,34 +141,62 @@ func (r *RNG) Intn(n int) int {
 
 // Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
 // rejection method. It panics if n == 0.
-func (r *RNG) Uint64n(n uint64) uint64 {
-	if n == 0 {
-		panic("xrand: Uint64n with zero n")
-	}
-	// Fast path for powers of two.
-	if n&(n-1) == 0 {
-		return r.Uint64() & (n - 1)
-	}
-	threshold := -n % n
-	for {
-		hi, lo := bits.Mul64(r.Uint64(), n)
-		if lo >= threshold {
-			return hi
-		}
-	}
-}
+func (r *RNG) Uint64n(n uint64) uint64 { return uint64nOf(r, n) }
 
 // Bernoulli reports true with probability p. Values of p outside [0, 1] are
 // clamped.
-func (r *RNG) Bernoulli(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	if p >= 1 {
-		return true
-	}
-	return r.Float64() < p
+func (r *RNG) Bernoulli(p float64) bool { return bernoulliOf(r, p) }
+
+// defaultBlockSize is the Fill granularity a Block uses when the caller does
+// not choose one: large enough to amortize the block refill, small enough
+// that per-shard Blocks cost a few KiB at most.
+const defaultBlockSize = 256
+
+// Block serves the same value stream as its underlying RNG, pre-generating
+// values a fixed-size block at a time with Fill. Every sampling method
+// consumes the stream exactly as the corresponding RNG method would, so
+// swapping a Block in for the RNG it wraps never changes simulation results.
+//
+// A Block over-advances the underlying generator by up to one block of raw
+// values (the unconsumed remainder of the last refill), so use it only where
+// the generator is dedicated to the consumer — the per-shard RNGs of the
+// parallel Monte-Carlo engine, which are split off and discarded per run.
+// Block is not safe for concurrent use, matching RNG.
+type Block struct {
+	rng  *RNG
+	next int
+	buf  []uint64
 }
+
+// NewBlock wraps rng in a block-buffered source. size <= 0 selects
+// defaultBlockSize.
+func NewBlock(rng *RNG, size int) *Block {
+	if size <= 0 {
+		size = defaultBlockSize
+	}
+	return &Block{rng: rng, buf: make([]uint64, size), next: size}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits, refilling the block
+// from the underlying generator when it runs dry.
+func (b *Block) Uint64() uint64 {
+	if b.next == len(b.buf) {
+		b.rng.Fill(b.buf)
+		b.next = 0
+	}
+	v := b.buf[b.next]
+	b.next++
+	return v
+}
+
+// Uint64n returns a uniform value in [0, n); it panics if n == 0.
+func (b *Block) Uint64n(n uint64) uint64 { return uint64nOf(b, n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (b *Block) Float64() float64 { return float64Of(b) }
+
+// Bernoulli reports true with probability p, clamping p to [0, 1].
+func (b *Block) Bernoulli(p float64) bool { return bernoulliOf(b, p) }
 
 // Binomial returns the number of successes in n independent Bernoulli(p)
 // trials. It is exact (trial-by-trial) for the small n used in this

@@ -251,6 +251,88 @@ func TestUint64nPowerOfTwoFastPath(t *testing.T) {
 	}
 }
 
+func TestFillMatchesSequentialUint64(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256, 1000} {
+		seq, bulk := New(51), New(51)
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = seq.Uint64()
+		}
+		got := make([]uint64, n)
+		bulk.Fill(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Fill(%d) diverged from Uint64 at index %d", n, i)
+			}
+		}
+		// The post-block states must agree too, so interleaving Fill with
+		// single draws stays on the same stream.
+		if seq.Uint64() != bulk.Uint64() {
+			t.Fatalf("Fill(%d) left a different generator state than %d Uint64 calls", n, n)
+		}
+	}
+}
+
+func TestBlockServesIdenticalStream(t *testing.T) {
+	// Every Source method on a Block must consume and produce exactly what
+	// the same method on the bare RNG would — the property that lets the
+	// shard kernels adopt Block without changing any simulation result.
+	direct := New(53)
+	blk := NewBlock(New(53), 16) // small block to cross refills often
+	for i := 0; i < 5000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := direct.Uint64(), blk.Uint64(); a != b {
+				t.Fatalf("Uint64 diverged at draw %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := direct.Uint64n(97), blk.Uint64n(97); a != b {
+				t.Fatalf("Uint64n diverged at draw %d: %d vs %d", i, a, b)
+			}
+		case 2:
+			if a, b := direct.Float64(), blk.Float64(); a != b {
+				t.Fatalf("Float64 diverged at draw %d: %v vs %v", i, a, b)
+			}
+		case 3:
+			if a, b := direct.Bernoulli(0.3), blk.Bernoulli(0.3); a != b {
+				t.Fatalf("Bernoulli diverged at draw %d", i)
+			}
+		}
+	}
+}
+
+func TestBlockDefaultSize(t *testing.T) {
+	blk := NewBlock(New(1), 0)
+	if len(blk.buf) != defaultBlockSize {
+		t.Fatalf("default block size %d, want %d", len(blk.buf), defaultBlockSize)
+	}
+	direct := New(1)
+	for i := 0; i < 3*defaultBlockSize; i++ {
+		if direct.Uint64() != blk.Uint64() {
+			t.Fatalf("default-size block diverged at draw %d", i)
+		}
+	}
+}
+
+var sinkUint64 uint64
+
+func BenchmarkFill(b *testing.B) {
+	r := New(1)
+	buf := make([]uint64, defaultBlockSize)
+	b.SetBytes(int64(len(buf) * 8))
+	for i := 0; i < b.N; i++ {
+		r.Fill(buf)
+		sinkUint64 += buf[0]
+	}
+}
+
+func BenchmarkBlockUint64(b *testing.B) {
+	blk := NewBlock(New(1), defaultBlockSize)
+	for i := 0; i < b.N; i++ {
+		sinkUint64 += blk.Uint64()
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

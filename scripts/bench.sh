@@ -6,8 +6,11 @@
 # B/op, allocs/op, custom metrics) plus a "speedups" section with the
 # serial-vs-parallel ratio for every benchmark that has both variants
 # (BenchmarkFigure1, BenchmarkFigure2, BenchmarkOrderingChain,
-# BenchmarkFortify, BenchmarkEstimateSOParallel). Compare files across
-# dates to see whether a PR moved the hot paths.
+# BenchmarkFortify, BenchmarkEstimateSOParallel, and the live-system
+# BenchmarkCampaignSeries). Compare files across dates to see whether a
+# PR moved the hot paths — e.g. BenchmarkSendRecv tracks the netsim
+# batched-delivery work and BenchmarkCampaignSeries the campaign-level
+# parallelism.
 #
 # Usage:
 #   scripts/bench.sh [bench-regex]        # default: . (all benchmarks)
