@@ -16,6 +16,7 @@ import (
 
 	"fortress/internal/attack"
 	"fortress/internal/experiments"
+	"fortress/internal/faults"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
 	"fortress/internal/memlayout"
@@ -282,6 +283,67 @@ func BenchmarkCampaignSeries(b *testing.B) {
 			}
 			b.ReportMetric(series.Lifetime.Mean, "lifetime-steps")
 			b.ReportMetric(float64(series.Compromised)/float64(series.Reps), "compromise-rate")
+		})
+	}
+}
+
+// BenchmarkFaultCampaignSeries measures live-campaign throughput under an
+// active fault schedule: the rolling-partition preset replayed by a
+// per-repetition injector, with per-step availability measurement on — the
+// degraded-network counterpart of BenchmarkCampaignSeries. Both variants
+// produce bit-identical merged results (see
+// attack.TestCampaignSeriesWithInjectorBitIdentical).
+func BenchmarkFaultCampaignSeries(b *testing.B) {
+	preset, err := faults.PresetByName("rolling-partition")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		servers  = 3
+		proxies  = 3
+		maxSteps = 30
+	)
+	sched := preset.Build(servers, proxies, maxSteps)
+	for _, v := range campaignVariants {
+		b.Run(v.name, func(b *testing.B) {
+			var series attack.SeriesResult
+			for i := 0; i < b.N; i++ {
+				space, err := keyspace.NewSpace(24)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tmpl := fortress.Config{
+					Servers:           servers,
+					Proxies:           proxies,
+					ServiceFactory:    func() service.Service { return service.NewKV() },
+					HeartbeatInterval: 5 * time.Millisecond,
+					HeartbeatTimeout:  400 * time.Millisecond,
+					ServerTimeout:     150 * time.Millisecond,
+				}
+				series, err = attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
+					Campaign: attack.CampaignConfig{
+						OmegaDirect:         2,
+						OmegaIndirect:       1,
+						MaxSteps:            maxSteps,
+						MeasureAvailability: true,
+						HealthTimeout:       600 * time.Millisecond,
+						ProbeTimeout:        2 * time.Second,
+					},
+					Workers: v.workers,
+					MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) attack.StepInjector {
+						inj, err := faults.NewInjector(sched, sys, rng)
+						if err != nil {
+							b.Fatal(err)
+						}
+						return inj
+					},
+				}, 4, xrand.New(100))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(series.Lifetime.Mean, "lifetime-steps")
+			b.ReportMetric(series.Availability.Mean, "availability")
 		})
 	}
 }

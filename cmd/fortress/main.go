@@ -13,6 +13,9 @@
 //	fortress campaign [-reps N] [-workers W] [-po]       live-campaign sweep: (proxies ×
 //	                                                     detector × pacing) grid, N campaign
 //	                                                     repetitions per cell
+//	fortress faults [-preset P[,P...]] [-reps N]         degraded-network sweep: (fault
+//	                                                     schedule × drop rate × proxies)
+//	                                                     grid with per-step availability
 //
 // Every Monte-Carlo subcommand takes -workers (default: runtime.GOMAXPROCS,
 // i.e. all cores): experiment cells and the trial shards within each cell
@@ -37,6 +40,7 @@ import (
 
 	"fortress/internal/attack"
 	"fortress/internal/experiments"
+	"fortress/internal/faults"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
 	"fortress/internal/service"
@@ -52,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack, campaign")
+		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack, campaign, faults")
 	}
 	switch args[0] {
 	case "fig1":
@@ -71,6 +75,8 @@ func run(args []string) error {
 		return runAttack(args[1:])
 	case "campaign":
 		return runCampaign(args[1:])
+	case "faults":
+		return runFaults(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -375,6 +381,120 @@ func runCampaign(args []string) error {
 		}
 		defer f.Close()
 		if err := experiments.WriteLiveCampaignCSV(f, rows); err != nil {
+			return fmt.Errorf("write %s: %w", *csvPath, err)
+		}
+		fmt.Println("# CSV written to", *csvPath)
+	}
+	return nil
+}
+
+// parseFloatList parses a comma-separated list of non-negative floats.
+func parseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("invalid list entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	var presetHelp strings.Builder
+	presetHelp.WriteString("comma-separated fault-schedule presets; available:")
+	for _, p := range faults.Presets() {
+		fmt.Fprintf(&presetHelp, "\n  %-18s %s", p.Name, p.Description)
+	}
+	presets := fs.String("preset", strings.Join(experiments.DefaultFaultSweepConfig().Presets, ","), presetHelp.String())
+	reps := fs.Int("reps", 4, "campaign repetitions per grid cell")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent repetitions/cells (zero-drop cells are byte-identical at any value)")
+	chi := fs.Uint64("chi", 24, "key space size χ (small so live campaigns terminate)")
+	steps := fs.Uint64("steps", 24, "campaign horizon in unit time-steps (presets scale to it)")
+	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
+	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
+	omegaI := fs.Uint64("omega-indirect", 1, "indirect probes per step")
+	servers := fs.Int("servers", 3, "PB server count n_s")
+	proxiesList := fs.String("proxies", "3", "comma-separated proxy-count grid")
+	dropsList := fs.String("drops", "0", "comma-separated drop-rate grid (cells with rate > 0 reproduce statistically, not bitwise)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reps <= 0 {
+		return fmt.Errorf("-reps must be at least 1, got %d", *reps)
+	}
+	if *chi == 0 {
+		return errors.New("-chi must be at least 1")
+	}
+	if *steps == 0 {
+		return errors.New("-steps must be at least 1")
+	}
+	if *servers <= 0 {
+		return fmt.Errorf("-servers must be at least 1, got %d", *servers)
+	}
+	var presetNames []string
+	for _, p := range strings.Split(*presets, ",") {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			continue
+		}
+		if _, err := faults.PresetByName(name); err != nil {
+			return fmt.Errorf("-preset: %w (available: %s)", err, strings.Join(faults.PresetNames(), ", "))
+		}
+		presetNames = append(presetNames, name)
+	}
+	if len(presetNames) == 0 {
+		return errors.New("-preset must name at least one preset")
+	}
+	proxyCounts, err := parseIntList(*proxiesList)
+	if err != nil {
+		return fmt.Errorf("-proxies: %w", err)
+	}
+	drops, err := parseFloatList(*dropsList)
+	if err != nil {
+		return fmt.Errorf("-drops: %w", err)
+	}
+	cfg := experiments.FaultSweepConfig{
+		Chi:           *chi,
+		Reps:          *reps,
+		Seed:          *seed,
+		Workers:       *workers,
+		MaxSteps:      *steps,
+		Rerandomize:   *po,
+		OmegaDirect:   *omegaD,
+		OmegaIndirect: *omegaI,
+		Servers:       *servers,
+		Presets:       presetNames,
+		DropRates:     drops,
+		ProxyCounts:   proxyCounts,
+	}
+	rows, err := experiments.FaultSweep(cfg)
+	if err != nil {
+		return err
+	}
+	mode := "SO (start-up-only randomization)"
+	if *po {
+		mode = "PO (re-randomize every step)"
+	}
+	fmt.Printf("# fault sweep: χ=%d, %d reps/cell, horizon %d steps, ω_direct=%d, ω_indirect=%d, %s\n",
+		*chi, *reps, *steps, *omegaD, *omegaI, mode)
+	fmt.Print(experiments.FormatFaultSweep(rows))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *csvPath, err)
+		}
+		defer f.Close()
+		if err := experiments.WriteFaultSweepCSV(f, rows); err != nil {
 			return fmt.Errorf("write %s: %w", *csvPath, err)
 		}
 		fmt.Println("# CSV written to", *csvPath)

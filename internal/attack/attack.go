@@ -8,6 +8,7 @@ package attack
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"fortress/internal/exploit"
@@ -126,6 +127,14 @@ func dialWithRetry(net *netsim.Network, from, to string) (*netsim.Conn, error) {
 
 // --- FORTRESS campaign --------------------------------------------------
 
+// StepInjector advances a fault-injection plan against the campaign's
+// virtual clock. Campaign calls Advance(step) at the top of every unit
+// time-step, before that step's probes, so an event scheduled at step t is
+// in force for all of step t's traffic. faults.Injector implements it.
+type StepInjector interface {
+	Advance(step uint64) error
+}
+
 // CampaignConfig tunes a full attack on a FORTRESS deployment.
 type CampaignConfig struct {
 	// OmegaDirect is the probe budget per unit time-step for direct proxy
@@ -140,6 +149,23 @@ type CampaignConfig struct {
 	// Rerandomize re-randomizes the target after every step (PO) when
 	// true; otherwise the system keeps its start-up keys (SO).
 	Rerandomize bool
+	// Injector, when non-nil, is advanced once per step with the step
+	// number — the hook a fault schedule drives the network through.
+	Injector StepInjector
+	// MeasureAvailability makes the campaign issue one client health-check
+	// request per step (before the step's probes) and count the steps in
+	// which the service answered — the availability the paper's claims are
+	// about, measured while the attack and any fault schedule run.
+	MeasureAvailability bool
+	// HealthTimeout bounds each availability health check. Zero selects a
+	// default generous enough that only genuine unavailability (a severed
+	// quorum, a dead proxy tier) fails the check.
+	HealthTimeout time.Duration
+	// ProbeTimeout bounds how long the attacker waits for each probe's
+	// outcome. Zero waits indefinitely — fine on a reliable network, but a
+	// lossy link can swallow a probe or its reply, so campaigns under a
+	// drop-rate schedule must set it.
+	ProbeTimeout time.Duration
 }
 
 func (c CampaignConfig) validate() error {
@@ -152,6 +178,14 @@ func (c CampaignConfig) validate() error {
 	return nil
 }
 
+// healthTimeout returns the configured health-check bound or its default.
+func (c CampaignConfig) healthTimeout() time.Duration {
+	if c.HealthTimeout > 0 {
+		return c.HealthTimeout
+	}
+	return 2 * time.Second
+}
+
 // CampaignResult reports a campaign outcome.
 type CampaignResult struct {
 	// StepsElapsed is the number of whole unit time-steps completed before
@@ -162,6 +196,20 @@ type CampaignResult struct {
 	// Route records how it fell: "server-indirect", "server-launchpad" or
 	// "all-proxies".
 	Route string
+	// ProbedSteps and AvailableSteps report the availability measurement
+	// (MeasureAvailability): of ProbedSteps health checks, AvailableSteps
+	// got a doubly-signed answer. Both zero when measurement is off.
+	ProbedSteps    uint64
+	AvailableSteps uint64
+}
+
+// Availability returns AvailableSteps/ProbedSteps, or NaN when no health
+// checks ran.
+func (r CampaignResult) Availability() float64 {
+	if r.ProbedSteps == 0 {
+		return math.NaN()
+	}
+	return float64(r.AvailableSteps) / float64(r.ProbedSteps)
 }
 
 // Campaign drives a de-randomization campaign against a live FORTRESS
@@ -188,9 +236,29 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	if err != nil {
 		return CampaignResult{}, err
 	}
+	var health *proxy.Client
+	if cfg.MeasureAvailability {
+		health, err = sys.Client("health-probe", cfg.healthTimeout())
+		if err != nil {
+			return CampaignResult{}, fmt.Errorf("attack: health client: %w", err)
+		}
+	}
 
 	var res CampaignResult
 	for step := uint64(0); step < cfg.MaxSteps; step++ {
+		// Faults first: an event scheduled at this step governs the whole
+		// step, health check included.
+		if cfg.Injector != nil {
+			if err := cfg.Injector.Advance(step); err != nil {
+				return res, err
+			}
+		}
+		if health != nil {
+			res.ProbedSteps++
+			if checkHealth(health, step) {
+				res.AvailableSteps++
+			}
+		}
 		route, err := campaignStep(sys, cfg, proxyGuesser, serverGuesser)
 		if err != nil {
 			return res, err
@@ -218,6 +286,15 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	return res, nil
 }
 
+// checkHealth issues one availability probe: a read through the full
+// doubly-signed path. Any verified response — including a service-level
+// "no such key" error body — counts as available; only transport failure
+// (no reachable proxy, no committable server response) does not.
+func checkHealth(c *proxy.Client, step uint64) bool {
+	_, err := c.Invoke(fmt.Sprintf("health-%d", step), []byte(`{"op":"get","key":"health"}`))
+	return err == nil
+}
+
 // campaignStep runs one unit time-step and returns the compromise route,
 // or "" if the system survived. After every crash-inducing probe the
 // target's forking daemons respawn the dead process (sys.Recover), which is
@@ -234,7 +311,7 @@ func campaignStep(sys *fortress.System, cfg CampaignConfig, proxyGuesser, server
 			if p.Crashed() || p.Compromised() {
 				continue
 			}
-			deliverProbe(sys, p, exploit.NewPayload(exploit.TierProxy, guess))
+			deliverProbe(sys, p, exploit.NewPayload(exploit.TierProxy, guess), cfg.ProbeTimeout)
 		}
 		if err := sys.Recover(); err != nil {
 			return "", err
@@ -250,7 +327,7 @@ func campaignStep(sys *fortress.System, cfg CampaignConfig, proxyGuesser, server
 		if !ok {
 			break
 		}
-		deliverIndirectProbe(sys, exploit.NewPayload(exploit.TierServer, guess))
+		deliverIndirectProbe(sys, exploit.NewPayload(exploit.TierServer, guess), cfg.ProbeTimeout)
 		if err := sys.Recover(); err != nil {
 			return "", err
 		}
@@ -290,8 +367,10 @@ func campaignStep(sys *fortress.System, cfg CampaignConfig, proxyGuesser, server
 }
 
 // deliverProbe sends one exploit request directly to a proxy and waits for
-// the outcome (reply, block or crash-closure).
-func deliverProbe(sys *fortress.System, p *proxy.Proxy, payload []byte) {
+// the outcome (reply, block or crash-closure). A positive timeout bounds
+// the wait — without one, a probe whose request or reply a lossy link
+// swallowed would park the campaign forever.
+func deliverProbe(sys *fortress.System, p *proxy.Proxy, payload []byte, timeout time.Duration) {
 	conn, err := sys.Net().Dial("attacker", p.Addr())
 	if err != nil {
 		return
@@ -300,19 +379,26 @@ func deliverProbe(sys *fortress.System, p *proxy.Proxy, payload []byte) {
 	if err := conn.Send(proxy.EncodeRequest("probe", payload)); err != nil {
 		return
 	}
-	if reply, err := conn.Recv(); err == nil { // reply, error, or closure — state is read elsewhere
+	// Reply, error, closure or timeout — the outcome state is read elsewhere.
+	var reply []byte
+	if timeout > 0 {
+		reply, err = conn.RecvTimeout(timeout)
+	} else {
+		reply, err = conn.Recv()
+	}
+	if err == nil {
 		netsim.Release(reply)
 	}
 }
 
 // deliverIndirectProbe sends one server-targeted exploit request through
 // the first live proxy.
-func deliverIndirectProbe(sys *fortress.System, payload []byte) {
+func deliverIndirectProbe(sys *fortress.System, payload []byte, timeout time.Duration) {
 	for _, p := range sys.Proxies() {
 		if p.Crashed() {
 			continue
 		}
-		deliverProbe(sys, p, payload)
+		deliverProbe(sys, p, payload, timeout)
 		return
 	}
 }

@@ -14,7 +14,9 @@ import (
 
 // SeriesConfig tunes a parallel series of independent campaign repetitions.
 type SeriesConfig struct {
-	// Campaign is the per-repetition attack configuration.
+	// Campaign is the per-repetition attack configuration. Its Injector
+	// must be nil — one injector is bound to one deployment, so per-rep
+	// injectors come from MakeInjector below.
 	Campaign CampaignConfig
 	// Workers bounds how many repetitions run concurrently through
 	// sim.ForEach. It never affects results — repetitions are fully
@@ -24,6 +26,11 @@ type SeriesConfig struct {
 	// teardown waits inside each live deployment), so Workers above the
 	// core count still buys wall-clock time by overlapping those waits.
 	Workers int
+	// MakeInjector, when non-nil, builds a fault injector for each
+	// repetition, bound to that repetition's freshly deployed system; rng
+	// is split from the repetition's own pre-split stream, so fault
+	// schedules never break the bit-identical-at-any-Workers contract.
+	MakeInjector func(rep int, sys *fortress.System, rng *xrand.RNG) StepInjector
 }
 
 // SeriesResult aggregates n campaign repetitions.
@@ -37,6 +44,11 @@ type SeriesResult struct {
 	// Lifetime summarizes the empirical lifetimes (StepsElapsed) across all
 	// repetitions, folded in repetition order.
 	Lifetime stats.Summary
+	// Availability summarizes per-repetition availability fractions
+	// (CampaignResult.Availability) across the repetitions that measured
+	// it, folded in repetition order. Zero-valued when no repetition ran
+	// with MeasureAvailability.
+	Availability stats.Summary
 	// Results holds every repetition's outcome, in repetition order.
 	Results []CampaignResult
 }
@@ -60,6 +72,9 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 	if err := cfg.Campaign.validate(); err != nil {
 		return SeriesResult{}, err
 	}
+	if cfg.Campaign.Injector != nil {
+		return SeriesResult{}, errors.New("attack: series template must not carry an injector; use MakeInjector")
+	}
 	rngs := sim.SplitRNGs(rng, n)
 	results := make([]CampaignResult, n)
 	err := sim.ForEach(n, cfg.Workers, func(i int) error {
@@ -73,7 +88,13 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 			return fmt.Errorf("attack: series repetition %d deploy: %w", i, err)
 		}
 		defer sys.Stop()
-		res, err := Campaign(sys, space, cfg.Campaign, repRNG)
+		camp := cfg.Campaign
+		if cfg.MakeInjector != nil {
+			// Split before the campaign runs so the injector's stream layout
+			// is a pure function of the repetition, like everything else.
+			camp.Injector = cfg.MakeInjector(i, sys, repRNG.Split())
+		}
+		res, err := Campaign(sys, space, camp, repRNG)
 		if err != nil {
 			return fmt.Errorf("attack: series repetition %d: %w", i, err)
 		}
@@ -89,14 +110,18 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 		Routes:  make(map[string]uint64),
 		Results: results,
 	}
-	var acc stats.Accumulator
+	var acc, avail stats.Accumulator
 	for _, r := range results {
 		acc.Add(float64(r.StepsElapsed))
+		if r.ProbedSteps > 0 {
+			avail.Add(r.Availability())
+		}
 		if r.Compromised {
 			out.Compromised++
 			out.Routes[r.Route]++
 		}
 	}
 	out.Lifetime = acc.Summarize()
+	out.Availability = avail.Summarize()
 	return out, nil
 }

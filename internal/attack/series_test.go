@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"fortress/internal/faults"
 	"fortress/internal/fortress"
 	"fortress/internal/service"
 	"fortress/internal/xrand"
@@ -94,6 +95,89 @@ func TestCampaignSeriesBitIdenticalAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// faultedTemplate shortens the server timeout below the failover timeout so
+// that a request parked behind a severed or dead primary fails at the proxy
+// on a clock that is a pure function of the schedule, never of load.
+func faultedTemplate() fortress.Config {
+	c := seriesTemplate()
+	c.HeartbeatTimeout = 400 * time.Millisecond
+	c.ServerTimeout = 150 * time.Millisecond
+	return c
+}
+
+// TestCampaignSeriesWithInjectorBitIdentical extends the determinism
+// contract to degraded networks: with an active fault schedule — a quorum
+// cut plus a proxy outage replayed by a per-repetition injector — and
+// per-step availability measurement on, the merged series result is still
+// bit-identical at 1, 2 and 8 workers.
+func TestCampaignSeriesWithInjectorBitIdentical(t *testing.T) {
+	s := space(t, 16)
+	sched := faults.Schedule{}.Append(
+		faults.Partition(2, faults.ServerAddrs(2), faults.ProxyAddrs(2)),
+		faults.CrashProxy(3, 1),
+		faults.Heal(5, faults.ServerAddrs(2), faults.ProxyAddrs(2)),
+		faults.RestartProxy(6, 1),
+	)
+	run := func(workers int) SeriesResult {
+		t.Helper()
+		res, err := CampaignSeries(faultedTemplate(), s, SeriesConfig{
+			Campaign: CampaignConfig{
+				OmegaDirect:         2,
+				OmegaIndirect:       1,
+				MaxSteps:            10,
+				MeasureAvailability: true,
+				HealthTimeout:       600 * time.Millisecond,
+				ProbeTimeout:        2 * time.Second,
+			},
+			Workers: workers,
+			MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) StepInjector {
+				inj, err := faults.NewInjector(sched, sys, rng)
+				if err != nil {
+					t.Error(err)
+					return nil
+				}
+				return inj
+			},
+		}, 4, xrand.New(321))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if base.Availability.N == 0 {
+		t.Fatal("availability was not measured")
+	}
+	// The 3-step quorum cut must show up: no repetition can be fully
+	// available unless it was compromised before the cut opened.
+	for i, r := range base.Results {
+		if r.ProbedSteps > 2 && r.AvailableSteps == r.ProbedSteps {
+			t.Errorf("rep %d: fully available across a quorum cut (%d steps)", i, r.ProbedSteps)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d series %+v differs from workers=1 %+v", workers, got, base)
+		}
+	}
+}
+
+// TestCampaignSeriesRejectsSharedInjector pins the footgun: one injector is
+// bound to one deployment, so the series template must not carry one.
+func TestCampaignSeriesRejectsSharedInjector(t *testing.T) {
+	s := space(t, 16)
+	cfg := SeriesConfig{Campaign: CampaignConfig{OmegaDirect: 1, MaxSteps: 4}}
+	cfg.Campaign.Injector = noopInjector{}
+	if _, err := CampaignSeries(seriesTemplate(), s, cfg, 2, xrand.New(1)); err == nil {
+		t.Fatal("series template with a shared injector accepted")
+	}
+}
+
+type noopInjector struct{}
+
+func (noopInjector) Advance(uint64) error { return nil }
 
 // TestCampaignSeriesPOOutlivesSO checks the aggregated series reproduces the
 // paper's headline trend on the executable stack: re-randomizing every step

@@ -79,6 +79,35 @@ func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 	return nil
 }
 
+// WriteFaultSweepCSV emits fault-sweep rows as CSV, one row per
+// (preset, drop rate, proxy count) cell.
+func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
+	if _, err := io.WriteString(w,
+		"preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := fmt.Sprintf("%s,%s,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+			r.Preset,
+			formatFloat(r.DropRate),
+			r.Proxies,
+			r.Reps,
+			r.Compromised,
+			formatFloat(r.MeanLifetime),
+			formatFloat(r.CI95),
+			formatFloat(r.Availability),
+			formatFloat(r.AvailabilityCI95),
+			r.Routes["server-indirect"],
+			r.Routes["server-launchpad"],
+			r.Routes["all-proxies"],
+		)
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteAlphaGrowthCSV emits E6 rows as CSV.
 func WriteAlphaGrowthCSV(w io.Writer, rows []AlphaGrowthRow) error {
 	if _, err := io.WriteString(w, "step,alpha_so,alpha_po\n"); err != nil {

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"fortress/internal/attack"
+	"fortress/internal/faults"
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/service"
+	"fortress/internal/sim"
+	"fortress/internal/xrand"
+)
+
+// FaultSweepConfig tunes the degraded-network campaign sweep: a grid of
+// (fault-schedule preset × drop rate × proxy count) cells, each evaluated by
+// a series of campaign repetitions (attack.CampaignSeries) with a fault
+// injector replaying the preset against every repetition's own deployment,
+// and with per-step availability measurement on. Zero-valued fields select
+// defaults, except Seed (zero is itself a valid seed) and OmegaDirect (zero
+// means an indirect-only sweep), mirroring LiveCampaignConfig.
+type FaultSweepConfig struct {
+	// Chi is the randomization key-space size χ; small by design, as in the
+	// live-campaign sweep. Default 24.
+	Chi uint64
+	// Reps is the number of campaign repetitions per cell. Default 4.
+	Reps int
+	// Seed makes the sweep reproducible; zero is not rewritten.
+	Seed uint64
+	// Workers bounds total concurrency, split between the cell fan-out and
+	// each cell's repetition series; it never affects results.
+	Workers int
+	// MaxSteps is the per-repetition campaign horizon — also the horizon the
+	// presets scale their schedules to. Default 24.
+	MaxSteps uint64
+	// Rerandomize selects PO (true) or SO (false) for every cell.
+	Rerandomize bool
+	// OmegaDirect is the direct probe budget per step. Zero is preserved
+	// (indirect-only), as in LiveCampaignConfig.
+	OmegaDirect uint64
+	// OmegaIndirect is the paced indirect budget per step. Default 1.
+	OmegaIndirect uint64
+	// Servers is the PB server count n_s. Default 3.
+	Servers int
+	// Presets is the fault-schedule grid, by preset name (faults.Presets).
+	// Default {"none", "rolling-partition", "quorum-partition",
+	// "proxy-outage"} — the pristine baseline plus the three deterministic
+	// degraded scenarios.
+	Presets []string
+	// DropRates is the lossy-link grid: each rate is installed at step 0 by
+	// the injector on top of the preset's schedule. Default {0}. Cells with
+	// a positive rate are statistically — not bitwise — reproducible: drop
+	// sampling is shared across connections, so concurrent traffic
+	// (heartbeats, replication) interleaves with probe traffic on the drop
+	// generator.
+	DropRates []float64
+	// ProxyCounts is the n_p grid. Default {3}.
+	ProxyCounts []int
+}
+
+// DefaultFaultSweepConfig is the grid the CLI and benchmarks use.
+func DefaultFaultSweepConfig() FaultSweepConfig {
+	return FaultSweepConfig{
+		Chi:           24,
+		Reps:          4,
+		Seed:          1,
+		MaxSteps:      24,
+		OmegaDirect:   2,
+		OmegaIndirect: 1,
+		Servers:       3,
+		Presets:       []string{"none", "rolling-partition", "quorum-partition", "proxy-outage"},
+		DropRates:     []float64{0},
+		ProxyCounts:   []int{3},
+	}
+}
+
+// withDefaults fills zero-valued fields from DefaultFaultSweepConfig, with
+// the same Seed/OmegaDirect exemptions as the live-campaign sweep.
+func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
+	d := DefaultFaultSweepConfig()
+	if c.Chi == 0 {
+		c.Chi = d.Chi
+	}
+	if c.Reps == 0 {
+		c.Reps = d.Reps
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = d.MaxSteps
+	}
+	if c.OmegaIndirect == 0 {
+		c.OmegaIndirect = d.OmegaIndirect
+	}
+	if c.Servers == 0 {
+		c.Servers = d.Servers
+	}
+	if len(c.Presets) == 0 {
+		c.Presets = d.Presets
+	}
+	if len(c.DropRates) == 0 {
+		c.DropRates = d.DropRates
+	}
+	if len(c.ProxyCounts) == 0 {
+		c.ProxyCounts = d.ProxyCounts
+	}
+	return c
+}
+
+// FaultSweepRow is one sweep cell: a (preset, drop rate, proxy count) point
+// with its aggregated campaign-series outcome.
+type FaultSweepRow struct {
+	Preset   string
+	DropRate float64
+	Proxies  int
+	Reps     uint64
+	// Compromised counts repetitions that fell within the horizon.
+	Compromised uint64
+	// MeanLifetime and CI95 summarize the empirical lifetimes.
+	MeanLifetime float64
+	CI95         float64
+	// Availability and AvailabilityCI95 summarize the per-repetition
+	// fraction of steps whose health check got a doubly-signed answer.
+	Availability     float64
+	AvailabilityCI95 float64
+	// Routes histograms how the compromised repetitions fell.
+	Routes map[string]uint64
+}
+
+// faultSweepTimings are the per-cell deployment timings. ServerTimeout is
+// deliberately shorter than HeartbeatTimeout so that a request parked on a
+// backup behind a severed primary fails at the proxy before any failover
+// timer can fire — unavailability under a quorum cut is then a pure function
+// of the schedule, not of scheduler load.
+const (
+	faultSweepHeartbeatInterval = 10 * time.Millisecond
+	faultSweepHeartbeatTimeout  = 250 * time.Millisecond
+	faultSweepServerTimeout     = 150 * time.Millisecond
+	faultSweepHealthTimeout     = 600 * time.Millisecond
+	faultSweepProbeTimeout      = 2 * time.Second
+)
+
+// FaultSweep runs the degraded-network sweep: every grid cell drives Reps
+// full de-randomization campaigns, each against its own FORTRESS deployment
+// on its own network, with a fault injector replaying the cell's schedule
+// preset (plus the cell's drop rate at step 0) against that deployment's
+// campaign-step clock. Rows come back in grid order (preset, then drop rate,
+// then proxy count).
+//
+// Determinism matches the other sweeps: per-cell streams are pre-split in
+// grid order, per-repetition streams (injector included) in repetition
+// order, so zero-drop cells reproduce bit-identically from (Seed, Reps)
+// alone at any Workers value.
+func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Reps < 0 {
+		return nil, errors.New("experiments: fault sweep needs a positive repetition count")
+	}
+	space, err := keyspace.NewSpace(cfg.Chi)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		preset  faults.Preset
+		drop    float64
+		proxies int
+	}
+	var cells []cell
+	for _, name := range cfg.Presets {
+		p, err := faults.PresetByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		for _, drop := range cfg.DropRates {
+			for _, np := range cfg.ProxyCounts {
+				cells = append(cells, cell{p, drop, np})
+			}
+		}
+	}
+	rng := xrand.New(cfg.Seed + 7)
+	rngs := sim.SplitRNGs(rng, len(cells))
+	inner := innerWorkers(cfg.Workers, len(cells))
+	rows := make([]FaultSweepRow, len(cells))
+	err = sim.ForEach(len(cells), cfg.Workers, func(i int) error {
+		c := cells[i]
+		sched := c.preset.Build(cfg.Servers, c.proxies, cfg.MaxSteps)
+		if c.drop > 0 {
+			// The drop rate rides the injector so each repetition's private
+			// network gets it, from that repetition's own stream.
+			sched = faults.Schedule{Events: append(
+				[]faults.Event{faults.DropRate(0, c.drop)}, sched.Events...)}
+		}
+		tmpl := fortress.Config{
+			Servers:           cfg.Servers,
+			Proxies:           c.proxies,
+			ServiceFactory:    func() service.Service { return service.NewKV() },
+			HeartbeatInterval: faultSweepHeartbeatInterval,
+			HeartbeatTimeout:  faultSweepHeartbeatTimeout,
+			ServerTimeout:     faultSweepServerTimeout,
+		}
+		series, err := attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
+			Campaign: attack.CampaignConfig{
+				OmegaDirect:         cfg.OmegaDirect,
+				OmegaIndirect:       cfg.OmegaIndirect,
+				MaxSteps:            cfg.MaxSteps,
+				Rerandomize:         cfg.Rerandomize,
+				MeasureAvailability: true,
+				HealthTimeout:       faultSweepHealthTimeout,
+				ProbeTimeout:        faultSweepProbeTimeout,
+			},
+			Workers: inner,
+			MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) attack.StepInjector {
+				inj, err := faults.NewInjector(sched, sys, rng)
+				if err != nil {
+					// Unreachable: construction fails only on a nil system or
+					// a drop-rate event without an rng, and both are supplied.
+					panic(fmt.Sprintf("experiments: fault injector: %v", err))
+				}
+				return inj
+			},
+		}, cfg.Reps, rngs[i])
+		if err != nil {
+			return fmt.Errorf("experiments: cell (preset=%s drop=%g np=%d): %w",
+				c.preset.Name, c.drop, c.proxies, err)
+		}
+		rows[i] = FaultSweepRow{
+			Preset:           c.preset.Name,
+			DropRate:         c.drop,
+			Proxies:          c.proxies,
+			Reps:             series.Reps,
+			Compromised:      series.Compromised,
+			MeanLifetime:     series.Lifetime.Mean,
+			CI95:             series.Lifetime.CI95,
+			Availability:     series.Availability.Mean,
+			AvailabilityCI95: series.Availability.CI95,
+			Routes:           series.Routes,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatFaultSweep renders sweep rows as an aligned text table.
+func FormatFaultSweep(rows []FaultSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-6s %-8s %-6s %-12s %-14s %-10s %-13s %s\n",
+		"preset", "drop", "proxies", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-6g %-8d %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
+			r.Preset, r.DropRate, r.Proxies, r.Reps, r.Compromised,
+			r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallFaultSweep is a grid sized for tests: active schedules on every cell,
+// short horizon, few repetitions.
+func smallFaultSweep(workers int) FaultSweepConfig {
+	return FaultSweepConfig{
+		Chi:      16,
+		Reps:     2,
+		Seed:     5,
+		Workers:  workers,
+		MaxSteps: 8,
+		Presets:  []string{"rolling-partition", "quorum-partition", "proxy-outage"},
+	}
+}
+
+// TestFaultSweepBitIdenticalAcrossWorkers is the sweep-level determinism
+// contract with active fault schedules: every row — availability fractions
+// and floating-point lifetime summaries included — is bit-identical at 1, 2
+// and 8 workers.
+func TestFaultSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) []FaultSweepRow {
+		t.Helper()
+		rows, err := FaultSweep(smallFaultSweep(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	base := run(1)
+	if len(base) != 3 {
+		t.Fatalf("rows = %d, want 3", len(base))
+	}
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d rows %+v differ from workers=1 %+v", workers, got, base)
+		}
+	}
+	// The CSV rendering — the artifact the CLI acceptance compares — must
+	// therefore also be byte-identical.
+	var a, b bytes.Buffer
+	if err := WriteFaultSweepCSV(&a, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFaultSweepCSV(&b, run(8)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("CSV differs between workers=1 and workers=8")
+	}
+}
+
+// TestFaultSweepQuorumPartitionDegradesAvailability is the headline claim of
+// the fault subsystem: islanding a server quorum from the proxy tier
+// measurably degrades campaign-measured availability versus the pristine
+// baseline.
+func TestFaultSweepQuorumPartitionDegradesAvailability(t *testing.T) {
+	cfg := smallFaultSweep(0)
+	cfg.Presets = []string{"none", "quorum-partition"}
+	cfg.MaxSteps = 12
+	rows, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	pristine, cut := rows[0], rows[1]
+	if pristine.Preset != "none" || cut.Preset != "quorum-partition" {
+		t.Fatalf("row order: %s, %s", pristine.Preset, cut.Preset)
+	}
+	if pristine.Availability < cut.Availability+0.15 {
+		t.Errorf("quorum partition did not measurably degrade availability: pristine %.4g, cut %.4g",
+			pristine.Availability, cut.Availability)
+	}
+}
+
+func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
+	cfg := smallFaultSweep(1)
+	cfg.Presets = []string{"no-such-preset"}
+	if _, err := FaultSweep(cfg); err == nil || !strings.Contains(err.Error(), "no-such-preset") {
+		t.Fatalf("unknown preset: err = %v", err)
+	}
+}
+
+func TestFormatFaultSweepAndCSV(t *testing.T) {
+	rows := []FaultSweepRow{{
+		Preset: "none", DropRate: 0.5, Proxies: 3, Reps: 4, Compromised: 2,
+		MeanLifetime: 7.25, CI95: 1.5, Availability: 0.875, AvailabilityCI95: 0.05,
+		Routes: map[string]uint64{"all-proxies": 2},
+	}}
+	table := FormatFaultSweep(rows)
+	for _, want := range []string{"preset", "availability", "none", "all-proxies:2"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultSweepCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
+		t.Errorf("csv header: %q", got)
+	}
+	if !strings.Contains(got, "none,0.5,3,4,2,7.25,1.5,0.875,0.05,0,0,2") {
+		t.Errorf("csv row: %q", got)
+	}
+}

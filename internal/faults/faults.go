@@ -1,0 +1,264 @@
+// Package faults is a deterministic fault-injection scheduler for live
+// FORTRESS campaigns: the machinery that finally drives netsim's
+// Partition/Heal/CrashAddr/drop-rate primitives over time instead of leaving
+// live campaigns to run on a pristine network.
+//
+// A Schedule is a declarative list of timed events — partition or heal a cut
+// between two address groups, crash or restart a named node, change the
+// lossy-link drop rate — stamped with a virtual time. The clock is the
+// campaign's own step counter (or any other logical counter the driver
+// advances: message count, repetition index), never wall time, so a given
+// schedule replays bit-identically at any worker count and on any machine.
+//
+// An Injector binds a schedule to one deployment (a netsim.Network plus a
+// fortress.System) and fires every event whose timestamp has arrived each
+// time the driver calls Advance. attack.Campaign advances its injector once
+// per unit time-step, before the step's probes, so an event At step t is in
+// force for all of step t's traffic.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fortress/internal/fortress"
+	"fortress/internal/netsim"
+	"fortress/internal/xrand"
+)
+
+// NodeKind distinguishes the two crashable node tiers.
+type NodeKind int
+
+const (
+	// KindServer targets a PB server replica.
+	KindServer NodeKind = iota + 1
+	// KindProxy targets a proxy.
+	KindProxy
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindServer:
+		return "server"
+	case KindProxy:
+		return "proxy"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// EventKind enumerates the fault actions a schedule can take.
+type EventKind int
+
+const (
+	// EvPartition severs every cross pair between two address groups.
+	EvPartition EventKind = iota + 1
+	// EvHeal removes the cross-pair partitions between two address groups.
+	EvHeal
+	// EvHealAll removes every partition on the network.
+	EvHealAll
+	// EvCrash fault-crashes one node (down until an EvRestart).
+	EvCrash
+	// EvRestart brings a fault-crashed node back.
+	EvRestart
+	// EvDropRate sets the network-wide lossy-link drop probability.
+	EvDropRate
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvHealAll:
+		return "heal-all"
+	case EvCrash:
+		return "crash"
+	case EvRestart:
+		return "restart"
+	case EvDropRate:
+		return "drop-rate"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Target names one node by tier and index.
+type Target struct {
+	Kind  NodeKind
+	Index int
+}
+
+// Event is one timed fault action. At is virtual time: the injector fires
+// the event on the first Advance(now) with now >= At. Events sharing a
+// timestamp fire in schedule order.
+type Event struct {
+	At   uint64
+	Kind EventKind
+	// A and B are the address groups of a partition/heal cut.
+	A, B []string
+	// Node is the crash/restart target.
+	Node Target
+	// Rate is the EvDropRate probability.
+	Rate float64
+}
+
+// Partition returns an event severing every (a, b) cross pair at time t.
+func Partition(t uint64, a, b []string) Event {
+	return Event{At: t, Kind: EvPartition, A: a, B: b}
+}
+
+// Heal returns an event removing the (a, b) cross-pair partitions at time t.
+func Heal(t uint64, a, b []string) Event {
+	return Event{At: t, Kind: EvHeal, A: a, B: b}
+}
+
+// HealAll returns an event removing every partition at time t.
+func HealAll(t uint64) Event { return Event{At: t, Kind: EvHealAll} }
+
+// CrashServer returns an event fault-crashing server i at time t.
+func CrashServer(t uint64, i int) Event {
+	return Event{At: t, Kind: EvCrash, Node: Target{Kind: KindServer, Index: i}}
+}
+
+// CrashProxy returns an event fault-crashing proxy i at time t.
+func CrashProxy(t uint64, i int) Event {
+	return Event{At: t, Kind: EvCrash, Node: Target{Kind: KindProxy, Index: i}}
+}
+
+// RestartServer returns an event restarting fault-crashed server i at time t.
+func RestartServer(t uint64, i int) Event {
+	return Event{At: t, Kind: EvRestart, Node: Target{Kind: KindServer, Index: i}}
+}
+
+// RestartProxy returns an event restarting fault-crashed proxy i at time t.
+func RestartProxy(t uint64, i int) Event {
+	return Event{At: t, Kind: EvRestart, Node: Target{Kind: KindProxy, Index: i}}
+}
+
+// DropRate returns an event setting the lossy-link drop probability at
+// time t.
+func DropRate(t uint64, p float64) Event {
+	return Event{At: t, Kind: EvDropRate, Rate: p}
+}
+
+// Schedule is a declarative fault plan: events over virtual time. The zero
+// value is an empty (pristine-network) schedule.
+type Schedule struct {
+	Events []Event
+}
+
+// Append adds events to the schedule and returns it, for fluent building.
+func (s Schedule) Append(events ...Event) Schedule {
+	s.Events = append(s.Events, events...)
+	return s
+}
+
+// ServerAddrs returns the netsim addresses of servers [0, n) — the group
+// arguments partition events aim at the server tier.
+func ServerAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fortress.ServerAddr(i)
+	}
+	return out
+}
+
+// ProxyAddrs returns the netsim addresses of proxies [0, n).
+func ProxyAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fortress.ProxyAddr(i)
+	}
+	return out
+}
+
+// Injector binds a schedule to one live deployment and replays it against
+// the deployment's virtual clock. It is single-driver: only the campaign
+// loop calls Advance, between steps, so no locking is needed beyond what
+// the network and system already do.
+type Injector struct {
+	events []Event // sorted stably by At
+	next   int
+	sys    *fortress.System
+	net    *netsim.Network
+	rng    *xrand.RNG
+}
+
+// NewInjector prepares sched to run against sys (events act on sys and on
+// sys.Net()). rng feeds drop-rate events' sampling; it may be nil for
+// schedules without EvDropRate events. The schedule is copied and stably
+// sorted by timestamp, so a caller may reuse one Schedule value across many
+// concurrent deployments.
+func NewInjector(sched Schedule, sys *fortress.System, rng *xrand.RNG) (*Injector, error) {
+	if sys == nil {
+		return nil, errors.New("faults: injector needs a system")
+	}
+	events := make([]Event, len(sched.Events))
+	copy(events, sched.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, e := range events {
+		if e.Kind == EvDropRate && e.Rate > 0 && rng == nil {
+			return nil, errors.New("faults: drop-rate events need an rng")
+		}
+	}
+	return &Injector{events: events, sys: sys, net: sys.Net(), rng: rng}, nil
+}
+
+// Advance fires, in order, every not-yet-fired event with At <= now. The
+// virtual clock only moves forward; a now below an earlier call's is simply
+// a no-op. It returns the first event application error.
+func (in *Injector) Advance(now uint64) error {
+	for in.next < len(in.events) && in.events[in.next].At <= now {
+		e := in.events[in.next]
+		in.next++
+		if err := in.apply(e); err != nil {
+			return fmt.Errorf("faults: event %d (%s at t=%d): %w", in.next-1, e.Kind, e.At, err)
+		}
+	}
+	return nil
+}
+
+// Fired reports how many events have been applied so far.
+func (in *Injector) Fired() int { return in.next }
+
+// Pending reports how many events have not yet fired.
+func (in *Injector) Pending() int { return len(in.events) - in.next }
+
+func (in *Injector) apply(e Event) error {
+	switch e.Kind {
+	case EvPartition:
+		in.net.PartitionGroup(e.A, e.B)
+	case EvHeal:
+		in.net.HealGroup(e.A, e.B)
+	case EvHealAll:
+		in.net.HealAll()
+	case EvDropRate:
+		in.net.SetDropRate(e.Rate, in.rng)
+	case EvCrash:
+		switch e.Node.Kind {
+		case KindServer:
+			return in.sys.CrashServer(e.Node.Index)
+		case KindProxy:
+			return in.sys.CrashProxy(e.Node.Index)
+		default:
+			return fmt.Errorf("crash: unknown node kind %v", e.Node.Kind)
+		}
+	case EvRestart:
+		switch e.Node.Kind {
+		case KindServer:
+			return in.sys.RestartServer(e.Node.Index)
+		case KindProxy:
+			return in.sys.RestartProxy(e.Node.Index)
+		default:
+			return fmt.Errorf("restart: unknown node kind %v", e.Node.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown event kind %v", e.Kind)
+	}
+	return nil
+}

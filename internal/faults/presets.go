@@ -1,0 +1,131 @@
+package faults
+
+import "fmt"
+
+// Preset is a named, parameterized schedule family: given a deployment shape
+// (server and proxy counts) and a campaign horizon it produces the concrete
+// schedule. Presets are what the FaultSweep grid and the `fortress faults`
+// CLI select by name.
+type Preset struct {
+	// Name selects the preset on the CLI and labels sweep rows.
+	Name string
+	// Description is one line for CLI help.
+	Description string
+	// Build produces the schedule for a deployment of the given shape over
+	// a campaign of horizon unit time-steps.
+	Build func(servers, proxies int, horizon uint64) Schedule
+}
+
+// Presets returns the catalog, in presentation order.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:        "none",
+			Description: "pristine network — the no-faults baseline",
+			Build: func(servers, proxies int, horizon uint64) Schedule {
+				return Schedule{}
+			},
+		},
+		{
+			Name: "rolling-partition",
+			Description: "isolate one server at a time from its peers for 2 steps, " +
+				"rotating through the tier — replication and failover under a moving cut",
+			Build: func(servers, proxies int, horizon uint64) Schedule {
+				var s Schedule
+				if servers < 2 {
+					return s
+				}
+				all := ServerAddrs(servers)
+				k := 0
+				for t := uint64(1); t+2 < horizon; t += 4 {
+					victim := []string{all[k%servers]}
+					rest := others(all, k%servers)
+					s = s.Append(Partition(t, victim, rest), Heal(t+2, victim, rest))
+					k++
+				}
+				return s
+			},
+		},
+		{
+			Name: "quorum-partition",
+			Description: "island a server quorum (majority, primary included) from the " +
+				"proxy tier for the middle half of the horizon — requests cannot commit " +
+				"until the cut heals",
+			Build: func(servers, proxies int, horizon uint64) Schedule {
+				maj := servers/2 + 1
+				quorum := ServerAddrs(maj)
+				front := ProxyAddrs(proxies)
+				from, to := horizon/4, 3*horizon/4
+				if to <= from {
+					to = from + 1
+				}
+				return Schedule{}.Append(
+					Partition(from, quorum, front),
+					Heal(to, quorum, front),
+				)
+			},
+		},
+		{
+			Name: "proxy-outage",
+			Description: "fault-crash the highest-indexed proxy for the middle half of " +
+				"the horizon, then restart it — the tier shrinks and regrows",
+			Build: func(servers, proxies int, horizon uint64) Schedule {
+				from, to := horizon/4, 3*horizon/4
+				if to <= from {
+					to = from + 1
+				}
+				return Schedule{}.Append(
+					CrashProxy(from, proxies-1),
+					RestartProxy(to, proxies-1),
+				)
+			},
+		},
+		{
+			Name: "lossy",
+			Description: "2% network-wide message drop for the middle half of the " +
+				"horizon (drop sampling is shared across connections, so outcomes are " +
+				"statistically — not bitwise — reproducible under concurrent traffic)",
+			Build: func(servers, proxies int, horizon uint64) Schedule {
+				from, to := horizon/4, 3*horizon/4
+				if to <= from {
+					to = from + 1
+				}
+				return Schedule{}.Append(
+					DropRate(from, 0.02),
+					DropRate(to, 0),
+				)
+			},
+		},
+	}
+}
+
+// PresetByName looks a preset up by name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("faults: unknown preset %q", name)
+}
+
+// PresetNames returns the catalog names, in presentation order.
+func PresetNames() []string {
+	ps := Presets()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// others returns all addresses except index i.
+func others(addrs []string, i int) []string {
+	out := make([]string, 0, len(addrs)-1)
+	for j, a := range addrs {
+		if j != i {
+			out = append(out, a)
+		}
+	}
+	return out
+}

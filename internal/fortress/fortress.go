@@ -100,6 +100,14 @@ type System struct {
 	proxies   []*proxy.Proxy
 	detector  *proxy.Detector
 	stopped   bool
+
+	// Fault-injected outages (CrashServer/CrashProxy): unlike probe crashes,
+	// these model power/hardware failures, so Recover's forking-daemon
+	// respawn must NOT resurrect them and a re-randomization epoch reboots
+	// them into the same dead state. Only RestartServer/RestartProxy (or a
+	// fault schedule's Restart event) bring them back.
+	downServers map[int]bool
+	downProxies map[int]bool
 }
 
 // New deploys a FORTRESS system and starts epoch 0.
@@ -115,7 +123,11 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, net: net, ns: ns, rng: xrand.New(cfg.Seed)}
+	s := &System{
+		cfg: cfg, net: net, ns: ns, rng: xrand.New(cfg.Seed),
+		downServers: make(map[int]bool),
+		downProxies: make(map[int]bool),
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		kp, err := sig.NewKeyPair()
 		if err != nil {
@@ -138,9 +150,16 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// serverAddr and proxyAddr derive stable addresses.
-func serverAddr(i int) string { return fmt.Sprintf("fortress-server-%d", i) }
-func proxyAddr(i int) string  { return fmt.Sprintf("fortress-proxy-%d", i) }
+// ServerAddr returns the stable netsim address of server i. Fault schedules
+// use it to aim partitions at the server tier.
+func ServerAddr(i int) string { return fmt.Sprintf("fortress-server-%d", i) }
+
+// ProxyAddr returns the stable netsim address of proxy i.
+func ProxyAddr(i int) string { return fmt.Sprintf("fortress-proxy-%d", i) }
+
+// serverAddr and proxyAddr are the internal aliases.
+func serverAddr(i int) string { return ServerAddr(i) }
+func proxyAddr(i int) string  { return ProxyAddr(i) }
 
 // buildEpochLocked stands up all nodes for a new epoch, restoring service
 // state from snapshot when given. Caller holds s.mu.
@@ -223,6 +242,14 @@ func (s *System) buildEpochLocked(snapshot []byte) error {
 			return err
 		}
 	}
+	// A fault-downed node reboots into the same outage: the epoch change
+	// re-randomizes executables, it does not repair failed hardware.
+	for i := range s.downServers {
+		s.servers[i].Crash()
+	}
+	for i := range s.downProxies {
+		s.proxies[i].Crash()
+	}
 	return nil
 }
 
@@ -271,7 +298,7 @@ func (s *System) Recover() error {
 	}
 	snapshot := s.snapshotLocked()
 	for i, g := range s.guards {
-		if !g.Process().Crashed() {
+		if !g.Process().Crashed() || s.downServers[i] {
 			continue
 		}
 		if err := s.rebuildServerLocked(i, snapshot); err != nil {
@@ -279,7 +306,7 @@ func (s *System) Recover() error {
 		}
 	}
 	for i, p := range s.proxies {
-		if !p.Crashed() {
+		if !p.Crashed() || s.downProxies[i] {
 			continue
 		}
 		if err := s.rebuildProxyLocked(i); err != nil {
@@ -287,6 +314,78 @@ func (s *System) Recover() error {
 		}
 	}
 	return nil
+}
+
+// CrashServer fault-crashes server i: the replica is torn out of the network
+// and stays down — across Recover and across re-randomization epochs — until
+// RestartServer. This models a node-level outage (power, hardware, kernel
+// panic), as distinct from the probe-induced process crash a forking daemon
+// absorbs.
+func (s *System) CrashServer(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if i < 0 || i >= len(s.servers) {
+		return fmt.Errorf("fortress: no server %d", i)
+	}
+	s.downServers[i] = true
+	s.servers[i].Crash()
+	return nil
+}
+
+// CrashProxy fault-crashes proxy i; see CrashServer for semantics.
+func (s *System) CrashProxy(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if i < 0 || i >= len(s.proxies) {
+		return fmt.Errorf("fortress: no proxy %d", i)
+	}
+	s.downProxies[i] = true
+	s.proxies[i].Crash()
+	return nil
+}
+
+// RestartServer ends a fault outage: server i rejoins under the current
+// shared randomization key with state restored from a live peer's snapshot —
+// the reconnect-and-resync idiom of a supervised tunnel process. It is a
+// no-op error-free call if the server was never fault-crashed but is down
+// for another reason; probe crashes remain Recover's business.
+func (s *System) RestartServer(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if i < 0 || i >= len(s.servers) {
+		return fmt.Errorf("fortress: no server %d", i)
+	}
+	if !s.downServers[i] {
+		return nil // not fault-crashed: nothing to end, and a live node stays up
+	}
+	delete(s.downServers, i)
+	return s.rebuildServerLocked(i, s.snapshotLocked())
+}
+
+// RestartProxy ends a fault outage for proxy i; see RestartServer.
+func (s *System) RestartProxy(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if i < 0 || i >= len(s.proxies) {
+		return fmt.Errorf("fortress: no proxy %d", i)
+	}
+	if !s.downProxies[i] {
+		return nil // not fault-crashed: nothing to end, and a live node stays up
+	}
+	delete(s.downProxies, i)
+	return s.rebuildProxyLocked(i)
 }
 
 // rebuildServerLocked replaces server i with a fresh replica under the
@@ -355,10 +454,11 @@ func (s *System) rebuildProxyLocked(i int) error {
 }
 
 // snapshotLocked fetches the service state from the first live,
-// uncompromised server (state from a compromised node is untrustworthy).
+// uncompromised server (state from a compromised node is untrustworthy, and
+// a fault-downed node's in-memory state is stale).
 func (s *System) snapshotLocked() []byte {
-	for _, g := range s.guards {
-		if g.Compromised() || g.Process().Crashed() {
+	for i, g := range s.guards {
+		if g.Compromised() || g.Process().Crashed() || s.downServers[i] {
 			continue
 		}
 		if snap, err := g.Snapshot(); err == nil {
@@ -435,6 +535,11 @@ type Status struct {
 	ServersCrashed     int
 	ProxiesCompromised int
 	ProxiesCrashed     int
+	// ServersDown and ProxiesDown count fault-injected outages
+	// (CrashServer/CrashProxy) awaiting an explicit restart — disjoint from
+	// the probe-crash counts above, which Recover repairs.
+	ServersDown int
+	ProxiesDown int
 	// Compromised applies the paper's S2 failure condition: any server
 	// compromised, or every proxy compromised.
 	Compromised bool
@@ -462,6 +567,8 @@ func (s *System) Status() Status {
 			st.ProxiesCrashed++
 		}
 	}
+	st.ServersDown = len(s.downServers)
+	st.ProxiesDown = len(s.downProxies)
 	st.Compromised = st.ServersCompromised > 0 || st.ProxiesCompromised == len(s.proxies)
 	return st
 }

@@ -97,37 +97,87 @@ func (s *Space) AlphaSeq(omega uint64, steps int) []float64 {
 	return out
 }
 
+// feistelRounds is the Feistel round count. Four rounds of a strong mixing
+// function give candidate orders statistically indistinguishable from a
+// uniform shuffle for this package's purposes (the uniform-discovery law the
+// SO analysis rests on is pinned by tests).
+const feistelRounds = 4
+
+// feistelPerm is a keyed balanced Feistel permutation over the even-bit
+// domain [0, 4^halfBits) — bijective for any round function, by
+// construction. It is the lazy replacement for a materialized χ-entry
+// shuffle: O(1) state, O(1) evaluation, any domain size.
+type feistelPerm struct {
+	halfBits uint
+	halfMask uint64
+	keys     [feistelRounds]uint64
+}
+
+// newFeistelPerm returns a fresh random permutation over the smallest
+// even-bit power of two ≥ n, drawing its round keys from rng.
+func newFeistelPerm(n uint64, rng *xrand.RNG) feistelPerm {
+	half := uint(1)
+	for half < 31 && uint64(1)<<(2*half) < n {
+		half++
+	}
+	f := feistelPerm{halfBits: half, halfMask: uint64(1)<<half - 1}
+	for i := range f.keys {
+		f.keys[i] = rng.Uint64()
+	}
+	return f
+}
+
+// domain returns the permutation's domain size.
+func (f feistelPerm) domain() uint64 { return uint64(1) << (2 * f.halfBits) }
+
+// mix64 is the SplitMix64 finalizer, the round function's mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// apply permutes x within the domain.
+func (f feistelPerm) apply(x uint64) uint64 {
+	l := x >> f.halfBits
+	r := x & f.halfMask
+	for _, k := range f.keys {
+		l, r = r, l^(mix64(r^k)&f.halfMask)
+	}
+	return l<<f.halfBits | r
+}
+
 // Guesser is a de-randomization phase-1 attacker against one fixed key:
 // it enumerates candidate keys in a random order (equivalent to any fixed
 // order against a uniform key) and reports when the true key is hit.
+//
+// The order is a lazy keyed Feistel permutation, cycle-walked over the next
+// even-bit power of two ≥ χ: raw indices are walked in sequence and outputs
+// ≥ χ discarded, so each candidate in [0, χ) is emitted exactly once with
+// O(1) memory — no χ-entry table, which is what lets live campaigns scale to
+// χ = 2²⁴ and far beyond.
 //
 // It tracks probes spent, so the caller can convert to unit time-steps given
 // a probe budget ω per step.
 type Guesser struct {
 	space     *Space
 	rng       *xrand.RNG
-	order     []uint64 // shuffled candidate keys, consumed from the front
-	next      int
+	perm      feistelPerm
+	raw       uint64 // next raw index in [0, perm.domain())
+	emitted   uint64 // candidates handed out since the last Reset
 	probes    uint64
 	exhausted bool
 }
 
-// NewGuesser creates a guesser over the space. For very large spaces the
-// candidate order is generated lazily via a random permutation of [0, χ);
-// χ is bounded (2¹⁶–2³²) in this repository's experiments, and tests use far
-// smaller spaces, so an explicit permutation is acceptable for χ ≤ 2²⁴.
-// Larger spaces return an error to avoid surprise multi-GB allocations.
+// NewGuesser creates a guesser over the space. The candidate order costs
+// O(1) memory at any χ; only spaces beyond the Feistel domain bound
+// (χ > 2⁶²) are rejected.
 func NewGuesser(space *Space, rng *xrand.RNG) (*Guesser, error) {
-	const maxExplicit = 1 << 24
-	if space.chi > maxExplicit {
-		return nil, fmt.Errorf("keyspace: guesser supports χ ≤ 2^24, got %d", space.chi)
+	const maxChi = uint64(1) << 62
+	if space.chi > maxChi {
+		return nil, fmt.Errorf("keyspace: guesser supports χ ≤ 2^62, got %d", space.chi)
 	}
-	order := make([]uint64, space.chi)
-	for i := range order {
-		order[i] = uint64(i)
-	}
-	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	return &Guesser{space: space, rng: rng, order: order}, nil
+	return &Guesser{space: space, rng: rng, perm: newFeistelPerm(space.chi, rng)}, nil
 }
 
 // Probes returns the number of probes issued so far.
@@ -135,7 +185,7 @@ func (g *Guesser) Probes() uint64 { return g.probes }
 
 // Remaining returns the number of candidate keys not yet eliminated.
 func (g *Guesser) Remaining() uint64 {
-	return uint64(len(g.order) - g.next)
+	return g.space.chi - g.emitted
 }
 
 // NextCandidate consumes and returns the next untried candidate key,
@@ -146,35 +196,35 @@ func (g *Guesser) Remaining() uint64 {
 // that must deliver it somewhere themselves (over a network, through a
 // proxy) and observe the outcome out-of-band.
 func (g *Guesser) NextCandidate() (key Key, ok bool) {
-	if g.next >= len(g.order) {
-		g.exhausted = true
-		return 0, false
+	domain := g.perm.domain()
+	for g.raw < domain {
+		v := g.perm.apply(g.raw)
+		g.raw++
+		if v < g.space.chi {
+			g.emitted++
+			g.probes++
+			return Key(v), true
+		}
 	}
-	guess := g.order[g.next]
-	g.next++
-	g.probes++
-	return Key(guess), true
+	g.exhausted = true
+	return 0, false
 }
 
 // Probe issues one probe and reports whether it hit the target key. A miss
 // permanently eliminates the probed candidate (the defender never
 // re-randomizes in this regime). Probing an exhausted space reports false.
 func (g *Guesser) Probe(target Key) bool {
-	if g.next >= len(g.order) {
-		g.exhausted = true
-		return false
-	}
-	guess := g.order[g.next]
-	g.next++
-	g.probes++
-	return Key(guess) == target
+	guess, ok := g.NextCandidate()
+	return ok && guess == target
 }
 
 // Reset discards eliminated-candidate knowledge, modelling the defender
-// re-randomizing: everything the attacker learned becomes useless.
+// re-randomizing: everything the attacker learned becomes useless. The
+// enumeration restarts under fresh Feistel keys — a new permutation.
 func (g *Guesser) Reset() {
-	g.rng.Shuffle(len(g.order), func(i, j int) { g.order[i], g.order[j] = g.order[j], g.order[i] })
-	g.next = 0
+	g.perm = newFeistelPerm(g.space.chi, g.rng)
+	g.raw = 0
+	g.emitted = 0
 	g.exhausted = false
 }
 

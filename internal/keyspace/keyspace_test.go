@@ -203,10 +203,77 @@ func TestGuesserReset(t *testing.T) {
 	}
 }
 
-func TestGuesserRejectsHugeSpace(t *testing.T) {
-	s := mustSpace(t, 1<<25)
-	if _, err := NewGuesser(s, xrand.New(1)); err == nil {
-		t.Fatal("huge space accepted")
+// The lazy Feistel order removed the old χ ≤ 2²⁴ materialization limit:
+// huge spaces construct in O(1) memory and enumerate distinct in-range
+// candidates immediately.
+func TestGuesserLazyHugeSpace(t *testing.T) {
+	s := mustSpace(t, 1<<40)
+	g, err := NewGuesser(s, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Key]bool)
+	for i := 0; i < 1000; i++ {
+		k, ok := g.NextCandidate()
+		if !ok {
+			t.Fatalf("exhausted after %d candidates", i)
+		}
+		if uint64(k) >= s.Chi() {
+			t.Fatalf("candidate %d outside χ", k)
+		}
+		if seen[k] {
+			t.Fatalf("candidate %d repeated", k)
+		}
+		seen[k] = true
+	}
+	if g.Remaining() != s.Chi()-1000 {
+		t.Fatalf("remaining = %d", g.Remaining())
+	}
+	if _, err := NewGuesser(mustSpace(t, uint64(1)<<62+1), xrand.New(1)); err == nil {
+		t.Fatal("space beyond the Feistel domain bound accepted")
+	}
+}
+
+// Every candidate in [0, χ) appears exactly once per pass, including for a
+// χ that is not a power of two (the cycle-walking case), and a Reset yields
+// a different permutation from the same generator.
+func TestGuesserFeistelBijection(t *testing.T) {
+	for _, chi := range []uint64{1, 2, 3, 24, 100, 256, 1000} {
+		s := mustSpace(t, chi)
+		g, err := NewGuesser(s, xrand.New(chi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first []Key
+		seen := make(map[Key]bool)
+		for {
+			k, ok := g.NextCandidate()
+			if !ok {
+				break
+			}
+			if seen[k] {
+				t.Fatalf("χ=%d: candidate %d repeated", chi, k)
+			}
+			seen[k] = true
+			first = append(first, k)
+		}
+		if uint64(len(seen)) != chi {
+			t.Fatalf("χ=%d: %d distinct candidates", chi, len(seen))
+		}
+		g.Reset()
+		changed := false
+		for i := range first {
+			k, ok := g.NextCandidate()
+			if !ok {
+				t.Fatalf("χ=%d: exhausted early after reset", chi)
+			}
+			if k != first[i] {
+				changed = true
+			}
+		}
+		if chi >= 100 && !changed {
+			t.Fatalf("χ=%d: reset did not re-key the permutation", chi)
+		}
 	}
 }
 

@@ -79,3 +79,27 @@ type s2poStepKey struct {
 }
 
 var s2poStepCache sync.Map // s2poStepKey → float64
+
+// s2soELKey identifies one S2SO exact expected lifetime: the full Params
+// tuple the O(T²) conditioning sum depends on.
+type s2soELKey struct {
+	chi, omega uint64
+	proxies    int
+	kappa, lp  float64
+}
+
+var s2soELCache sync.Map // s2soELKey → float64
+
+// s2soELCached memoizes s2soAnalyticEL on (χ, ω, n_p, κ, λ). The sum is the
+// largest remaining analytic hot spot — quadratic in the horizon — and the
+// fig1/fortify sweeps revisit identical tuples across cells and benchmark
+// iterations.
+func s2soELCached(chi, omega uint64, proxies int, kappa, lp float64) float64 {
+	key := s2soELKey{chi: chi, omega: omega, proxies: proxies, kappa: kappa, lp: lp}
+	if v, ok := s2soELCache.Load(key); ok {
+		return v.(float64)
+	}
+	el := s2soAnalyticEL(chi, omega, proxies, kappa, lp)
+	s2soELCache.Store(key, el)
+	return el
+}

@@ -212,6 +212,9 @@ const maxAnalyticSteps = 4096
 //
 // evaluated as exact products. Larger horizons return
 // ErrAnalyticUnavailable; use EstimateSO.
+//
+// The O(T²) conditioning sum is memoized on the full parameter tuple
+// (χ, ω, n_p, κ, λ) in cache.go, like the other analytic hot spots.
 func (s S2SO) AnalyticEL() (float64, error) {
 	if err := s.P.Validate(); err != nil {
 		return 0, err
@@ -224,20 +227,26 @@ func (s S2SO) AnalyticEL() (float64, error) {
 	if horizon > maxAnalyticSteps {
 		return 0, ErrAnalyticUnavailable
 	}
-	chi := float64(s.P.Chi)
+	return s2soELCached(s.P.Chi, omega, s.P.Proxies, s.P.Kappa, s.P.LaunchPadFraction), nil
+}
+
+// s2soAnalyticEL is the exact conditioning sum behind S2SO.AnalyticEL; the
+// caller has already validated the parameters and bounded the horizon.
+func s2soAnalyticEL(chiN, omega uint64, np int, kappa, lpFrac float64) float64 {
+	horizon := (chiN + omega - 1) / omega
+	chi := float64(chiN)
 	w := float64(omega)
-	np := s.P.Proxies
-	kappaRate := s.P.Kappa * w
-	lp := s.P.LaunchPadFraction * w
+	kappaRate := kappa * w
+	lp := lpFrac * w
 
 	// ratioAllAbove(a) = P(all n_p proxy positions > a) = C(χ−a, np)/C(χ, np).
 	ratioAllAbove := func(a uint64) float64 {
-		if a >= s.P.Chi {
+		if a >= chiN {
 			return 0
 		}
 		p := 1.0
 		for j := 0; j < np; j++ {
-			num := float64(s.P.Chi-a) - float64(j)
+			num := float64(chiN-a) - float64(j)
 			if num <= 0 {
 				return 0
 			}
@@ -263,8 +272,8 @@ func (s S2SO) AnalyticEL() (float64, error) {
 	}
 	window := func(t uint64) uint64 {
 		m := t * omega
-		if m > s.P.Chi {
-			m = s.P.Chi
+		if m > chiN {
+			m = chiN
 		}
 		return m
 	}
@@ -301,7 +310,7 @@ func (s S2SO) AnalyticEL() (float64, error) {
 			break
 		}
 	}
-	return el, nil
+	return el
 }
 
 // SimulateLifetime implements LifetimeSystem.

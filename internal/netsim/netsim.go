@@ -32,7 +32,9 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fortress/internal/xrand"
@@ -104,10 +106,12 @@ type Network struct {
 	// The drop-rate generator has its own mutex so lossy-link sampling on
 	// the Send fast path never touches the topology lock above: concurrent
 	// connections (and concurrent campaigns sharing a process) contend only
-	// on dropMu, and only when a drop rate is configured at all.
+	// on dropMu, and only when a drop rate is configured at all. The rate
+	// itself is an atomic (Float64bits) so the no-drop fast path is one
+	// relaxed load even while a fault schedule mutates the rate at runtime.
 	dropMu   sync.Mutex
-	dropRate float64
-	rng      *xrand.RNG
+	dropRate atomic.Uint64 // math.Float64bits of the current rate
+	rng      *xrand.RNG    // guarded by dropMu
 }
 
 // Option configures a Network.
@@ -118,9 +122,28 @@ type Option func(*Network)
 // open; only payloads vanish — modelling a lossy but unbroken link.
 func WithDropRate(p float64, rng *xrand.RNG) Option {
 	return func(n *Network) {
-		n.dropRate = p
+		n.dropRate.Store(math.Float64bits(p))
 		n.rng = rng
 	}
+}
+
+// SetDropRate changes the lossy-link drop probability at runtime — the knob
+// fault schedules turn mid-campaign. A non-nil rng replaces the drop
+// generator; a nil rng keeps the current one (messages are never dropped
+// while no generator is configured, whatever the rate). Safe for concurrent
+// use with live traffic.
+func (n *Network) SetDropRate(p float64, rng *xrand.RNG) {
+	n.dropMu.Lock()
+	if rng != nil {
+		n.rng = rng
+	}
+	n.dropRate.Store(math.Float64bits(p))
+	n.dropMu.Unlock()
+}
+
+// DropRate returns the current lossy-link drop probability.
+func (n *Network) DropRate() float64 {
+	return math.Float64frombits(n.dropRate.Load())
 }
 
 // NewNetwork creates an empty network.
@@ -166,6 +189,61 @@ func (n *Network) Heal(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.partitions, partKey(a, b))
+}
+
+// PartitionGroup severs every cross pair between the two address groups
+// under a single topology-lock pass: existing connections crossing the cut
+// are closed and new dials across it fail with ErrUnreachable until healed.
+// Pairs within one group are unaffected — this is the multi-node network
+// split (a rack losing its uplink, a quorum islanded from the proxy tier)
+// that per-pair Partition calls would apply one teardown scan at a time.
+func (n *Network) PartitionGroup(groupA, groupB []string) {
+	inA := addrSet(groupA)
+	inB := addrSet(groupB)
+	n.mu.Lock()
+	for a := range inA {
+		for b := range inB {
+			if a != b {
+				n.partitions[partKey(a, b)] = struct{}{}
+			}
+		}
+	}
+	var toClose []*Conn
+	for c := range n.conns {
+		if (inA[c.local] && inB[c.remote]) || (inB[c.local] && inA[c.remote]) {
+			toClose = append(toClose, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range toClose {
+		c.Close()
+	}
+}
+
+// HealGroup removes every cross-pair partition between the two groups.
+func (n *Network) HealGroup(groupA, groupB []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			delete(n.partitions, partKey(a, b))
+		}
+	}
+}
+
+// HealAll removes every partition on the network.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[[2]string]struct{})
+}
+
+func addrSet(addrs []string) map[string]bool {
+	s := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		s[a] = true
+	}
+	return s
 }
 
 func (n *Network) partitioned(a, b string) bool {
@@ -266,17 +344,20 @@ func (n *Network) forget(c *Conn) {
 }
 
 // shouldDrop samples the lossy-link model. It touches only dropMu, never the
-// topology lock, and not even that when no drop rate is configured.
+// topology lock, and not even that when no drop rate is configured — the
+// fast path is a single atomic load, so SetDropRate may flip the rate while
+// traffic flows.
 func (n *Network) shouldDrop() bool {
-	if n.dropRate <= 0 {
+	if math.Float64frombits(n.dropRate.Load()) <= 0 {
 		return false
 	}
 	n.dropMu.Lock()
 	defer n.dropMu.Unlock()
-	if n.rng == nil {
+	p := math.Float64frombits(n.dropRate.Load())
+	if n.rng == nil || p <= 0 {
 		return false
 	}
-	return n.rng.Bernoulli(n.dropRate)
+	return n.rng.Bernoulli(p)
 }
 
 // Listener accepts inbound connections at a fixed address.

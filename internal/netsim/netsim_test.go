@@ -784,3 +784,110 @@ func BenchmarkSendRecvBatch(b *testing.B) {
 		}
 	}
 }
+
+func TestPartitionGroupSeversOnlyCrossPairs(t *testing.T) {
+	n := NewNetwork()
+	groupA := []string{"a1", "a2", "a3"}
+	groupB := []string{"b1", "b2", "b3"}
+	intra, _ := pipe(t, n, "a1", "a2") // within group A
+	cross, _ := pipe(t, n, "a3", "b1")
+	// An accepting listener at b3, untouched by pipe, for the heal check.
+	lb, err := n.Listen("b3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	go func() {
+		for {
+			conn, aerr := lb.Accept()
+			if aerr != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	n.PartitionGroup(groupA, groupB)
+	if !cross.Closed() {
+		t.Fatal("cross-group connection survived the cut")
+	}
+	if intra.Closed() {
+		t.Fatal("intra-group connection closed by the cut")
+	}
+	for _, pair := range [][2]string{{"a1", "b1"}, {"a2", "b3"}, {"b2", "a1"}} {
+		if _, err := n.Dial(pair[0], pair[1]); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("dial %s→%s across cut: %v", pair[0], pair[1], err)
+		}
+	}
+	// Addresses outside either group are unaffected.
+	if _, err := n.Dial("outsider", "b3"); err != nil {
+		t.Fatalf("outside dial during cut: %v", err)
+	}
+
+	n.HealGroup(groupA, groupB)
+	if _, err := n.Dial("a1", "b3"); err != nil {
+		t.Fatalf("dial after HealGroup: %v", err)
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	n := NewNetwork()
+	n.Partition("a", "b")
+	n.PartitionGroup([]string{"c"}, []string{"d", "e"})
+	n.HealAll()
+	for _, pair := range [][2]string{{"a", "b"}, {"c", "d"}, {"c", "e"}} {
+		l, err := n.Listen(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			if conn, aerr := l.Accept(); aerr == nil {
+				conn.Close()
+			}
+		}()
+		if _, err := n.Dial(pair[0], pair[1]); err != nil {
+			t.Fatalf("dial %s→%s after HealAll: %v", pair[0], pair[1], err)
+		}
+		l.Close()
+	}
+}
+
+// TestSetDropRateRuntime flips the drop rate on a live connection: rate 1
+// with a generator drops everything, rate 0 restores delivery, and a
+// positive rate with no generator configured never drops.
+func TestSetDropRateRuntime(t *testing.T) {
+	n := NewNetwork()
+	c, s := pipe(t, n, "a", "b")
+
+	n.SetDropRate(1, nil) // no generator yet: must not drop
+	if err := c.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RecvTimeout(time.Second); err != nil {
+		t.Fatalf("send with rate 1 but no rng was dropped: %v", err)
+	}
+
+	n.SetDropRate(1, xrand.New(7))
+	if got := n.DropRate(); got != 1 {
+		t.Fatalf("DropRate = %v", got)
+	}
+	if err := c.Send([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RecvTimeout(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("send at rate 1 was delivered: %v", err)
+	}
+
+	n.SetDropRate(0, nil)
+	if err := c.Send([]byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := s.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatalf("send after rate reset: %v", err)
+	}
+	if msg[0] != 3 {
+		t.Fatalf("got payload %v", msg)
+	}
+	Release(msg)
+}

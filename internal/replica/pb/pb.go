@@ -255,6 +255,59 @@ func (r *Replica) shutdown() {
 	}
 }
 
+// Restart re-opens a stopped or crashed replica in place — the supervised
+// respawn-and-reconnect idiom: the listener re-registers at the same address
+// (netsim allows it once CrashAddr or Close has torn the old one out), the
+// serve loops come back, and the node rejoins the group under its retained
+// service state and sequence number.
+//
+// A multi-replica node always rejoins as a backup, whatever its start-up
+// role: the cluster may have failed over while it was down, and a rejoining
+// initial primary that reclaimed its role would overwrite the current
+// primary's newer state with its stale snapshot. Its stale state converges
+// at the next primary update, which carries a full snapshot. Only a
+// single-replica deployment restarts straight into the primary role (there
+// is no one else to defer to). Restarting a running replica is an error.
+//
+// This is the node-local restart primitive (a process supervisor's view);
+// fortress-level fault recovery instead rebuilds the replica from a live
+// peer's snapshot (fortress.RestartServer), trading retained local state
+// for guaranteed freshness.
+func (r *Replica) Restart() error {
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if !stopped {
+		return errors.New("pb: restart of a running replica")
+	}
+	// The previous generation's goroutines must be fully out before the
+	// listener and stop channel are replaced under them.
+	r.done.Wait()
+	l, err := r.cfg.Net.Listen(r.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("pb: restart listen: %w", err)
+	}
+	r.mu.Lock()
+	r.stopped = false
+	r.listener = l
+	r.stop = make(chan struct{})
+	r.role = RoleBackup
+	if len(r.cfg.Peers) == 1 {
+		r.role = RolePrimary
+	}
+	// primaryIdx keeps its pre-crash value; the current primary's next
+	// heartbeat corrects it, and the failover timer covers a silent group.
+	r.suspected = make(map[int]bool)
+	// Parked requesters were disconnected by the shutdown; they resubmit.
+	r.pending = make(map[string][]*netsim.Conn)
+	r.lastHeartbeat = time.Now()
+	r.mu.Unlock()
+	r.done.Add(2)
+	go r.acceptLoop()
+	go r.timerLoop()
+	return nil
+}
+
 // Crash simulates a node crash: the replica is made inert and its address
 // torn out of the network synchronously — every peer and requester observes
 // closed connections and the replica can take no further protocol actions —
@@ -305,53 +358,70 @@ func (r *Replica) forgetInbound(conn *netsim.Conn) {
 	r.mu.Unlock()
 }
 
+// serveConn drains the connection's backlog a whole batch at a time
+// (RecvBatch: one queue-lock acquisition per drain), releases every decoded
+// payload buffer back to the netsim pool, and sends the batch's responses
+// with one SendBatch — the batched-transport adoption that keeps a loaded
+// replica's per-message cost at one append and one index bump.
 func (r *Replica) serveConn(conn *netsim.Conn) {
 	defer r.done.Done()
 	defer r.forgetInbound(conn)
 	defer conn.Close()
+	var batch, outbox [][]byte
 	for {
-		raw, err := conn.Recv()
+		var err error
+		batch, err = conn.RecvBatch(batch[:0])
 		if err != nil {
 			return
 		}
-		var m wireMsg
-		uerr := json.Unmarshal(raw, &m)
-		netsim.Release(raw) // decoded: json copied every field out of raw
-		if uerr != nil {
-			continue // malformed traffic is dropped, never crashes a replica
+		outbox = outbox[:0]
+		for _, raw := range batch {
+			var m wireMsg
+			uerr := json.Unmarshal(raw, &m)
+			netsim.Release(raw) // decoded: json copied every field out of raw
+			if uerr != nil {
+				continue // malformed traffic is dropped, never crashes a replica
+			}
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+			switch m.Type {
+			case msgRequest:
+				if resp := r.handleRequest(conn, m); resp != nil {
+					outbox = append(outbox, resp)
+				}
+			case msgUpdate:
+				r.handleUpdate(conn, m)
+			case msgHeartbeat:
+				r.handleHeartbeat(m)
+			case msgAck:
+				// Asynchronous PB: acks are informational.
+			}
 		}
-		select {
-		case <-r.stop:
-			return
-		default:
-		}
-		switch m.Type {
-		case msgRequest:
-			r.handleRequest(conn, m)
-		case msgUpdate:
-			r.handleUpdate(conn, m)
-		case msgHeartbeat:
-			r.handleHeartbeat(m)
-		case msgAck:
-			// Asynchronous PB: acks are informational.
+		if len(outbox) > 0 {
+			_ = conn.SendBatch(outbox)
 		}
 	}
 }
 
-// handleRequest serves a request according to the current role.
-func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
+// handleRequest serves a request according to the current role. It returns
+// the encoded response to deliver on the caller's connection — nil when the
+// request is parked on a backup — so serveConn can batch a whole drain's
+// responses into one SendBatch.
+func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) []byte {
 	r.mu.Lock()
 	if cached, ok := r.respCache[m.RequestID]; ok {
 		r.mu.Unlock()
-		r.reply(conn, m.RequestID, cached)
-		return
+		return r.responseBytes(m.RequestID, cached)
 	}
 	isPrimary := r.role == RolePrimary
 	if !isPrimary {
 		// Backup: park the connection until the primary's update arrives.
 		r.pending[m.RequestID] = append(r.pending[m.RequestID], conn)
 		r.mu.Unlock()
-		return
+		return nil
 	}
 	r.mu.Unlock()
 
@@ -367,8 +437,7 @@ func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
 	// Re-check: a concurrent duplicate may have won the race.
 	if prior, ok := r.respCache[m.RequestID]; ok {
 		r.mu.Unlock()
-		r.reply(conn, m.RequestID, prior)
-		return
+		return r.responseBytes(m.RequestID, prior)
 	}
 	r.seq++
 	seq := r.seq
@@ -387,17 +456,22 @@ func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
 		})
 		r.broadcastToBackups(update)
 	}
-	r.reply(conn, m.RequestID, cached)
+	return r.responseBytes(m.RequestID, cached)
 }
 
-// reply signs and sends the response for a request on the given connection.
-func (r *Replica) reply(conn *netsim.Conn, requestID string, c cachedResp) {
+// responseBytes signs and encodes the response for a request.
+func (r *Replica) responseBytes(requestID string, c cachedResp) []byte {
 	payload := c.body
 	if c.errMsg != "" {
 		payload = []byte("error: " + c.errMsg)
 	}
 	resp := sig.SignServerResponse(r.cfg.Keys, requestID, payload, r.cfg.Index)
-	_ = conn.Send(encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp}))
+	return encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp})
+}
+
+// reply signs and sends the response for a request on the given connection.
+func (r *Replica) reply(conn *netsim.Conn, requestID string, c cachedResp) {
+	_ = conn.Send(r.responseBytes(requestID, c))
 }
 
 // handleUpdate applies a primary state update on a backup.

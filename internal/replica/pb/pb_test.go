@@ -400,3 +400,120 @@ func TestStopTerminatesWithIdleInboundConns(t *testing.T) {
 		}
 	}
 }
+
+// TestRestartAfterCrash is the restartable-serve-loop contract: a crashed
+// replica re-registers its listener at the same address, serves again, and
+// keeps its response cache and sequence number.
+func TestRestartAfterCrash(t *testing.T) {
+	net, rs := cluster(t, 1, func(int) service.Service { return service.NewKV() })
+	orig, err := Request(net, "c", rs[0].Addr(), "w1", kvPut(t, "k", "v"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqBefore := rs[0].Seq()
+
+	rs[0].Crash()
+	if _, err := net.Dial("c", rs[0].Addr()); err == nil {
+		t.Fatal("crashed replica accepted a dial")
+	}
+	if err := rs[0].Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if rs[0].Seq() != seqBefore {
+		t.Fatalf("seq %d after restart, want %d", rs[0].Seq(), seqBefore)
+	}
+	// The response cache survived: a duplicate of the pre-crash request is
+	// answered from cache, and fresh requests execute against retained state.
+	resp, err := Request(net, "c", rs[0].Addr(), "w1", nil, reqTimeout)
+	if err != nil {
+		t.Fatalf("cached request after restart: %v", err)
+	}
+	if string(resp.Body) != string(orig.Body) {
+		t.Fatalf("cached response %q, want %q", resp.Body, orig.Body)
+	}
+	resp, err = Request(net, "c", rs[0].Addr(), "r1", kvGet(t, "k"), reqTimeout)
+	if err != nil {
+		t.Fatalf("fresh request after restart: %v", err)
+	}
+	var got service.KVResponse
+	if err := json.Unmarshal(resp.Body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Value != "v" {
+		t.Fatalf("read %+v after restart, want value \"v\"", got)
+	}
+}
+
+func TestRestartOfRunningReplicaErrors(t *testing.T) {
+	_, rs := cluster(t, 1, func(int) service.Service { return service.NewKV() })
+	if err := rs[0].Restart(); err == nil {
+		t.Fatal("restart of a running replica accepted")
+	}
+}
+
+// TestRestartRejoinsAsBackup checks a restarted non-initial-primary rejoins
+// as a backup and resyncs from the primary's next update.
+func TestRestartRejoinsAsBackup(t *testing.T) {
+	net, rs := cluster(t, 2, func(int) service.Service { return service.NewKV() })
+	if _, err := Request(net, "c", rs[0].Addr(), "w1", kvPut(t, "k", "v1"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	rs[1].Crash()
+	if err := rs[1].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Role() != RoleBackup {
+		t.Fatalf("restarted replica role %v, want backup", rs[1].Role())
+	}
+	if _, err := Request(net, "c", rs[0].Addr(), "w2", kvPut(t, "k", "v2"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// The update that carried w2 resynced the restarted backup.
+	deadline := time.Now().Add(2 * time.Second)
+	for rs[1].Seq() < rs[0].Seq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("backup seq %d never caught primary seq %d", rs[1].Seq(), rs[0].Seq())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRestartedInitialPrimaryDoesNotReclaimRole pins the failover-safety
+// contract: after the cluster has failed over, a restarted initial primary
+// rejoins as a backup and adopts the successor instead of usurping it with
+// stale state.
+func TestRestartedInitialPrimaryDoesNotReclaimRole(t *testing.T) {
+	net, rs := cluster(t, 2, func(int) service.Service { return service.NewKV() })
+	if _, err := Request(net, "c", rs[0].Addr(), "w1", kvPut(t, "k", "v1"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	rs[0].Crash()
+	deadline := time.Now().Add(2 * time.Second)
+	for rs[1].Role() != RolePrimary {
+		if time.Now().After(deadline) {
+			t.Fatal("backup never promoted after primary crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := rs[0].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Role() != RoleBackup {
+		t.Fatalf("restarted initial primary rejoined as %v, want backup", rs[0].Role())
+	}
+	// Commit a write through the successor; the restarted node must adopt it
+	// and resync rather than demote it.
+	if _, err := Request(net, "c", rs[1].Addr(), "w2", kvPut(t, "k", "v2"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for rs[0].PrimaryIndex() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted node follows %d, want 1", rs[0].PrimaryIndex())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rs[1].Role() != RolePrimary {
+		t.Fatalf("successor demoted to %v by the restarted node", rs[1].Role())
+	}
+}

@@ -249,6 +249,53 @@ func (r *Replica) shutdown() {
 	}
 }
 
+// leaderUnknown is the post-restart leader sentinel: larger than any real
+// replica index, so the first heartbeat heard (From <= leaderIdx) is adopted
+// whoever sends it, and the restarted node never believes it leads until the
+// group is provably silent for a full failover timeout.
+const leaderUnknown = 1 << 30
+
+// Restart re-opens a stopped or crashed replica in place, mirroring
+// pb.Replica.Restart: the listener re-registers at the same address, the
+// serve loops come back, and the node rejoins with its executed log and
+// response cache retained. A multi-replica node rejoins with an unknown
+// leader and adopts whichever leader heartbeats first — a restarted
+// lowest-index node must not reclaim the sequencer role with a stale
+// sequence counter while a failed-over leader is live. Restarting a running
+// replica is an error.
+func (r *Replica) Restart() error {
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if !stopped {
+		return errors.New("smr: restart of a running replica")
+	}
+	// The previous generation's goroutines must be fully out before the
+	// listener and stop channel are replaced under them.
+	r.done.Wait()
+	l, err := r.cfg.Net.Listen(r.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("smr: restart listen: %w", err)
+	}
+	r.mu.Lock()
+	r.stopped = false
+	r.listener = l
+	r.stop = make(chan struct{})
+	r.leaderIdx = leaderUnknown
+	if len(r.cfg.Peers) == 1 {
+		r.leaderIdx = r.cfg.Index
+	}
+	r.suspected = make(map[int]bool)
+	// Parked clients were disconnected by the shutdown; they resubmit.
+	r.pending = make(map[string][]*netsim.Conn)
+	r.lastHeartbeat = time.Now()
+	r.mu.Unlock()
+	r.done.Add(2)
+	go r.acceptLoop()
+	go r.timerLoop()
+	return nil
+}
+
 // Crash simulates a node crash observable by all peers: the replica is made
 // inert and its address torn down synchronously; goroutine shutdown
 // completes in the background, so Crash may be called from within request

@@ -7,10 +7,13 @@
 # serial-vs-parallel ratio for every benchmark that has both variants
 # (BenchmarkFigure1, BenchmarkFigure2, BenchmarkOrderingChain,
 # BenchmarkFortify, BenchmarkEstimateSOParallel, and the live-system
-# BenchmarkCampaignSeries). Compare files across dates to see whether a
-# PR moved the hot paths — e.g. BenchmarkSendRecv tracks the netsim
-# batched-delivery work and BenchmarkCampaignSeries the campaign-level
-# parallelism.
+# BenchmarkCampaignSeries and BenchmarkFaultCampaignSeries — the latter
+# is the fault-campaign sub-benchmark: a series under the
+# rolling-partition schedule with availability measurement on). Compare
+# files across dates to see whether a PR moved the hot paths — e.g.
+# BenchmarkSendRecv tracks the netsim batched-delivery work,
+# BenchmarkCampaignSeries the campaign-level parallelism, and
+# BenchmarkFaultCampaignSeries the fault-injection overhead.
 #
 # Usage:
 #   scripts/bench.sh [bench-regex]        # default: . (all benchmarks)
