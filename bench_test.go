@@ -21,6 +21,9 @@ import (
 	"fortress/internal/keyspace"
 	"fortress/internal/memlayout"
 	"fortress/internal/model"
+	"fortress/internal/netsim"
+	"fortress/internal/replica"
+	"fortress/internal/replica/core"
 	"fortress/internal/service"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
@@ -290,9 +293,12 @@ func BenchmarkCampaignSeries(b *testing.B) {
 // BenchmarkFaultCampaignSeries measures live-campaign throughput under an
 // active fault schedule: the rolling-partition preset replayed by a
 // per-repetition injector, with per-step availability measurement on — the
-// degraded-network counterpart of BenchmarkCampaignSeries. Both variants
-// produce bit-identical merged results (see
-// attack.TestCampaignSeriesWithInjectorBitIdentical).
+// degraded-network counterpart of BenchmarkCampaignSeries. The benchmark
+// runs once per replication backend, so BENCH_<date>.json tracks PB-vs-SMR
+// fault-campaign cost and availability side by side. All variants produce
+// bit-identical merged results per backend (see
+// attack.TestCampaignSeriesWithInjectorBitIdentical and
+// experiments.TestFaultSweepSMRBitIdenticalAcrossWorkers).
 func BenchmarkFaultCampaignSeries(b *testing.B) {
 	preset, err := faults.PresetByName("rolling-partition")
 	if err != nil {
@@ -304,48 +310,136 @@ func BenchmarkFaultCampaignSeries(b *testing.B) {
 		maxSteps = 30
 	)
 	sched := preset.Build(servers, proxies, maxSteps)
-	for _, v := range campaignVariants {
-		b.Run(v.name, func(b *testing.B) {
-			var series attack.SeriesResult
-			for i := 0; i < b.N; i++ {
-				space, err := keyspace.NewSpace(24)
-				if err != nil {
-					b.Fatal(err)
+	for _, backend := range []replica.Backend{replica.BackendPB, replica.BackendSMR} {
+		for _, v := range campaignVariants {
+			b.Run(backend.String()+"/"+v.name, func(b *testing.B) {
+				var series attack.SeriesResult
+				for i := 0; i < b.N; i++ {
+					space, err := keyspace.NewSpace(24)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tmpl := fortress.Config{
+						Servers:           servers,
+						Proxies:           proxies,
+						Backend:           backend,
+						ServiceFactory:    func() service.Service { return service.NewKV() },
+						HeartbeatInterval: 5 * time.Millisecond,
+						HeartbeatTimeout:  400 * time.Millisecond,
+						ServerTimeout:     150 * time.Millisecond,
+					}
+					series, err = attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
+						Campaign: attack.CampaignConfig{
+							OmegaDirect:         2,
+							OmegaIndirect:       1,
+							MaxSteps:            maxSteps,
+							MeasureAvailability: true,
+							HealthTimeout:       600 * time.Millisecond,
+							ProbeTimeout:        2 * time.Second,
+						},
+						Workers: v.workers,
+						MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) attack.StepInjector {
+							inj, err := faults.NewInjector(sched, sys, rng)
+							if err != nil {
+								b.Fatal(err)
+							}
+							return inj
+						},
+					}, 4, xrand.New(100))
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-				tmpl := fortress.Config{
-					Servers:           servers,
-					Proxies:           proxies,
-					ServiceFactory:    func() service.Service { return service.NewKV() },
-					HeartbeatInterval: 5 * time.Millisecond,
-					HeartbeatTimeout:  400 * time.Millisecond,
-					ServerTimeout:     150 * time.Millisecond,
-				}
-				series, err = attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
-					Campaign: attack.CampaignConfig{
-						OmegaDirect:         2,
-						OmegaIndirect:       1,
-						MaxSteps:            maxSteps,
-						MeasureAvailability: true,
-						HealthTimeout:       600 * time.Millisecond,
-						ProbeTimeout:        2 * time.Second,
-					},
-					Workers: v.workers,
-					MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) attack.StepInjector {
-						inj, err := faults.NewInjector(sched, sys, rng)
-						if err != nil {
-							b.Fatal(err)
-						}
-						return inj
-					},
-				}, 4, xrand.New(100))
-				if err != nil {
-					b.Fatal(err)
+				b.ReportMetric(series.Lifetime.Mean, "lifetime-steps")
+				b.ReportMetric(series.Availability.Mean, "availability")
+			})
+		}
+	}
+}
+
+// fanoutHandler is the no-op protocol for BenchmarkUpdateFanout receivers.
+type fanoutHandler struct{}
+
+func (fanoutHandler) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte) [][]byte {
+	return replies
+}
+func (fanoutHandler) Tick()   {}
+func (fanoutHandler) Rejoin() {}
+
+// BenchmarkUpdateFanout measures the primary's per-request fan-out cost
+// through the shared node runtime: per-message (one flush per staged
+// update — one SendBatch of one message per backup, the old
+// broadcastToBackups shape) versus batched (a whole drained batch's
+// updates staged per backup, shipped with a single SendBatch flush). The
+// batched variant is what pb's primary now does when one inbound drain
+// executes several requests.
+func BenchmarkUpdateFanout(b *testing.B) {
+	const (
+		backups     = 3
+		perBatch    = 32  // updates executed per drained inbound batch
+		payloadSize = 256 // roughly a small KV snapshot update
+	)
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	const rounds = 16 // fan-out bursts per op, so a 1x run still averages
+	setup := func(b *testing.B) *core.Node {
+		b.Helper()
+		net := netsim.NewNetwork()
+		peers := make(map[int]string, backups+1)
+		for i := 0; i <= backups; i++ {
+			peers[i] = fmt.Sprintf("fanout-%d", i)
+		}
+		var nodes []*core.Node
+		for i := 0; i <= backups; i++ {
+			n, err := core.NewNode(core.Config{
+				Index: i, Addr: peers[i], Peers: peers, Net: net,
+				TickInterval: time.Hour, // timers out of the measurement
+			}, fanoutHandler{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := n.Start(); err != nil {
+				b.Fatal(err)
+			}
+			nodes = append(nodes, n)
+		}
+		b.Cleanup(func() {
+			for _, n := range nodes {
+				n.Stop()
+			}
+		})
+		// Warm the peer-connection cache and the outbox/payload pools, so
+		// the measurement is steady-state fan-out, not dial setup.
+		nodes[0].Broadcast(payload)
+		nodes[0].Flush()
+		return nodes[0]
+	}
+	b.Run("per-message", func(b *testing.B) {
+		primary := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rounds; r++ {
+				for m := 0; m < perBatch; m++ {
+					primary.Broadcast(payload)
+					primary.Flush()
 				}
 			}
-			b.ReportMetric(series.Lifetime.Mean, "lifetime-steps")
-			b.ReportMetric(series.Availability.Mean, "availability")
-		})
-	}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		primary := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rounds; r++ {
+				for m := 0; m < perBatch; m++ {
+					primary.Broadcast(payload)
+				}
+				primary.Flush()
+			}
+		}
+	})
 }
 
 // BenchmarkLaunchPadAblation quantifies the λ design knob from DESIGN.md

@@ -10,12 +10,13 @@
 //	fortress alphas [-alpha A] [-steps N]                E6: αᵢ growth, SO vs PO
 //	fortress demo                                        end-to-end FORTRESS service
 //	fortress attack [-chi N] [-steps N] [-po]            one campaign vs one live deployment
-//	fortress campaign [-reps N] [-workers W] [-po]       live-campaign sweep: (proxies ×
-//	                                                     detector × pacing) grid, N campaign
-//	                                                     repetitions per cell
-//	fortress faults [-preset P[,P...]] [-reps N]         degraded-network sweep: (fault
-//	                                                     schedule × drop rate × proxies)
-//	                                                     grid with per-step availability
+//	fortress campaign [-reps N] [-workers W] [-po]       live-campaign sweep: (backend ×
+//	                                                     proxies × detector × pacing) grid,
+//	                                                     N campaign repetitions per cell
+//	fortress faults [-preset P[,P...]] [-reps N]         degraded-network sweep: (backend ×
+//	                                                     fault schedule × drop rate ×
+//	                                                     proxies) grid with per-step
+//	                                                     availability
 //
 // Every Monte-Carlo subcommand takes -workers (default: runtime.GOMAXPROCS,
 // i.e. all cores): experiment cells and the trial shards within each cell
@@ -43,6 +44,7 @@ import (
 	"fortress/internal/faults"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
+	"fortress/internal/replica"
 	"fortress/internal/service"
 	"fortress/internal/xrand"
 )
@@ -301,7 +303,9 @@ func runCampaign(args []string) error {
 	steps := fs.Uint64("steps", 40, "campaign horizon in unit time-steps")
 	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
 	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
-	servers := fs.Int("servers", 3, "PB server count n_s")
+	servers := fs.Int("servers", 3, "server count n_s")
+	backendList := fs.String("backend", "pb",
+		"comma-separated server-tier replication backends (pb, smr); smr cells replay the same campaigns against a state-machine-replicated tier with leader-driven catch-up")
 	proxiesList := fs.String("proxies", "2,3,4", "comma-separated proxy-count grid")
 	pacingList := fs.String("pacing", "0,1,2", "comma-separated indirect-probe (κ·ω) grid")
 	detector := fs.String("detector", "both", "detector grid: off, on, or both")
@@ -329,6 +333,10 @@ func runCampaign(args []string) error {
 	}
 	if *servers <= 0 {
 		return fmt.Errorf("-servers must be at least 1, got %d", *servers)
+	}
+	backends, err := parseBackendList(*backendList)
+	if err != nil {
+		return fmt.Errorf("-backend: %w", err)
 	}
 	proxyCounts, err := parseIntList(*proxiesList)
 	if err != nil {
@@ -358,6 +366,7 @@ func runCampaign(args []string) error {
 		Rerandomize:       *po,
 		OmegaDirect:       *omegaD,
 		Servers:           *servers,
+		Backends:          backends,
 		ProxyCounts:       proxyCounts,
 		Detectors:         detectors,
 		Pacings:           pacings,
@@ -386,6 +395,26 @@ func runCampaign(args []string) error {
 		fmt.Println("# CSV written to", *csvPath)
 	}
 	return nil
+}
+
+// parseBackendList parses a comma-separated list of replication backend
+// names, validating each against the known backends.
+func parseBackendList(s string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			continue
+		}
+		if _, err := replica.ParseBackend(name); err != nil {
+			return nil, fmt.Errorf("%w (available: %s)", err, strings.Join(replica.BackendNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("must name at least one backend")
+	}
+	return out, nil
 }
 
 // parseFloatList parses a comma-separated list of non-negative floats.
@@ -421,9 +450,11 @@ func runFaults(args []string) error {
 	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
 	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
 	omegaI := fs.Uint64("omega-indirect", 1, "indirect probes per step")
-	servers := fs.Int("servers", 3, "PB server count n_s")
+	servers := fs.Int("servers", 3, "server count n_s")
+	backendList := fs.String("backend", "pb",
+		"comma-separated server-tier replication backends (pb, smr); pb,smr replays every fault schedule against both tiers for a PB-vs-SMR availability comparison, with restarted smr replicas catching up from the leader")
 	proxiesList := fs.String("proxies", "3", "comma-separated proxy-count grid")
-	dropsList := fs.String("drops", "0", "comma-separated drop-rate grid (cells with rate > 0 reproduce statistically, not bitwise)")
+	dropsList := fs.String("drops", "0", "comma-separated drop-rate grid (per-directed-pair drop streams keep positive-rate cells bitwise reproducible at any -workers)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
 	if err := fs.Parse(args); err != nil {
@@ -455,6 +486,10 @@ func runFaults(args []string) error {
 	if len(presetNames) == 0 {
 		return errors.New("-preset must name at least one preset")
 	}
+	backends, err := parseBackendList(*backendList)
+	if err != nil {
+		return fmt.Errorf("-backend: %w", err)
+	}
 	proxyCounts, err := parseIntList(*proxiesList)
 	if err != nil {
 		return fmt.Errorf("-proxies: %w", err)
@@ -473,6 +508,7 @@ func runFaults(args []string) error {
 		OmegaDirect:   *omegaD,
 		OmegaIndirect: *omegaI,
 		Servers:       *servers,
+		Backends:      backends,
 		Presets:       presetNames,
 		DropRates:     drops,
 		ProxyCounts:   proxyCounts,

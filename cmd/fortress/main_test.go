@@ -89,7 +89,7 @@ func TestRunCampaignCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(data), "proxies,detector,omega_indirect") {
+	if !strings.HasPrefix(string(data), "backend,proxies,detector,omega_indirect") {
 		t.Fatalf("campaign csv header wrong: %.60s", data)
 	}
 }

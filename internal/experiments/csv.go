@@ -52,15 +52,16 @@ func WriteFortifyCSV(w io.Writer, rows []FortifyComparison) error {
 }
 
 // WriteLiveCampaignCSV emits live-campaign sweep rows as CSV, one row per
-// (proxy count, detector, pacing) cell, ready for plotting next to the
-// fig1/fig2 series.
+// (backend, proxy count, detector, pacing) cell, ready for plotting next to
+// the fig1/fig2 series.
 func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 	if _, err := io.WriteString(w,
-		"proxies,detector,omega_indirect,reps,compromised,mean_lifetime,ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,proxies,detector,omega_indirect,reps,compromised,mean_lifetime,ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%d,%t,%d,%d,%d,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%d,%t,%d,%d,%d,%s,%s,%d,%d,%d\n",
+			r.Backend,
 			r.Proxies,
 			r.Detector,
 			r.OmegaIndirect,
@@ -80,14 +81,15 @@ func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 }
 
 // WriteFaultSweepCSV emits fault-sweep rows as CSV, one row per
-// (preset, drop rate, proxy count) cell.
+// (backend, preset, drop rate, proxy count) cell.
 func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
 	if _, err := io.WriteString(w,
-		"preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%s,%s,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+			r.Backend,
 			r.Preset,
 			formatFloat(r.DropRate),
 			r.Proxies,

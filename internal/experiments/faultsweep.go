@@ -10,18 +10,20 @@ import (
 	"fortress/internal/faults"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
+	"fortress/internal/replica"
 	"fortress/internal/service"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
 )
 
 // FaultSweepConfig tunes the degraded-network campaign sweep: a grid of
-// (fault-schedule preset × drop rate × proxy count) cells, each evaluated by
-// a series of campaign repetitions (attack.CampaignSeries) with a fault
-// injector replaying the preset against every repetition's own deployment,
-// and with per-step availability measurement on. Zero-valued fields select
-// defaults, except Seed (zero is itself a valid seed) and OmegaDirect (zero
-// means an indirect-only sweep), mirroring LiveCampaignConfig.
+// (backend × fault-schedule preset × drop rate × proxy count) cells, each
+// evaluated by a series of campaign repetitions (attack.CampaignSeries)
+// with a fault injector replaying the preset against every repetition's own
+// deployment, and with per-step availability measurement on. Zero-valued
+// fields select defaults, except Seed (zero is itself a valid seed) and
+// OmegaDirect (zero means an indirect-only sweep), mirroring
+// LiveCampaignConfig.
 type FaultSweepConfig struct {
 	// Chi is the randomization key-space size χ; small by design, as in the
 	// live-campaign sweep. Default 24.
@@ -43,19 +45,22 @@ type FaultSweepConfig struct {
 	OmegaDirect uint64
 	// OmegaIndirect is the paced indirect budget per step. Default 1.
 	OmegaIndirect uint64
-	// Servers is the PB server count n_s. Default 3.
+	// Servers is the server count n_s. Default 3.
 	Servers int
+	// Backends is the replication-engine grid, by name ("pb", "smr") —
+	// the same schedules replayed against both server tiers turn every
+	// sweep into a PB-vs-SMR availability comparison. Default {"pb"}.
+	Backends []string
 	// Presets is the fault-schedule grid, by preset name (faults.Presets).
 	// Default {"none", "rolling-partition", "quorum-partition",
 	// "proxy-outage"} — the pristine baseline plus the three deterministic
 	// degraded scenarios.
 	Presets []string
 	// DropRates is the lossy-link grid: each rate is installed at step 0 by
-	// the injector on top of the preset's schedule. Default {0}. Cells with
-	// a positive rate are statistically — not bitwise — reproducible: drop
-	// sampling is shared across connections, so concurrent traffic
-	// (heartbeats, replication) interleaves with probe traffic on the drop
-	// generator.
+	// the injector on top of the preset's schedule. Default {0}. Drop
+	// sampling draws from per-directed-pair streams seeded off each
+	// repetition's own generator, so positive-rate cells reproduce bitwise
+	// at any Workers value, like everything else.
 	DropRates []float64
 	// ProxyCounts is the n_p grid. Default {3}.
 	ProxyCounts []int
@@ -71,6 +76,7 @@ func DefaultFaultSweepConfig() FaultSweepConfig {
 		OmegaDirect:   2,
 		OmegaIndirect: 1,
 		Servers:       3,
+		Backends:      []string{"pb"},
 		Presets:       []string{"none", "rolling-partition", "quorum-partition", "proxy-outage"},
 		DropRates:     []float64{0},
 		ProxyCounts:   []int{3},
@@ -96,6 +102,9 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 	if c.Servers == 0 {
 		c.Servers = d.Servers
 	}
+	if len(c.Backends) == 0 {
+		c.Backends = d.Backends
+	}
 	if len(c.Presets) == 0 {
 		c.Presets = d.Presets
 	}
@@ -108,9 +117,10 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 	return c
 }
 
-// FaultSweepRow is one sweep cell: a (preset, drop rate, proxy count) point
-// with its aggregated campaign-series outcome.
+// FaultSweepRow is one sweep cell: a (backend, preset, drop rate, proxy
+// count) point with its aggregated campaign-series outcome.
 type FaultSweepRow struct {
+	Backend  string
 	Preset   string
 	DropRate float64
 	Proxies  int
@@ -145,13 +155,13 @@ const (
 // full de-randomization campaigns, each against its own FORTRESS deployment
 // on its own network, with a fault injector replaying the cell's schedule
 // preset (plus the cell's drop rate at step 0) against that deployment's
-// campaign-step clock. Rows come back in grid order (preset, then drop rate,
-// then proxy count).
+// campaign-step clock. Rows come back in grid order (backend, then preset,
+// then drop rate, then proxy count).
 //
 // Determinism matches the other sweeps: per-cell streams are pre-split in
 // grid order, per-repetition streams (injector included) in repetition
-// order, so zero-drop cells reproduce bit-identically from (Seed, Reps)
-// alone at any Workers value.
+// order, and drop sampling runs on per-directed-pair streams, so cells
+// reproduce bit-identically from (Seed, Reps) alone at any Workers value.
 func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Reps < 0 {
@@ -163,19 +173,26 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 	}
 
 	type cell struct {
+		backend replica.Backend
 		preset  faults.Preset
 		drop    float64
 		proxies int
 	}
 	var cells []cell
-	for _, name := range cfg.Presets {
-		p, err := faults.PresetByName(name)
+	for _, backendName := range cfg.Backends {
+		backend, err := replica.ParseBackend(backendName)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		for _, drop := range cfg.DropRates {
-			for _, np := range cfg.ProxyCounts {
-				cells = append(cells, cell{p, drop, np})
+		for _, name := range cfg.Presets {
+			p, err := faults.PresetByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			for _, drop := range cfg.DropRates {
+				for _, np := range cfg.ProxyCounts {
+					cells = append(cells, cell{backend, p, drop, np})
+				}
 			}
 		}
 	}
@@ -195,6 +212,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 		tmpl := fortress.Config{
 			Servers:           cfg.Servers,
 			Proxies:           c.proxies,
+			Backend:           c.backend,
 			ServiceFactory:    func() service.Service { return service.NewKV() },
 			HeartbeatInterval: faultSweepHeartbeatInterval,
 			HeartbeatTimeout:  faultSweepHeartbeatTimeout,
@@ -222,10 +240,11 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			},
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (preset=%s drop=%g np=%d): %w",
-				c.preset.Name, c.drop, c.proxies, err)
+			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d): %w",
+				c.backend, c.preset.Name, c.drop, c.proxies, err)
 		}
 		rows[i] = FaultSweepRow{
+			Backend:          c.backend.String(),
 			Preset:           c.preset.Name,
 			DropRate:         c.drop,
 			Proxies:          c.proxies,
@@ -248,11 +267,11 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 // FormatFaultSweep renders sweep rows as an aligned text table.
 func FormatFaultSweep(rows []FaultSweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %-6s %-8s %-6s %-12s %-14s %-10s %-13s %s\n",
-		"preset", "drop", "proxies", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
+	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-6s %-12s %-14s %-10s %-13s %s\n",
+		"backend", "preset", "drop", "proxies", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %-6g %-8d %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
-			r.Preset, r.DropRate, r.Proxies, r.Reps, r.Compromised,
+		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
+			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Reps, r.Compromised,
 			r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
 	}
 	return b.String()

@@ -92,12 +92,12 @@ func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 
 func TestFormatFaultSweepAndCSV(t *testing.T) {
 	rows := []FaultSweepRow{{
-		Preset: "none", DropRate: 0.5, Proxies: 3, Reps: 4, Compromised: 2,
+		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3, Reps: 4, Compromised: 2,
 		MeanLifetime: 7.25, CI95: 1.5, Availability: 0.875, AvailabilityCI95: 0.05,
 		Routes: map[string]uint64{"all-proxies": 2},
 	}}
 	table := FormatFaultSweep(rows)
-	for _, want := range []string{"preset", "availability", "none", "all-proxies:2"} {
+	for _, want := range []string{"backend", "preset", "availability", "none", "all-proxies:2"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -107,10 +107,10 @@ func TestFormatFaultSweepAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	if !strings.HasPrefix(got, "preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
+	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
 		t.Errorf("csv header: %q", got)
 	}
-	if !strings.Contains(got, "none,0.5,3,4,2,7.25,1.5,0.875,0.05,0,0,2") {
+	if !strings.Contains(got, "pb,none,0.5,3,4,2,7.25,1.5,0.875,0.05,0,0,2") {
 		t.Errorf("csv row: %q", got)
 	}
 }

@@ -10,15 +10,16 @@ import (
 	"fortress/internal/attack"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
+	"fortress/internal/replica"
 	"fortress/internal/service"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
 )
 
 // LiveCampaignConfig tunes the live-campaign sweep: a grid of
-// (proxy count × detector on/off × indirect pacing) cells, each evaluated by
-// a series of independent campaign repetitions against real FORTRESS
-// deployments (attack.CampaignSeries). Zero-valued fields select defaults,
+// (backend × proxy count × detector on/off × indirect pacing) cells, each
+// evaluated by a series of independent campaign repetitions against real
+// FORTRESS deployments (attack.CampaignSeries). Zero-valued fields select defaults,
 // except Seed and OmegaDirect, for which zero is itself meaningful (see the
 // field docs).
 type LiveCampaignConfig struct {
@@ -48,8 +49,12 @@ type LiveCampaignConfig struct {
 	// reflects the budget that actually ran; cells whose pacing is also
 	// zero then fail validation with "needs a probe budget".
 	OmegaDirect uint64
-	// Servers is the PB server count n_s. Default 3.
+	// Servers is the server count n_s. Default 3.
 	Servers int
+	// Backends is the replication-engine grid, by name ("pb", "smr"), so
+	// one sweep compares probe economics across replication styles.
+	// Default {"pb"}.
+	Backends []string
 	// ProxyCounts is the n_p grid. Default {2, 3, 4}.
 	ProxyCounts []int
 	// Detectors is the detector on/off grid. Default {false, true}.
@@ -71,6 +76,7 @@ func DefaultLiveCampaignConfig() LiveCampaignConfig {
 		MaxSteps:          40,
 		OmegaDirect:       2,
 		Servers:           3,
+		Backends:          []string{"pb"},
 		ProxyCounts:       []int{2, 3, 4},
 		Detectors:         []bool{false, true},
 		Pacings:           []uint64{0, 1, 2},
@@ -95,6 +101,9 @@ func (c LiveCampaignConfig) withDefaults() LiveCampaignConfig {
 	if c.Servers == 0 {
 		c.Servers = d.Servers
 	}
+	if len(c.Backends) == 0 {
+		c.Backends = d.Backends
+	}
 	if len(c.ProxyCounts) == 0 {
 		c.ProxyCounts = d.ProxyCounts
 	}
@@ -110,9 +119,10 @@ func (c LiveCampaignConfig) withDefaults() LiveCampaignConfig {
 	return c
 }
 
-// LiveCampaignRow is one sweep cell: a (proxy count, detector, pacing)
-// point with its aggregated campaign-series outcome.
+// LiveCampaignRow is one sweep cell: a (backend, proxy count, detector,
+// pacing) point with its aggregated campaign-series outcome.
 type LiveCampaignRow struct {
+	Backend       string
 	Proxies       int
 	Detector      bool
 	OmegaIndirect uint64
@@ -129,7 +139,7 @@ type LiveCampaignRow struct {
 // LiveCampaign runs the live-campaign sweep: every grid cell drives Reps
 // full de-randomization campaigns against its own fleet of FORTRESS
 // deployments through attack.CampaignSeries, and the rows come back in grid
-// order (proxy count, then detector, then pacing).
+// order (backend, then proxy count, then detector, then pacing).
 //
 // Determinism matches the Monte-Carlo sweeps: per-cell random streams are
 // pre-split in grid order, each cell's series is itself bit-identical at any
@@ -146,15 +156,22 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 	}
 
 	type cell struct {
+		backend  replica.Backend
 		proxies  int
 		detector bool
 		pacing   uint64
 	}
 	var cells []cell
-	for _, np := range cfg.ProxyCounts {
-		for _, det := range cfg.Detectors {
-			for _, pacing := range cfg.Pacings {
-				cells = append(cells, cell{np, det, pacing})
+	for _, backendName := range cfg.Backends {
+		backend, err := replica.ParseBackend(backendName)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		for _, np := range cfg.ProxyCounts {
+			for _, det := range cfg.Detectors {
+				for _, pacing := range cfg.Pacings {
+					cells = append(cells, cell{backend, np, det, pacing})
+				}
 			}
 		}
 	}
@@ -167,6 +184,7 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 		tmpl := fortress.Config{
 			Servers:        cfg.Servers,
 			Proxies:        c.proxies,
+			Backend:        c.backend,
 			ServiceFactory: func() service.Service { return service.NewKV() },
 			// Generous relative timings: the sweep measures probe economics,
 			// not timeout behaviour, and must stay deterministic under load.
@@ -190,10 +208,11 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			Workers: inner,
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (np=%d det=%v pace=%d): %w",
-				c.proxies, c.detector, c.pacing, err)
+			return fmt.Errorf("experiments: cell (backend=%s np=%d det=%v pace=%d): %w",
+				c.backend, c.proxies, c.detector, c.pacing, err)
 		}
 		rows[i] = LiveCampaignRow{
+			Backend:       c.backend.String(),
 			Proxies:       c.proxies,
 			Detector:      c.detector,
 			OmegaIndirect: c.pacing,
@@ -214,11 +233,11 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 // FormatLiveCampaign renders sweep rows as an aligned text table.
 func FormatLiveCampaign(rows []LiveCampaignRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-9s %-6s %-6s %-12s %-14s %-10s %s\n",
-		"proxies", "detector", "pace", "reps", "compromised", "meanLifetime", "ci95", "routes")
+	fmt.Fprintf(&b, "%-8s %-8s %-9s %-6s %-6s %-12s %-14s %-10s %s\n",
+		"backend", "proxies", "detector", "pace", "reps", "compromised", "meanLifetime", "ci95", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8d %-9v %-6d %-6d %-12d %-14.6g %-10.3g %s\n",
-			r.Proxies, r.Detector, r.OmegaIndirect, r.Reps, r.Compromised,
+		fmt.Fprintf(&b, "%-8s %-8d %-9v %-6d %-6d %-12d %-14.6g %-10.3g %s\n",
+			r.Backend, r.Proxies, r.Detector, r.OmegaIndirect, r.Reps, r.Compromised,
 			r.MeanLifetime, r.CI95, formatRoutes(r.Routes))
 	}
 	return b.String()

@@ -116,10 +116,10 @@ func TestLiveCampaignFormatAndCSV(t *testing.T) {
 	if len(lines) != len(rows)+1 {
 		t.Fatalf("csv has %d lines for %d rows", len(lines), len(rows))
 	}
-	if !strings.HasPrefix(lines[0], "proxies,detector,omega_indirect") {
+	if !strings.HasPrefix(lines[0], "backend,proxies,detector,omega_indirect") {
 		t.Fatalf("csv header wrong: %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "2,false,0,3,") {
+	if !strings.HasPrefix(lines[1], "pb,2,false,0,3,") {
 		t.Fatalf("csv first row wrong: %s", lines[1])
 	}
 }

@@ -30,73 +30,100 @@ func Presets() []Preset {
 			Name: "rolling-partition",
 			Description: "isolate one server at a time from its peers for 2 steps, " +
 				"rotating through the tier — replication and failover under a moving cut",
-			Build: func(servers, proxies int, horizon uint64) Schedule {
-				var s Schedule
-				if servers < 2 {
-					return s
-				}
-				all := ServerAddrs(servers)
-				k := 0
-				for t := uint64(1); t+2 < horizon; t += 4 {
-					victim := []string{all[k%servers]}
-					rest := others(all, k%servers)
-					s = s.Append(Partition(t, victim, rest), Heal(t+2, victim, rest))
-					k++
-				}
-				return s
-			},
+			Build: buildRollingPartition,
 		},
 		{
 			Name: "quorum-partition",
 			Description: "island a server quorum (majority, primary included) from the " +
 				"proxy tier for the middle half of the horizon — requests cannot commit " +
 				"until the cut heals",
-			Build: func(servers, proxies int, horizon uint64) Schedule {
-				maj := servers/2 + 1
-				quorum := ServerAddrs(maj)
-				front := ProxyAddrs(proxies)
-				from, to := horizon/4, 3*horizon/4
-				if to <= from {
-					to = from + 1
-				}
-				return Schedule{}.Append(
-					Partition(from, quorum, front),
-					Heal(to, quorum, front),
-				)
-			},
+			Build: buildQuorumPartition,
 		},
 		{
 			Name: "proxy-outage",
 			Description: "fault-crash the highest-indexed proxy for the middle half of " +
 				"the horizon, then restart it — the tier shrinks and regrows",
-			Build: func(servers, proxies int, horizon uint64) Schedule {
-				from, to := horizon/4, 3*horizon/4
-				if to <= from {
-					to = from + 1
-				}
-				return Schedule{}.Append(
-					CrashProxy(from, proxies-1),
-					RestartProxy(to, proxies-1),
-				)
-			},
+			Build: buildProxyOutage,
 		},
 		{
 			Name: "lossy",
 			Description: "2% network-wide message drop for the middle half of the " +
-				"horizon (drop sampling is shared across connections, so outcomes are " +
-				"statistically — not bitwise — reproducible under concurrent traffic)",
+				"horizon (drop sampling draws from per-directed-pair streams, so " +
+				"outcomes reproduce bitwise at any worker count)",
+			Build: buildLossy,
+		},
+		{
+			Name: "compound",
+			Description: "compound disaster, composed with Merge: the quorum cut, the " +
+				"lossy window and the proxy outage all on one clock",
 			Build: func(servers, proxies int, horizon uint64) Schedule {
-				from, to := horizon/4, 3*horizon/4
-				if to <= from {
-					to = from + 1
-				}
-				return Schedule{}.Append(
-					DropRate(from, 0.02),
-					DropRate(to, 0),
+				return Merge(
+					buildQuorumPartition(servers, proxies, horizon),
+					buildLossy(servers, proxies, horizon),
+					buildProxyOutage(servers, proxies, horizon),
 				)
 			},
 		},
 	}
+}
+
+// buildRollingPartition isolates one server at a time from its peers.
+func buildRollingPartition(servers, proxies int, horizon uint64) Schedule {
+	var s Schedule
+	if servers < 2 {
+		return s
+	}
+	all := ServerAddrs(servers)
+	k := 0
+	for t := uint64(1); t+2 < horizon; t += 4 {
+		victim := []string{all[k%servers]}
+		rest := others(all, k%servers)
+		s = s.Append(Partition(t, victim, rest), Heal(t+2, victim, rest))
+		k++
+	}
+	return s
+}
+
+// buildQuorumPartition islands a server majority from the proxy tier for
+// the middle half of the horizon.
+func buildQuorumPartition(servers, proxies int, horizon uint64) Schedule {
+	maj := servers/2 + 1
+	quorum := ServerAddrs(maj)
+	front := ProxyAddrs(proxies)
+	from, to := middleHalf(horizon)
+	return Schedule{}.Append(
+		Partition(from, quorum, front),
+		Heal(to, quorum, front),
+	)
+}
+
+// buildProxyOutage crashes the highest-indexed proxy for the middle half of
+// the horizon.
+func buildProxyOutage(servers, proxies int, horizon uint64) Schedule {
+	from, to := middleHalf(horizon)
+	return Schedule{}.Append(
+		CrashProxy(from, proxies-1),
+		RestartProxy(to, proxies-1),
+	)
+}
+
+// buildLossy turns a 2% drop rate on for the middle half of the horizon.
+func buildLossy(servers, proxies int, horizon uint64) Schedule {
+	from, to := middleHalf(horizon)
+	return Schedule{}.Append(
+		DropRate(from, 0.02),
+		DropRate(to, 0),
+	)
+}
+
+// middleHalf returns the [from, to) window spanning the middle half of the
+// horizon, degenerating gracefully on tiny horizons.
+func middleHalf(horizon uint64) (from, to uint64) {
+	from, to = horizon/4, 3*horizon/4
+	if to <= from {
+		to = from + 1
+	}
+	return from, to
 }
 
 // PresetByName looks a preset up by name.

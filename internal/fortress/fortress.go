@@ -31,7 +31,9 @@ import (
 	"fortress/internal/nameserver"
 	"fortress/internal/netsim"
 	"fortress/internal/proxy"
+	"fortress/internal/replica"
 	"fortress/internal/replica/pb"
+	"fortress/internal/replica/smr"
 	"fortress/internal/service"
 	"fortress/internal/sig"
 	"fortress/internal/xrand"
@@ -39,10 +41,16 @@ import (
 
 // Config describes a FORTRESS deployment.
 type Config struct {
-	// Servers is n_s, the PB server count (paper: 3).
+	// Servers is n_s, the server count (paper: 3).
 	Servers int
 	// Proxies is n_p, the proxy count (paper: 3).
 	Proxies int
+	// Backend selects the server tier's replication engine: primary-backup
+	// (the paper's fortified tier, the zero value) or state machine
+	// replication. Everything else — proxies, name server, randomization,
+	// fault schedules — is backend-agnostic, so sweeps can compare
+	// replication styles under identical attack and failure loads.
+	Backend replica.Backend
 	// Space is the randomization key space (χ).
 	Space *keyspace.Space
 	// Seed drives all randomization draws.
@@ -75,6 +83,8 @@ func (c Config) validate() error {
 		return errors.New("fortress: need a service factory")
 	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0 || c.ServerTimeout <= 0:
 		return errors.New("fortress: need positive timings")
+	case c.Backend != replica.BackendPB && c.Backend != replica.BackendSMR:
+		return fmt.Errorf("fortress: unknown backend %v", c.Backend)
 	}
 	return nil
 }
@@ -95,7 +105,7 @@ type System struct {
 	epoch     uint64
 	serverKey keyspace.Key
 	proxyKeys []keyspace.Key
-	servers   []*pb.Replica
+	servers   []replica.Server
 	guards    []*exploit.Guard
 	proxies   []*proxy.Proxy
 	detector  *proxy.Detector
@@ -178,46 +188,13 @@ func (s *System) buildEpochLocked(snapshot []byte) error {
 		}
 	}
 
-	peers := make(map[int]string, s.cfg.Servers)
-	for i := 0; i < s.cfg.Servers; i++ {
-		peers[i] = serverAddr(i)
-	}
-	s.servers = make([]*pb.Replica, s.cfg.Servers)
+	s.servers = make([]replica.Server, s.cfg.Servers)
 	s.guards = make([]*exploit.Guard, s.cfg.Servers)
 	for i := 0; i < s.cfg.Servers; i++ {
-		svc := s.cfg.ServiceFactory()
-		if snapshot != nil {
-			if err := svc.Restore(snapshot); err != nil {
-				return fmt.Errorf("fortress: restore server %d: %w", i, err)
-			}
-		}
-		proc := memlayout.NewProcess(s.serverKey)
-		// The guard needs the replica for crash teardown; capture via
-		// pointer cell assigned after construction.
-		var replica *pb.Replica
-		guard := exploit.NewGuard(svc, exploit.TierServer, proc, func() {
-			if replica != nil {
-				replica.Crash()
-			}
-		}, nil)
-		r, err := pb.New(pb.Config{
-			Index:             i,
-			Addr:              peers[i],
-			Peers:             peers,
-			InitialPrimary:    0,
-			Service:           guard,
-			Keys:              s.serverSig[i],
-			Net:               s.net,
-			HeartbeatInterval: s.cfg.HeartbeatInterval,
-			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
-		})
-		if err != nil {
-			return fmt.Errorf("fortress: server %d: %w", i, err)
-		}
-		replica = r
-		s.servers[i] = r
-		s.guards[i] = guard
-		if err := s.ns.RegisterServer(i, peers[i], r.PublicKey()); err != nil {
+		// At an epoch boundary every replica reboots together with the same
+		// snapshot, so even the SMR backend restores directly — there is no
+		// live leader ahead of the group to catch up from.
+		if err := s.startServerLocked(i, snapshot, 0, nil); err != nil {
 			return err
 		}
 	}
@@ -389,43 +366,140 @@ func (s *System) RestartProxy(i int) error {
 }
 
 // rebuildServerLocked replaces server i with a fresh replica under the
-// current shared key, restoring state from snapshot. Caller holds s.mu.
+// current shared key. The PB backend restores state from a live peer's
+// snapshot (the next primary update carries a full snapshot anyway); the
+// SMR backend instead seeds the replacement from a live peer's
+// StateTransfer — a consistent (snapshot, executed-sequence, response
+// cache) triple — so the node rejoins mid-history with state and sequence
+// counter in lockstep, and the order protocol's own catch-up transfer
+// closes whatever gap remains. A plain snapshot restore would leave the
+// sequence counter at zero: a rebuilt lowest-index node would then reclaim
+// the sequencer role believing the group starts over, forking the cluster.
+// Caller holds s.mu.
 func (s *System) rebuildServerLocked(i int, snapshot []byte) error {
 	s.servers[i].Stop()
 	s.net.CrashAddr(serverAddr(i))
+	if s.cfg.Backend == replica.BackendSMR {
+		// InitialPrimary is PB-only; the seed carries the SMR join state.
+		return s.startServerLocked(i, nil, i, s.smrSeedLocked(i))
+	}
+	// InitialPrimary i: a recovered PB node rejoins; peers re-elect.
+	return s.startServerLocked(i, snapshot, i, nil)
+}
 
-	svc := s.cfg.ServiceFactory()
-	if snapshot != nil {
-		if err := svc.Restore(snapshot); err != nil {
-			return fmt.Errorf("fortress: recover server %d: %w", i, err)
+// smrSeed is the state a replacement SMR replica starts from.
+type smrSeed struct {
+	snapshot  []byte
+	executed  uint64
+	responses map[string][]byte
+	join      bool
+}
+
+// smrSeedLocked captures a state transfer from the first live,
+// uncompromised, not-fault-downed SMR peer of server i, in index order for
+// determinism. The donor's leader view also decides the replacement's
+// join posture: when the group has failed over away from index i (the
+// donor follows someone else), the replacement must rejoin with an unknown
+// leader and adopt the live sequencer's heartbeats — a lowest-index node
+// that assumed leadership would briefly sequence concurrently with the
+// failed-over leader and fork the replica states. When the donor still
+// follows index i, resuming leadership at the donor's frontier is safe
+// and avoids a leaderless window. When no peer qualifies (the whole tier
+// is down together) the seed is empty: every replacement starts
+// identically from sequence one, consistent precisely because nobody
+// retains anything newer. Caller holds s.mu.
+func (s *System) smrSeedLocked(i int) *smrSeed {
+	for j, srv := range s.servers {
+		if j == i || s.downServers[j] {
+			continue
+		}
+		if g := s.guards[j]; g.Compromised() || g.Process().Crashed() {
+			continue
+		}
+		donor, ok := srv.(*smr.Replica)
+		if !ok {
+			continue
+		}
+		snap, executed, responses, err := donor.StateTransfer()
+		if err != nil {
+			continue
+		}
+		return &smrSeed{
+			snapshot:  snap,
+			executed:  executed,
+			responses: responses,
+			join:      donor.LeaderIndex() != i,
 		}
 	}
+	return &smrSeed{}
+}
+
+// startServerLocked builds and registers server i under the current shared
+// key, restoring state from snapshot when non-nil. initialPrimary seeds the
+// PB backend's starting role (the SMR backend always follows the lowest
+// live index); seed, when non-nil, positions an SMR replacement mid-history
+// (a nil seed is the epoch path: every replica restores the same snapshot
+// and starts at sequence one together). Caller holds s.mu.
+func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, seed *smrSeed) error {
 	peers := make(map[int]string, s.cfg.Servers)
 	for j := 0; j < s.cfg.Servers; j++ {
 		peers[j] = serverAddr(j)
 	}
+	svc := s.cfg.ServiceFactory()
+	if snapshot != nil {
+		if err := svc.Restore(snapshot); err != nil {
+			return fmt.Errorf("fortress: restore server %d: %w", i, err)
+		}
+	}
 	proc := memlayout.NewProcess(s.serverKey)
-	var replica *pb.Replica
+	// The guard needs the replica for crash teardown; capture via pointer
+	// cell assigned after construction.
+	var srv replica.Server
 	guard := exploit.NewGuard(svc, exploit.TierServer, proc, func() {
-		if replica != nil {
-			replica.Crash()
+		if srv != nil {
+			srv.Crash()
 		}
 	}, nil)
-	r, err := pb.New(pb.Config{
-		Index:             i,
-		Addr:              peers[i],
-		Peers:             peers,
-		InitialPrimary:    i, // a recovered node rejoins; peers re-elect
-		Service:           guard,
-		Keys:              s.serverSig[i],
-		Net:               s.net,
-		HeartbeatInterval: s.cfg.HeartbeatInterval,
-		HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
-	})
-	if err != nil {
-		return fmt.Errorf("fortress: recover server %d: %w", i, err)
+	var (
+		r   replica.Server
+		err error
+	)
+	switch s.cfg.Backend {
+	case replica.BackendSMR:
+		cfg := smr.Config{
+			Index:             i,
+			Addr:              peers[i],
+			Peers:             peers,
+			Service:           guard,
+			Keys:              s.serverSig[i],
+			Net:               s.net,
+			HeartbeatInterval: s.cfg.HeartbeatInterval,
+			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
+		}
+		if seed != nil {
+			cfg.InitialSnapshot = seed.snapshot
+			cfg.InitialExecuted = seed.executed
+			cfg.InitialResponses = seed.responses
+			cfg.JoinExisting = seed.join
+		}
+		r, err = smr.New(cfg)
+	default:
+		r, err = pb.New(pb.Config{
+			Index:             i,
+			Addr:              peers[i],
+			Peers:             peers,
+			InitialPrimary:    initialPrimary,
+			Service:           guard,
+			Keys:              s.serverSig[i],
+			Net:               s.net,
+			HeartbeatInterval: s.cfg.HeartbeatInterval,
+			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
+		})
 	}
-	replica = r
+	if err != nil {
+		return fmt.Errorf("fortress: server %d: %w", i, err)
+	}
+	srv = r
 	s.servers[i] = r
 	s.guards[i] = guard
 	return s.ns.RegisterServer(i, peers[i], r.PublicKey())
@@ -519,14 +593,18 @@ func (s *System) Proxies() []*proxy.Proxy {
 	return out
 }
 
-// Servers returns the current epoch's server replicas.
-func (s *System) Servers() []*pb.Replica {
+// Servers returns the current epoch's server replicas behind the
+// backend-neutral interface.
+func (s *System) Servers() []replica.Server {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*pb.Replica, len(s.servers))
+	out := make([]replica.Server, len(s.servers))
 	copy(out, s.servers)
 	return out
 }
+
+// Backend reports the server tier's replication engine.
+func (s *System) Backend() replica.Backend { return s.cfg.Backend }
 
 // Status summarizes the system's security state.
 type Status struct {

@@ -103,41 +103,66 @@ type Network struct {
 	partitions map[[2]string]struct{}
 	nextEph    int
 
-	// The drop-rate generator has its own mutex so lossy-link sampling on
-	// the Send fast path never touches the topology lock above: concurrent
+	// The drop-rate state has its own mutex so lossy-link sampling on the
+	// Send fast path never touches the topology lock above: concurrent
 	// connections (and concurrent campaigns sharing a process) contend only
 	// on dropMu, and only when a drop rate is configured at all. The rate
 	// itself is an atomic (Float64bits) so the no-drop fast path is one
 	// relaxed load even while a fault schedule mutates the rate at runtime.
+	//
+	// Sampling is per directed address pair: each (sender, receiver) pair
+	// owns its own deterministic generator, seeded from the configured base
+	// seed and the pair's addresses, whose state is the pair's send
+	// counter. Whether the k-th send from A to B is dropped is therefore a
+	// pure function of (seed, A, B, k) — background traffic on other pairs
+	// (heartbeats, replication) cannot perturb it, which is what makes
+	// positive-drop-rate fault campaigns bit-identical at any worker count.
+	// Pair streams survive reconnects (the map is keyed by address, not
+	// connection) and are re-derived lazily whenever a new generator is
+	// installed.
 	dropMu   sync.Mutex
 	dropRate atomic.Uint64 // math.Float64bits of the current rate
-	rng      *xrand.RNG    // guarded by dropMu
+	dropSeed uint64        // base seed for pair streams; guarded by dropMu
+	hasSeed  bool          // a generator has been configured; guarded by dropMu
+	pairRNG  map[[2]string]*xrand.RNG
 }
 
 // Option configures a Network.
 type Option func(*Network)
 
 // WithDropRate makes every Send independently drop its message with
-// probability p, using the deterministic generator rng. Connections remain
-// open; only payloads vanish — modelling a lossy but unbroken link.
+// probability p, deriving per-directed-pair sampling streams from the
+// deterministic generator rng. Connections remain open; only payloads
+// vanish — modelling a lossy but unbroken link.
 func WithDropRate(p float64, rng *xrand.RNG) Option {
 	return func(n *Network) {
 		n.dropRate.Store(math.Float64bits(p))
-		n.rng = rng
+		n.installDropRNG(rng)
 	}
 }
 
 // SetDropRate changes the lossy-link drop probability at runtime — the knob
 // fault schedules turn mid-campaign. A non-nil rng replaces the drop
-// generator; a nil rng keeps the current one (messages are never dropped
-// while no generator is configured, whatever the rate). Safe for concurrent
-// use with live traffic.
+// generator: one seed is drawn from it and every directed address pair's
+// sampling stream is re-derived from that seed on first use. A nil rng
+// keeps the current streams (messages are never dropped while no generator
+// has ever been configured, whatever the rate). Safe for concurrent use
+// with live traffic.
 func (n *Network) SetDropRate(p float64, rng *xrand.RNG) {
-	n.dropMu.Lock()
-	if rng != nil {
-		n.rng = rng
-	}
+	n.installDropRNG(rng)
 	n.dropRate.Store(math.Float64bits(p))
+}
+
+// installDropRNG derives the pair-stream base seed from rng (nil keeps the
+// current one).
+func (n *Network) installDropRNG(rng *xrand.RNG) {
+	if rng == nil {
+		return
+	}
+	n.dropMu.Lock()
+	n.dropSeed = rng.Uint64()
+	n.hasSeed = true
+	n.pairRNG = make(map[[2]string]*xrand.RNG)
 	n.dropMu.Unlock()
 }
 
@@ -343,21 +368,51 @@ func (n *Network) forget(c *Conn) {
 	n.mu.Unlock()
 }
 
-// shouldDrop samples the lossy-link model. It touches only dropMu, never the
-// topology lock, and not even that when no drop rate is configured — the
-// fast path is a single atomic load, so SetDropRate may flip the rate while
-// traffic flows.
-func (n *Network) shouldDrop() bool {
+// shouldDrop samples the lossy-link model for one send from `from` to `to`.
+// It touches only dropMu, never the topology lock, and not even that when
+// no drop rate is configured — the fast path is a single atomic load, so
+// SetDropRate may flip the rate while traffic flows. Each directed pair
+// draws from its own stream (see the field docs on Network), so the
+// decision for a pair's k-th send is independent of all other traffic.
+func (n *Network) shouldDrop(from, to string) bool {
 	if math.Float64frombits(n.dropRate.Load()) <= 0 {
 		return false
 	}
 	n.dropMu.Lock()
 	defer n.dropMu.Unlock()
 	p := math.Float64frombits(n.dropRate.Load())
-	if n.rng == nil || p <= 0 {
+	if !n.hasSeed || p <= 0 {
 		return false
 	}
-	return n.rng.Bernoulli(p)
+	key := [2]string{from, to}
+	rng := n.pairRNG[key]
+	if rng == nil {
+		rng = xrand.New(pairSeed(n.dropSeed, from, to))
+		if n.pairRNG == nil {
+			n.pairRNG = make(map[[2]string]*xrand.RNG)
+		}
+		n.pairRNG[key] = rng
+	}
+	return rng.Bernoulli(p)
+}
+
+// pairSeed derives a directed pair's stream seed: an FNV-1a hash of the two
+// addresses (with a separator so ("ab","c") and ("a","bc") differ), mixed
+// with the configured base seed.
+func pairSeed(base uint64, from, to string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(from); i++ {
+		h = (h ^ uint64(from[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(to); i++ {
+		h = (h ^ uint64(to[i])) * prime
+	}
+	return h ^ base
 }
 
 // Listener accepts inbound connections at a fixed address.
@@ -446,7 +501,7 @@ func (c *Conn) Send(msg []byte) error {
 		return ErrClosed
 	default:
 	}
-	if c.net != nil && c.net.shouldDrop() {
+	if c.net != nil && c.net.shouldDrop(c.local, c.remote) {
 		return nil // dropped in flight; sender cannot tell
 	}
 	cp := getBuf(len(msg))
@@ -498,7 +553,7 @@ func (c *Conn) SendBatch(msgs [][]byte) error {
 		for i < len(msgs) && n < sendChunk {
 			msg := msgs[i]
 			i++
-			if c.net != nil && c.net.shouldDrop() {
+			if c.net != nil && c.net.shouldDrop(c.local, c.remote) {
 				continue
 			}
 			cp := getBuf(len(msg))

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fortress/internal/xrand"
+)
+
+// dropPattern sends n one-byte messages on c and reports which of them the
+// receiver observed (true = delivered). Messages are numbered so the
+// pattern is positional, not just a count.
+func dropPattern(t *testing.T, c, s *Conn, n int) []bool {
+	t.Helper()
+	delivered := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		msg, err := s.RecvTimeout(50 * time.Millisecond)
+		if err != nil {
+			break
+		}
+		delivered[msg[0]] = true
+		Release(msg)
+	}
+	return delivered
+}
+
+// TestPerPairDropStreamsIndependent is the per-directed-pair determinism
+// contract: the drop decisions on one pair are a pure function of (seed,
+// pair, send index) — traffic on other pairs, however much of it and
+// however interleaved, cannot perturb them.
+func TestPerPairDropStreamsIndependent(t *testing.T) {
+	const msgs = 200
+	run := func(background int) []bool {
+		n := NewNetwork(WithDropRate(0.3, xrand.New(99)))
+		ab, abSrv := pipe(t, n, "a", "b")
+		cd, cdSrv := pipe(t, n, "c", "d")
+		defer ab.Close()
+		defer cd.Close()
+		// Interleave background sends on c→d between every a→b send.
+		delivered := make([]bool, msgs)
+		for i := 0; i < msgs; i++ {
+			for j := 0; j < background; j++ {
+				if err := cd.Send([]byte{0}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ab.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			msg, err := abSrv.RecvTimeout(50 * time.Millisecond)
+			if err != nil {
+				break
+			}
+			delivered[msg[0]] = true
+			Release(msg)
+		}
+		// Drain the background pair so its buffers recycle.
+		for {
+			msg, err := cdSrv.RecvTimeout(time.Millisecond)
+			if err != nil {
+				break
+			}
+			Release(msg)
+		}
+		return delivered
+	}
+
+	quiet := run(0)
+	noisy := run(7)
+	dropped := 0
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("a→b drop pattern diverged at send %d under background traffic", i)
+		}
+		if !quiet[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == msgs {
+		t.Fatalf("dropped %d/%d at rate 0.3: sampling looks broken", dropped, msgs)
+	}
+}
+
+// TestPerPairDropStreamsSurviveReconnect: the stream belongs to the address
+// pair, not the connection, so a re-dialed connection continues the same
+// deterministic sequence instead of restarting it.
+func TestPerPairDropStreamsSurviveReconnect(t *testing.T) {
+	const msgs = 100
+	pattern := func(reconnectAt int) []bool {
+		n := NewNetwork(WithDropRate(0.4, xrand.New(7)))
+		l, err := n.Listen("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		connect := func() (client, server *Conn) {
+			done := make(chan *Conn, 1)
+			go func() {
+				srv, err := l.Accept()
+				if err != nil {
+					done <- nil
+					return
+				}
+				done <- srv
+			}()
+			c, err := n.Dial("a", "b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := <-done
+			if s == nil {
+				t.Fatal("accept failed")
+			}
+			return c, s
+		}
+		delivered := make([]bool, msgs)
+		c, s := connect()
+		for i := 0; i < msgs; i++ {
+			if i == reconnectAt {
+				c.Close()
+				c, s = connect()
+			}
+			if err := c.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			msg, err := s.RecvTimeout(20 * time.Millisecond)
+			if err == nil {
+				delivered[msg[0]] = true
+				Release(msg)
+			}
+		}
+		c.Close()
+		return delivered
+	}
+	uninterrupted := pattern(-1)
+	reconnected := pattern(msgs / 2)
+	for i := range uninterrupted {
+		if uninterrupted[i] != reconnected[i] {
+			t.Fatalf("drop pattern diverged at send %d across a reconnect", i)
+		}
+	}
+}
+
+// TestDirectedPairsDistinct: the a→b and b→a streams differ (directed), and
+// distinct pairs get distinct streams from the same base seed.
+func TestDirectedPairsDistinct(t *testing.T) {
+	n := NewNetwork(WithDropRate(0.5, xrand.New(123)))
+	ab, abSrv := pipe(t, n, "a", "b")
+	defer ab.Close()
+	const msgs = 128
+	forward := dropPattern(t, ab, abSrv, msgs)
+	// b→a rides the same connection, opposite direction.
+	backward := dropPattern(t, abSrv, ab, msgs)
+	same := 0
+	for i := range forward {
+		if forward[i] == backward[i] {
+			same++
+		}
+	}
+	if same == msgs {
+		t.Fatal("a→b and b→a share one drop stream; directed pairs must differ")
+	}
+}
+
+// TestSetDropRateReseedsPairStreams: installing a new generator re-derives
+// every pair stream, and a rate change with a nil generator keeps them.
+func TestSetDropRateReseedsPairStreams(t *testing.T) {
+	n1 := NewNetwork(WithDropRate(0.5, xrand.New(1)))
+	n2 := NewNetwork(WithDropRate(0.5, xrand.New(2)))
+	c1, s1 := pipe(t, n1, "a", "b")
+	c2, s2 := pipe(t, n2, "a", "b")
+	defer c1.Close()
+	defer c2.Close()
+	const msgs = 128
+	p1 := dropPattern(t, c1, s1, msgs)
+	p2 := dropPattern(t, c2, s2, msgs)
+	same := 0
+	for i := range p1 {
+		if p1[i] == p2[i] {
+			same++
+		}
+	}
+	if same == msgs {
+		t.Fatal("different base generators produced identical pair streams")
+	}
+}

@@ -11,6 +11,11 @@
 // Failure handling: the primary heartbeats the backups; a backup that
 // misses heartbeats for the configured timeout deterministically promotes
 // the lowest-indexed surviving replica (itself included) to primary.
+//
+// Transport, lifecycle and peer fan-out come from the shared node runtime
+// in replica/core: the primary's update broadcast goes through the per-peer
+// batched outboxes, so a drained batch of requests ships one coalesced
+// SendBatch of updates per backup instead of one Send per update.
 package pb
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"fortress/internal/netsim"
+	"fortress/internal/replica/core"
 	"fortress/internal/service"
 	"fortress/internal/sig"
 )
@@ -126,9 +132,11 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Replica is one primary-backup replica.
+// Replica is one primary-backup replica: the PB protocol handler mounted on
+// a core.Node runtime.
 type Replica struct {
-	cfg Config
+	cfg  Config
+	node *core.Node
 
 	mu            sync.Mutex
 	role          Role
@@ -137,14 +145,7 @@ type Replica struct {
 	lastHeartbeat time.Time
 	respCache     map[string]cachedResp
 	pending       map[string][]*netsim.Conn
-	peerConns     map[int]*netsim.Conn
-	inbound       map[*netsim.Conn]struct{}
 	suspected     map[int]bool
-	stopped       bool
-
-	listener *netsim.Listener
-	stop     chan struct{}
-	done     sync.WaitGroup
 }
 
 type cachedResp struct {
@@ -157,32 +158,32 @@ func New(cfg Config) (*Replica, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	l, err := cfg.Net.Listen(cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("pb: listen: %w", err)
-	}
 	r := &Replica{
 		cfg:        cfg,
 		role:       RoleBackup,
 		primaryIdx: cfg.InitialPrimary,
 		respCache:  make(map[string]cachedResp),
 		pending:    make(map[string][]*netsim.Conn),
-		peerConns:  make(map[int]*netsim.Conn),
-		inbound:    make(map[*netsim.Conn]struct{}),
 		suspected:  make(map[int]bool),
-		listener:   l,
-		stop:       make(chan struct{}),
 	}
 	if cfg.Index == cfg.InitialPrimary {
 		r.role = RolePrimary
 	}
-	r.mu.Lock()
 	r.lastHeartbeat = time.Now()
-	r.mu.Unlock()
-
-	r.done.Add(2)
-	go r.acceptLoop()
-	go r.timerLoop()
+	node, err := core.NewNode(core.Config{
+		Index:        cfg.Index,
+		Addr:         cfg.Addr,
+		Peers:        cfg.Peers,
+		Net:          cfg.Net,
+		TickInterval: cfg.HeartbeatInterval,
+	}, r)
+	if err != nil {
+		return nil, fmt.Errorf("pb: %w", err)
+	}
+	r.node = node
+	if err := node.Start(); err != nil {
+		return nil, fmt.Errorf("pb: %w", err)
+	}
 	return r, nil
 }
 
@@ -214,46 +215,24 @@ func (r *Replica) Seq() uint64 {
 	return r.seq
 }
 
+// Executed is Seq under the backend-neutral replica.Server name.
+func (r *Replica) Executed() uint64 { return r.Seq() }
+
 // PublicKey exposes the verification key for name-server registration.
 func (r *Replica) PublicKey() []byte { return r.cfg.Keys.Public() }
 
 // Stop shuts the replica down and waits for its goroutines to exit.
-func (r *Replica) Stop() {
-	r.shutdown()
-	r.done.Wait()
-}
+func (r *Replica) Stop() { r.node.Stop() }
 
-// shutdown makes the replica inert — no new dials, no new accepts, existing
-// peer connections closed — without waiting for goroutines, so it is safe
-// to call from within a serving goroutine. Idempotent.
-func (r *Replica) shutdown() {
-	r.mu.Lock()
-	if r.stopped {
-		r.mu.Unlock()
-		return
-	}
-	r.stopped = true
-	conns := make([]*netsim.Conn, 0, len(r.peerConns)+len(r.inbound))
-	for _, c := range r.peerConns {
-		conns = append(conns, c)
-	}
-	r.peerConns = make(map[int]*netsim.Conn)
-	// Served (inbound) connections too: Stop must never depend on a peer
-	// sending one more message to wake a serving goroutine out of Recv —
-	// an idle connection from a peer that has nothing more to say would
-	// otherwise park serveConn, and done.Wait with it, forever.
-	for c := range r.inbound {
-		conns = append(conns, c)
-	}
-	r.inbound = make(map[*netsim.Conn]struct{})
-	r.mu.Unlock()
-
-	close(r.stop)
-	r.listener.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-}
+// Crash simulates a node crash: the replica is made inert and its address
+// torn out of the network synchronously — every peer and requester observes
+// closed connections and the replica can take no further protocol actions —
+// while goroutine shutdown completes in the background.
+//
+// Crash is safe to call from within request handling (a wrong-key exploit
+// probe crashes the node mid-request): nothing here waits on the caller's
+// own serving goroutine.
+func (r *Replica) Crash() { r.node.Crash() }
 
 // Restart re-opens a stopped or crashed replica in place — the supervised
 // respawn-and-reconnect idiom: the listener re-registers at the same address
@@ -273,24 +252,12 @@ func (r *Replica) shutdown() {
 // fortress-level fault recovery instead rebuilds the replica from a live
 // peer's snapshot (fortress.RestartServer), trading retained local state
 // for guaranteed freshness.
-func (r *Replica) Restart() error {
+func (r *Replica) Restart() error { return r.node.Restart() }
+
+// Rejoin implements core.Handler: protocol-state reset on restart.
+func (r *Replica) Rejoin() {
 	r.mu.Lock()
-	stopped := r.stopped
-	r.mu.Unlock()
-	if !stopped {
-		return errors.New("pb: restart of a running replica")
-	}
-	// The previous generation's goroutines must be fully out before the
-	// listener and stop channel are replaced under them.
-	r.done.Wait()
-	l, err := r.cfg.Net.Listen(r.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("pb: restart listen: %w", err)
-	}
-	r.mu.Lock()
-	r.stopped = false
-	r.listener = l
-	r.stop = make(chan struct{})
+	defer r.mu.Unlock()
 	r.role = RoleBackup
 	if len(r.cfg.Peers) == 1 {
 		r.role = RolePrimary
@@ -301,114 +268,34 @@ func (r *Replica) Restart() error {
 	// Parked requesters were disconnected by the shutdown; they resubmit.
 	r.pending = make(map[string][]*netsim.Conn)
 	r.lastHeartbeat = time.Now()
-	r.mu.Unlock()
-	r.done.Add(2)
-	go r.acceptLoop()
-	go r.timerLoop()
-	return nil
 }
 
-// Crash simulates a node crash: the replica is made inert and its address
-// torn out of the network synchronously — every peer and requester observes
-// closed connections and the replica can take no further protocol actions —
-// while goroutine shutdown completes in the background.
-//
-// Crash is safe to call from within request handling (a wrong-key exploit
-// probe crashes the node mid-request): nothing here waits on the caller's
-// own serving goroutine.
-func (r *Replica) Crash() {
-	r.shutdown()
-	r.cfg.Net.CrashAddr(r.cfg.Addr)
-}
-
-func (r *Replica) acceptLoop() {
-	defer r.done.Done()
-	for {
-		conn, err := r.listener.Accept()
-		if err != nil {
-			return
-		}
-		if !r.registerInbound(conn) {
-			continue // shutting down: conn closed, Accept fails next
-		}
-		r.done.Add(1)
-		go r.serveConn(conn)
+// HandleMessage implements core.Handler: one decoded wire message.
+func (r *Replica) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte) [][]byte {
+	var m wireMsg
+	if json.Unmarshal(raw, &m) != nil {
+		return replies // malformed traffic is dropped, never crashes a replica
 	}
-}
-
-// registerInbound tracks a served connection so shutdown can close it. It
-// reports false — closing the connection — when the replica has already
-// begun shutting down, which an Accept completing concurrently with
-// shutdown can race into.
-func (r *Replica) registerInbound(conn *netsim.Conn) bool {
-	r.mu.Lock()
-	if r.stopped {
-		r.mu.Unlock()
-		conn.Close()
-		return false
+	switch m.Type {
+	case msgRequest:
+		if resp := r.handleRequest(conn, m); resp != nil {
+			replies = append(replies, resp)
+		}
+	case msgUpdate:
+		if ack := r.handleUpdate(m); ack != nil {
+			replies = append(replies, ack)
+		}
+	case msgHeartbeat:
+		r.handleHeartbeat(m)
+	case msgAck:
+		// Asynchronous PB: acks are informational.
 	}
-	r.inbound[conn] = struct{}{}
-	r.mu.Unlock()
-	return true
-}
-
-func (r *Replica) forgetInbound(conn *netsim.Conn) {
-	r.mu.Lock()
-	delete(r.inbound, conn)
-	r.mu.Unlock()
-}
-
-// serveConn drains the connection's backlog a whole batch at a time
-// (RecvBatch: one queue-lock acquisition per drain), releases every decoded
-// payload buffer back to the netsim pool, and sends the batch's responses
-// with one SendBatch — the batched-transport adoption that keeps a loaded
-// replica's per-message cost at one append and one index bump.
-func (r *Replica) serveConn(conn *netsim.Conn) {
-	defer r.done.Done()
-	defer r.forgetInbound(conn)
-	defer conn.Close()
-	var batch, outbox [][]byte
-	for {
-		var err error
-		batch, err = conn.RecvBatch(batch[:0])
-		if err != nil {
-			return
-		}
-		outbox = outbox[:0]
-		for _, raw := range batch {
-			var m wireMsg
-			uerr := json.Unmarshal(raw, &m)
-			netsim.Release(raw) // decoded: json copied every field out of raw
-			if uerr != nil {
-				continue // malformed traffic is dropped, never crashes a replica
-			}
-			select {
-			case <-r.stop:
-				return
-			default:
-			}
-			switch m.Type {
-			case msgRequest:
-				if resp := r.handleRequest(conn, m); resp != nil {
-					outbox = append(outbox, resp)
-				}
-			case msgUpdate:
-				r.handleUpdate(conn, m)
-			case msgHeartbeat:
-				r.handleHeartbeat(m)
-			case msgAck:
-				// Asynchronous PB: acks are informational.
-			}
-		}
-		if len(outbox) > 0 {
-			_ = conn.SendBatch(outbox)
-		}
-	}
+	return replies
 }
 
 // handleRequest serves a request according to the current role. It returns
 // the encoded response to deliver on the caller's connection — nil when the
-// request is parked on a backup — so serveConn can batch a whole drain's
+// request is parked on a backup — so the runtime can batch a whole drain's
 // responses into one SendBatch.
 func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) []byte {
 	r.mu.Lock()
@@ -445,7 +332,10 @@ func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) []byte {
 	r.mu.Unlock()
 
 	if snapErr == nil {
-		update := encode(wireMsg{
+		// Staged on the per-backup outboxes: every update executed while
+		// draining one inbound batch leaves in a single SendBatch per
+		// backup when the runtime flushes at the end of the drain.
+		r.node.Broadcast(encode(wireMsg{
 			Type:      msgUpdate,
 			RequestID: m.RequestID,
 			Seq:       seq,
@@ -453,8 +343,7 @@ func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) []byte {
 			RespBody:  cached.body,
 			RespErr:   cached.errMsg,
 			From:      r.cfg.Index,
-		})
-		r.broadcastToBackups(update)
+		}))
 	}
 	return r.responseBytes(m.RequestID, cached)
 }
@@ -474,18 +363,20 @@ func (r *Replica) reply(conn *netsim.Conn, requestID string, c cachedResp) {
 	_ = conn.Send(r.responseBytes(requestID, c))
 }
 
-// handleUpdate applies a primary state update on a backup.
-func (r *Replica) handleUpdate(conn *netsim.Conn, m wireMsg) {
+// handleUpdate applies a primary state update on a backup and returns the
+// ack to send back on the update's connection (nil when the update is
+// stale or this replica is itself primary).
+func (r *Replica) handleUpdate(m wireMsg) []byte {
 	r.mu.Lock()
 	if r.role == RolePrimary {
 		// A deposed primary re-joining as backup would handle this; a live
 		// primary ignores stale updates.
 		r.mu.Unlock()
-		return
+		return nil
 	}
 	if m.Seq <= r.seq {
 		r.mu.Unlock() // duplicate or out-of-date snapshot
-		return
+		return nil
 	}
 	r.seq = m.Seq
 	r.primaryIdx = m.From
@@ -496,12 +387,14 @@ func (r *Replica) handleUpdate(conn *netsim.Conn, m wireMsg) {
 	delete(r.pending, m.RequestID)
 	r.mu.Unlock()
 
+	var ack []byte
 	if err := r.cfg.Service.Restore(m.Snapshot); err == nil {
-		_ = conn.Send(encode(wireMsg{Type: msgAck, RequestID: m.RequestID, Seq: m.Seq, From: r.cfg.Index}))
+		ack = encode(wireMsg{Type: msgAck, RequestID: m.RequestID, Seq: m.Seq, From: r.cfg.Index})
 	}
 	for _, w := range waiting {
 		r.reply(w, m.RequestID, cached)
 	}
+	return ack
 }
 
 func (r *Replica) handleHeartbeat(m wireMsg) {
@@ -519,30 +412,21 @@ func (r *Replica) handleHeartbeat(m wireMsg) {
 	r.lastHeartbeat = time.Now()
 }
 
-// timerLoop drives heartbeats (primary) and failure detection (backup).
-func (r *Replica) timerLoop() {
-	defer r.done.Done()
-	ticker := time.NewTicker(r.cfg.HeartbeatInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-r.stop:
-			return
-		case <-ticker.C:
-		}
-		r.mu.Lock()
-		role := r.role
-		stale := time.Since(r.lastHeartbeat) > r.cfg.HeartbeatTimeout
-		primary := r.primaryIdx
-		r.mu.Unlock()
+// Tick implements core.Handler: heartbeats (primary) and failure detection
+// (backup). Staged broadcasts are flushed by the runtime when Tick returns.
+func (r *Replica) Tick() {
+	r.mu.Lock()
+	role := r.role
+	stale := time.Since(r.lastHeartbeat) > r.cfg.HeartbeatTimeout
+	primary := r.primaryIdx
+	r.mu.Unlock()
 
-		switch role {
-		case RolePrimary:
-			r.broadcastToBackups(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
-		case RoleBackup:
-			if stale {
-				r.promote(primary)
-			}
+	switch role {
+	case RolePrimary:
+		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
+	case RoleBackup:
+		if stale {
+			r.promote(primary)
 		}
 	}
 }
@@ -582,15 +466,15 @@ func (r *Replica) promote(deadPrimary int) {
 
 	if becamePrimary {
 		// Announce immediately so peers stop their own failover timers.
-		r.broadcastToBackups(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
+		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
 	}
 	// Requests parked waiting for the dead primary's update will never be
 	// answered; close them so requesters resubmit (to the new primary).
 	r.serveParkedRequests()
 }
 
-// serveParkedRequests re-executes requests that were parked while this
-// replica was a backup and never got an update from the dead primary.
+// serveParkedRequests answers requests that were parked while this replica
+// was a backup and never got an update from the dead primary.
 func (r *Replica) serveParkedRequests() {
 	r.mu.Lock()
 	parked := r.pending
@@ -612,69 +496,6 @@ func (r *Replica) serveParkedRequests() {
 			r.reply(c, reqID, cached)
 		}
 	}
-}
-
-// broadcastToBackups sends raw to every other replica, dialing lazily and
-// dropping peers that cannot be reached (they are crashed or partitioned;
-// retries happen on the next broadcast).
-func (r *Replica) broadcastToBackups(raw []byte) {
-	for idx, addr := range r.cfg.Peers {
-		if idx == r.cfg.Index {
-			continue
-		}
-		conn := r.peerConn(idx, addr)
-		if conn == nil {
-			continue
-		}
-		if err := conn.Send(raw); err != nil {
-			r.dropPeerConn(idx, conn)
-			// One immediate re-dial attempt, then give up until next round.
-			if conn = r.peerConn(idx, addr); conn != nil {
-				_ = conn.Send(raw)
-			}
-		}
-	}
-}
-
-func (r *Replica) peerConn(idx int, addr string) *netsim.Conn {
-	r.mu.Lock()
-	if r.stopped {
-		r.mu.Unlock()
-		return nil
-	}
-	if c, ok := r.peerConns[idx]; ok && !c.Closed() {
-		r.mu.Unlock()
-		return c
-	}
-	r.mu.Unlock()
-
-	c, err := r.cfg.Net.Dial(r.cfg.Addr, addr)
-	if err != nil {
-		return nil
-	}
-	r.mu.Lock()
-	if r.stopped {
-		r.mu.Unlock()
-		c.Close()
-		return nil
-	}
-	if existing, ok := r.peerConns[idx]; ok && !existing.Closed() {
-		r.mu.Unlock()
-		c.Close()
-		return existing
-	}
-	r.peerConns[idx] = c
-	r.mu.Unlock()
-	return c
-}
-
-func (r *Replica) dropPeerConn(idx int, c *netsim.Conn) {
-	c.Close()
-	r.mu.Lock()
-	if r.peerConns[idx] == c {
-		delete(r.peerConns, idx)
-	}
-	r.mu.Unlock()
 }
 
 // --- Requester --------------------------------------------------------

@@ -1,0 +1,79 @@
+// Package replica defines the backend-neutral surface of the replicated
+// server tier: the Server interface both replication engines (pb, smr)
+// implement, and the Backend selector fortress deployments and experiment
+// grids use to choose between them.
+//
+// The paper's central comparison (§1, §4) is between replication styles —
+// primary-backup, where only the primary executes, versus state machine
+// replication, where every replica executes a leader-sequenced order. The
+// executable stack mirrors that axis: both engines are built on the shared
+// node runtime in replica/core and expose the same lifecycle and wire-level
+// request surface, so a FORTRESS deployment (and every fault sweep driving
+// one) can swap the server tier's replication style without touching the
+// proxy tier, the attacker, or the fault scheduler.
+package replica
+
+import "fmt"
+
+// Server is the backend-neutral view of one server replica: what the
+// fortress assembly layer and fault schedules need, independent of the
+// replication protocol behind it. Both pb.Replica and smr.Replica satisfy
+// it.
+type Server interface {
+	// Index returns the replica's unique server index.
+	Index() int
+	// Addr returns the replica's netsim address.
+	Addr() string
+	// PublicKey exposes the response-signing verification key.
+	PublicKey() []byte
+	// Executed reports how many requests this replica has executed (or, for
+	// a PB backup, applied as state updates) — the convergence metric
+	// catch-up tests compare across replicas.
+	Executed() uint64
+	// Stop shuts the replica down and waits for its goroutines.
+	Stop()
+	// Crash makes the replica inert and tears its address out of the
+	// network, observably to peers.
+	Crash()
+	// Restart re-opens a stopped or crashed replica in place.
+	Restart() error
+}
+
+// Backend selects the server tier's replication engine.
+type Backend int
+
+const (
+	// BackendPB is classical primary-backup (paper §3) — the default and
+	// the tier FORTRESS fortifies.
+	BackendPB Backend = iota
+	// BackendSMR is state machine replication (paper Def. 1): a
+	// leader-sequenced total order executed by every replica.
+	BackendSMR
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendPB:
+		return "pb"
+	case BackendSMR:
+		return "smr"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend resolves a backend name ("pb" or "smr").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "pb":
+		return BackendPB, nil
+	case "smr":
+		return BackendSMR, nil
+	default:
+		return 0, fmt.Errorf("replica: unknown backend %q (want pb or smr)", s)
+	}
+}
+
+// BackendNames returns the known backend names, in presentation order.
+func BackendNames() []string { return []string{"pb", "smr"} }

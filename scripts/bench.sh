@@ -6,14 +6,17 @@
 # B/op, allocs/op, custom metrics) plus a "speedups" section with the
 # serial-vs-parallel ratio for every benchmark that has both variants
 # (BenchmarkFigure1, BenchmarkFigure2, BenchmarkOrderingChain,
-# BenchmarkFortify, BenchmarkEstimateSOParallel, and the live-system
-# BenchmarkCampaignSeries and BenchmarkFaultCampaignSeries — the latter
-# is the fault-campaign sub-benchmark: a series under the
-# rolling-partition schedule with availability measurement on). Compare
-# files across dates to see whether a PR moved the hot paths — e.g.
-# BenchmarkSendRecv tracks the netsim batched-delivery work,
-# BenchmarkCampaignSeries the campaign-level parallelism, and
-# BenchmarkFaultCampaignSeries the fault-injection overhead.
+# BenchmarkFortify, BenchmarkEstimateSOParallel, the live-system
+# BenchmarkCampaignSeries, and BenchmarkFaultCampaignSeries/pb and /smr —
+# the fault-campaign sub-benchmarks: one series per replication backend
+# under the rolling-partition schedule with availability measurement on,
+# so the PB-vs-SMR cost and availability comparison is part of the
+# recorded trajectory). Compare files across dates to see whether a PR
+# moved the hot paths — e.g. BenchmarkSendRecv tracks the netsim
+# batched-delivery work, BenchmarkCampaignSeries the campaign-level
+# parallelism, BenchmarkFaultCampaignSeries the fault-injection overhead,
+# and BenchmarkUpdateFanout the batched per-peer outbox flush against the
+# per-message broadcast baseline.
 #
 # Usage:
 #   scripts/bench.sh [bench-regex]        # default: . (all benchmarks)
