@@ -24,6 +24,7 @@ import (
 	"fortress/internal/netsim"
 	"fortress/internal/replica"
 	"fortress/internal/replica/core"
+	"fortress/internal/replica/pb"
 	"fortress/internal/service"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
@@ -363,16 +364,24 @@ type fanoutHandler struct{}
 func (fanoutHandler) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte) [][]byte {
 	return replies
 }
-func (fanoutHandler) Tick()   {}
-func (fanoutHandler) Rejoin() {}
+func (fanoutHandler) HandlePeerReply(peer int, raw []byte) {}
+func (fanoutHandler) Tick()                                {}
+func (fanoutHandler) Rejoin()                              {}
 
 // BenchmarkUpdateFanout measures the primary's per-request fan-out cost
-// through the shared node runtime: per-message (one flush per staged
+// through the shared node runtime, along two axes.
+//
+// Flush shape (fixed 256-byte payload): per-message (one flush per staged
 // update — one SendBatch of one message per backup, the old
-// broadcastToBackups shape) versus batched (a whole drained batch's
-// updates staged per backup, shipped with a single SendBatch flush). The
-// batched variant is what pb's primary now does when one inbound drain
-// executes several requests.
+// broadcastToBackups shape) versus batched (a whole drained batch's updates
+// staged per backup, shipped with a single SendBatch flush).
+//
+// Payload shape (batched flushes, payloads derived from a live KV service):
+// snapshot (every update carries the full state encoding, the pre-delta PB
+// stream) versus delta (each update carries the pb prefix/suffix diff of
+// consecutive snapshots, the incremental stream the PB primary now ships).
+// With a 256-key store and single-key writes, delta B/op tracks the state
+// actually touched per request while snapshot B/op tracks total state size.
 func BenchmarkUpdateFanout(b *testing.B) {
 	const (
 		backups     = 3
@@ -384,7 +393,7 @@ func BenchmarkUpdateFanout(b *testing.B) {
 		payload[i] = byte(i)
 	}
 	const rounds = 16 // fan-out bursts per op, so a 1x run still averages
-	setup := func(b *testing.B) *core.Node {
+	setup := func(b *testing.B, warm []byte) *core.Node {
 		b.Helper()
 		net := netsim.NewNetwork()
 		peers := make(map[int]string, backups+1)
@@ -412,12 +421,12 @@ func BenchmarkUpdateFanout(b *testing.B) {
 		})
 		// Warm the peer-connection cache and the outbox/payload pools, so
 		// the measurement is steady-state fan-out, not dial setup.
-		nodes[0].Broadcast(payload)
+		nodes[0].Broadcast(warm)
 		nodes[0].Flush()
 		return nodes[0]
 	}
 	b.Run("per-message", func(b *testing.B) {
-		primary := setup(b)
+		primary := setup(b, payload)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < rounds; r++ {
@@ -429,7 +438,7 @@ func BenchmarkUpdateFanout(b *testing.B) {
 		}
 	})
 	b.Run("batched", func(b *testing.B) {
-		primary := setup(b)
+		primary := setup(b, payload)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < rounds; r++ {
@@ -440,6 +449,52 @@ func BenchmarkUpdateFanout(b *testing.B) {
 			}
 		}
 	})
+
+	// The payload-shape variants replay the same perBatch single-key writes
+	// against a 256-key KV store and precompute both encodings of each
+	// executed update: the full snapshot and the pb snapshot delta.
+	kv := service.NewKV()
+	for i := 0; i < 256; i++ {
+		if _, err := kv.Apply([]byte(fmt.Sprintf(`{"op":"put","key":"key-%03d","value":"v-%03d-0000"}`, i, i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	prev, err := kv.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	snapshots := make([][]byte, perBatch)
+	deltas := make([][]byte, perBatch)
+	for m := 0; m < perBatch; m++ {
+		if _, err := kv.Apply([]byte(fmt.Sprintf(`{"op":"put","key":"key-%03d","value":"v-%03d-%04d"}`, m*7%256, m*7%256, m+1))); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := kv.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefix, patch, suffix := pb.DiffSnapshot(prev, snap)
+		deltas[m] = append([]byte(fmt.Sprintf("delta:%d:%d:", prefix, suffix)), patch...)
+		snapshots[m] = snap
+		prev = snap
+	}
+	for _, v := range []struct {
+		name     string
+		payloads [][]byte
+	}{{"snapshot", snapshots}, {"delta", deltas}} {
+		b.Run(v.name, func(b *testing.B) {
+			primary := setup(b, v.payloads[0])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < rounds; r++ {
+					for m := 0; m < perBatch; m++ {
+						primary.Broadcast(v.payloads[m])
+					}
+					primary.Flush()
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkLaunchPadAblation quantifies the λ design knob from DESIGN.md

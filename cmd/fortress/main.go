@@ -18,6 +18,12 @@
 //	                                                     proxies) grid with per-step
 //	                                                     availability
 //
+// The campaign and faults sweeps also take -checkpoint-every and
+// -update-window, the server tier's resync knobs: the PB primary ships
+// ack-windowed incremental state deltas with a full snapshot checkpoint
+// every k-th update, and both engines bound the history they retain for
+// resyncing a lagging replica (PB delta retransmission, SMR catch-up).
+//
 // Every Monte-Carlo subcommand takes -workers (default: runtime.GOMAXPROCS,
 // i.e. all cores): experiment cells and the trial shards within each cell
 // run on that many workers through the deterministic engine in internal/sim,
@@ -82,6 +88,17 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// resyncFlags registers the server-tier resync knobs shared by the live
+// sweeps: the PB delta stream's checkpoint cadence and the retained resync
+// window (PB unacked-delta retransmission, SMR catch-up log suffix).
+func resyncFlags(fs *flag.FlagSet) (checkpointEvery, updateWindow *int) {
+	checkpointEvery = fs.Int("checkpoint-every", 0,
+		"PB update-stream checkpoint cadence: every k-th update ships a full snapshot instead of a delta (0 = engine default 32, 1 = classic full-snapshot-per-update stream)")
+	updateWindow = fs.Int("update-window", 0,
+		"retained resync history: the PB primary's unacked deltas and the SMR leader's catch-up log suffix (0 = engine defaults 256/512, negative = retain nothing, forcing checkpoint/snapshot resyncs)")
+	return checkpointEvery, updateWindow
 }
 
 func commonFlags(fs *flag.FlagSet) (trials, seed *uint64, workers *int) {
@@ -310,10 +327,14 @@ func runCampaign(args []string) error {
 	pacingList := fs.String("pacing", "0,1,2", "comma-separated indirect-probe (κ·ω) grid")
 	detector := fs.String("detector", "both", "detector grid: off, on, or both")
 	threshold := fs.Int("detector-threshold", 8, "invalid requests before a probe source is flagged")
+	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", *checkpointEvery)
 	}
 	// The sweep config treats zero fields as "use the default", so explicit
 	// zeros on the command line must be rejected here, not silently
@@ -371,6 +392,8 @@ func runCampaign(args []string) error {
 		Detectors:         detectors,
 		Pacings:           pacings,
 		DetectorThreshold: *threshold,
+		CheckpointEvery:   *checkpointEvery,
+		UpdateWindow:      *updateWindow,
 	}
 	rows, err := experiments.LiveCampaign(cfg)
 	if err != nil {
@@ -455,10 +478,14 @@ func runFaults(args []string) error {
 		"comma-separated server-tier replication backends (pb, smr); pb,smr replays every fault schedule against both tiers for a PB-vs-SMR availability comparison, with restarted smr replicas catching up from the leader")
 	proxiesList := fs.String("proxies", "3", "comma-separated proxy-count grid")
 	dropsList := fs.String("drops", "0", "comma-separated drop-rate grid (per-directed-pair drop streams keep positive-rate cells bitwise reproducible at any -workers)")
+	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", *checkpointEvery)
 	}
 	if *reps <= 0 {
 		return fmt.Errorf("-reps must be at least 1, got %d", *reps)
@@ -499,19 +526,21 @@ func runFaults(args []string) error {
 		return fmt.Errorf("-drops: %w", err)
 	}
 	cfg := experiments.FaultSweepConfig{
-		Chi:           *chi,
-		Reps:          *reps,
-		Seed:          *seed,
-		Workers:       *workers,
-		MaxSteps:      *steps,
-		Rerandomize:   *po,
-		OmegaDirect:   *omegaD,
-		OmegaIndirect: *omegaI,
-		Servers:       *servers,
-		Backends:      backends,
-		Presets:       presetNames,
-		DropRates:     drops,
-		ProxyCounts:   proxyCounts,
+		Chi:             *chi,
+		Reps:            *reps,
+		Seed:            *seed,
+		Workers:         *workers,
+		MaxSteps:        *steps,
+		Rerandomize:     *po,
+		OmegaDirect:     *omegaD,
+		OmegaIndirect:   *omegaI,
+		Servers:         *servers,
+		Backends:        backends,
+		Presets:         presetNames,
+		DropRates:       drops,
+		ProxyCounts:     proxyCounts,
+		CheckpointEvery: *checkpointEvery,
+		UpdateWindow:    *updateWindow,
 	}
 	rows, err := experiments.FaultSweep(cfg)
 	if err != nil {

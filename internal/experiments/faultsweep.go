@@ -64,6 +64,13 @@ type FaultSweepConfig struct {
 	DropRates []float64
 	// ProxyCounts is the n_p grid. Default {3}.
 	ProxyCounts []int
+	// CheckpointEvery and UpdateWindow tune the server tier's resync
+	// machinery (the PB delta stream's checkpoint cadence, and the
+	// PB-retransmission/SMR-catch-up history bound). Zero selects the
+	// engine defaults; they are passed through to every cell's deployment
+	// untouched.
+	CheckpointEvery int
+	UpdateWindow    int
 }
 
 // DefaultFaultSweepConfig is the grid the CLI and benchmarks use.
@@ -217,6 +224,8 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			HeartbeatInterval: faultSweepHeartbeatInterval,
 			HeartbeatTimeout:  faultSweepHeartbeatTimeout,
 			ServerTimeout:     faultSweepServerTimeout,
+			CheckpointEvery:   cfg.CheckpointEvery,
+			UpdateWindow:      cfg.UpdateWindow,
 		}
 		series, err := attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
 			Campaign: attack.CampaignConfig{

@@ -65,6 +65,13 @@ type LiveCampaignConfig struct {
 	// DetectorThreshold flags a probe source after this many invalid
 	// requests when the detector is on. Default 8.
 	DetectorThreshold int
+	// CheckpointEvery and UpdateWindow tune the server tier's resync
+	// machinery (the PB delta stream's checkpoint cadence, and the
+	// PB-retransmission/SMR-catch-up history bound). Zero selects the
+	// engine defaults; they are passed through to every cell's deployment
+	// untouched.
+	CheckpointEvery int
+	UpdateWindow    int
 }
 
 // DefaultLiveCampaignConfig is the grid the CLI and benchmarks use.
@@ -191,6 +198,8 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			HeartbeatInterval: 10 * time.Millisecond,
 			HeartbeatTimeout:  200 * time.Millisecond,
 			ServerTimeout:     5 * time.Second,
+			CheckpointEvery:   cfg.CheckpointEvery,
+			UpdateWindow:      cfg.UpdateWindow,
 		}
 		if c.detector {
 			// An effectively unbounded window keeps flagging a pure

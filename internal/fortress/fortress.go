@@ -65,6 +65,18 @@ type Config struct {
 	// HeartbeatInterval/Timeout tune the PB failure detector.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// CheckpointEvery is the PB update stream's full-snapshot cadence: every
+	// k-th update ships a checkpoint instead of a delta. Zero selects the
+	// engine default (32); one restores the classic full-snapshot-per-update
+	// stream. Ignored by the SMR backend, whose orders are always deltas by
+	// construction.
+	CheckpointEvery int
+	// UpdateWindow bounds the per-replica resync history: the PB primary's
+	// retained unacknowledged deltas and the SMR leader's catch-up log
+	// suffix. Zero selects the engine defaults (256 and 512 respectively);
+	// negative retains nothing, forcing every resync onto the
+	// checkpoint/snapshot path.
+	UpdateWindow int
 	// ServerTimeout bounds proxy→server interactions.
 	ServerTimeout time.Duration
 	// Net is the network to deploy on; nil creates a private one.
@@ -83,6 +95,8 @@ func (c Config) validate() error {
 		return errors.New("fortress: need a service factory")
 	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0 || c.ServerTimeout <= 0:
 		return errors.New("fortress: need positive timings")
+	case c.CheckpointEvery < 0:
+		return errors.New("fortress: need a non-negative CheckpointEvery")
 	case c.Backend != replica.BackendPB && c.Backend != replica.BackendSMR:
 		return fmt.Errorf("fortress: unknown backend %v", c.Backend)
 	}
@@ -475,6 +489,7 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			Net:               s.net,
 			HeartbeatInterval: s.cfg.HeartbeatInterval,
 			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
+			CatchupHistory:    s.cfg.UpdateWindow,
 		}
 		if seed != nil {
 			cfg.InitialSnapshot = seed.snapshot
@@ -494,6 +509,8 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			Net:               s.net,
 			HeartbeatInterval: s.cfg.HeartbeatInterval,
 			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
+			CheckpointEvery:   s.cfg.CheckpointEvery,
+			UpdateWindow:      s.cfg.UpdateWindow,
 		})
 	}
 	if err != nil {

@@ -19,7 +19,14 @@
 //     decoded buffers back to the netsim pool, and answers each drained
 //     batch's replies with one SendBatch.
 //   - The peer-connection cache: lazily dialed, re-dialed once on send
-//     failure, dropped when a peer is crashed or partitioned.
+//     failure, dropped when a peer is crashed or partitioned. Peer links are
+//     full duplex: every cached connection gets a reader loop that drains
+//     whatever the peer sends back on it (acks, catch-up responses,
+//     backpressure signals) with RecvBatch and hands each payload to the
+//     protocol's HandlePeerReply hook — the same connection carries requests
+//     one way and replies the other, so nothing piles up unread on the
+//     dialing side and auxiliary exchanges need no separately dialed
+//     connection.
 //   - Per-peer ring-buffered outboxes: messages staged with SendTo or
 //     Broadcast coalesce until the next Flush, which ships each peer's
 //     whole staged batch with a single SendBatch — so a primary that
@@ -47,6 +54,14 @@ type Handler interface {
 	// one SendBatch. The raw buffer is released to the netsim pool after
 	// HandleMessage returns, so implementations must not retain it.
 	HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte) [][]byte
+	// HandlePeerReply processes one raw payload read back off the cached
+	// peer connection to peer — the reply direction of a full-duplex peer
+	// link (acks, catch-up responses). It runs on that peer's reader
+	// goroutine; messages staged with SendTo/Broadcast during the call are
+	// flushed when the reader finishes the drained batch. The raw buffer is
+	// released after HandlePeerReply returns, so implementations must not
+	// retain it.
+	HandlePeerReply(peer int, raw []byte)
 	// Tick fires once per Config.TickInterval while the node is up.
 	// Messages staged with SendTo/Broadcast during the tick are flushed
 	// when it returns.
@@ -257,8 +272,13 @@ func (n *Node) Restart() error {
 
 // Go runs fn on a runtime-tracked goroutine (Stop waits for it), unless the
 // node is already shut down, in which case it reports false and fn never
-// runs. Protocol engines use it for auxiliary exchanges such as catch-up
-// transfers.
+// runs.
+//
+// Note: for peer-to-peer request/response exchanges, prefer staging the
+// request on the peer outbox and handling the reply in HandlePeerReply —
+// the full-duplex peer links made the dialed-exchange pattern (Go +
+// AdoptConn, which smr catch-up once used) unnecessary. Go remains for
+// genuinely auxiliary work a protocol must run off the serve loops.
 func (n *Node) Go(fn func()) bool {
 	n.mu.Lock()
 	if n.stopped {
@@ -277,7 +297,9 @@ func (n *Node) Go(fn func()) bool {
 // AdoptConn registers an auxiliary connection (one the caller dialed
 // itself) with the inbound registry so shutdown closes it. It reports false
 // — closing the connection — when the node is already shutting down. Pair
-// with ForgetConn when the exchange completes.
+// with ForgetConn when the exchange completes. Peer exchanges should ride
+// the duplex peer links instead (see Go); AdoptConn remains for
+// connections to non-peers a protocol must hold across a shutdown.
 func (n *Node) AdoptConn(conn *netsim.Conn) bool {
 	return n.registerInbound(conn)
 }
@@ -394,15 +416,23 @@ func (n *Node) Broadcast(raw []byte) {
 // after every drained inbound batch and every tick; protocol engines call
 // it directly when a message must be on the wire before a subsequent local
 // action (e.g. executing a request that may crash the node).
+//
+// Take-and-send is serialized per peer (outbox.sendMu): Flush runs
+// concurrently from every serve loop, the tick loop and the peer reader
+// loops, and two flushers interleaving take→send for the same peer would
+// deliver that peer's batches out of order — protocol streams (pb's
+// chained deltas) rely on per-peer FIFO delivery. Staging never blocks on
+// this: SendTo/Broadcast touch only the staging lock.
 func (n *Node) Flush() {
 	for _, idx := range n.peerIdx {
 		ob := n.outboxes[idx]
+		ob.sendMu.Lock()
 		batch := ob.take()
-		if batch == nil {
-			continue
+		if batch != nil {
+			n.sendBatchTo(idx, batch)
+			ob.putBack(batch)
 		}
-		n.sendBatchTo(idx, batch)
-		ob.putBack(batch)
+		ob.sendMu.Unlock()
 	}
 }
 
@@ -424,7 +454,10 @@ func (n *Node) sendBatchTo(idx int, batch [][]byte) {
 	}
 }
 
-// peerConn returns a cached connection to the peer, dialing lazily.
+// peerConn returns a cached connection to the peer, dialing lazily. A
+// freshly cached connection also gets its reader loop: the receive half of
+// the full-duplex link, which drains the peer's replies into
+// Handler.HandlePeerReply.
 func (n *Node) peerConn(idx int, addr string) *netsim.Conn {
 	n.mu.Lock()
 	if n.stopped {
@@ -453,8 +486,37 @@ func (n *Node) peerConn(idx int, addr string) *netsim.Conn {
 		return existing
 	}
 	n.peerConns[idx] = c
+	// Registered under mu so shutdown either sees the conn (and closes it,
+	// waking the reader out of RecvBatch) or already marked the node
+	// stopped above.
+	n.done.Add(1)
+	go n.peerReadLoop(idx, c)
 	n.mu.Unlock()
 	return c
+}
+
+// peerReadLoop is the receive half of one full-duplex peer link: it drains
+// whatever the peer sends back on the cached connection a whole batch at a
+// time, dispatches every payload to the handler's HandlePeerReply hook, and
+// flushes the outboxes — so anything the handler staged in response (a
+// retransmission, a follow-up request) leaves in one coalesced SendBatch
+// per peer. The loop exits when the connection dies: shutdown and
+// dropPeerConn both close it, which wakes RecvBatch with an error.
+func (n *Node) peerReadLoop(idx int, conn *netsim.Conn) {
+	defer n.done.Done()
+	var batch [][]byte
+	for {
+		var err error
+		batch, err = conn.RecvBatch(batch[:0])
+		if err != nil {
+			return
+		}
+		for _, raw := range batch {
+			n.h.HandlePeerReply(idx, raw)
+			netsim.Release(raw) // handlers decode; they never retain raw
+		}
+		n.Flush()
+	}
 }
 
 func (n *Node) dropPeerConn(idx int, c *netsim.Conn) {
@@ -475,6 +537,10 @@ func (n *Node) dropPeerConn(idx int, c *netsim.Conn) {
 // never blocks on a slow peer); putBack returns the drained buffer for
 // reuse.
 type outbox struct {
+	// sendMu serializes take-and-send (Flush) so concurrent flushers keep
+	// the peer's batch stream FIFO; mu alone guards staging, so SendTo and
+	// Broadcast never wait on an in-flight send.
+	sendMu sync.Mutex
 	mu     sync.Mutex
 	staged [][]byte
 	spare  [][]byte

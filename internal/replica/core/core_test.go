@@ -10,14 +10,16 @@ import (
 )
 
 // echoHandler is a minimal protocol: every inbound payload is echoed back
-// as a reply, recorded, and (optionally) re-broadcast to the peers.
+// as a reply, recorded, and (optionally) re-broadcast to the peers. Replies
+// read back off peer links land in peerReplies.
 type echoHandler struct {
-	mu        sync.Mutex
-	node      *Node
-	got       [][]byte
-	ticks     int
-	rejoined  int
-	broadcast bool
+	mu          sync.Mutex
+	node        *Node
+	got         [][]byte
+	peerReplies map[int][][]byte
+	ticks       int
+	rejoined    int
+	broadcast   bool
 }
 
 func (h *echoHandler) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte) [][]byte {
@@ -29,6 +31,24 @@ func (h *echoHandler) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]b
 		h.node.Broadcast(cp)
 	}
 	return append(replies, cp)
+}
+
+func (h *echoHandler) HandlePeerReply(peer int, raw []byte) {
+	cp := append([]byte(nil), raw...)
+	h.mu.Lock()
+	if h.peerReplies == nil {
+		h.peerReplies = make(map[int][][]byte)
+	}
+	h.peerReplies[peer] = append(h.peerReplies[peer], cp)
+	h.mu.Unlock()
+}
+
+func (h *echoHandler) repliesFrom(peer int) [][]byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([][]byte, len(h.peerReplies[peer]))
+	copy(out, h.peerReplies[peer])
+	return out
 }
 
 func (h *echoHandler) Tick() {
@@ -381,6 +401,86 @@ func TestHandlerRebroadcastFlushedAfterBatch(t *testing.T) {
 	}
 }
 
+// TestPeerLinkIsFullDuplex is the tentpole contract: a message staged on a
+// peer outbox travels over the cached dialed connection, the peer's serve
+// loop answers on that same connection, and the sender's reader loop
+// delivers the reply to HandlePeerReply — no second connection, no unread
+// ack pile-up.
+func TestPeerLinkIsFullDuplex(t *testing.T) {
+	net := netsim.NewNetwork()
+	peers := twoPeers()
+	n0, h0 := startNode(t, net, 0, peers)
+	startNode(t, net, 1, peers) // echoes every payload as a reply
+
+	const sent = 5
+	for i := 0; i < sent; i++ {
+		n0.SendTo(1, []byte{byte(i)})
+	}
+	n0.Flush()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		replies := h0.repliesFrom(1)
+		if len(replies) == sent {
+			for i, r := range replies {
+				if len(r) != 1 || r[0] != byte(i) {
+					t.Fatalf("reply %d = %v, echo order not preserved", i, r)
+				}
+			}
+			if net.OpenConns() > 2 {
+				// One bidirectional pair (two endpoints) carries both
+				// directions; a dedicated reply dial would show up here.
+				t.Fatalf("%d conns open, want the single duplex pair", net.OpenConns())
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reader loop saw %d/%d replies", len(replies), sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPeerReaderShutdownRace races the peer reader loops against
+// Stop/Crash/Restart while reply traffic is in flight — run under -race,
+// this pins that reader registration, shutdown close, and the restart
+// generation change never touch runtime state unsynchronized.
+func TestPeerReaderShutdownRace(t *testing.T) {
+	net := netsim.NewNetwork()
+	peers := map[int]string{0: "race-0", 1: "race-1", 2: "race-2"}
+	n0, _ := startNode(t, net, 0, peers)
+	startNode(t, net, 1, peers)
+	n2, _ := startNode(t, net, 2, peers)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n0.Broadcast([]byte{byte(i)}) // peers echo: replies flow back
+			n0.Flush()
+		}
+	}()
+	// Churn one peer through crash/restart while the broadcaster's reader
+	// loops are draining echoes from it.
+	for i := 0; i < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n2.Crash()
+		if err := n2.Restart(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	n0.Stop() // with readers mid-drain: must close their conns and terminate
+}
+
 // TestTicksFire: the timer loop drives Handler.Tick.
 func TestTicksFire(t *testing.T) {
 	net := netsim.NewNetwork()
@@ -400,4 +500,3 @@ func TestTicksFire(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
-

@@ -1,0 +1,88 @@
+package core
+
+// Window is a bounded, sequence-addressed retention window: entry i holds
+// the item recorded at sequence Base()+i, and appending past the capacity
+// trims the oldest entries forward. Both replication engines keep their
+// resync history in one: smr retains the executed-order suffix it replays
+// for catch-up transfers, pb retains the unacknowledged delta updates it
+// retransmits when a backup's cumulative ack stalls or gaps. Trimming
+// slices forward, so append reallocates (copying the window) only when the
+// backing tail runs out — amortized O(1), the idiom the smr catch-up
+// history pioneered.
+//
+// Window is not synchronized; callers hold their own lock.
+type Window[T any] struct {
+	base    uint64
+	entries []T
+	keep    int
+}
+
+// NewWindow returns a window retaining at most keep entries, with the first
+// Append landing at sequence base. A keep of zero retains nothing: every
+// Append is immediately trimmed away, which forces resyncs onto the
+// snapshot/checkpoint path.
+func NewWindow[T any](base uint64, keep int) Window[T] {
+	if keep < 0 {
+		keep = 0
+	}
+	return Window[T]{base: base, keep: keep}
+}
+
+// Base returns the sequence number of the oldest retained entry (or, for an
+// empty window, the sequence the next Append will land at).
+func (w *Window[T]) Base() uint64 { return w.base }
+
+// End returns one past the newest retained sequence.
+func (w *Window[T]) End() uint64 { return w.base + uint64(len(w.entries)) }
+
+// Len returns the number of retained entries.
+func (w *Window[T]) Len() int { return len(w.entries) }
+
+// Append records the entry at sequence End(), trimming the window to its
+// retention bound.
+func (w *Window[T]) Append(e T) {
+	w.entries = append(w.entries, e)
+	if len(w.entries) > w.keep {
+		w.TrimTo(w.base + uint64(len(w.entries)-w.keep))
+	}
+}
+
+// Get returns the entry recorded at seq, or false when seq has been trimmed
+// away or not yet appended.
+func (w *Window[T]) Get(seq uint64) (T, bool) {
+	if seq < w.base || seq >= w.End() {
+		var zero T
+		return zero, false
+	}
+	return w.entries[seq-w.base], true
+}
+
+// TrimTo drops every entry below seq (no-op when seq is at or below Base).
+// Callers use it for ack-driven early release: once every peer has
+// acknowledged sequence s, entries through s can go before the capacity
+// bound forces them out.
+func (w *Window[T]) TrimTo(seq uint64) {
+	if seq <= w.base {
+		return
+	}
+	if seq >= w.End() {
+		w.Reset(w.End())
+		return
+	}
+	drop := seq - w.base
+	var zero T
+	for i := uint64(0); i < drop; i++ {
+		w.entries[i] = zero // release references for the collector
+	}
+	w.entries = w.entries[drop:]
+	w.base = seq
+}
+
+// Reset empties the window and restarts it at base — the post-jump state
+// after a snapshot installation or a primary promotion, where retained
+// history from the previous stream is no longer replayable.
+func (w *Window[T]) Reset(base uint64) {
+	clear(w.entries)
+	w.entries = w.entries[:0]
+	w.base = base
+}

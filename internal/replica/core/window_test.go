@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+func TestWindowAppendGetTrim(t *testing.T) {
+	w := NewWindow[int](1, 4)
+	for i := 1; i <= 6; i++ {
+		w.Append(i * 10)
+	}
+	if w.Base() != 3 || w.End() != 7 || w.Len() != 4 {
+		t.Fatalf("after capacity trim: base=%d end=%d len=%d", w.Base(), w.End(), w.Len())
+	}
+	if _, ok := w.Get(2); ok {
+		t.Fatal("trimmed entry still readable")
+	}
+	if v, ok := w.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if _, ok := w.Get(7); ok {
+		t.Fatal("unappended sequence readable")
+	}
+	w.TrimTo(5) // ack-driven early release
+	if w.Base() != 5 || w.Len() != 2 {
+		t.Fatalf("after TrimTo(5): base=%d len=%d", w.Base(), w.Len())
+	}
+	w.TrimTo(3) // below base: no-op
+	if w.Base() != 5 {
+		t.Fatalf("TrimTo below base moved base to %d", w.Base())
+	}
+	w.TrimTo(99) // past end: empties, restarts at End
+	if w.Len() != 0 || w.Base() != 7 {
+		t.Fatalf("TrimTo past end: base=%d len=%d", w.Base(), w.Len())
+	}
+	w.Append(70)
+	if v, ok := w.Get(7); !ok || v != 70 {
+		t.Fatalf("append after full trim lands wrong: %d,%v", v, ok)
+	}
+	w.Reset(100)
+	if w.Len() != 0 || w.Base() != 100 {
+		t.Fatalf("after Reset: base=%d len=%d", w.Base(), w.Len())
+	}
+}
+
+func TestWindowZeroKeepRetainsNothing(t *testing.T) {
+	w := NewWindow[string](1, 0)
+	w.Append("a")
+	w.Append("b")
+	if w.Len() != 0 {
+		t.Fatalf("zero-keep window retained %d entries", w.Len())
+	}
+	if w.Base() != 3 {
+		t.Fatalf("zero-keep window base %d, want 3 (sequence still advances)", w.Base())
+	}
+}

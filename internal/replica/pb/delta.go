@@ -1,0 +1,54 @@
+package pb
+
+import "hash/fnv"
+
+// Snapshot deltas: the incremental-update encoding the primary ships in
+// place of a full state snapshot. A delta is the minimal contiguous edit
+// turning the previous snapshot into the next one — the bytes outside the
+// longest common prefix and suffix of the two encodings. Every service in
+// the repo snapshots canonically (sorted keys, canonical JSON), so a
+// request that touches one key perturbs one contiguous region and the
+// delta scales with the state actually touched, not with total state size.
+// Correctness never depends on that locality: a delta that would not
+// reproduce the primary's bytes exactly is rejected by the base hash and
+// the backup falls back to a full checkpoint.
+
+// DiffSnapshot computes the delta from old to new: new equals
+// old[:prefix] + patch + old[len(old)-suffix:]. Exported for the fan-out
+// benchmark, which compares delta-sized against full-snapshot-sized update
+// payloads.
+func DiffSnapshot(old, new []byte) (prefix int, patch []byte, suffix int) {
+	limit := min(len(old), len(new))
+	for prefix < limit && old[prefix] == new[prefix] {
+		prefix++
+	}
+	for suffix < limit-prefix && old[len(old)-1-suffix] == new[len(new)-1-suffix] {
+		suffix++
+	}
+	return prefix, new[prefix : len(new)-suffix], suffix
+}
+
+// ApplyDelta reconstructs the new snapshot from the old one and a delta
+// produced by DiffSnapshot. It reports false when the delta cannot apply to
+// old (trim lengths out of range), which a backup treats as a chain break.
+func ApplyDelta(old []byte, prefix int, patch []byte, suffix int) ([]byte, bool) {
+	if prefix < 0 || suffix < 0 || prefix+suffix > len(old) {
+		return nil, false
+	}
+	out := make([]byte, 0, prefix+len(patch)+suffix)
+	out = append(out, old[:prefix]...)
+	out = append(out, patch...)
+	out = append(out, old[len(old)-suffix:]...)
+	return out, true
+}
+
+// snapHash fingerprints a snapshot encoding (FNV-1a). Deltas carry the hash
+// of the base they chain from; a backup whose current snapshot bytes hash
+// differently has silently diverged (nondeterministic encoder, missed
+// update) and must resync via checkpoint rather than apply the delta to the
+// wrong base.
+func snapHash(snap []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(snap)
+	return h.Sum64()
+}

@@ -1,0 +1,54 @@
+package pb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"", "abc"},
+		{"abc", ""},
+		{"abc", "abc"},
+		{`{"a":"1","b":"2","c":"3"}`, `{"a":"1","b":"9","c":"3"}`},
+		{`{"a":"1"}`, `{"a":"1","b":"2"}`},
+		{"aab", "ab"},
+		{"ab", "aab"},
+		{"xxxx", "xx"},
+	}
+	for _, c := range cases {
+		old, new := []byte(c[0]), []byte(c[1])
+		prefix, patch, suffix := DiffSnapshot(old, new)
+		got, ok := ApplyDelta(old, prefix, patch, suffix)
+		if !ok {
+			t.Fatalf("delta %q→%q did not apply", c[0], c[1])
+		}
+		if !bytes.Equal(got, new) {
+			t.Fatalf("delta %q→%q reconstructed %q", c[0], c[1], got)
+		}
+	}
+}
+
+func TestDiffLocality(t *testing.T) {
+	// A single-key edit in a canonical map encoding must produce a delta
+	// that scales with the touched region, not the whole snapshot.
+	old := []byte(`{"a":"000","b":"111","c":"222","d":"333","e":"444"}`)
+	new := []byte(`{"a":"000","b":"111","c":"999","d":"333","e":"444"}`)
+	_, patch, _ := DiffSnapshot(old, new)
+	if len(patch) > 3 {
+		t.Fatalf("single-key delta carries %d bytes of a %d-byte snapshot", len(patch), len(new))
+	}
+}
+
+func TestApplyDeltaRejectsOutOfRange(t *testing.T) {
+	if _, ok := ApplyDelta([]byte("abc"), 2, nil, 2); ok {
+		t.Fatal("overlapping trim accepted")
+	}
+	if _, ok := ApplyDelta([]byte("abc"), -1, nil, 0); ok {
+		t.Fatal("negative prefix accepted")
+	}
+	if _, ok := ApplyDelta([]byte("abc"), 0, nil, 4); ok {
+		t.Fatal("suffix past the base accepted")
+	}
+}

@@ -2,20 +2,41 @@
 // the server tier FORTRESS fortifies.
 //
 // One replica — the primary — executes client requests; after each execution
-// it ships the response and a full state snapshot to every backup. Each
-// replica (primary and backups alike) signs the response together with its
-// own index and returns it to the requester, exactly as §3 prescribes for
-// the FORTRESS interaction pattern. Backups never execute requests, which is
-// why the hosted service need not be deterministic.
+// it ships the response and a state update to every backup. Each replica
+// (primary and backups alike) signs the response together with its own index
+// and returns it to the requester, exactly as §3 prescribes for the FORTRESS
+// interaction pattern. Backups never execute requests, which is why the
+// hosted service need not be deterministic.
 //
-// Failure handling: the primary heartbeats the backups; a backup that
-// misses heartbeats for the configured timeout deterministically promotes
-// the lowest-indexed surviving replica (itself included) to primary.
+// The update stream is incremental and ack-windowed rather than
+// fire-and-forget full snapshots:
 //
-// Transport, lifecycle and peer fan-out come from the shared node runtime
-// in replica/core: the primary's update broadcast goes through the per-peer
-// batched outboxes, so a drained batch of requests ships one coalesced
-// SendBatch of updates per backup instead of one Send per update.
+//   - Each executed request ships a delta — the contiguous edit turning the
+//     previous snapshot encoding into the next (see delta.go) — so the
+//     per-request fan-out payload scales with the state the request touched,
+//     not with total state size. Every Config.CheckpointEvery-th update is a
+//     full snapshot checkpoint that re-anchors the chain.
+//   - Peer links are full duplex (replica/core): a backup acks each applied
+//     update as a reply on the very connection the update arrived on, and
+//     the primary's per-peer reader loop drains those acks into a cumulative
+//     per-backup frontier. Deltas every backup has acknowledged are released
+//     early; at most Config.UpdateWindow unacknowledged ones are retained.
+//   - A backup that detects a chain break — a sequence gap from dropped
+//     updates, a base-hash mismatch, or an update stream from a different
+//     primary — nacks with its applied frontier. The primary retransmits the
+//     retained suffix when the gap fits the window, and otherwise falls back
+//     to a full checkpoint carrying its response cache. A stalled cumulative
+//     ack (backup crashed, restarted, or rebuilt) triggers the same resync
+//     from the primary's heartbeat timer, so a backup that restarts
+//     mid-window converges over the same duplex link without waiting for
+//     the next full snapshot.
+//
+// Failure handling: the primary heartbeats the backups (carrying its
+// executed frontier, so a lagging backup self-detects); a backup that misses
+// heartbeats for the configured timeout deterministically promotes the
+// lowest-indexed surviving replica (itself included) to primary. A fresh
+// primary starts its update stream with a checkpoint, which re-anchors every
+// backup regardless of what it had applied under the old stream.
 package pb
 
 import (
@@ -56,11 +77,13 @@ func (r Role) String() string {
 
 // wire message types exchanged between replicas and with requesters.
 const (
-	msgRequest   = "request"   // requester → replica: please serve
-	msgResponse  = "response"  // replica → requester: signed response
-	msgUpdate    = "update"    // primary → backup: executed request + state
-	msgAck       = "ack"       // backup → primary
-	msgHeartbeat = "heartbeat" // primary → backup
+	msgRequest    = "request"    // requester → replica: please serve
+	msgResponse   = "response"   // replica → requester: signed response
+	msgUpdate     = "update"     // primary → backup: executed request + state delta
+	msgCheckpoint = "checkpoint" // primary → backup: full snapshot anchor
+	msgAck        = "ack"        // backup → primary: cumulative applied frontier
+	msgNack       = "nack"       // backup → primary: chain break, resync me
+	msgHeartbeat  = "heartbeat"  // primary → backup (carries executed frontier)
 )
 
 type wireMsg struct {
@@ -68,11 +91,26 @@ type wireMsg struct {
 	RequestID string              `json:"requestId,omitempty"`
 	Body      []byte              `json:"body,omitempty"`
 	Seq       uint64              `json:"seq,omitempty"`
-	Snapshot  []byte              `json:"snapshot,omitempty"`
-	RespBody  []byte              `json:"respBody,omitempty"`
-	RespErr   string              `json:"respErr,omitempty"`
 	From      int                 `json:"from,omitempty"`
 	Response  *sig.ServerResponse `json:"response,omitempty"`
+	RespBody  []byte              `json:"respBody,omitempty"`
+	RespErr   string              `json:"respErr,omitempty"`
+	// Snapshot carries a checkpoint's full state; Responses rides a resync
+	// checkpoint so requests the receiver jumps over stay answerable from
+	// cache (values are the signable response payloads).
+	Snapshot  []byte            `json:"snapshot,omitempty"`
+	Responses map[string][]byte `json:"responses,omitempty"`
+	// DeltaPrefix/Delta/DeltaSuffix carry an incremental update (delta.go);
+	// BaseHash fingerprints the snapshot encoding the delta chains from.
+	DeltaPrefix int    `json:"deltaPrefix,omitempty"`
+	DeltaSuffix int    `json:"deltaSuffix,omitempty"`
+	Delta       []byte `json:"delta,omitempty"`
+	BaseHash    uint64 `json:"baseHash,omitempty"`
+	// Stream identifies, on acks and nacks, the primary index whose update
+	// stream the sender is positioned in — the primary retransmits deltas
+	// only to a backup confirmed on its own chain, and checkpoint-resyncs
+	// everyone else.
+	Stream int `json:"stream,omitempty"`
 }
 
 func encode(m wireMsg) []byte {
@@ -83,6 +121,19 @@ func encode(m wireMsg) []byte {
 	}
 	return b
 }
+
+const (
+	// defaultCheckpointEvery is the full-snapshot cadence of the update
+	// stream when Config.CheckpointEvery is zero.
+	defaultCheckpointEvery = 32
+	// defaultUpdateWindow bounds the retained unacknowledged deltas when
+	// Config.UpdateWindow is zero.
+	defaultUpdateWindow = 256
+	// streamUnknown marks a backup that is not positioned in any primary's
+	// update stream (fresh, rebuilt, or deposed): only a checkpoint anchors
+	// it.
+	streamUnknown = -1
+)
 
 // Config describes one replica.
 type Config struct {
@@ -106,6 +157,17 @@ type Config struct {
 	// HeartbeatTimeout is how long a backup waits before declaring the
 	// primary dead. It should be several intervals.
 	HeartbeatTimeout time.Duration
+	// CheckpointEvery makes every k-th update a full snapshot checkpoint
+	// instead of a delta, bounding how long a delta chain can grow. Zero
+	// selects the default (32); one disables deltas entirely — every update
+	// ships the full snapshot, the classic PB stream.
+	CheckpointEvery int
+	// UpdateWindow bounds the unacknowledged deltas the primary retains for
+	// retransmission: a backup whose nack frontier fits the window gets the
+	// missing suffix replayed, one that has fallen further behind gets a
+	// checkpoint. Zero selects the default (256); negative retains nothing,
+	// forcing every resync onto the checkpoint path.
+	UpdateWindow int
 }
 
 func (c Config) validate() error {
@@ -122,6 +184,8 @@ func (c Config) validate() error {
 		return errors.New("pb: config needs Peers")
 	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0:
 		return errors.New("pb: config needs positive heartbeat timings")
+	case c.CheckpointEvery < 0:
+		return errors.New("pb: config needs a non-negative CheckpointEvery")
 	}
 	if _, ok := c.Peers[c.Index]; !ok {
 		return fmt.Errorf("pb: Peers must contain own index %d", c.Index)
@@ -132,11 +196,36 @@ func (c Config) validate() error {
 	return nil
 }
 
+// retained is one update held in the primary's retransmission window: the
+// executed request's response plus either the delta or, for checkpoint
+// sequences, the full snapshot it shipped as.
+type retained struct {
+	requestID string
+	respBody  []byte
+	respErr   string
+	// checkpoint holds the snapshot bytes when this sequence shipped as a
+	// full checkpoint; nil for delta sequences.
+	checkpoint []byte
+	// delta fields, valid when checkpoint is nil.
+	prefix, suffix int
+	patch          []byte
+	baseHash       uint64
+}
+
 // Replica is one primary-backup replica: the PB protocol handler mounted on
 // a core.Node runtime.
 type Replica struct {
-	cfg  Config
-	node *core.Node
+	cfg     Config
+	node    *core.Node
+	peerIdx []int // every other replica index, ascending
+
+	// execMu serializes state transitions against the hosted service: on the
+	// primary it orders execute+snapshot+diff so the delta chain is the diff
+	// of consecutive states, on a backup it orders delta/checkpoint
+	// installation, and resync construction takes it so a retransmitted
+	// suffix cannot interleave with a concurrently executed update. Always
+	// acquired before mu.
+	execMu sync.Mutex
 
 	mu            sync.Mutex
 	role          Role
@@ -146,6 +235,21 @@ type Replica struct {
 	respCache     map[string]cachedResp
 	pending       map[string][]*netsim.Conn
 	suspected     map[int]bool
+
+	// Primary-side update stream state.
+	lastSnap   []byte // snapshot encoding at seq; nil forces a checkpoint
+	window     core.Window[retained]
+	acked      map[int]uint64 // cumulative applied frontier per backup
+	ackSeen    map[int]uint64 // acked at the previous tick (stall detection)
+	stallTicks map[int]int
+	stallWait  map[int]int // per-peer ticks before the next stall resync
+	stallLimit int
+
+	// Backup-side update stream state.
+	snapBytes []byte // snapshot encoding the next delta must chain from
+	updFrom   int    // primary index whose stream we are positioned in
+	resyncing bool   // a nack is outstanding; suppress duplicates
+	nackedAt  time.Time
 }
 
 type cachedResp struct {
@@ -153,10 +257,30 @@ type cachedResp struct {
 	errMsg string
 }
 
+// payload is the signable response body: what every replica signs for this
+// request, and what checkpoint Responses maps carry — one definition, so a
+// response transferred by resync signs the same bytes a live replica signs.
+func (c cachedResp) payload() []byte {
+	if c.errMsg != "" {
+		return []byte("error: " + c.errMsg)
+	}
+	return c.body
+}
+
 // New starts a replica. Call Stop to shut it down.
 func New(cfg Config) (*Replica, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = defaultCheckpointEvery
+	}
+	windowKeep := cfg.UpdateWindow
+	switch {
+	case windowKeep == 0:
+		windowKeep = defaultUpdateWindow
+	case windowKeep < 0:
+		windowKeep = 0
 	}
 	r := &Replica{
 		cfg:        cfg,
@@ -165,7 +289,20 @@ func New(cfg Config) (*Replica, error) {
 		respCache:  make(map[string]cachedResp),
 		pending:    make(map[string][]*netsim.Conn),
 		suspected:  make(map[int]bool),
+		window:     core.NewWindow[retained](1, windowKeep),
+		acked:      make(map[int]uint64),
+		ackSeen:    make(map[int]uint64),
+		stallTicks: make(map[int]int),
+		stallWait:  make(map[int]int),
+		stallLimit: int(cfg.HeartbeatTimeout/cfg.HeartbeatInterval) + 1,
+		updFrom:    streamUnknown,
 	}
+	for idx := range cfg.Peers {
+		if idx != cfg.Index {
+			r.peerIdx = append(r.peerIdx, idx)
+		}
+	}
+	sort.Ints(r.peerIdx)
 	if cfg.Index == cfg.InitialPrimary {
 		r.role = RolePrimary
 	}
@@ -218,6 +355,15 @@ func (r *Replica) Seq() uint64 {
 // Executed is Seq under the backend-neutral replica.Server name.
 func (r *Replica) Executed() uint64 { return r.Seq() }
 
+// Acked returns the cumulative update frontier peer has acknowledged on
+// this replica's update stream — meaningful on the primary, whose reader
+// loops drain the acks off the duplex peer links.
+func (r *Replica) Acked(peer int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked[peer]
+}
+
 // PublicKey exposes the verification key for name-server registration.
 func (r *Replica) PublicKey() []byte { return r.cfg.Keys.Public() }
 
@@ -243,10 +389,12 @@ func (r *Replica) Crash() { r.node.Crash() }
 // A multi-replica node always rejoins as a backup, whatever its start-up
 // role: the cluster may have failed over while it was down, and a rejoining
 // initial primary that reclaimed its role would overwrite the current
-// primary's newer state with its stale snapshot. Its stale state converges
-// at the next primary update, which carries a full snapshot. Only a
-// single-replica deployment restarts straight into the primary role (there
-// is no one else to defer to). Restarting a running replica is an error.
+// primary's newer state with its stale updates. Having kept its stream
+// position and snapshot bytes, it converges over the duplex link: in-window
+// gaps are retransmitted as deltas, anything worse resyncs via checkpoint.
+// Only a single-replica deployment restarts straight into the primary role
+// (there is no one else to defer to). Restarting a running replica is an
+// error.
 //
 // This is the node-local restart primitive (a process supervisor's view);
 // fortress-level fault recovery instead rebuilds the replica from a live
@@ -264,9 +412,13 @@ func (r *Replica) Rejoin() {
 	}
 	// primaryIdx keeps its pre-crash value; the current primary's next
 	// heartbeat corrects it, and the failover timer covers a silent group.
+	// snapBytes/updFrom/seq are retained too: if the stream is unchanged the
+	// node resumes exactly where it stopped, and any gap it slept through
+	// resolves with a nack on the first update or heartbeat it hears.
 	r.suspected = make(map[int]bool)
 	// Parked requesters were disconnected by the shutdown; they resubmit.
 	r.pending = make(map[string][]*netsim.Conn)
+	r.resyncing = false
 	r.lastHeartbeat = time.Now()
 }
 
@@ -281,16 +433,38 @@ func (r *Replica) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte)
 		if resp := r.handleRequest(conn, m); resp != nil {
 			replies = append(replies, resp)
 		}
-	case msgUpdate:
+	case msgUpdate, msgCheckpoint:
 		if ack := r.handleUpdate(m); ack != nil {
 			replies = append(replies, ack)
 		}
 	case msgHeartbeat:
 		r.handleHeartbeat(m)
 	case msgAck:
-		// Asynchronous PB: acks are informational.
+		// Acks normally ride the duplex link back to the primary's reader
+		// loop (HandlePeerReply); one arriving here came over the backup's
+		// own outbox connection and means the same thing.
+		r.handleAck(m)
+	case msgNack:
+		r.handleNack(m)
 	}
 	return replies
+}
+
+// HandlePeerReply implements core.Handler: one message read back off the
+// cached peer connection to peer — the reply direction of the full-duplex
+// link. For the primary that is the ack/nack stream its update broadcasts
+// come back as.
+func (r *Replica) HandlePeerReply(peer int, raw []byte) {
+	var m wireMsg
+	if json.Unmarshal(raw, &m) != nil {
+		return
+	}
+	switch m.Type {
+	case msgAck:
+		r.handleAck(m)
+	case msgNack:
+		r.handleNack(m)
+	}
 }
 
 // handleRequest serves a request according to the current role. It returns
@@ -303,58 +477,102 @@ func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) []byte {
 		r.mu.Unlock()
 		return r.responseBytes(m.RequestID, cached)
 	}
-	isPrimary := r.role == RolePrimary
-	if !isPrimary {
+	if r.role != RolePrimary {
 		// Backup: park the connection until the primary's update arrives.
 		r.pending[m.RequestID] = append(r.pending[m.RequestID], conn)
 		r.mu.Unlock()
 		return nil
 	}
 	r.mu.Unlock()
+	return r.execute(m)
+}
 
-	// Primary path: execute, snapshot, replicate, reply.
+// execute runs one request on the primary and stages its update. execMu
+// serializes execution with snapshotting, so each delta is the exact diff
+// of consecutive states and the window stays in lockstep with seq; it also
+// keeps a concurrent resync from interleaving retransmitted deltas between
+// a fresh update's execution and its staging (the per-peer outbox is FIFO,
+// so backups always see the stream in chain order).
+func (r *Replica) execute(m wireMsg) []byte {
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+	r.mu.Lock()
+	// Re-check under execMu: a concurrent duplicate may have executed while
+	// this request waited, and must not run the service twice.
+	if prior, ok := r.respCache[m.RequestID]; ok {
+		r.mu.Unlock()
+		return r.responseBytes(m.RequestID, prior)
+	}
+	r.mu.Unlock()
+
 	body, applyErr := r.cfg.Service.Apply(m.Body)
 	cached := cachedResp{body: body}
 	if applyErr != nil {
 		cached = cachedResp{errMsg: applyErr.Error()}
 	}
-	snapshot, snapErr := r.cfg.Service.Snapshot()
+	snap, snapErr := r.cfg.Service.Snapshot()
 
 	r.mu.Lock()
-	// Re-check: a concurrent duplicate may have won the race.
-	if prior, ok := r.respCache[m.RequestID]; ok {
-		r.mu.Unlock()
-		return r.responseBytes(m.RequestID, prior)
-	}
 	r.seq++
 	seq := r.seq
 	r.respCache[m.RequestID] = cached
-	r.mu.Unlock()
-
-	if snapErr == nil {
-		// Staged on the per-backup outboxes: every update executed while
-		// draining one inbound batch leaves in a single SendBatch per
-		// backup when the runtime flushes at the end of the drain.
-		r.node.Broadcast(encode(wireMsg{
-			Type:      msgUpdate,
-			RequestID: m.RequestID,
-			Seq:       seq,
-			Snapshot:  snapshot,
-			RespBody:  cached.body,
-			RespErr:   cached.errMsg,
-			From:      r.cfg.Index,
-		}))
+	if snapErr != nil {
+		// The new state cannot be described: break the chain so the next
+		// update checkpoints, and restart the window past the hole.
+		r.lastSnap = nil
+		r.window.Reset(seq + 1)
+		r.mu.Unlock()
+		return r.responseBytes(m.RequestID, cached)
 	}
+	up := retained{requestID: m.RequestID, respBody: cached.body, respErr: cached.errMsg}
+	if r.lastSnap == nil || seq%uint64(r.cfg.CheckpointEvery) == 0 {
+		up.checkpoint = snap
+	} else {
+		up.baseHash = snapHash(r.lastSnap)
+		var patch []byte
+		up.prefix, patch, up.suffix = DiffSnapshot(r.lastSnap, snap)
+		// Copy: the patch sub-slices snap, and a retained alias would pin
+		// the whole historical snapshot in the window for the life of the
+		// entry — the exact memory scaling deltas exist to avoid.
+		up.patch = append([]byte(nil), patch...)
+	}
+	r.lastSnap = snap
+	r.window.Append(up)
+	// Staged on the per-backup outboxes: every update executed while
+	// draining one inbound batch leaves in a single SendBatch per backup
+	// when the runtime flushes at the end of the drain.
+	r.node.Broadcast(encode(updateMsg(seq, r.cfg.Index, up, nil)))
+	r.mu.Unlock()
 	return r.responseBytes(m.RequestID, cached)
+}
+
+// updateMsg encodes one retained update (delta or checkpoint) for the wire;
+// responses rides only on resync checkpoints.
+func updateMsg(seq uint64, from int, up retained, responses map[string][]byte) wireMsg {
+	m := wireMsg{
+		Seq:       seq,
+		From:      from,
+		RequestID: up.requestID,
+		RespBody:  up.respBody,
+		RespErr:   up.respErr,
+		Responses: responses,
+	}
+	if up.checkpoint != nil {
+		m.Type = msgCheckpoint
+		m.Snapshot = up.checkpoint
+	} else {
+		m.Type = msgUpdate
+		m.DeltaPrefix = up.prefix
+		m.DeltaSuffix = up.suffix
+		m.Delta = up.patch
+		m.BaseHash = up.baseHash
+	}
+	return m
 }
 
 // responseBytes signs and encodes the response for a request.
 func (r *Replica) responseBytes(requestID string, c cachedResp) []byte {
-	payload := c.body
-	if c.errMsg != "" {
-		payload = []byte("error: " + c.errMsg)
-	}
-	resp := sig.SignServerResponse(r.cfg.Keys, requestID, payload, r.cfg.Index)
+	resp := sig.SignServerResponse(r.cfg.Keys, requestID, c.payload(), r.cfg.Index)
 	return encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp})
 }
 
@@ -363,10 +581,15 @@ func (r *Replica) reply(conn *netsim.Conn, requestID string, c cachedResp) {
 	_ = conn.Send(r.responseBytes(requestID, c))
 }
 
-// handleUpdate applies a primary state update on a backup and returns the
-// ack to send back on the update's connection (nil when the update is
-// stale or this replica is itself primary).
+// handleUpdate applies a primary update (delta or checkpoint) on a backup
+// and returns the cumulative ack to send back on the update's connection —
+// or a nack when the update does not chain onto this backup's state. execMu
+// serializes installations, so two primaries racing a failover window
+// cannot interleave restores.
 func (r *Replica) handleUpdate(m wireMsg) []byte {
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+
 	r.mu.Lock()
 	if r.role == RolePrimary {
 		// A deposed primary re-joining as backup would handle this; a live
@@ -374,56 +597,361 @@ func (r *Replica) handleUpdate(m wireMsg) []byte {
 		r.mu.Unlock()
 		return nil
 	}
-	if m.Seq <= r.seq {
-		r.mu.Unlock() // duplicate or out-of-date snapshot
-		return nil
+	sameStream := m.From == r.updFrom
+	prevSeq := r.seq
+	base := r.snapBytes
+	if m.Type == msgCheckpoint {
+		if sameStream && m.Seq <= prevSeq {
+			// Duplicate (a retransmission crossed our ack, or the ack was
+			// lost): re-ack the frontier instead of staying silent, or the
+			// primary keeps believing us stalled and retransmits forever.
+			ack := r.ackLocked(m.From)
+			r.mu.Unlock()
+			return ack
+		}
+		if !sameStream && m.From != r.primaryIdx {
+			// A checkpoint from a primary this backup does not follow — a
+			// deposed primary's stall detector, or a pre-failover
+			// checkpoint delayed in flight. Anchoring to it would regress
+			// the backup onto a dead stream; only the followed primary
+			// (maintained by heartbeats and failover) may re-anchor.
+			r.mu.Unlock()
+			return nil
+		}
+		r.mu.Unlock()
+		return r.installCheckpoint(m, sameStream, prevSeq)
 	}
+	switch {
+	case !sameStream:
+		// A delta from a stream this backup is not positioned in: only a
+		// checkpoint can anchor it.
+		return r.nackLocked()
+	case m.Seq <= prevSeq:
+		// Duplicate delta (retransmission crossed our ack): re-ack so the
+		// primary relearns the frontier even when the original ack was
+		// lost on a lossy link.
+		ack := r.ackLocked(m.From)
+		r.mu.Unlock()
+		return ack
+	case m.Seq > prevSeq+1:
+		return r.nackLocked() // gap: updates were dropped or slept through
+	}
+	r.mu.Unlock()
+
+	// In-order delta: verify the chain base and install. Failures here are
+	// divergence, not gaps — retransmitting the same delta could never
+	// succeed — so the backup drops off-stream first and its nack carries
+	// streamUnknown, steering the primary straight to the checkpoint
+	// fallback (and making the stream's later deltas cross-stream drops
+	// instead of a fresh spurious nack each).
+	if snapHash(base) != m.BaseHash {
+		return r.nackDiverged()
+	}
+	newSnap, ok := ApplyDelta(base, m.DeltaPrefix, m.Delta, m.DeltaSuffix)
+	if !ok {
+		return r.nackDiverged()
+	}
+	if err := r.cfg.Service.Restore(newSnap); err != nil {
+		return r.nackDiverged()
+	}
+
+	cached := cachedResp{body: m.RespBody, errMsg: m.RespErr}
+	r.mu.Lock()
 	r.seq = m.Seq
+	r.snapBytes = newSnap
 	r.primaryIdx = m.From
 	r.lastHeartbeat = time.Now()
-	cached := cachedResp{body: m.RespBody, errMsg: m.RespErr}
+	r.resyncing = false
 	r.respCache[m.RequestID] = cached
 	waiting := r.pending[m.RequestID]
 	delete(r.pending, m.RequestID)
+	ack := r.ackLocked(m.From)
 	r.mu.Unlock()
 
-	var ack []byte
-	if err := r.cfg.Service.Restore(m.Snapshot); err == nil {
-		ack = encode(wireMsg{Type: msgAck, RequestID: m.RequestID, Seq: m.Seq, From: r.cfg.Index})
-	}
 	for _, w := range waiting {
 		r.reply(w, m.RequestID, cached)
 	}
 	return ack
 }
 
-func (r *Replica) handleHeartbeat(m wireMsg) {
+// installCheckpoint anchors a backup at a full-snapshot update: cross-stream
+// checkpoints reposition the backup in the sender's stream wholesale (its
+// sequence space, not ours), same-stream ones jump a gap or continue the
+// chain. Caller holds execMu.
+func (r *Replica) installCheckpoint(m wireMsg, sameStream bool, prevSeq uint64) []byte {
+	if err := r.cfg.Service.Restore(m.Snapshot); err != nil {
+		// Unusable snapshot: stay put; the primary's stall detector retries.
+		return nil
+	}
+	type answered struct {
+		requestID string
+		resp      cachedResp
+		conns     []*netsim.Conn
+	}
+	var serve []answered
+	var orphaned []*netsim.Conn
+
+	r.mu.Lock()
+	r.seq = m.Seq
+	r.snapBytes = m.Snapshot
+	r.updFrom = m.From
+	r.primaryIdx = m.From
+	r.lastHeartbeat = time.Now()
+	r.resyncing = false
+	if m.RequestID != "" {
+		r.respCache[m.RequestID] = cachedResp{body: m.RespBody, errMsg: m.RespErr}
+	}
+	for id, payload := range m.Responses {
+		if _, ok := r.respCache[id]; !ok {
+			r.respCache[id] = cachedResp{body: payload}
+		}
+	}
+	for id, conns := range r.pending {
+		if cached, ok := r.respCache[id]; ok {
+			delete(r.pending, id)
+			serve = append(serve, answered{id, cached, conns})
+		}
+	}
+	if !sameStream || m.Seq > prevSeq+1 {
+		// The jump skipped requests this checkpoint carries no responses
+		// for: close their parked connections so the requesters resubmit
+		// (the primary answers retries from its cache), exactly as failover
+		// does for requests orphaned by a dead primary.
+		for id, conns := range r.pending {
+			delete(r.pending, id)
+			orphaned = append(orphaned, conns...)
+		}
+	}
+	ack := r.ackLocked(m.From)
+	r.mu.Unlock()
+
+	for _, a := range serve {
+		for _, c := range a.conns {
+			r.reply(c, a.requestID, a.resp)
+		}
+	}
+	for _, c := range orphaned {
+		c.Close()
+	}
+	return ack
+}
+
+// ackLocked encodes the cumulative applied-frontier ack. Caller holds r.mu.
+func (r *Replica) ackLocked(stream int) []byte {
+	return encode(wireMsg{Type: msgAck, Seq: r.seq, From: r.cfg.Index, Stream: stream})
+}
+
+// nackDiverged reports a chain break that no retransmission can repair
+// (base-hash mismatch, unappliable delta, failed restore): the backup
+// abandons its stream position so the nack's streamUnknown forces the
+// primary onto the checkpoint path.
+func (r *Replica) nackDiverged() []byte {
+	r.mu.Lock()
+	r.updFrom = streamUnknown
+	r.snapBytes = nil
+	return r.nackLocked()
+}
+
+// nackLocked encodes a chain-break report carrying the backup's applied
+// frontier and stream position, rate-limited so a burst of unapplicable
+// deltas triggers one resync, not one per delta. Caller holds r.mu; the
+// lock is released.
+func (r *Replica) nackLocked() []byte {
+	if r.resyncing && time.Since(r.nackedAt) < r.cfg.HeartbeatTimeout {
+		r.mu.Unlock()
+		return nil
+	}
+	r.resyncing = true
+	r.nackedAt = time.Now()
+	n := encode(wireMsg{Type: msgNack, Seq: r.seq, From: r.cfg.Index, Stream: r.updFrom})
+	r.mu.Unlock()
+	return n
+}
+
+// handleAck records a backup's cumulative applied frontier and releases
+// retained deltas every backup has acknowledged.
+func (r *Replica) handleAck(m wireMsg) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.role != RolePrimary || m.Stream != r.cfg.Index {
+		return // an ack for another primary's stream says nothing about ours
+	}
+	if m.Seq > r.acked[m.From] {
+		r.acked[m.From] = m.Seq
+	}
+	// Ack-driven early release: everything every peer has applied can go
+	// before the capacity bound forces it out. An ack for an
+	// already-trimmed (checkpointed) sequence is simply below every
+	// frontier and trims nothing.
+	minAck := m.Seq
+	for _, idx := range r.peerIdx {
+		if a := r.acked[idx]; a < minAck {
+			minAck = a
+		}
+	}
+	if minAck > 0 {
+		r.window.TrimTo(minAck + 1)
+	}
+}
+
+// handleNack resyncs a backup that reported a chain break.
+func (r *Replica) handleNack(m wireMsg) {
+	r.resyncPeer(m.From, m.Seq, m.Stream)
+}
+
+// resyncPeer brings one backup back onto the update stream: a backup
+// confirmed on this primary's own chain (stream) whose gap fits the
+// retained window gets the missing suffix retransmitted delta-by-delta;
+// anything else — cross-stream, out-the-window, or never-acked — gets a
+// full checkpoint carrying the response cache. execMu is held across
+// staging so the resync cannot interleave with a concurrent execution's
+// broadcast: the per-peer outbox is FIFO, so the backup receives the suffix
+// and any newer live updates in chain order.
+func (r *Replica) resyncPeer(peer int, from uint64, stream int) {
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role != RolePrimary {
+		return
+	}
+	if _, ok := r.cfg.Peers[peer]; !ok || peer == r.cfg.Index {
+		return
+	}
+	if stream == r.cfg.Index {
+		// The nack frontier is an observation of the backup's position on
+		// our own chain — trust it even when it regresses (an in-place
+		// restart slept through updates).
+		r.acked[peer] = from
+	} else {
+		r.acked[peer] = 0
+	}
+	if from >= r.seq && stream == r.cfg.Index {
+		return // already current
+	}
+	inWindow := stream == r.cfg.Index &&
+		from+1 >= r.window.Base() && r.window.End() == r.seq+1
+	if inWindow {
+		for s := from + 1; s <= r.seq; s++ {
+			up, ok := r.window.Get(s)
+			if !ok {
+				inWindow = false
+				break
+			}
+			r.node.SendTo(peer, encode(updateMsg(s, r.cfg.Index, up, nil)))
+		}
+		if inWindow {
+			return // staged; the runtime flushes on the way out
+		}
+	}
+	// Checkpoint fallback: the whole state plus the response cache, so
+	// requests the backup jumps over stay answerable from cache.
+	if r.lastSnap == nil {
+		return // nothing executed yet; the first update will checkpoint
+	}
+	responses := make(map[string][]byte, len(r.respCache))
+	for id, c := range r.respCache {
+		responses[id] = c.payload()
+	}
+	r.node.SendTo(peer, encode(wireMsg{
+		Type:      msgCheckpoint,
+		Seq:       r.seq,
+		From:      r.cfg.Index,
+		Snapshot:  r.lastSnap,
+		Responses: responses,
+	}))
+}
+
+func (r *Replica) handleHeartbeat(m wireMsg) {
+	r.mu.Lock()
 	if r.role == RolePrimary && m.From != r.cfg.Index {
-		// Two primaries: the lower index wins, the higher demotes itself.
+		// Two primaries: the lower index wins, the higher demotes itself —
+		// and, now a backup with a dead chain, waits for the winner's
+		// checkpoint to anchor it.
 		if m.From < r.cfg.Index {
 			r.role = RoleBackup
 			r.primaryIdx = m.From
+			r.updFrom = streamUnknown
+			r.snapBytes = nil
+			r.resyncing = false
 		}
+		r.mu.Unlock()
 		return
 	}
 	r.primaryIdx = m.From
 	r.lastHeartbeat = time.Now()
+	// The heartbeat carries the primary's executed frontier: a backup that
+	// is behind with no update in flight (it slept through the whole tail)
+	// would otherwise wait for the next execution to notice.
+	behind := m.Seq > r.seq && m.From != r.cfg.Index
+	if !behind {
+		r.mu.Unlock()
+		return
+	}
+	nack := r.nackLocked() // releases r.mu
+	if nack != nil {
+		r.node.SendTo(m.From, nack)
+	}
 }
 
-// Tick implements core.Handler: heartbeats (primary) and failure detection
-// (backup). Staged broadcasts are flushed by the runtime when Tick returns.
+// Tick implements core.Handler: heartbeats plus ack-stall detection
+// (primary) and failure detection (backup). Staged messages are flushed by
+// the runtime when Tick returns.
 func (r *Replica) Tick() {
 	r.mu.Lock()
 	role := r.role
 	stale := time.Since(r.lastHeartbeat) > r.cfg.HeartbeatTimeout
 	primary := r.primaryIdx
+	seq := r.seq
+	type stalledPeer struct {
+		peer   int
+		from   uint64
+		stream int
+	}
+	var stalled []stalledPeer
+	if role == RolePrimary {
+		for _, idx := range r.peerIdx {
+			a := r.acked[idx]
+			switch {
+			case a >= seq:
+				r.stallTicks[idx] = 0
+				r.stallWait[idx] = r.stallLimit
+			case a == r.ackSeen[idx]:
+				r.stallTicks[idx]++
+			default:
+				r.stallTicks[idx] = 0
+				r.stallWait[idx] = r.stallLimit
+			}
+			r.ackSeen[idx] = a
+			wait := r.stallWait[idx]
+			if wait == 0 {
+				wait = r.stallLimit
+			}
+			if r.stallTicks[idx] >= wait {
+				r.stallTicks[idx] = 0
+				// Back off while the peer keeps not answering (crashed or
+				// partitioned away): each unanswered resync doubles the
+				// wait, capped at 8× — a dead backup must not cost a full
+				// state+cache encode every timeout. Ack progress resets it.
+				r.stallWait[idx] = min(wait*2, r.stallLimit*8)
+				// A peer that has acked on this stream is retransmitted
+				// from its frontier; one that never has gets a checkpoint.
+				stream := r.cfg.Index
+				if a == 0 {
+					stream = streamUnknown
+				}
+				stalled = append(stalled, stalledPeer{idx, a, stream})
+			}
+		}
+	}
 	r.mu.Unlock()
 
 	switch role {
 	case RolePrimary:
-		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
+		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index, Seq: seq}))
+		for _, s := range stalled {
+			r.resyncPeer(s.peer, s.from, s.stream)
+		}
 	case RoleBackup:
 		if stale {
 			r.promote(primary)
@@ -435,7 +963,15 @@ func (r *Replica) Tick() {
 // lowest index greater than the dead one, wrapping around, excluding
 // suspected-dead replicas. Every backup applies the same rule, so they
 // converge without coordination.
+//
+// execMu is taken first: handleUpdate releases mu around a slow Restore,
+// and a promotion sliding into that gap would let the install finish on a
+// node that just became primary — overwriting the fresh primary's state
+// with the dead stream's update and desyncing seq from the retransmission
+// window. Under execMu the promotion waits out any in-flight install.
 func (r *Replica) promote(deadPrimary int) {
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
 	r.mu.Lock()
 	r.suspected[deadPrimary] = true
 	indices := make([]int, 0, len(r.cfg.Peers))
@@ -461,12 +997,24 @@ func (r *Replica) promote(deadPrimary int) {
 	becamePrimary := next == r.cfg.Index && r.role != RolePrimary
 	if becamePrimary {
 		r.role = RolePrimary
+		// A fresh primary starts a fresh update stream: its first executed
+		// update ships as a checkpoint (lastSnap is nil), anchoring every
+		// backup whatever it had applied under the old stream, and the
+		// retransmission window restarts past everything inherited.
+		r.lastSnap = nil
+		r.window.Reset(r.seq + 1)
+		for _, idx := range r.peerIdx {
+			r.acked[idx] = 0
+			r.ackSeen[idx] = 0
+			r.stallTicks[idx] = 0
+			r.stallWait[idx] = r.stallLimit // a new term owes no old backoff
+		}
 	}
 	r.mu.Unlock()
 
 	if becamePrimary {
 		// Announce immediately so peers stop their own failover timers.
-		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index}))
+		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index, Seq: r.Seq()}))
 	}
 	// Requests parked waiting for the dead primary's update will never be
 	// answered; close them so requesters resubmit (to the new primary).

@@ -20,7 +20,10 @@
 // partitioned, or rebuilt from scratch) asks the current leader for a
 // snapshot and/or the missing log suffix, replays it, and only then rejoins
 // the order protocol — so SMR nodes ride crash/restart fault schedules the
-// way PB nodes do (whose updates carry full snapshots).
+// way PB nodes do. The exchange runs over the full-duplex peer link: the
+// request is staged on the leader's outbox connection, the leader answers
+// on that same connection, and the requester's peer reader loop delivers
+// the response — no separately dialed transfer connection.
 package smr
 
 import (
@@ -176,9 +179,8 @@ type orderEntry struct {
 // Replica is one SMR replica: the order-protocol handler mounted on a
 // core.Node runtime.
 type Replica struct {
-	cfg      Config
-	node     *core.Node
-	histKeep int
+	cfg  Config
+	node *core.Node
 
 	// execMu serializes request execution and every reader that needs a
 	// state view consistent with the executed frontier (catch-up transfer
@@ -195,12 +197,12 @@ type Replica struct {
 	pending       map[string][]*netsim.Conn
 	suspected     map[int]bool
 	lastHeartbeat time.Time
-	// hist is the executed-entry window for log-suffix catch-up:
-	// hist[i] executed at sequence histBase+i, and the invariant
-	// histBase + len(hist) == nextExec always holds.
-	hist       []orderEntry
-	histBase   uint64
-	catchupFor uint64 // nextExec value a catch-up request is in flight for; 0 = none
+	// hist is the executed-entry window for log-suffix catch-up: the entry
+	// at sequence s executed s-th, and the invariant hist.End() == nextExec
+	// always holds.
+	hist       core.Window[orderEntry]
+	catchupFor uint64    // nextExec value a catch-up request is in flight for; 0 = none
+	catchupAt  time.Time // when that request left, for timeout-driven retry
 }
 
 // New starts a replica. The initial leader is the lowest peer index.
@@ -223,11 +225,10 @@ func New(cfg Config) (*Replica, error) {
 	next := cfg.InitialExecuted + 1
 	r := &Replica{
 		cfg:        cfg,
-		histKeep:   histKeep,
 		leaderIdx:  lowestIndex(cfg.Peers, nil),
 		nextExec:   next,
 		nextAssign: next,
-		histBase:   next,
+		hist:       core.NewWindow[orderEntry](next, histKeep),
 		log:        make(map[uint64]orderEntry),
 		ordered:    make(map[string]bool, len(cfg.InitialResponses)),
 		respCache:  make(map[string][]byte, len(cfg.InitialResponses)),
@@ -386,8 +387,34 @@ func (r *Replica) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte)
 		if resp := r.buildCatchup(m.Seq); resp != nil {
 			replies = append(replies, resp)
 		}
+	case msgCatchupResp:
+		// Transfers normally come back over the duplex peer link
+		// (HandlePeerReply); one arriving on a served connection is applied
+		// all the same.
+		r.applyCatchup(m)
+		r.clearCatchup()
 	}
 	return replies
+}
+
+// HandlePeerReply implements core.Handler: one message read back off the
+// cached peer connection to peer — the reply direction of the full-duplex
+// link. For smr that is the leader answering a catch-up request staged on
+// its outbox connection.
+func (r *Replica) HandlePeerReply(peer int, raw []byte) {
+	var m wireMsg
+	if json.Unmarshal(raw, &m) != nil {
+		return
+	}
+	switch m.Type {
+	case msgCatchupResp:
+		r.applyCatchup(m)
+		r.clearCatchup()
+	case msgOrder:
+		r.handleOrder(m)
+	case msgHeartbeat:
+		r.handleHeartbeat(m)
+	}
 }
 
 // handleRequest registers the client connection and routes the request into
@@ -533,17 +560,11 @@ func (r *Replica) executeReady() {
 	}
 }
 
-// recordHistLocked appends an executed entry to the catch-up window,
-// trimming it to the configured size. Caller holds r.mu.
+// recordHistLocked appends an executed entry to the catch-up window (a
+// core.Window, shared machinery with pb's delta retransmission window),
+// which trims itself to the configured size. Caller holds r.mu.
 func (r *Replica) recordHistLocked(entry orderEntry) {
-	r.hist = append(r.hist, entry)
-	if len(r.hist) > r.histKeep {
-		// Slice forward: append reallocates (copying the window) only when
-		// the backing tail runs out, so trimming is amortized O(1).
-		drop := len(r.hist) - r.histKeep
-		r.hist = r.hist[drop:]
-		r.histBase += uint64(drop)
-	}
+	r.hist.Append(entry)
 }
 
 func (r *Replica) reply(conn *netsim.Conn, requestID string, body []byte) {
@@ -570,14 +591,18 @@ func (r *Replica) handleHeartbeat(m wireMsg) {
 }
 
 // Tick implements core.Handler: leader heartbeats (carrying the executed
-// frontier, so lagging followers self-detect) and follower failure
-// detection.
+// frontier, so lagging followers self-detect), follower failure detection,
+// and expiry of a catch-up exchange whose response never came back (dead
+// leader, dropped transfer) so the next gap signal can retry.
 func (r *Replica) Tick() {
 	r.mu.Lock()
 	isLeader := r.leaderIdx == r.cfg.Index
 	stale := time.Since(r.lastHeartbeat) > r.cfg.HeartbeatTimeout
 	leader := r.leaderIdx
 	next := r.nextExec
+	if r.catchupFor != 0 && time.Since(r.catchupAt) > r.cfg.HeartbeatTimeout {
+		r.catchupFor = 0
+	}
 	r.mu.Unlock()
 
 	if isLeader {
@@ -617,11 +642,12 @@ func (r *Replica) electNext(deadLeader int) {
 // --- Catch-up transfer --------------------------------------------------
 
 // maybeCatchup starts one leader-driven catch-up exchange, unless one is
-// already in flight, this replica leads, or no leader is known. The
-// exchange runs on its own runtime-tracked goroutine over its own dialed
-// connection (peer outbox connections are write-only), so a slow or dead
-// leader never blocks the serve loops; failures clear the in-flight flag
-// and the next heartbeat retriggers.
+// already in flight, this replica leads, or no leader is known. The request
+// rides the full-duplex peer link: staged on the leader's outbox connection
+// and flushed immediately, with the leader's reply coming back on that same
+// connection into HandlePeerReply — no dedicated transfer dial. A lost
+// exchange (dead leader, dropped message) times out in Tick and the next
+// gap signal retriggers it.
 func (r *Replica) maybeCatchup() {
 	r.mu.Lock()
 	if r.catchupFor != 0 || r.leaderIdx == r.cfg.Index || r.leaderIdx == leaderUnknown {
@@ -629,60 +655,22 @@ func (r *Replica) maybeCatchup() {
 		return
 	}
 	leader := r.leaderIdx
-	addr, ok := r.cfg.Peers[leader]
-	if !ok {
+	if _, ok := r.cfg.Peers[leader]; !ok {
 		r.mu.Unlock()
 		return
 	}
 	from := r.nextExec
 	r.catchupFor = from
+	r.catchupAt = time.Now()
 	r.mu.Unlock()
-	if !r.node.Go(func() { r.runCatchup(addr, from) }) {
-		r.clearCatchup()
-	}
+	r.node.SendTo(leader, encode(wireMsg{Type: msgCatchupReq, Seq: from, From: r.cfg.Index}))
+	r.node.Flush()
 }
 
 func (r *Replica) clearCatchup() {
 	r.mu.Lock()
 	r.catchupFor = 0
 	r.mu.Unlock()
-}
-
-// runCatchup performs one request/response exchange with the leader and
-// replays the transfer.
-func (r *Replica) runCatchup(leaderAddr string, from uint64) {
-	defer r.clearCatchup()
-	conn, err := r.cfg.Net.Dial(r.cfg.Addr, leaderAddr)
-	if err != nil {
-		return
-	}
-	defer conn.Close()
-	if !r.node.AdoptConn(conn) {
-		return // shutting down; AdoptConn closed the conn
-	}
-	defer r.node.ForgetConn(conn)
-	if conn.Send(encode(wireMsg{Type: msgCatchupReq, Seq: from, From: r.cfg.Index})) != nil {
-		return
-	}
-	deadline := time.Now().Add(r.cfg.HeartbeatTimeout)
-	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return
-		}
-		raw, err := conn.RecvTimeout(remaining)
-		if err != nil {
-			return
-		}
-		var m wireMsg
-		uerr := json.Unmarshal(raw, &m)
-		netsim.Release(raw)
-		if uerr != nil || m.Type != msgCatchupResp {
-			continue
-		}
-		r.applyCatchup(m)
-		return
-	}
 }
 
 // buildCatchup is the leader's side of a transfer: for a follower whose
@@ -711,10 +699,10 @@ func (r *Replica) buildCatchup(from uint64) []byte {
 		// resolves its in-flight exchange promptly.
 		return encode(wireMsg{Type: msgCatchupResp, Seq: next, From: r.cfg.Index})
 	}
-	if from >= r.histBase {
+	if from >= r.hist.Base() {
 		entries := make([]wireLogEntry, 0, next-from)
 		for s := from; s < next; s++ {
-			e := r.hist[s-r.histBase]
+			e, _ := r.hist.Get(s) // hist.End() == nextExec: always present
 			entries = append(entries, wireLogEntry{Seq: s, RequestID: e.requestID, Body: e.body})
 		}
 		r.mu.Unlock()
@@ -763,8 +751,7 @@ func (r *Replica) applyCatchup(m wireMsg) {
 					}
 				}
 				// The window restarts at the snapshot point.
-				r.hist = r.hist[:0]
-				r.histBase = m.Seq
+				r.hist.Reset(m.Seq)
 				// The jumped-over requests were never executed here; their
 				// retries must hit the transferred cache, not re-enter the
 				// order protocol under new sequence numbers — and anyone

@@ -15,8 +15,16 @@
 # moved the hot paths — e.g. BenchmarkSendRecv tracks the netsim
 # batched-delivery work, BenchmarkCampaignSeries the campaign-level
 # parallelism, BenchmarkFaultCampaignSeries the fault-injection overhead,
-# and BenchmarkUpdateFanout the batched per-peer outbox flush against the
-# per-message broadcast baseline.
+# and BenchmarkUpdateFanout the primary's update fan-out along two axes:
+# flush shape (per-message vs batched outbox flush) and payload shape
+# (snapshot vs delta — the full-state encoding against the ack-windowed
+# incremental diff the PB primary now ships, whose B/op tracks the state
+# touched per request rather than total state size).
+#
+# scripts/benchdiff.sh compares two of these files (per-benchmark ns/op
+# ratio, configurable threshold, baseline-completeness check); the CI
+# bench-smoke job runs it on every pull request against the newest
+# checked-in BENCH_<date>.json.
 #
 # Usage:
 #   scripts/bench.sh [bench-regex]        # default: . (all benchmarks)

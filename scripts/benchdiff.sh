@@ -1,0 +1,98 @@
+#!/bin/sh
+# benchdiff.sh — compare two BENCH_<date>.json files (scripts/bench.sh
+# output): per-benchmark ns/op ratio against a configurable threshold, plus
+# an optional completeness check that every benchmark present in the old
+# (baseline) file still ran in the new one.
+#
+# Usage:
+#   scripts/benchdiff.sh [-t ratio] [-m] old.json new.json
+#
+#   -t ratio   flag benchmarks whose new/old ns_per_op ratio exceeds ratio
+#              (default 1.5); 0 disables ratio flagging entirely. Exits 1
+#              when any benchmark is flagged — CI wires this in as a
+#              non-blocking report step (continue-on-error), since 1x
+#              benchtime on shared runners is noisy.
+#   -m         fail (exit 2) when a benchmark present in old.json is
+#              missing from new.json — the blocking half of the bench-smoke
+#              gate: a vanished benchmark means a deleted/renamed benchmark
+#              or a package that stopped compiling, which bench.sh itself
+#              only warns about.
+#
+# New benchmarks (present only in new.json) are listed informationally and
+# never fail either check.
+set -eu
+
+THRESHOLD=1.5
+CHECK_MISSING=0
+while getopts "t:m" opt; do
+    case "$opt" in
+        t) THRESHOLD="$OPTARG" ;;
+        m) CHECK_MISSING=1 ;;
+        *) echo "usage: $0 [-t ratio] [-m] old.json new.json" >&2; exit 64 ;;
+    esac
+done
+shift $((OPTIND - 1))
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 [-t ratio] [-m] old.json new.json" >&2
+    exit 64
+fi
+OLD="$1"
+NEW="$2"
+[ -r "$OLD" ] || { echo "benchdiff: cannot read $OLD" >&2; exit 66; }
+[ -r "$NEW" ] || { echo "benchdiff: cannot read $NEW" >&2; exit 66; }
+
+# Both files come from bench.sh's fixed emitter: one benchmark per line
+# inside the "benchmarks" object, `"name": {"ns_per_op": N, ...}`.
+awk -v threshold="$THRESHOLD" -v checkmissing="$CHECK_MISSING" \
+    -v oldfile="$OLD" -v newfile="$NEW" '
+function parse_line(line, kv) {        # returns name via kv[1], ns via kv[2]
+    sub(/^[ \t]*"/, "", line)
+    kv[1] = line
+    sub(/".*/, "", kv[1])
+    kv[2] = line
+    sub(/.*"ns_per_op": */, "", kv[2])
+    sub(/[,}].*/, "", kv[2])
+    return
+}
+/"benchmarks": \{/ { inb = 1; next }
+inb && /^  \}/     { inb = 0 }
+inb && /"ns_per_op"/ {
+    parse_line($0, kv)
+    if (NR == FNR) {
+        oldns[kv[1]] = kv[2] + 0
+        oldorder[++oldcount] = kv[1]
+    } else {
+        newns[kv[1]] = kv[2] + 0
+        if (!(kv[1] in oldns)) added[++addcount] = kv[1]
+    }
+}
+END {
+    printf "%-55s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio"
+    regressions = 0
+    missing = 0
+    for (i = 1; i <= oldcount; i++) {
+        name = oldorder[i]
+        if (!(name in newns)) {
+            printf "%-55s %14.0f %14s %8s\n", name, oldns[name], "MISSING", "-"
+            missing++
+            continue
+        }
+        ratio = (oldns[name] > 0) ? newns[name] / oldns[name] : 0
+        flag = ""
+        if (threshold + 0 > 0 && ratio > threshold + 0) {
+            flag = "  << REGRESSION"
+            regressions++
+        }
+        printf "%-55s %14.0f %14.0f %8.3f%s\n", name, oldns[name], newns[name], ratio, flag
+    }
+    for (i = 1; i <= addcount; i++)
+        printf "%-55s %14s %14.0f %8s\n", added[i], "(new)", newns[added[i]], "-"
+    if (missing > 0) {
+        printf "\n%d benchmark(s) from %s missing in %s\n", missing, oldfile, newfile
+        if (checkmissing) exit 2
+    }
+    if (regressions > 0) {
+        printf "\n%d benchmark(s) over the %.2fx ns/op threshold\n", regressions, threshold + 0
+        exit 1
+    }
+}' "$OLD" "$NEW"
