@@ -10,6 +10,7 @@ package main_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"fortress/internal/replica"
 	"fortress/internal/replica/core"
 	"fortress/internal/replica/pb"
+	"fortress/internal/replica/store"
 	"fortress/internal/service"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
@@ -355,6 +357,92 @@ func BenchmarkFaultCampaignSeries(b *testing.B) {
 				b.ReportMetric(series.Availability.Mean, "availability")
 			})
 		}
+	}
+}
+
+// BenchmarkFaultCampaignPersistence prices durability under the headline
+// blackout scenario: the whole-cluster power-loss preset replayed against
+// the in-memory store (data gone, zero write cost) and against per-server
+// WALs at two fsync cadences (real fsyncs — the cadence is the durability
+// knob CrashAll's power failure makes measurable). ns/op tracks what the
+// persistent write path adds to a live campaign; the campaign-measured
+// availability rides along per variant. The recovery semantics themselves —
+// WAL tiers reconverging with pre-blackout data, the in-memory tier
+// re-forming empty — are pinned by the blackout tests in internal/faults.
+func BenchmarkFaultCampaignPersistence(b *testing.B) {
+	preset, err := faults.PresetByName("blackout")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		servers  = 3
+		proxies  = 3
+		maxSteps = 20
+		reps     = 2
+	)
+	sched := preset.Build(servers, proxies, maxSteps)
+	for _, v := range []struct {
+		name      string
+		wal       bool
+		syncEvery int
+	}{
+		{"mem", false, 0},
+		{"wal-fsync-1", true, 1},
+		{"wal-fsync-64", true, 64},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var series attack.SeriesResult
+			for i := 0; i < b.N; i++ {
+				space, err := keyspace.NewSpace(24)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tmpl := fortress.Config{
+					Servers:           servers,
+					Proxies:           proxies,
+					ServiceFactory:    func() service.Service { return service.NewKV() },
+					HeartbeatInterval: 5 * time.Millisecond,
+					HeartbeatTimeout:  400 * time.Millisecond,
+					ServerTimeout:     150 * time.Millisecond,
+				}
+				var customize func(rep int, fc *fortress.Config)
+				if v.wal {
+					root := b.TempDir()
+					syncEvery := v.syncEvery
+					customize = func(rep int, fc *fortress.Config) {
+						fc.StoreFactory = func(server int) (store.Store, error) {
+							return store.Open(store.WALConfig{
+								Dir:       filepath.Join(root, fmt.Sprintf("r%d", rep), fmt.Sprintf("s%d", server)),
+								SyncEvery: syncEvery,
+							})
+						}
+					}
+				}
+				series, err = attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
+					Campaign: attack.CampaignConfig{
+						OmegaDirect:         2,
+						OmegaIndirect:       1,
+						MaxSteps:            maxSteps,
+						MeasureAvailability: true,
+						HealthTimeout:       600 * time.Millisecond,
+						ProbeTimeout:        2 * time.Second,
+					},
+					Workers:   runtime.GOMAXPROCS(0),
+					Customize: customize,
+					MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) attack.StepInjector {
+						inj, err := faults.NewInjector(sched, sys, rng)
+						if err != nil {
+							b.Fatal(err)
+						}
+						return inj
+					},
+				}, reps, xrand.New(100))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(series.Availability.Mean, "availability")
+		})
 	}
 }
 

@@ -15,14 +15,21 @@
 //	                                                     N campaign repetitions per cell
 //	fortress faults [-preset P[,P...]] [-reps N]         degraded-network sweep: (backend ×
 //	                                                     fault schedule × drop rate ×
-//	                                                     proxies) grid with per-step
-//	                                                     availability
+//	                                                     proxies × persistence × jitter)
+//	                                                     grid with per-step availability
 //
 // The campaign and faults sweeps also take -checkpoint-every and
 // -update-window, the server tier's resync knobs: the PB primary ships
 // ack-windowed incremental state deltas with a full snapshot checkpoint
 // every k-th update, and both engines bound the history they retain for
 // resyncing a lagging replica (PB delta retransmission, SMR catch-up).
+//
+// The faults sweep additionally takes the durability axes -persist (mem,
+// wal), -fsync-every (WAL sync cadence) and -jitter (per-repetition fault
+// timing perturbation): `-preset blackout -persist mem,wal` reproduces the
+// headline whole-cluster power-loss comparison, where WAL-backed tiers
+// recover their replica state from disk and return to full availability
+// while the in-memory default restarts empty.
 //
 // Every Monte-Carlo subcommand takes -workers (default: runtime.GOMAXPROCS,
 // i.e. all cores): experiment cells and the trial shards within each cell
@@ -478,6 +485,14 @@ func runFaults(args []string) error {
 		"comma-separated server-tier replication backends (pb, smr); pb,smr replays every fault schedule against both tiers for a PB-vs-SMR availability comparison, with restarted smr replicas catching up from the leader")
 	proxiesList := fs.String("proxies", "3", "comma-separated proxy-count grid")
 	dropsList := fs.String("drops", "0", "comma-separated drop-rate grid (per-directed-pair drop streams keep positive-rate cells bitwise reproducible at any -workers)")
+	persistList := fs.String("persist", "mem",
+		"comma-separated persistence grid (mem, wal); mem is the zero-allocation in-memory default that a blackout wipes, wal gives every server a write-ahead log plus snapshot recovered from disk on restart — mem,wal turns the sweep into a durability comparison")
+	fsyncList := fs.String("fsync-every", "1",
+		"comma-separated WAL sync-cadence grid: every n-th append fsyncs, so a power failure loses at most n-1 records; only wal cells fan out over it")
+	jitterList := fs.String("jitter", "0",
+		"comma-separated schedule-jitter grid: max forward delay, in steps, applied per fault event from each repetition's own stream (0 = replay presets exactly)")
+	persistRoot := fs.String("persist-root", "",
+		"root directory for wal cell stores, kept for inspection (default: a temporary directory removed after the sweep)")
 	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
@@ -525,6 +540,20 @@ func runFaults(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-drops: %w", err)
 	}
+	var persist []string
+	for _, p := range strings.Split(*persistList, ",") {
+		if name := strings.TrimSpace(p); name != "" {
+			persist = append(persist, name)
+		}
+	}
+	fsyncs, err := parseIntList(*fsyncList)
+	if err != nil {
+		return fmt.Errorf("-fsync-every: %w", err)
+	}
+	jitters, err := parseUint64List(*jitterList)
+	if err != nil {
+		return fmt.Errorf("-jitter: %w", err)
+	}
 	cfg := experiments.FaultSweepConfig{
 		Chi:             *chi,
 		Reps:            *reps,
@@ -541,6 +570,10 @@ func runFaults(args []string) error {
 		ProxyCounts:     proxyCounts,
 		CheckpointEvery: *checkpointEvery,
 		UpdateWindow:    *updateWindow,
+		Persist:         persist,
+		FsyncEvery:      fsyncs,
+		Jitters:         jitters,
+		PersistRoot:     *persistRoot,
 	}
 	rows, err := experiments.FaultSweep(cfg)
 	if err != nil {

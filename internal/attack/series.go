@@ -31,6 +31,13 @@ type SeriesConfig struct {
 	// is split from the repetition's own pre-split stream, so fault
 	// schedules never break the bit-identical-at-any-Workers contract.
 	MakeInjector func(rep int, sys *fortress.System, rng *xrand.RNG) StepInjector
+	// Customize, when non-nil, edits each repetition's deployment config
+	// after the template copy and the per-repetition Seed/Net substitution,
+	// just before the system is built. It is the hook for per-repetition
+	// resources that a shared template cannot carry — most notably a
+	// StoreFactory rooting each repetition's durable stores in its own
+	// directory.
+	Customize func(rep int, cfg *fortress.Config)
 }
 
 // SeriesResult aggregates n campaign repetitions.
@@ -83,6 +90,9 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 		c.Space = space
 		c.Seed = repRNG.Uint64()
 		c.Net = netsim.NewNetwork()
+		if cfg.Customize != nil {
+			cfg.Customize(i, &c)
+		}
 		sys, err := fortress.New(c)
 		if err != nil {
 			return fmt.Errorf("attack: series repetition %d deploy: %w", i, err)

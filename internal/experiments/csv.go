@@ -81,18 +81,21 @@ func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 }
 
 // WriteFaultSweepCSV emits fault-sweep rows as CSV, one row per
-// (backend, preset, drop rate, proxy count) cell.
+// (backend, preset, drop rate, proxy count, persistence, jitter) cell.
 func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
 	if _, err := io.WriteString(w,
-		"backend,preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,preset,drop_rate,proxies,persist,fsync_every,jitter,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%s,%s,%d,%s,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
 			r.Backend,
 			r.Preset,
 			formatFloat(r.DropRate),
 			r.Proxies,
+			r.Persist,
+			r.FsyncEvery,
+			r.Jitter,
 			r.Reps,
 			r.Compromised,
 			formatFloat(r.MeanLifetime),

@@ -3,6 +3,8 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -11,13 +13,15 @@ import (
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
 	"fortress/internal/replica"
+	"fortress/internal/replica/store"
 	"fortress/internal/service"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
 )
 
 // FaultSweepConfig tunes the degraded-network campaign sweep: a grid of
-// (backend × fault-schedule preset × drop rate × proxy count) cells, each
+// (backend × fault-schedule preset × drop rate × proxy count × persistence
+// × schedule jitter) cells, each
 // evaluated by a series of campaign repetitions (attack.CampaignSeries)
 // with a fault injector replaying the preset against every repetition's own
 // deployment, and with per-step availability measurement on. Zero-valued
@@ -71,6 +75,26 @@ type FaultSweepConfig struct {
 	// untouched.
 	CheckpointEvery int
 	UpdateWindow    int
+	// Persist is the persistence grid: "mem" (the zero-allocation
+	// in-memory default — a power failure loses all replica state) and/or
+	// "wal" (a CRC-framed write-ahead log plus snapshot per server,
+	// recovered from disk on restart). Default {"mem"}.
+	Persist []string
+	// FsyncEvery is the WAL sync-cadence grid: every n-th append syncs, so
+	// a power failure loses at most n-1 records. Only "wal" cells fan out
+	// over it; "mem" cells ignore it. Values <= 0 select the store default
+	// (sync every append). Default {1}.
+	FsyncEvery []int
+	// Jitters is the schedule-jitter grid: each value is the maximum
+	// forward delay, in steps, applied per schedule event (faults.Jitter),
+	// drawn from each repetition's own pre-split stream so jittered cells
+	// keep the bit-identical-at-any-Workers contract. Default {0}.
+	Jitters []uint64
+	// PersistRoot, when non-empty, roots every "wal" cell's store
+	// directories (one per cell, repetition and server) and is left in
+	// place for inspection. When empty, a temporary root is created and
+	// removed when the sweep returns.
+	PersistRoot string
 }
 
 // DefaultFaultSweepConfig is the grid the CLI and benchmarks use.
@@ -87,6 +111,9 @@ func DefaultFaultSweepConfig() FaultSweepConfig {
 		Presets:       []string{"none", "rolling-partition", "quorum-partition", "proxy-outage"},
 		DropRates:     []float64{0},
 		ProxyCounts:   []int{3},
+		Persist:       []string{"mem"},
+		FsyncEvery:    []int{1},
+		Jitters:       []uint64{0},
 	}
 }
 
@@ -121,6 +148,15 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 	if len(c.ProxyCounts) == 0 {
 		c.ProxyCounts = d.ProxyCounts
 	}
+	if len(c.Persist) == 0 {
+		c.Persist = d.Persist
+	}
+	if len(c.FsyncEvery) == 0 {
+		c.FsyncEvery = d.FsyncEvery
+	}
+	if len(c.Jitters) == 0 {
+		c.Jitters = d.Jitters
+	}
 	return c
 }
 
@@ -131,7 +167,13 @@ type FaultSweepRow struct {
 	Preset   string
 	DropRate float64
 	Proxies  int
-	Reps     uint64
+	// Persist is the cell's persistence mode ("mem" or "wal").
+	Persist string
+	// FsyncEvery is the WAL sync cadence; 0 for "mem" cells.
+	FsyncEvery int
+	// Jitter is the cell's maximum per-event schedule delay, in steps.
+	Jitter uint64
+	Reps   uint64
 	// Compromised counts repetitions that fell within the horizon.
 	Compromised uint64
 	// MeanLifetime and CI95 summarize the empirical lifetimes.
@@ -163,7 +205,8 @@ const (
 // on its own network, with a fault injector replaying the cell's schedule
 // preset (plus the cell's drop rate at step 0) against that deployment's
 // campaign-step clock. Rows come back in grid order (backend, then preset,
-// then drop rate, then proxy count).
+// then drop rate, then proxy count, then persistence mode with its fsync
+// cadence, then schedule jitter).
 //
 // Determinism matches the other sweeps: per-cell streams are pre-split in
 // grid order, per-repetition streams (injector included) in repetition
@@ -184,6 +227,9 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 		preset  faults.Preset
 		drop    float64
 		proxies int
+		persist string
+		fsync   int
+		jitter  uint64
 	}
 	var cells []cell
 	for _, backendName := range cfg.Backends {
@@ -198,9 +244,38 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			}
 			for _, drop := range cfg.DropRates {
 				for _, np := range cfg.ProxyCounts {
-					cells = append(cells, cell{backend, p, drop, np})
+					for _, persist := range cfg.Persist {
+						// The fsync axis only distinguishes "wal" cells;
+						// "mem" collapses it so the grid carries no
+						// duplicate in-memory rows.
+						fsyncs := cfg.FsyncEvery
+						switch persist {
+						case "mem":
+							fsyncs = []int{0}
+						case "wal":
+						default:
+							return nil, fmt.Errorf("experiments: unknown persistence mode %q (want \"mem\" or \"wal\")", persist)
+						}
+						for _, fsync := range fsyncs {
+							for _, jitter := range cfg.Jitters {
+								cells = append(cells, cell{backend, p, drop, np, persist, fsync, jitter})
+							}
+						}
+					}
 				}
 			}
+		}
+	}
+	persistRoot := cfg.PersistRoot
+	for _, persist := range cfg.Persist {
+		if persist == "wal" && persistRoot == "" {
+			root, err := os.MkdirTemp("", "fortress-faultsweep-")
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fault sweep persist root: %w", err)
+			}
+			defer os.RemoveAll(root)
+			persistRoot = root
+			break
 		}
 	}
 	rng := xrand.New(cfg.Seed + 7)
@@ -227,6 +302,19 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			CheckpointEvery:   cfg.CheckpointEvery,
 			UpdateWindow:      cfg.UpdateWindow,
 		}
+		var customize func(rep int, fc *fortress.Config)
+		if c.persist == "wal" {
+			cellDir := filepath.Join(persistRoot, fmt.Sprintf("cell%03d", i))
+			fsync := c.fsync
+			customize = func(rep int, fc *fortress.Config) {
+				fc.StoreFactory = func(server int) (store.Store, error) {
+					return store.Open(store.WALConfig{
+						Dir:       filepath.Join(cellDir, fmt.Sprintf("r%03d", rep), fmt.Sprintf("s%d", server)),
+						SyncEvery: fsync,
+					})
+				}
+			}
+		}
 		series, err := attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
 			Campaign: attack.CampaignConfig{
 				OmegaDirect:         cfg.OmegaDirect,
@@ -237,9 +325,18 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 				HealthTimeout:       faultSweepHealthTimeout,
 				ProbeTimeout:        faultSweepProbeTimeout,
 			},
-			Workers: inner,
+			Workers:   inner,
+			Customize: customize,
 			MakeInjector: func(rep int, sys *fortress.System, rng *xrand.RNG) attack.StepInjector {
-				inj, err := faults.NewInjector(sched, sys, rng)
+				repSched := sched
+				if c.jitter > 0 {
+					// Per-repetition jitter from the repetition's own
+					// stream: every repetition replays a slightly different
+					// realization of the cell's schedule, still bitwise
+					// reproducible at any Workers value.
+					repSched = faults.Jitter(sched, c.jitter, rng)
+				}
+				inj, err := faults.NewInjector(repSched, sys, rng)
 				if err != nil {
 					// Unreachable: construction fails only on a nil system or
 					// a drop-rate event without an rng, and both are supplied.
@@ -249,14 +346,17 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			},
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d): %w",
-				c.backend, c.preset.Name, c.drop, c.proxies, err)
+			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d persist=%s jitter=%d): %w",
+				c.backend, c.preset.Name, c.drop, c.proxies, c.persist, c.jitter, err)
 		}
 		rows[i] = FaultSweepRow{
 			Backend:          c.backend.String(),
 			Preset:           c.preset.Name,
 			DropRate:         c.drop,
 			Proxies:          c.proxies,
+			Persist:          c.persist,
+			FsyncEvery:       c.fsync,
+			Jitter:           c.jitter,
 			Reps:             series.Reps,
 			Compromised:      series.Compromised,
 			MeanLifetime:     series.Lifetime.Mean,
@@ -276,12 +376,12 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 // FormatFaultSweep renders sweep rows as an aligned text table.
 func FormatFaultSweep(rows []FaultSweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-6s %-12s %-14s %-10s %-13s %s\n",
-		"backend", "preset", "drop", "proxies", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
+	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-8s %-6s %-7s %-6s %-12s %-14s %-10s %-13s %s\n",
+		"backend", "preset", "drop", "proxies", "persist", "fsync", "jitter", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
-			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Reps, r.Compromised,
-			r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
+		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-8s %-6d %-7d %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
+			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Persist, r.FsyncEvery, r.Jitter,
+			r.Reps, r.Compromised, r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
 	}
 	return b.String()
 }

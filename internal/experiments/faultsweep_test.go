@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -82,6 +83,46 @@ func TestFaultSweepQuorumPartitionDegradesAvailability(t *testing.T) {
 	}
 }
 
+// TestFaultSweepDurabilityAxes drives the blackout preset through the full
+// sweep across the persistence grid with a jittered variant: the grid fans
+// out wal cells (per fsync cadence) next to the collapsed mem cell, rows
+// carry the axis labels in grid order, and the wal cells actually leave
+// per-repetition store directories under PersistRoot.
+func TestFaultSweepDurabilityAxes(t *testing.T) {
+	cfg := smallFaultSweep(0)
+	cfg.Presets = []string{"blackout"}
+	cfg.Persist = []string{"mem", "wal"}
+	cfg.FsyncEvery = []int{1}
+	cfg.Jitters = []uint64{0, 1}
+	cfg.PersistRoot = t.TempDir()
+	rows, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		persist string
+		fsync   int
+		jitter  uint64
+	}{{"mem", 0, 0}, {"mem", 0, 1}, {"wal", 1, 0}, {"wal", 1, 1}}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Preset != "blackout" || r.Persist != w.persist || r.FsyncEvery != w.fsync || r.Jitter != w.jitter {
+			t.Errorf("row %d = (%s persist=%s fsync=%d jitter=%d), want (blackout %s %d %d)",
+				i, r.Preset, r.Persist, r.FsyncEvery, r.Jitter, w.persist, w.fsync, w.jitter)
+		}
+	}
+	logs, err := filepath.Glob(filepath.Join(cfg.PersistRoot, "cell*", "r*", "s*", "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) == 0 {
+		t.Errorf("no WAL files under %s after a wal-cell sweep", cfg.PersistRoot)
+	}
+}
+
 func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 	cfg := smallFaultSweep(1)
 	cfg.Presets = []string{"no-such-preset"}
@@ -92,7 +133,8 @@ func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 
 func TestFormatFaultSweepAndCSV(t *testing.T) {
 	rows := []FaultSweepRow{{
-		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3, Reps: 4, Compromised: 2,
+		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3,
+		Persist: "wal", FsyncEvery: 8, Jitter: 2, Reps: 4, Compromised: 2,
 		MeanLifetime: 7.25, CI95: 1.5, Availability: 0.875, AvailabilityCI95: 0.05,
 		Routes: map[string]uint64{"all-proxies": 2},
 	}}
@@ -107,10 +149,10 @@ func TestFormatFaultSweepAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
+	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,persist,fsync_every,jitter,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
 		t.Errorf("csv header: %q", got)
 	}
-	if !strings.Contains(got, "pb,none,0.5,3,4,2,7.25,1.5,0.875,0.05,0,0,2") {
+	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,4,2,7.25,1.5,0.875,0.05,0,0,2") {
 		t.Errorf("csv row: %q", got)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"fortress/internal/fortress"
 	"fortress/internal/netsim"
@@ -65,6 +66,13 @@ const (
 	EvRestart
 	// EvDropRate sets the network-wide lossy-link drop probability.
 	EvDropRate
+	// EvCrashAll power-fails the whole deployment: every server and proxy
+	// crashes and durable stores lose their unsynced write-buffer tail.
+	EvCrashAll
+	// EvRestartAll brings every fault-crashed node back, servers first.
+	EvRestartAll
+	// EvDiskStall injects synchronous storage latency on one server's store.
+	EvDiskStall
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +90,12 @@ func (k EventKind) String() string {
 		return "restart"
 	case EvDropRate:
 		return "drop-rate"
+	case EvCrashAll:
+		return "crash-all"
+	case EvRestartAll:
+		return "restart-all"
+	case EvDiskStall:
+		return "disk-stall"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -105,6 +119,9 @@ type Event struct {
 	Node Target
 	// Rate is the EvDropRate probability.
 	Rate float64
+	// Stall is the EvDiskStall injected sync latency; non-positive clears
+	// a previously injected stall.
+	Stall time.Duration
 }
 
 // Partition returns an event severing every (a, b) cross pair at time t.
@@ -144,6 +161,23 @@ func RestartProxy(t uint64, i int) Event {
 // time t.
 func DropRate(t uint64, p float64) Event {
 	return Event{At: t, Kind: EvDropRate, Rate: p}
+}
+
+// CrashAll returns an event power-failing the whole deployment at time t:
+// every server and proxy crashes, and any durable store loses writes it had
+// not yet synced.
+func CrashAll(t uint64) Event { return Event{At: t, Kind: EvCrashAll} }
+
+// RestartAll returns an event restarting every fault-crashed node at time t,
+// servers (in index order) before proxies.
+func RestartAll(t uint64) Event { return Event{At: t, Kind: EvRestartAll} }
+
+// DiskStall returns an event injecting d of synchronous storage latency on
+// server i's store at time t. A non-positive d clears the stall. The event
+// is a no-op for servers without a stall-capable store (e.g. the in-memory
+// default).
+func DiskStall(t uint64, i int, d time.Duration) Event {
+	return Event{At: t, Kind: EvDiskStall, Node: Target{Kind: KindServer, Index: i}, Stall: d}
 }
 
 // Schedule is a declarative fault plan: events over virtual time. The zero
@@ -257,6 +291,12 @@ func (in *Injector) apply(e Event) error {
 		default:
 			return fmt.Errorf("restart: unknown node kind %v", e.Node.Kind)
 		}
+	case EvCrashAll:
+		return in.sys.CrashAll()
+	case EvRestartAll:
+		return in.sys.RestartAll()
+	case EvDiskStall:
+		return in.sys.StallDisk(e.Node.Index, e.Stall)
 	default:
 		return fmt.Errorf("unknown event kind %v", e.Kind)
 	}

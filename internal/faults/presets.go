@@ -1,6 +1,9 @@
 package faults
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Preset is a named, parameterized schedule family: given a deployment shape
 // (server and proxy counts) and a campaign horizon it produces the concrete
@@ -51,6 +54,21 @@ func Presets() []Preset {
 				"horizon (drop sampling draws from per-directed-pair streams, so " +
 				"outcomes reproduce bitwise at any worker count)",
 			Build: buildLossy,
+		},
+		{
+			Name: "blackout",
+			Description: "whole-cluster power loss for the middle half of the horizon: " +
+				"every server and proxy crashes at once and durable stores drop their " +
+				"unsynced tail — WAL-backed deployments recover their state from disk on " +
+				"restart, the in-memory default restarts empty and loses committed data",
+			Build: buildBlackout,
+		},
+		{
+			Name: "slow-disk",
+			Description: "inject 20ms of synchronous storage latency on server 0's store " +
+				"for the middle half of the horizon — fsync-per-append deployments feel " +
+				"every write, batched-sync and in-memory ones shrug it off",
+			Build: buildSlowDisk,
 		},
 		{
 			Name: "compound",
@@ -113,6 +131,26 @@ func buildLossy(servers, proxies int, horizon uint64) Schedule {
 	return Schedule{}.Append(
 		DropRate(from, 0.02),
 		DropRate(to, 0),
+	)
+}
+
+// buildBlackout power-fails the whole deployment for the middle half of the
+// horizon.
+func buildBlackout(servers, proxies int, horizon uint64) Schedule {
+	from, to := middleHalf(horizon)
+	return Schedule{}.Append(
+		CrashAll(from),
+		RestartAll(to),
+	)
+}
+
+// buildSlowDisk stalls server 0's store by 20ms per sync for the middle half
+// of the horizon.
+func buildSlowDisk(servers, proxies int, horizon uint64) Schedule {
+	from, to := middleHalf(horizon)
+	return Schedule{}.Append(
+		DiskStall(from, 0, 20*time.Millisecond),
+		DiskStall(to, 0, 0),
 	)
 }
 

@@ -34,6 +34,7 @@ import (
 	"fortress/internal/replica"
 	"fortress/internal/replica/pb"
 	"fortress/internal/replica/smr"
+	"fortress/internal/replica/store"
 	"fortress/internal/service"
 	"fortress/internal/sig"
 	"fortress/internal/xrand"
@@ -77,6 +78,19 @@ type Config struct {
 	// negative retains nothing, forcing every resync onto the
 	// checkpoint/snapshot path.
 	UpdateWindow int
+	// RespCacheLimit bounds each PB replica's response cache (oldest-first
+	// eviction past the limit), capping checkpoint and on-disk snapshot
+	// size. Zero selects the engine default (4096); negative retains
+	// everything. Ignored by the SMR backend.
+	RespCacheLimit int
+	// StoreFactory builds the persistent store for server i. Stores are
+	// created once per server index and survive node crashes, restarts and
+	// re-randomization epochs (they are reset at epoch boundaries, where
+	// sequence numbering restarts): a server rebuilt over a non-empty
+	// durable store recovers its state from disk instead of from a live
+	// peer — which is what lets a whole-cluster blackout heal. Nil means no
+	// persistence (the engines' zero-allocation in-memory default).
+	StoreFactory func(server int) (store.Store, error)
 	// ServerTimeout bounds proxy→server interactions.
 	ServerTimeout time.Duration
 	// Net is the network to deploy on; nil creates a private one.
@@ -124,6 +138,10 @@ type System struct {
 	proxies   []*proxy.Proxy
 	detector  *proxy.Detector
 	stopped   bool
+	// stores holds each server's persistent store (nil entries until first
+	// use, all nil without a StoreFactory). A store outlives the replica
+	// objects mounted on it — that is the point.
+	stores []store.Store
 
 	// Fault-injected outages (CrashServer/CrashProxy): unlike probe crashes,
 	// these model power/hardware failures, so Recover's forking-daemon
@@ -151,6 +169,7 @@ func New(cfg Config) (*System, error) {
 		cfg: cfg, net: net, ns: ns, rng: xrand.New(cfg.Seed),
 		downServers: make(map[int]bool),
 		downProxies: make(map[int]bool),
+		stores:      make([]store.Store, cfg.Servers),
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		kp, err := sig.NewKeyPair()
@@ -272,6 +291,17 @@ func (s *System) Rerandomize() error {
 	}
 	snapshot := s.snapshotLocked()
 	s.teardownLocked()
+	// The new epoch restarts the engines' sequence numbering from scratch
+	// (state carries over via the snapshot, not the log), so a frontier
+	// left on disk would poison recovery: wipe the stores. Persistence is
+	// scoped within an epoch — the window between re-randomizations.
+	for _, st := range s.stores {
+		if st != nil {
+			if err := st.Reset(); err != nil {
+				return fmt.Errorf("fortress: reset store: %w", err)
+			}
+		}
+	}
 	s.epoch++
 	return s.buildEpochLocked(snapshot)
 }
@@ -362,6 +392,99 @@ func (s *System) RestartServer(i int) error {
 	return s.rebuildServerLocked(i, s.snapshotLocked())
 }
 
+// CrashAll models a whole-cluster power loss: every server and proxy is
+// fault-crashed in index order, and every durable store suffers a power
+// failure — buffered writes past its last sync point are gone, making the
+// fsync cadence a real durability knob. Nothing comes back until
+// RestartAll (or per-node restarts).
+func (s *System) CrashAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	for i := range s.servers {
+		s.downServers[i] = true
+		s.servers[i].Crash()
+	}
+	for i := range s.proxies {
+		s.downProxies[i] = true
+		s.proxies[i].Crash()
+	}
+	for i, st := range s.stores {
+		if pf, ok := st.(store.PowerFailer); ok {
+			if err := pf.PowerFail(); err != nil {
+				return fmt.Errorf("fortress: power-fail store %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RestartAll ends a whole-cluster outage: every fault-downed server and
+// proxy is rebuilt in index order. With durable stores each server recovers
+// its own state from disk — there is no live donor after a blackout. With
+// the in-memory default the first server comes back empty and donates its
+// empty state to the rest: the cluster converges, the data is gone. That
+// asymmetry is the headline the blackout preset exists to show.
+func (s *System) RestartAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	for i := range s.servers {
+		if !s.downServers[i] {
+			continue
+		}
+		delete(s.downServers, i)
+		if err := s.rebuildServerLocked(i, s.snapshotLocked()); err != nil {
+			return err
+		}
+	}
+	for i := range s.proxies {
+		if !s.downProxies[i] {
+			continue
+		}
+		delete(s.downProxies, i)
+		if err := s.rebuildProxyLocked(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StallDisk injects d of latency into every sync point of server i's store
+// (cadenced log syncs and snapshot writes), modeling a stalling disk; a
+// non-positive d clears the stall. A no-op when the server's store does not
+// support stalling (the in-memory default).
+func (s *System) StallDisk(i int, d time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if i < 0 || i >= len(s.stores) {
+		return fmt.Errorf("fortress: no server %d", i)
+	}
+	if st, ok := s.stores[i].(store.Staller); ok {
+		st.SetStall(d)
+	}
+	return nil
+}
+
+// ServerStore returns server i's persistent store, or nil without a
+// StoreFactory (or before the server first started). Tests use it to
+// inspect and hash on-disk state.
+func (s *System) ServerStore(i int) store.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.stores) {
+		return nil
+	}
+	return s.stores[i]
+}
+
 // RestartProxy ends a fault outage for proxy i; see RestartServer.
 func (s *System) RestartProxy(i int) error {
 	s.mu.Lock()
@@ -393,12 +516,30 @@ func (s *System) RestartProxy(i int) error {
 func (s *System) rebuildServerLocked(i int, snapshot []byte) error {
 	s.servers[i].Stop()
 	s.net.CrashAddr(serverAddr(i))
+	if s.storeHasStateLocked(i) {
+		// The store outlived the crash: the engine recovers from its own
+		// disk (RecoverFromStore runs inside New) and protocol catch-up
+		// closes whatever gap remains — no donor snapshot or seed needed,
+		// and none may exist (a blackout downs every peer at once).
+		return s.startServerLocked(i, nil, i, nil)
+	}
 	if s.cfg.Backend == replica.BackendSMR {
 		// InitialPrimary is PB-only; the seed carries the SMR join state.
 		return s.startServerLocked(i, nil, i, s.smrSeedLocked(i))
 	}
 	// InitialPrimary i: a recovered PB node rejoins; peers re-elect.
 	return s.startServerLocked(i, snapshot, i, nil)
+}
+
+// storeHasStateLocked reports whether server i sits on a durable store with
+// anything to recover from. Caller holds s.mu.
+func (s *System) storeHasStateLocked(i int) bool {
+	st := s.stores[i]
+	if st == nil || !st.Durable() {
+		return false
+	}
+	rec, err := st.Load()
+	return err == nil && !rec.Empty()
 }
 
 // smrSeed is the state a replacement SMR replica starts from.
@@ -459,6 +600,10 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 	for j := 0; j < s.cfg.Servers; j++ {
 		peers[j] = serverAddr(j)
 	}
+	st, err := s.storeLocked(i)
+	if err != nil {
+		return err
+	}
 	svc := s.cfg.ServiceFactory()
 	if snapshot != nil {
 		if err := svc.Restore(snapshot); err != nil {
@@ -474,10 +619,7 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			srv.Crash()
 		}
 	}, nil)
-	var (
-		r   replica.Server
-		err error
-	)
+	var r replica.Server
 	switch s.cfg.Backend {
 	case replica.BackendSMR:
 		cfg := smr.Config{
@@ -490,6 +632,8 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			HeartbeatInterval: s.cfg.HeartbeatInterval,
 			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
 			CatchupHistory:    s.cfg.UpdateWindow,
+			Store:             st,
+			SnapshotEvery:     s.cfg.CheckpointEvery,
 		}
 		if seed != nil {
 			cfg.InitialSnapshot = seed.snapshot
@@ -511,6 +655,8 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			HeartbeatTimeout:  s.cfg.HeartbeatTimeout,
 			CheckpointEvery:   s.cfg.CheckpointEvery,
 			UpdateWindow:      s.cfg.UpdateWindow,
+			RespCacheLimit:    s.cfg.RespCacheLimit,
+			Store:             st,
 		})
 	}
 	if err != nil {
@@ -520,6 +666,23 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 	s.servers[i] = r
 	s.guards[i] = guard
 	return s.ns.RegisterServer(i, peers[i], r.PublicKey())
+}
+
+// storeLocked returns server i's persistent store, building it on first use.
+// Nil (no persistence) without a StoreFactory; the engines then default to
+// their in-memory no-op store. Caller holds s.mu.
+func (s *System) storeLocked(i int) (store.Store, error) {
+	if s.cfg.StoreFactory == nil {
+		return nil, nil
+	}
+	if s.stores[i] == nil {
+		st, err := s.cfg.StoreFactory(i)
+		if err != nil {
+			return nil, fmt.Errorf("fortress: store for server %d: %w", i, err)
+		}
+		s.stores[i] = st
+	}
+	return s.stores[i], nil
 }
 
 // rebuildProxyLocked replaces proxy i with a fresh instance under its
@@ -677,4 +840,11 @@ func (s *System) Stop() {
 	}
 	s.stopped = true
 	s.teardownLocked()
+	// Stores are owned by the system, not the replica objects mounted on
+	// them: close them last, after every writer is down.
+	for _, st := range s.stores {
+		if st != nil {
+			_ = st.Close()
+		}
+	}
 }

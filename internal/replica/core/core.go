@@ -71,6 +71,17 @@ type Handler interface {
 	Rejoin()
 }
 
+// StoreRecoverer is implemented by protocol handlers that can reload their
+// state from a persistent store (replica/store). Restart invokes it after
+// the listener is re-registered and before Rejoin, so a node whose process
+// state survived (an in-place restart) keeps its memory — implementations
+// no-op when memory is at least as fresh as the disk — while a node built
+// over a non-empty store recovers from it before the protocol's own
+// catch-up machinery closes any remaining gap.
+type StoreRecoverer interface {
+	RecoverFromStore() error
+}
+
 // Config describes the transport identity of one node.
 type Config struct {
 	// Index is this node's unique index within Peers.
@@ -256,6 +267,12 @@ func (n *Node) Restart() error {
 	l, err := n.cfg.Net.Listen(n.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("core: restart listen: %w", err)
+	}
+	if rec, ok := n.h.(StoreRecoverer); ok {
+		if err := rec.RecoverFromStore(); err != nil {
+			l.Close()
+			return fmt.Errorf("core: restart recover: %w", err)
+		}
 	}
 	n.h.Rejoin()
 	stop := make(chan struct{})

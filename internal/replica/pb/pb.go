@@ -49,6 +49,7 @@ import (
 
 	"fortress/internal/netsim"
 	"fortress/internal/replica/core"
+	"fortress/internal/replica/store"
 	"fortress/internal/service"
 	"fortress/internal/sig"
 )
@@ -113,6 +114,16 @@ type wireMsg struct {
 	Stream int `json:"stream,omitempty"`
 }
 
+// sortedKeys returns m's keys in sorted order, for deterministic iteration.
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func encode(m wireMsg) []byte {
 	b, err := json.Marshal(m)
 	if err != nil {
@@ -129,6 +140,9 @@ const (
 	// defaultUpdateWindow bounds the retained unacknowledged deltas when
 	// Config.UpdateWindow is zero.
 	defaultUpdateWindow = 256
+	// defaultRespCacheLimit bounds the response cache when
+	// Config.RespCacheLimit is zero.
+	defaultRespCacheLimit = 4096
 	// streamUnknown marks a backup that is not positioned in any primary's
 	// update stream (fresh, rebuilt, or deposed): only a checkpoint anchors
 	// it.
@@ -168,6 +182,19 @@ type Config struct {
 	// checkpoint. Zero selects the default (256); negative retains nothing,
 	// forcing every resync onto the checkpoint path.
 	UpdateWindow int
+	// RespCacheLimit bounds the response cache: past the limit the oldest
+	// cached responses are evicted, so checkpoints, resyncs, and on-disk
+	// snapshots stop growing with total request history. An evicted request
+	// retried past this horizon re-executes instead of replaying from cache.
+	// Zero selects the default (4096); negative retains everything.
+	RespCacheLimit int
+	// Store persists the update stream: deltas are journaled as records and
+	// checkpoints overwrite the snapshot slot, so a replica rebuilt over a
+	// non-empty store recovers its state from disk before protocol catch-up
+	// fills any remaining gap. Nil selects the in-memory no-op store
+	// (nothing durable — today's semantics — and nothing extra allocated on
+	// the hot path).
+	Store store.Store
 }
 
 func (c Config) validate() error {
@@ -227,12 +254,20 @@ type Replica struct {
 	// acquired before mu.
 	execMu sync.Mutex
 
+	// store is the persistence layer; durable caches store.Durable() so the
+	// zero-persistence configuration skips record encoding entirely.
+	store   store.Store
+	durable bool
+
 	mu            sync.Mutex
 	role          Role
 	primaryIdx    int
 	seq           uint64
 	lastHeartbeat time.Time
 	respCache     map[string]cachedResp
+	respOrder     []string // respCache keys, insertion order (eviction)
+	respLimit     int      // 0 = unbounded
+	ckptJumps     int      // installed checkpoints that re-anchored the chain
 	pending       map[string][]*netsim.Conn
 	suspected     map[int]bool
 
@@ -282,8 +317,22 @@ func New(cfg Config) (*Replica, error) {
 	case windowKeep < 0:
 		windowKeep = 0
 	}
+	respLimit := cfg.RespCacheLimit
+	switch {
+	case respLimit == 0:
+		respLimit = defaultRespCacheLimit
+	case respLimit < 0:
+		respLimit = 0
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem()
+	}
 	r := &Replica{
 		cfg:        cfg,
+		store:      st,
+		durable:    st.Durable(),
+		respLimit:  respLimit,
 		role:       RoleBackup,
 		primaryIdx: cfg.InitialPrimary,
 		respCache:  make(map[string]cachedResp),
@@ -307,6 +356,9 @@ func New(cfg Config) (*Replica, error) {
 		r.role = RolePrimary
 	}
 	r.lastHeartbeat = time.Now()
+	if err := r.RecoverFromStore(); err != nil {
+		return nil, fmt.Errorf("pb: %w", err)
+	}
 	node, err := core.NewNode(core.Config{
 		Index:        cfg.Index,
 		Addr:         cfg.Addr,
@@ -364,8 +416,35 @@ func (r *Replica) Acked(peer int) uint64 {
 	return r.acked[peer]
 }
 
+// CheckpointJumps counts the installed checkpoints that re-anchored this
+// backup's chain — cross-stream anchors and gap jumps, not the stream's
+// scheduled in-order checkpoints. Tests use it to assert a restarted backup
+// converged by delta retransmission alone, without a checkpoint resync.
+func (r *Replica) CheckpointJumps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckptJumps
+}
+
 // PublicKey exposes the verification key for name-server registration.
 func (r *Replica) PublicKey() []byte { return r.cfg.Keys.Public() }
+
+// cacheRespLocked inserts one cached response, evicting oldest-first past
+// the configured bound. Caller holds r.mu.
+func (r *Replica) cacheRespLocked(id string, c cachedResp) {
+	if _, ok := r.respCache[id]; !ok {
+		r.respOrder = append(r.respOrder, id)
+	}
+	r.respCache[id] = c
+	if r.respLimit <= 0 {
+		return
+	}
+	for len(r.respOrder) > r.respLimit {
+		evicted := r.respOrder[0]
+		r.respOrder = r.respOrder[1:]
+		delete(r.respCache, evicted)
+	}
+}
 
 // Stop shuts the replica down and waits for its goroutines to exit.
 func (r *Replica) Stop() { r.node.Stop() }
@@ -420,6 +499,133 @@ func (r *Replica) Rejoin() {
 	r.pending = make(map[string][]*netsim.Conn)
 	r.resyncing = false
 	r.lastHeartbeat = time.Now()
+}
+
+// RecoverFromStore implements core.StoreRecoverer: a virgin replica built
+// over a non-empty store reloads its state from disk — the persisted
+// checkpoint, then the journaled delta suffix replayed over it, verifying
+// the chain hashes exactly as a live backup would — before the protocol's
+// own catch-up closes whatever gap the disk does not cover. New calls it
+// too, so a fortress-level rebuild over a surviving store recovers without
+// a donor: that is what makes a whole-cluster blackout survivable.
+//
+// A replica that has applied anything already (an in-place restart, whose
+// memory the journal never runs ahead of) is left untouched.
+//
+// In a multi-replica group the recovered node always comes back as a
+// backup positioned at its journaled stream: the cluster may have moved on
+// while it was down, and heartbeats plus the failover timer sort out who
+// leads now. Because the stream position (updFrom, snapBytes, seq) is
+// restored rather than reset, an in-window gap converges by delta
+// retransmission over the duplex link — no checkpoint resync.
+func (r *Replica) RecoverFromStore() error {
+	if !r.durable {
+		return nil
+	}
+	rec, err := r.store.Load()
+	if err != nil || rec.Empty() {
+		return err
+	}
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+	r.mu.Lock()
+	virgin := r.seq == 0
+	r.mu.Unlock()
+	if !virgin {
+		return nil
+	}
+	var (
+		state []byte
+		seq   uint64
+		from  = streamUnknown
+		resps = make(map[string]cachedResp)
+	)
+	if rec.HasSnapshot {
+		var cp wireMsg
+		if err := json.Unmarshal(rec.Snapshot, &cp); err != nil {
+			return fmt.Errorf("pb: recover snapshot: %w", err)
+		}
+		state = cp.Snapshot
+		seq = cp.Seq
+		from = cp.From
+		if cp.RequestID != "" {
+			resps[cp.RequestID] = cachedResp{body: cp.RespBody, errMsg: cp.RespErr}
+		}
+		for id, payload := range cp.Responses {
+			if _, ok := resps[id]; !ok {
+				resps[id] = cachedResp{body: payload}
+			}
+		}
+	}
+replay:
+	for i, raw := range rec.Records {
+		rseq := rec.LogStart + uint64(i)
+		if rseq <= seq {
+			continue // covered by the snapshot
+		}
+		if rseq != seq+1 {
+			break // journal does not chain onto the snapshot: keep the prefix
+		}
+		var m wireMsg
+		if json.Unmarshal(raw, &m) != nil {
+			break
+		}
+		switch m.Type {
+		case msgCheckpoint:
+			state = m.Snapshot
+			from = m.From
+		case msgUpdate:
+			if state == nil || snapHash(state) != m.BaseHash {
+				break replay
+			}
+			next, ok := ApplyDelta(state, m.DeltaPrefix, m.Delta, m.DeltaSuffix)
+			if !ok {
+				break replay
+			}
+			state = next
+			from = m.From
+		default:
+			break replay
+		}
+		if m.RequestID != "" {
+			resps[m.RequestID] = cachedResp{body: m.RespBody, errMsg: m.RespErr}
+		}
+		seq = rseq
+	}
+	if state == nil || seq == 0 {
+		return nil
+	}
+	if err := r.cfg.Service.Restore(state); err != nil {
+		return fmt.Errorf("pb: recover restore: %w", err)
+	}
+	r.mu.Lock()
+	r.seq = seq
+	r.snapBytes = state
+	r.updFrom = from
+	// If this node is later promoted, its first execution must ship a
+	// checkpoint anchoring every backup, and its retransmission window must
+	// restart past the recovered history.
+	r.lastSnap = nil
+	r.window.Reset(seq + 1)
+	if len(r.cfg.Peers) > 1 {
+		r.role = RoleBackup
+		if from != streamUnknown {
+			r.primaryIdx = from
+		}
+	} else {
+		r.role = RolePrimary
+	}
+	ids := make([]string, 0, len(resps))
+	for id := range resps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r.cacheRespLocked(id, resps[id])
+	}
+	r.lastHeartbeat = time.Now()
+	r.mu.Unlock()
+	return nil
 }
 
 // HandleMessage implements core.Handler: one decoded wire message.
@@ -515,7 +721,7 @@ func (r *Replica) execute(m wireMsg) []byte {
 	r.mu.Lock()
 	r.seq++
 	seq := r.seq
-	r.respCache[m.RequestID] = cached
+	r.cacheRespLocked(m.RequestID, cached)
 	if snapErr != nil {
 		// The new state cannot be described: break the chain so the next
 		// update checkpoints, and restart the window past the hole.
@@ -541,9 +747,34 @@ func (r *Replica) execute(m wireMsg) []byte {
 	// Staged on the per-backup outboxes: every update executed while
 	// draining one inbound batch leaves in a single SendBatch per backup
 	// when the runtime flushes at the end of the drain.
-	r.node.Broadcast(encode(updateMsg(seq, r.cfg.Index, up, nil)))
+	wire := encode(updateMsg(seq, r.cfg.Index, up, nil))
+	r.node.Broadcast(wire)
+	if r.durable {
+		r.persistUpdateLocked(seq, up, wire)
+	}
 	r.mu.Unlock()
 	return r.responseBytes(m.RequestID, cached)
+}
+
+// persistUpdateLocked journals one executed update on the primary: deltas
+// append the exact broadcast bytes (the encoding is immutable, so sharing
+// it with the outboxes is safe), checkpoints overwrite the snapshot slot —
+// with the response cache attached, like a resync checkpoint — and clear
+// the journal the snapshot supersedes. Store errors are dropped: durability
+// degrades (recovery covers less) but the replica keeps serving. Caller
+// holds execMu and r.mu.
+func (r *Replica) persistUpdateLocked(seq uint64, up retained, wire []byte) {
+	if up.checkpoint == nil {
+		_ = r.store.Append(seq, wire)
+		return
+	}
+	responses := make(map[string][]byte, len(r.respCache))
+	for id, c := range r.respCache {
+		responses[id] = c.payload()
+	}
+	if r.store.WriteSnapshot(seq, encode(updateMsg(seq, r.cfg.Index, up, responses))) == nil {
+		_ = r.store.TruncateTo(store.TruncateAll)
+	}
 }
 
 // updateMsg encodes one retained update (delta or checkpoint) for the wire;
@@ -662,7 +893,12 @@ func (r *Replica) handleUpdate(m wireMsg) []byte {
 	r.primaryIdx = m.From
 	r.lastHeartbeat = time.Now()
 	r.resyncing = false
-	r.respCache[m.RequestID] = cached
+	r.cacheRespLocked(m.RequestID, cached)
+	if r.durable {
+		// Journal the installed update so a rebuild over this store resumes
+		// from the applied frontier instead of an empty state.
+		_ = r.store.Append(m.Seq, encode(m))
+	}
 	waiting := r.pending[m.RequestID]
 	delete(r.pending, m.RequestID)
 	ack := r.ackLocked(m.From)
@@ -692,18 +928,33 @@ func (r *Replica) installCheckpoint(m wireMsg, sameStream bool, prevSeq uint64) 
 	var orphaned []*netsim.Conn
 
 	r.mu.Lock()
+	jumped := !sameStream || m.Seq > prevSeq+1
 	r.seq = m.Seq
 	r.snapBytes = m.Snapshot
 	r.updFrom = m.From
 	r.primaryIdx = m.From
 	r.lastHeartbeat = time.Now()
 	r.resyncing = false
-	if m.RequestID != "" {
-		r.respCache[m.RequestID] = cachedResp{body: m.RespBody, errMsg: m.RespErr}
+	if jumped {
+		r.ckptJumps++
 	}
-	for id, payload := range m.Responses {
+	if m.RequestID != "" {
+		r.cacheRespLocked(m.RequestID, cachedResp{body: m.RespBody, errMsg: m.RespErr})
+	}
+	// Sorted merge: with a bounded cache, insertion order decides eviction
+	// order, and map iteration order would make it nondeterministic.
+	for _, id := range sortedKeys(m.Responses) {
 		if _, ok := r.respCache[id]; !ok {
-			r.respCache[id] = cachedResp{body: payload}
+			r.cacheRespLocked(id, cachedResp{body: m.Responses[id]})
+		}
+	}
+	if r.durable {
+		// The checkpoint message carries everything recovery needs (state,
+		// stream, responses): persist it whole as the snapshot slot and drop
+		// the journal it supersedes — including any orphans a jump left
+		// above the new sequence.
+		if r.store.WriteSnapshot(m.Seq, encode(m)) == nil {
+			_ = r.store.TruncateTo(store.TruncateAll)
 		}
 	}
 	for id, conns := range r.pending {
@@ -712,7 +963,7 @@ func (r *Replica) installCheckpoint(m wireMsg, sameStream bool, prevSeq uint64) 
 			serve = append(serve, answered{id, cached, conns})
 		}
 	}
-	if !sameStream || m.Seq > prevSeq+1 {
+	if jumped {
 		// The jump skipped requests this checkpoint carries no responses
 		// for: close their parked connections so the requesters resubmit
 		// (the primary answers retries from its cache), exactly as failover

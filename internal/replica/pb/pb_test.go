@@ -107,6 +107,77 @@ func TestConfigValidation(t *testing.T) {
 	r.Stop()
 }
 
+// respCacheReplica stands up a single-node cluster with the given response
+// cache bound.
+func respCacheReplica(t *testing.T, limit int) (*netsim.Network, *Replica) {
+	t.Helper()
+	net := netsim.NewNetwork()
+	keys, err := sig.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{
+		Index: 0, Addr: "solo", Peers: map[int]string{0: "solo"},
+		InitialPrimary: 0, Service: service.NewKV(), Keys: keys, Net: net,
+		HeartbeatInterval: hbInterval, HeartbeatTimeout: hbTimeout,
+		RespCacheLimit: limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return net, r
+}
+
+// TestRespCacheBounded pins the retry-horizon eviction: with a limit of 4,
+// six distinct requests leave exactly the four youngest responses cached,
+// in insertion order, and the evicted ids are gone — a retry past the
+// horizon re-executes instead of replaying.
+func TestRespCacheBounded(t *testing.T) {
+	net, r := respCacheReplica(t, 4)
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := Request(net, "client", r.Addr(), id, kvPut(t, "k", id), reqTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	cached := len(r.respCache)
+	ordered := len(r.respOrder)
+	_, hasOldest := r.respCache["r0"]
+	_, hasEvictEdge := r.respCache["r1"]
+	_, hasSurvivor := r.respCache["r2"]
+	_, hasNewest := r.respCache["r5"]
+	r.mu.Unlock()
+	if cached != 4 || ordered != 4 {
+		t.Fatalf("cache holds %d entries (%d ordered), want 4", cached, ordered)
+	}
+	if hasOldest || hasEvictEdge {
+		t.Error("oldest responses not evicted at the bound")
+	}
+	if !hasSurvivor || !hasNewest {
+		t.Error("responses inside the retry horizon were evicted")
+	}
+}
+
+// TestRespCacheUnboundedWhenNegative pins the opt-out: a negative limit
+// retains every response.
+func TestRespCacheUnboundedWhenNegative(t *testing.T) {
+	net, r := respCacheReplica(t, -1)
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("u%d", i)
+		if _, err := Request(net, "client", r.Addr(), id, kvPut(t, "k", id), reqTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	cached := len(r.respCache)
+	r.mu.Unlock()
+	if cached != 6 {
+		t.Fatalf("cache holds %d entries, want all 6", cached)
+	}
+}
+
 func TestPrimaryServesSignedResponse(t *testing.T) {
 	net, reps := cluster(t, 3, func(int) service.Service { return service.NewKV() })
 	resp, err := Request(net, "client", reps[0].Addr(), "r1", kvPut(t, "k", "v"), reqTimeout)

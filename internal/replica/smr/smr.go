@@ -36,6 +36,7 @@ import (
 
 	"fortress/internal/netsim"
 	"fortress/internal/replica/core"
+	"fortress/internal/replica/store"
 	"fortress/internal/service"
 	"fortress/internal/sig"
 )
@@ -95,6 +96,19 @@ func encode(m wireMsg) []byte {
 // log-suffix catch-up when Config.CatchupHistory is zero.
 const defaultCatchupHistory = 512
 
+// defaultSnapshotEvery is the persisted-snapshot cadence when
+// Config.SnapshotEvery is zero.
+const defaultSnapshotEvery = 32
+
+// storeSnapshot is the composite persisted in the store's snapshot slot: the
+// service state at the covered frontier plus the response cache, so a
+// recovered replica answers retries of jumped-over requests from cache
+// instead of re-ordering them.
+type storeSnapshot struct {
+	Snapshot  []byte            `json:"snapshot"`
+	Responses map[string][]byte `json:"responses,omitempty"`
+}
+
 // Config describes one SMR replica.
 type Config struct {
 	// Index is this replica's unique index.
@@ -144,6 +158,18 @@ type Config struct {
 	// AllowNondeterministic disables the DSM check; used only to
 	// demonstrate why the check exists.
 	AllowNondeterministic bool
+	// Store persists the order log and executed frontier: every executed
+	// entry is journaled and every SnapshotEvery-th execution rewrites the
+	// snapshot slot with the (state, response cache) pair, so a replica
+	// rebuilt over a non-empty store recovers from disk before leader-driven
+	// catch-up fills any remaining gap. Nil selects the in-memory no-op
+	// store (nothing durable — today's semantics).
+	Store store.Store
+	// SnapshotEvery is the persisted-snapshot cadence: the journal is
+	// folded into the snapshot slot every k executions, bounding replay
+	// length at recovery. Zero selects the default (32). Meaningless
+	// without a durable Store.
+	SnapshotEvery int
 }
 
 func (c Config) validate() error {
@@ -160,6 +186,8 @@ func (c Config) validate() error {
 		return errors.New("smr: config needs Peers")
 	case c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= 0:
 		return errors.New("smr: config needs positive heartbeat timings")
+	case c.SnapshotEvery < 0:
+		return errors.New("smr: config needs a non-negative SnapshotEvery")
 	}
 	if _, ok := c.Peers[c.Index]; !ok {
 		return fmt.Errorf("smr: Peers must contain own index %d", c.Index)
@@ -182,6 +210,12 @@ type Replica struct {
 	cfg  Config
 	node *core.Node
 
+	// store is the persistence layer; durable caches store.Durable() so the
+	// zero-persistence configuration skips record encoding entirely.
+	store     store.Store
+	durable   bool
+	snapEvery uint64
+
 	// execMu serializes request execution and every reader that needs a
 	// state view consistent with the executed frontier (catch-up transfer
 	// construction and installation). Always acquired before mu.
@@ -203,6 +237,9 @@ type Replica struct {
 	hist       core.Window[orderEntry]
 	catchupFor uint64    // nextExec value a catch-up request is in flight for; 0 = none
 	catchupAt  time.Time // when that request left, for timeout-driven retry
+	// persistedSnap is the frontier the store's snapshot slot covers; the
+	// journal is folded into it every snapEvery executions.
+	persistedSnap uint64
 }
 
 // New starts a replica. The initial leader is the lowest peer index.
@@ -222,9 +259,20 @@ func New(cfg Config) (*Replica, error) {
 			return nil, fmt.Errorf("smr: restore initial snapshot: %w", err)
 		}
 	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = defaultSnapshotEvery
+	}
 	next := cfg.InitialExecuted + 1
 	r := &Replica{
 		cfg:        cfg,
+		store:      st,
+		durable:    st.Durable(),
+		snapEvery:  uint64(snapEvery),
 		leaderIdx:  lowestIndex(cfg.Peers, nil),
 		nextExec:   next,
 		nextAssign: next,
@@ -243,6 +291,9 @@ func New(cfg Config) (*Replica, error) {
 		r.leaderIdx = leaderUnknown
 	}
 	r.lastHeartbeat = time.Now()
+	if err := r.RecoverFromStore(); err != nil {
+		return nil, fmt.Errorf("smr: %w", err)
+	}
 	node, err := core.NewNode(core.Config{
 		Index:        cfg.Index,
 		Addr:         cfg.Addr,
@@ -366,6 +417,104 @@ func (r *Replica) Rejoin() {
 	r.pending = make(map[string][]*netsim.Conn)
 	r.catchupFor = 0
 	r.lastHeartbeat = time.Now()
+}
+
+// RecoverFromStore implements core.StoreRecoverer: a virgin replica built
+// over a non-empty store reloads its state from disk — restore the persisted
+// snapshot, then replay the journaled order suffix through Apply (the DSM
+// precondition makes the replay reproduce state and responses exactly) —
+// before leader-driven catch-up closes whatever gap the disk does not
+// cover. New calls it too, so a fortress-level rebuild over a surviving
+// store recovers without a donor: that is what makes a whole-cluster
+// blackout survivable.
+//
+// A replica that has executed or been seeded with anything already (an
+// in-place restart, or a donor-seeded replacement) is left untouched. In a
+// multi-replica group the recovered node comes back with an unknown leader,
+// exactly as Restart does: the group may have failed over while it was
+// down, and a recovered lowest-index node must not reclaim the sequencer
+// role with a stale counter.
+func (r *Replica) RecoverFromStore() error {
+	if !r.durable {
+		return nil
+	}
+	rec, err := r.store.Load()
+	if err != nil || rec.Empty() {
+		return err
+	}
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+	r.mu.Lock()
+	virgin := r.nextExec == 1 && r.nextAssign == 1 && len(r.respCache) == 0
+	r.mu.Unlock()
+	if !virgin {
+		return nil
+	}
+	var (
+		executed uint64
+		resps    = make(map[string][]byte)
+		replayed []orderEntry
+	)
+	if rec.HasSnapshot {
+		var comp storeSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &comp); err != nil {
+			return fmt.Errorf("smr: recover snapshot: %w", err)
+		}
+		if err := r.cfg.Service.Restore(comp.Snapshot); err != nil {
+			return fmt.Errorf("smr: recover restore: %w", err)
+		}
+		executed = rec.SnapshotSeq
+		for id, body := range comp.Responses {
+			resps[id] = body
+		}
+	}
+	for i, raw := range rec.Records {
+		seq := rec.LogStart + uint64(i)
+		if seq <= executed {
+			continue // covered by the snapshot
+		}
+		if seq != executed+1 {
+			break // journal does not chain onto the snapshot: keep the prefix
+		}
+		var e wireLogEntry
+		if json.Unmarshal(raw, &e) != nil {
+			break
+		}
+		respBody, applyErr := r.cfg.Service.Apply(e.Body)
+		if applyErr != nil {
+			respBody = []byte("error: " + applyErr.Error())
+		}
+		resps[e.RequestID] = respBody
+		replayed = append(replayed, orderEntry{requestID: e.RequestID, body: e.Body})
+		executed = seq
+	}
+	if executed == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextExec = executed + 1
+	r.nextAssign = executed + 1
+	// The catch-up window holds the replayed suffix, so this node can serve
+	// log-suffix transfers to peers that recovered slightly behind it —
+	// after a blackout everyone is close together, and the snapshot path
+	// would be overkill.
+	r.hist.Reset(executed + 1 - uint64(len(replayed)))
+	for _, e := range replayed {
+		r.hist.Append(e)
+	}
+	for id, body := range resps {
+		r.respCache[id] = body
+		r.ordered[id] = true
+	}
+	if rec.HasSnapshot {
+		r.persistedSnap = rec.SnapshotSeq
+	}
+	if len(r.cfg.Peers) > 1 {
+		r.leaderIdx = leaderUnknown
+	}
+	r.lastHeartbeat = time.Now()
+	r.mu.Unlock()
+	return nil
 }
 
 // HandleMessage implements core.Handler: one decoded wire message.
@@ -535,6 +684,7 @@ func (r *Replica) executeReady() {
 			r.mu.Unlock()
 			break
 		}
+		seq := r.nextExec
 		delete(r.log, r.nextExec)
 		r.nextExec++
 		r.mu.Unlock()
@@ -544,6 +694,15 @@ func (r *Replica) executeReady() {
 		if applyErr != nil {
 			respBody = []byte("error: " + applyErr.Error())
 		}
+		if r.durable {
+			// Journal the sequenced request (not the response): recovery
+			// replays it through Apply, which the DSM precondition makes
+			// reproduce the response exactly. Store errors are dropped:
+			// durability degrades but the replica keeps serving.
+			if b, err := json.Marshal(wireLogEntry{Seq: seq, RequestID: entry.requestID, Body: entry.body}); err == nil {
+				_ = r.store.Append(seq, b)
+			}
+		}
 		r.mu.Lock()
 		r.respCache[entry.requestID] = respBody
 		r.recordHistLocked(entry)
@@ -552,11 +711,44 @@ func (r *Replica) executeReady() {
 		r.mu.Unlock()
 		ready = append(ready, executed{entry.requestID, respBody, conns})
 	}
+	if r.durable && len(ready) > 0 {
+		r.persistSnapshotIfDue()
+	}
 
 	for _, e := range ready {
 		for _, c := range e.conns {
 			r.reply(c, e.requestID, e.respBody)
 		}
+	}
+}
+
+// persistSnapshotIfDue folds the journal into the store's snapshot slot once
+// the executed frontier has moved snapEvery past the covered one, bounding
+// replay length at recovery. Caller holds execMu, so the snapshot is
+// consistent with the frontier.
+func (r *Replica) persistSnapshotIfDue() {
+	r.mu.Lock()
+	frontier := r.nextExec - 1
+	if frontier < r.persistedSnap+r.snapEvery {
+		r.mu.Unlock()
+		return
+	}
+	responses := make(map[string][]byte, len(r.respCache))
+	for id, body := range r.respCache {
+		responses[id] = body
+	}
+	r.persistedSnap = frontier
+	r.mu.Unlock()
+	snap, err := r.cfg.Service.Snapshot()
+	if err != nil {
+		return
+	}
+	b, err := json.Marshal(storeSnapshot{Snapshot: snap, Responses: responses})
+	if err != nil {
+		return
+	}
+	if r.store.WriteSnapshot(frontier, b) == nil {
+		_ = r.store.TruncateTo(store.TruncateAll)
 	}
 }
 
@@ -764,6 +956,21 @@ func (r *Replica) applyCatchup(m wireMsg) {
 					if conns := r.pending[id]; len(conns) > 0 {
 						delete(r.pending, id)
 						answered = append(answered, parked{id, r.respCache[id], conns})
+					}
+				}
+				if r.durable {
+					// The jump invalidates the journaled prefix: persist the
+					// transferred state as the new snapshot slot and drop the
+					// records it supersedes.
+					responses := make(map[string][]byte, len(r.respCache))
+					for id, body := range r.respCache {
+						responses[id] = body
+					}
+					if b, err := json.Marshal(storeSnapshot{Snapshot: m.Snapshot, Responses: responses}); err == nil {
+						if r.store.WriteSnapshot(m.Seq-1, b) == nil {
+							_ = r.store.TruncateTo(store.TruncateAll)
+						}
+						r.persistedSnap = m.Seq - 1
 					}
 				}
 			}

@@ -1,0 +1,144 @@
+// Package store is the pluggable persistence layer beneath the replication
+// engines: an append-only record log plus a snapshot slot, keyed by the
+// engine's own sequence numbers.
+//
+// Both engines journal through the same narrow interface. The PB primary
+// appends its encoded update stream (the ack-windowed deltas it already
+// builds for broadcast — pb.DiffSnapshot patches framed by the wire
+// encoding) and overwrites the snapshot slot at every checkpoint; a backup
+// journals the updates it installs. The SMR replica appends its executed
+// order log and snapshots the (state, response-cache) pair at the same
+// cadence. On restart the engine loads the snapshot, replays the record
+// suffix, and only then falls back to protocol catch-up for whatever the
+// disk does not cover — which is how a whole-cluster power loss (the
+// `blackout` fault preset) becomes survivable: with every peer's memory
+// zeroed there is no donor left to resync from, and the store is the only
+// copy of the state.
+//
+// Two implementations ship: Mem, the zero-allocation default that keeps
+// today's semantics (nothing durable, restart loses everything), and WAL, a
+// real append-only log + snapshot file with CRC-framed records, torn-tail
+// truncation on open, and a configurable fsync cadence.
+package store
+
+import "time"
+
+// Store persists one replica's log suffix and snapshot.
+//
+// Sequence numbers are the engine's: records must be appended contiguously
+// (each Append's seq one past the previous, or anywhere after a
+// WriteSnapshot/TruncateTo reset the frontier). Implementations are safe
+// for concurrent use.
+type Store interface {
+	// Durable reports whether writes survive a restart. Engines use it to
+	// skip record encoding entirely on the in-memory store, keeping the
+	// zero-persistence hot path allocation-free.
+	Durable() bool
+
+	// Append journals one record at seq. The store takes ownership of rec.
+	// A seq that is not contiguous with the journaled tail is an error —
+	// it means a stale writer (a crashed replica object whose successor
+	// already recovered) is still flushing.
+	Append(seq uint64, rec []byte) error
+
+	// WriteSnapshot replaces the snapshot slot with snap, covering every
+	// sequence at or below seq. It does not truncate the log; callers pair
+	// it with TruncateTo once the snapshot is safely down.
+	WriteSnapshot(seq uint64, snap []byte) error
+
+	// TruncateTo drops journaled records below seq.
+	TruncateTo(seq uint64) error
+
+	// Load returns everything the store holds. The caller owns the result.
+	Load() (Recovery, error)
+
+	// Sync flushes buffered writes to stable storage, regardless of the
+	// configured cadence.
+	Sync() error
+
+	// Reset wipes the store — log and snapshot both. The engines' sequence
+	// numbering restarts from scratch at a re-randomization epoch boundary,
+	// so a frontier carried across one would poison recovery.
+	Reset() error
+
+	// Close releases the store's resources. A closed store rejects writes.
+	Close() error
+}
+
+// TruncateAll, passed to TruncateTo, clears the whole journaled log: it is
+// beyond any real sequence, so every record is below it. Engines use it
+// after WriteSnapshot to drop records the snapshot supersedes — including
+// any orphans journaled above the snapshot's sequence by an abandoned
+// update stream.
+const TruncateAll = ^uint64(0)
+
+// Recovery is the full content of a store at open/load time: the snapshot
+// slot (if ever written) and the journaled record suffix.
+type Recovery struct {
+	HasSnapshot bool
+	SnapshotSeq uint64 // highest sequence the snapshot covers
+	Snapshot    []byte
+	LogStart    uint64   // sequence of Records[0]
+	Records     [][]byte // contiguous from LogStart
+}
+
+// Empty reports whether the store held nothing to recover from.
+func (r Recovery) Empty() bool { return !r.HasSnapshot && len(r.Records) == 0 }
+
+// Frontier returns the highest sequence the recovery covers, and false when
+// it covers nothing.
+func (r Recovery) Frontier() (uint64, bool) {
+	if len(r.Records) > 0 {
+		return r.LogStart + uint64(len(r.Records)) - 1, true
+	}
+	if r.HasSnapshot {
+		return r.SnapshotSeq, true
+	}
+	return 0, false
+}
+
+// PowerFailer is implemented by stores that can model a power loss: buffered
+// writes beyond the last sync point are discarded, as if the machine lost
+// power mid-write. The whole-cluster blackout fault uses it so that the
+// fsync cadence is a real durability knob, not a no-op.
+type PowerFailer interface {
+	PowerFail() error
+}
+
+// Staller is implemented by stores whose sync path can be slowed down — the
+// disk-stall fault injection point.
+type Staller interface {
+	SetStall(d time.Duration)
+}
+
+// Mem is the in-memory default: a pure sink. Nothing is retained, nothing
+// survives a restart — exactly today's semantics — and every method is
+// allocation-free, pinned by TestMemAllocationFree.
+type Mem struct{}
+
+// NewMem returns the no-op in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Durable implements Store.
+func (*Mem) Durable() bool { return false }
+
+// Append implements Store.
+func (*Mem) Append(uint64, []byte) error { return nil }
+
+// WriteSnapshot implements Store.
+func (*Mem) WriteSnapshot(uint64, []byte) error { return nil }
+
+// TruncateTo implements Store.
+func (*Mem) TruncateTo(uint64) error { return nil }
+
+// Load implements Store.
+func (*Mem) Load() (Recovery, error) { return Recovery{}, nil }
+
+// Sync implements Store.
+func (*Mem) Sync() error { return nil }
+
+// Reset implements Store.
+func (*Mem) Reset() error { return nil }
+
+// Close implements Store.
+func (*Mem) Close() error { return nil }

@@ -1,0 +1,363 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walCfg returns a test config: fsync disabled (the durability model — the
+// synced frontier — is identical, CI just skips the syscalls).
+func walCfg(t *testing.T, syncEvery int) WALConfig {
+	t.Helper()
+	return WALConfig{Dir: t.TempDir(), SyncEvery: syncEvery, DisableFsync: true}
+}
+
+func mustOpen(t *testing.T, cfg WALConfig) *WAL {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func rec(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func TestWALRoundTrip(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	if !s.Durable() {
+		t.Fatal("WAL must report Durable")
+	}
+	if err := s.WriteSnapshot(9, []byte("snap@9")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for i := 10; i < 20; i++ {
+		if err := s.Append(uint64(i), rec(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, cfg)
+	defer s2.Close()
+	got, err := s2.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !got.HasSnapshot || got.SnapshotSeq != 9 || string(got.Snapshot) != "snap@9" {
+		t.Fatalf("snapshot = %+v, want snap@9 covering 9", got)
+	}
+	if got.LogStart != 10 || len(got.Records) != 10 {
+		t.Fatalf("log = start %d len %d, want start 10 len 10", got.LogStart, len(got.Records))
+	}
+	for i, r := range got.Records {
+		if !bytes.Equal(r, rec(10+i)) {
+			t.Fatalf("record %d = %q, want %q", i, r, rec(10+i))
+		}
+	}
+	if f, ok := got.Frontier(); !ok || f != 19 {
+		t.Fatalf("Frontier = %d,%v, want 19,true", f, ok)
+	}
+}
+
+func TestWALTornTailTruncation(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(uint64(i), rec(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the tail: chop the last frame in half, as a crash mid-write
+	// would.
+	path := filepath.Join(cfg.Dir, walLogName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, cfg)
+	got, err := s2.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Records) != 4 {
+		t.Fatalf("after torn tail: %d records, want 4", len(got.Records))
+	}
+	// The truncated store must accept a re-append of the lost sequence.
+	if err := s2.Append(4, rec(4)); err != nil {
+		t.Fatalf("re-append after truncation: %v", err)
+	}
+	s2.Close()
+}
+
+func TestWALCorruptFrameTruncates(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(uint64(i), rec(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.Close()
+
+	// Flip a bit in the middle frame's payload: the scan must keep only
+	// the frames before it, dropping the still-valid frame after.
+	path := filepath.Join(cfg.Dir, walLogName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := walFrameHeader + len(rec(0))
+	b[frame+walFrameHeader+2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, cfg)
+	defer s2.Close()
+	got, _ := s2.Load()
+	if len(got.Records) != 1 || !bytes.Equal(got.Records[0], rec(0)) {
+		t.Fatalf("after mid-log corruption: %d records, want 1 (only the prefix)", len(got.Records))
+	}
+}
+
+func TestWALPowerFailLosesUnsyncedTail(t *testing.T) {
+	for _, syncEvery := range []int{1, 4} {
+		t.Run(fmt.Sprintf("syncEvery=%d", syncEvery), func(t *testing.T) {
+			cfg := walCfg(t, syncEvery)
+			s := mustOpen(t, cfg)
+			for i := 0; i < 10; i++ {
+				if err := s.Append(uint64(i), rec(i)); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			// 10 appends at cadence n sync after append 10/n*n; the rest
+			// is buffered and must vanish at power failure.
+			wantSurvive := 10 / syncEvery * syncEvery
+			if err := s.PowerFail(); err != nil {
+				t.Fatalf("PowerFail: %v", err)
+			}
+			got, err := s.Load()
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if len(got.Records) != wantSurvive {
+				t.Fatalf("syncEvery=%d: %d records survive power fail, want %d",
+					syncEvery, len(got.Records), wantSurvive)
+			}
+			// Appends resume where the surviving log ends.
+			if err := s.Append(uint64(wantSurvive), rec(wantSurvive)); err != nil {
+				t.Fatalf("append after power fail: %v", err)
+			}
+			s.Close()
+
+			// And the same content comes back from a fresh Open.
+			s2 := mustOpen(t, cfg)
+			defer s2.Close()
+			got2, _ := s2.Load()
+			if len(got2.Records) != wantSurvive+1 {
+				t.Fatalf("reopen after power fail: %d records, want %d",
+					len(got2.Records), wantSurvive+1)
+			}
+		})
+	}
+}
+
+func TestWALTruncateTo(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	for i := 0; i < 8; i++ {
+		if err := s.Append(uint64(i), rec(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.TruncateTo(5); err != nil {
+		t.Fatalf("TruncateTo: %v", err)
+	}
+	got, _ := s.Load()
+	if got.LogStart != 5 || len(got.Records) != 3 {
+		t.Fatalf("after TruncateTo(5): start %d len %d, want 5/3", got.LogStart, len(got.Records))
+	}
+	// Truncating everything resets the log; the next append restarts it.
+	if err := s.TruncateTo(100); err != nil {
+		t.Fatalf("TruncateTo(100): %v", err)
+	}
+	if err := s.Append(100, rec(100)); err != nil {
+		t.Fatalf("append after full truncation: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, cfg)
+	defer s2.Close()
+	got2, _ := s2.Load()
+	if got2.LogStart != 100 || len(got2.Records) != 1 {
+		t.Fatalf("reopen: start %d len %d, want 100/1", got2.LogStart, len(got2.Records))
+	}
+}
+
+func TestWALRejectsGappedAppend(t *testing.T) {
+	s := mustOpen(t, walCfg(t, 1))
+	defer s.Close()
+	if err := s.Append(1, rec(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Append(3, rec(3)); err == nil {
+		t.Fatal("gapped append must fail: a stale writer is flushing into a recovered log")
+	}
+	if err := s.Append(2, rec(2)); err != nil {
+		t.Fatalf("contiguous append after rejected gap: %v", err)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	if err := s.WriteSnapshot(3, []byte("snap@3")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for i := 4; i < 8; i++ {
+		if err := s.Append(uint64(i), rec(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !got.Empty() {
+		t.Fatalf("after Reset: %+v, want empty", got)
+	}
+	// A new epoch restarts sequence numbering from scratch.
+	if err := s.Append(1, rec(1)); err != nil {
+		t.Fatalf("append after Reset: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, cfg)
+	defer s2.Close()
+	got2, _ := s2.Load()
+	if got2.HasSnapshot || got2.LogStart != 1 || len(got2.Records) != 1 {
+		t.Fatalf("reopen after Reset: %+v, want only seq 1", got2)
+	}
+}
+
+func TestWALCorruptSnapshotTreatedAsAbsent(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	if err := s.WriteSnapshot(7, []byte("snapshot-payload")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	s.Close()
+	path := filepath.Join(cfg.Dir, walSnapName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, cfg)
+	defer s2.Close()
+	got, _ := s2.Load()
+	if got.HasSnapshot {
+		t.Fatal("corrupt snapshot must load as absent, not as garbage state")
+	}
+}
+
+func TestHashDirDetectsContentChange(t *testing.T) {
+	cfg := walCfg(t, 1)
+	s := mustOpen(t, cfg)
+	if err := s.Append(0, rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	h1, err := HashDir(cfg.Dir)
+	if err != nil {
+		t.Fatalf("HashDir: %v", err)
+	}
+	h1again, _ := HashDir(cfg.Dir)
+	if h1 != h1again {
+		t.Fatal("HashDir must be deterministic over unchanged content")
+	}
+	s2 := mustOpen(t, cfg)
+	if err := s2.Append(1, rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	h2, _ := HashDir(cfg.Dir)
+	if h1 == h2 {
+		t.Fatal("HashDir must change when the log grows")
+	}
+}
+
+// TestMemAllocationFree pins the zero-persistence contract: the acceptance
+// criterion that a configuration without durability stays allocation-free
+// on the hot path.
+func TestMemAllocationFree(t *testing.T) {
+	m := NewMem()
+	payload := []byte("update")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if m.Durable() {
+			t.Fatal("Mem must not report Durable")
+		}
+		_ = m.Append(1, payload)
+		_ = m.WriteSnapshot(1, payload)
+		_ = m.TruncateTo(1)
+		_ = m.Sync()
+		_ = m.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("Mem hot path allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkWALAppend measures the persistence hot path — one journaled
+// record per executed request — across the fsync-cadence axis. The
+// no-fsync variant isolates the framing/buffering cost the engines pay
+// even when CI disables physical syncs.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := bytes.Repeat([]byte("x"), 256)
+	for _, bc := range []struct {
+		name string
+		cfg  WALConfig
+	}{
+		{"fsync-every-1", WALConfig{SyncEvery: 1}},
+		{"fsync-every-64", WALConfig{SyncEvery: 64}},
+		{"no-fsync", WALConfig{SyncEvery: 64, DisableFsync: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := bc.cfg
+			cfg.Dir = b.TempDir()
+			s, err := Open(cfg)
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Append(uint64(i), payload); err != nil {
+					b.Fatalf("Append: %v", err)
+				}
+			}
+		})
+	}
+}

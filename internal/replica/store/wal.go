@@ -1,0 +1,539 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WAL file layout inside Dir:
+//
+//	wal.log — append-only record frames:
+//	          8B seq (BE) | 4B payload length (BE) | 4B CRC-32C | payload
+//	          The CRC covers the seq and length fields plus the payload, so
+//	          a torn or bit-flipped header is caught, not just a torn body.
+//	snap    — snapshot slot, rewritten whole via tmp+rename:
+//	          8B covered seq (BE) | 4B CRC-32C | payload
+//
+// Open scans wal.log and truncates at the first bad frame (short read, CRC
+// mismatch, non-contiguous sequence): a torn tail from a crash mid-append
+// silently shortens the log rather than poisoning recovery. A corrupt snap
+// file is treated as absent.
+const (
+	walLogName  = "wal.log"
+	walSnapName = "snap"
+
+	walFrameHeader = 16 // seq + len + crc
+	walSnapHeader  = 12 // seq + crc
+
+	// walMaxRecord bounds a single frame's payload so a corrupt length
+	// field cannot drive a giant allocation during the open scan.
+	walMaxRecord = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by writes to a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// WALConfig configures a WAL store.
+type WALConfig struct {
+	// Dir is the directory holding the log and snapshot files; it is
+	// created if absent. Each replica needs its own directory.
+	Dir string
+
+	// SyncEvery is the fsync cadence: every n-th Append flushes and syncs
+	// the log, so a power failure loses at most n-1 records. 0 means 1
+	// (sync every append). Snapshot writes always sync.
+	SyncEvery int
+
+	// DisableFsync skips the physical fsync syscalls while keeping the
+	// sync bookkeeping (the synced frontier advances at the same cadence,
+	// and PowerFail still discards everything past it). Tests use it to
+	// keep the durability model exact without paying disk latency in CI.
+	DisableFsync bool
+}
+
+// WAL is the durable store: an append-only CRC-framed log plus a snapshot
+// file, with torn-tail truncation on open and a configurable fsync cadence.
+// It implements Store, PowerFailer and Staller.
+type WAL struct {
+	cfg   WALConfig
+	stall atomic.Int64 // injected sync latency, nanoseconds
+
+	mu     sync.Mutex
+	closed bool
+	file   *os.File
+	w      *bufio.Writer
+	size   int64 // logical file size including buffered bytes
+	synced int64 // file offset covered by the last sync
+	unsync int   // appends since the last sync
+
+	// In-memory mirror of the journaled state, so Load and TruncateTo
+	// never re-read the disk.
+	logStart uint64
+	recs     [][]byte
+	ends     []int64 // ends[i]: file offset one past recs[i]'s frame
+	hasSnap  bool
+	snapSeq  uint64
+	snap     []byte
+}
+
+var (
+	_ Store       = (*WAL)(nil)
+	_ PowerFailer = (*WAL)(nil)
+	_ Staller     = (*WAL)(nil)
+)
+
+// Open opens (or creates) the WAL in cfg.Dir, scanning the existing log
+// with torn-tail truncation.
+func Open(cfg WALConfig) (*WAL, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: open wal: empty dir")
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 1
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s := &WAL{cfg: cfg}
+	if err := s.loadSnapshotFile(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, walLogName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.file = f
+	if err := s.scanLog(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(s.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// loadSnapshotFile reads the snapshot slot; a missing or corrupt file
+// leaves the slot empty.
+func (s *WAL) loadSnapshotFile() error {
+	b, err := os.ReadFile(filepath.Join(s.cfg.Dir, walSnapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if len(b) < walSnapHeader {
+		return nil // torn snapshot: treat as absent
+	}
+	seq := binary.BigEndian.Uint64(b[0:8])
+	sum := binary.BigEndian.Uint32(b[8:12])
+	payload := b[walSnapHeader:]
+	crc := crc32.Checksum(b[0:8], crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != sum {
+		return nil // corrupt snapshot: treat as absent
+	}
+	s.hasSnap = true
+	s.snapSeq = seq
+	s.snap = payload
+	return nil
+}
+
+// scanLog rebuilds the in-memory mirror from wal.log, truncating the file
+// at the first bad frame.
+func (s *WAL) scanLog() error {
+	info, err := s.file.Stat()
+	if err != nil {
+		return fmt.Errorf("store: scan wal: %w", err)
+	}
+	r := bufio.NewReader(io.NewSectionReader(s.file, 0, info.Size()))
+	var off int64
+	header := make([]byte, walFrameHeader)
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			break // clean EOF or torn header
+		}
+		seq := binary.BigEndian.Uint64(header[0:8])
+		length := binary.BigEndian.Uint32(header[8:12])
+		sum := binary.BigEndian.Uint32(header[12:16])
+		if length > walMaxRecord {
+			break // corrupt length field
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn body
+		}
+		crc := crc32.Checksum(header[0:12], crcTable)
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != sum {
+			break // bit rot or torn write
+		}
+		if len(s.recs) > 0 && seq != s.logStart+uint64(len(s.recs)) {
+			break // non-contiguous: stale frames past a truncation point
+		}
+		if len(s.recs) == 0 {
+			s.logStart = seq
+		}
+		off += int64(walFrameHeader) + int64(length)
+		s.recs = append(s.recs, payload)
+		s.ends = append(s.ends, off)
+	}
+	if off < info.Size() {
+		if err := s.file.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.size = off
+	s.synced = off
+	return nil
+}
+
+// Durable implements Store.
+func (*WAL) Durable() bool { return true }
+
+// Append implements Store.
+func (s *WAL) Append(seq uint64, rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.recs) > 0 && seq != s.logStart+uint64(len(s.recs)) {
+		return fmt.Errorf("store: append seq %d, journaled tail is %d",
+			seq, s.logStart+uint64(len(s.recs))-1)
+	}
+	if len(s.recs) == 0 {
+		s.logStart = seq
+	}
+	var header [walFrameHeader]byte
+	binary.BigEndian.PutUint64(header[0:8], seq)
+	binary.BigEndian.PutUint32(header[8:12], uint32(len(rec)))
+	crc := crc32.Checksum(header[0:12], crcTable)
+	crc = crc32.Update(crc, crcTable, rec)
+	binary.BigEndian.PutUint32(header[12:16], crc)
+	if _, err := s.w.Write(header[:]); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if _, err := s.w.Write(rec); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.size += int64(walFrameHeader) + int64(len(rec))
+	s.recs = append(s.recs, rec)
+	s.ends = append(s.ends, s.size)
+	s.unsync++
+	if s.unsync >= s.cfg.SyncEvery {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+// syncLocked flushes the write buffer and advances the synced frontier,
+// paying the injected stall and (unless disabled) a physical fsync.
+func (s *WAL) syncLocked() error {
+	if d := time.Duration(s.stall.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	if !s.cfg.DisableFsync {
+		if err := s.file.Sync(); err != nil {
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	s.synced = s.size
+	s.unsync = 0
+	return nil
+}
+
+// Sync implements Store.
+func (s *WAL) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncLocked()
+}
+
+// WriteSnapshot implements Store. The snapshot is staged to a temp file and
+// renamed into place, so a crash mid-write leaves the previous snapshot
+// intact; it is always synced regardless of cadence.
+func (s *WAL) WriteSnapshot(seq uint64, snap []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if d := time.Duration(s.stall.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	var header [walSnapHeader]byte
+	binary.BigEndian.PutUint64(header[0:8], seq)
+	crc := crc32.Checksum(header[0:8], crcTable)
+	crc = crc32.Update(crc, crcTable, snap)
+	binary.BigEndian.PutUint32(header[8:12], crc)
+
+	path := filepath.Join(s.cfg.Dir, walSnapName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if _, err = f.Write(header[:]); err == nil {
+		_, err = f.Write(snap)
+	}
+	if err == nil && !s.cfg.DisableFsync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	s.hasSnap = true
+	s.snapSeq = seq
+	s.snap = append([]byte(nil), snap...)
+	return nil
+}
+
+// TruncateTo implements Store. The log is rewritten whole (it is bounded by
+// the engine's retention window, and truncation rides the cold checkpoint
+// path) and the rewrite counts as synced.
+func (s *WAL) TruncateTo(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.recs) > 0 && seq <= s.logStart {
+		return nil
+	}
+	keep := s.recs[:0:0]
+	newStart := seq
+	if n := uint64(len(s.recs)); n > 0 && seq < s.logStart+n {
+		keep = append(keep, s.recs[seq-s.logStart:]...)
+	}
+	return s.rewriteLocked(newStart, keep)
+}
+
+// rewriteLocked replaces wal.log with the given records via tmp+rename and
+// repoints the append handle at the new file.
+func (s *WAL) rewriteLocked(start uint64, recs [][]byte) error {
+	path := filepath.Join(s.cfg.Dir, walLogName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: rewrite wal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var size int64
+	ends := make([]int64, 0, len(recs))
+	werr := func() error {
+		for i, rec := range recs {
+			var header [walFrameHeader]byte
+			binary.BigEndian.PutUint64(header[0:8], start+uint64(i))
+			binary.BigEndian.PutUint32(header[8:12], uint32(len(rec)))
+			crc := crc32.Checksum(header[0:12], crcTable)
+			crc = crc32.Update(crc, crcTable, rec)
+			binary.BigEndian.PutUint32(header[12:16], crc)
+			if _, err := w.Write(header[:]); err != nil {
+				return err
+			}
+			if _, err := w.Write(rec); err != nil {
+				return err
+			}
+			size += int64(walFrameHeader) + int64(len(rec))
+			ends = append(ends, size)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if !s.cfg.DisableFsync {
+			return f.Sync()
+		}
+		return nil
+	}()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rewrite wal: %w", werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rewrite wal: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: rewrite wal: %w", err)
+	}
+	if _, err := nf.Seek(size, io.SeekStart); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: rewrite wal: %w", err)
+	}
+	s.file.Close()
+	s.file = nf
+	s.w = bufio.NewWriter(nf)
+	s.size = size
+	s.synced = size
+	s.unsync = 0
+	s.logStart = start
+	s.recs = recs
+	s.ends = ends
+	return nil
+}
+
+// Reset implements Store: the log is rewritten empty and the snapshot file
+// removed, returning the directory to its just-created state.
+func (s *WAL) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.rewriteLocked(0, nil); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.cfg.Dir, walSnapName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: reset: %w", err)
+	}
+	s.hasSnap = false
+	s.snapSeq = 0
+	s.snap = nil
+	return nil
+}
+
+// Load implements Store.
+func (s *WAL) Load() (Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Recovery{}, ErrClosed
+	}
+	rec := Recovery{
+		HasSnapshot: s.hasSnap,
+		SnapshotSeq: s.snapSeq,
+		LogStart:    s.logStart,
+	}
+	if s.hasSnap {
+		rec.Snapshot = append([]byte(nil), s.snap...)
+	}
+	rec.Records = make([][]byte, len(s.recs))
+	for i, r := range s.recs {
+		rec.Records[i] = append([]byte(nil), r...)
+	}
+	return rec, nil
+}
+
+// PowerFail implements PowerFailer: everything past the synced frontier —
+// buffered frames and, per the durability model, frames flushed but not
+// fsynced — is discarded, as a power loss would.
+func (s *WAL) PowerFail() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.w.Reset(io.Discard) // drop buffered bytes without flushing them
+	if err := s.file.Truncate(s.synced); err != nil {
+		return fmt.Errorf("store: power fail: %w", err)
+	}
+	if _, err := s.file.Seek(s.synced, io.SeekStart); err != nil {
+		return fmt.Errorf("store: power fail: %w", err)
+	}
+	s.w.Reset(s.file)
+	s.size = s.synced
+	s.unsync = 0
+	keep := len(s.ends)
+	for keep > 0 && s.ends[keep-1] > s.synced {
+		keep--
+	}
+	s.recs = s.recs[:keep]
+	s.ends = s.ends[:keep]
+	return nil
+}
+
+// SetStall implements Staller: every subsequent sync point (cadenced log
+// syncs and snapshot writes) sleeps d first, modeling a stalling disk.
+// A non-positive d clears the stall.
+func (s *WAL) SetStall(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.stall.Store(int64(d))
+}
+
+// Close implements Store, flushing and syncing first.
+func (s *WAL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.syncLocked()
+	s.closed = true
+	if cerr := s.file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// HashDir returns an FNV-1a hash over a store directory's file names and
+// contents (sorted, recursive), used by determinism tests to compare the
+// on-disk state two runs left behind.
+func HashDir(dir string) (uint64, error) {
+	h := fnv.New64a()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: hash dir: %w", err)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return 0, fmt.Errorf("store: hash dir: %w", err)
+		}
+		h.Write([]byte(rel))
+		h.Write([]byte{0})
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("store: hash dir: %w", err)
+		}
+		h.Write(b)
+		h.Write([]byte{0})
+	}
+	return h.Sum64(), nil
+}

@@ -15,6 +15,9 @@
 # moved the hot paths — e.g. BenchmarkSendRecv tracks the netsim
 # batched-delivery work, BenchmarkCampaignSeries the campaign-level
 # parallelism, BenchmarkFaultCampaignSeries the fault-injection overhead,
+# BenchmarkWALAppend (internal/replica/store) the durable-log append at
+# three sync cadences, BenchmarkFaultCampaignPersistence what the WAL
+# costs a whole blackout campaign versus the in-memory store,
 # and BenchmarkUpdateFanout the primary's update fan-out along two axes:
 # flush shape (per-message vs batched outbox flush) and payload shape
 # (snapshot vs delta — the full-state encoding against the ack-windowed
@@ -66,7 +69,11 @@ awk -v date="$DATE" -v goversion="$(go version)" -v cpus="$(getconf _NPROCESSORS
 function esc(s) { gsub(/["\\]/, "", s); return s }
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    # Strip the -GOMAXPROCS suffix. go test appends it only when
+    # GOMAXPROCS > 1, and sub-benchmark names may themselves end in
+    # -<number> (e.g. WALAppend/fsync-every-64), so strip exactly the
+    # proc count — a blanket -[0-9]+$ strip collides those names.
+    if (cpus > 1) sub("-" cpus "$", "", name)
     order[++count] = name
     for (i = 3; i + 1 <= NF; i += 2) {
         val = $i; unit = $(i + 1)
