@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,8 +27,10 @@ import (
 	"fortress/internal/replica"
 	"fortress/internal/replica/core"
 	"fortress/internal/replica/pb"
+	"fortress/internal/replica/smr"
 	"fortress/internal/replica/store"
 	"fortress/internal/service"
+	"fortress/internal/sig"
 	"fortress/internal/sim"
 	"fortress/internal/xrand"
 )
@@ -582,6 +585,97 @@ func BenchmarkUpdateFanout(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkReadScaling regenerates the read-scalability artifact of the
+// lease tier: a read-mostly workload (read fraction 0.95) against direct
+// SMR clusters of 3, 5 and 7 replicas, leases off versus on. With leases
+// on, each read is a single round trip to a single replica, rotated across
+// the group, so concurrent readers spread over the whole cluster and
+// aggregate throughput grows with replica count. With leases off every
+// read falls back to the fan-out-and-vote ordered path through the leader,
+// so adding replicas adds fan-out cost instead of read capacity — the flat
+// baseline the lease tier is measured against.
+func BenchmarkReadScaling(b *testing.B) {
+	const readEvery = 20 // one write per 20 requests: read fraction 0.95
+	for _, n := range []int{3, 5, 7} {
+		for _, leases := range []bool{false, true} {
+			b.Run(fmt.Sprintf("replicas=%d/leases=%t", n, leases), func(b *testing.B) {
+				net := netsim.NewNetwork()
+				peers := make(map[int]string, n)
+				for i := 0; i < n; i++ {
+					peers[i] = fmt.Sprintf("smr-%d", i)
+				}
+				replicas := make([]*smr.Replica, n)
+				pubKeys := make(map[int][]byte, n)
+				for i := 0; i < n; i++ {
+					keys, err := sig.NewKeyPair()
+					if err != nil {
+						b.Fatal(err)
+					}
+					r, err := smr.New(smr.Config{
+						Index: i, Addr: peers[i], Peers: peers,
+						Service: service.NewKV(), Keys: keys, Net: net,
+						HeartbeatInterval: 2 * time.Millisecond,
+						HeartbeatTimeout:  50 * time.Millisecond,
+						Leases:            leases,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					replicas[i] = r
+					pubKeys[i] = r.PublicKey()
+					b.Cleanup(r.Stop)
+				}
+				f := (n - 1) / 3
+				if f < 1 {
+					f = 1
+				}
+				client, err := smr.NewClient(net, "bench", peers, pubKeys, f, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.Invoke("seed", []byte(`{"op":"put","key":"k","value":"v"}`)); err != nil {
+					b.Fatal(err)
+				}
+				if leases {
+					// Measure the steady state: every replica holds a lease.
+					deadline := time.Now().Add(5 * time.Second)
+					for _, r := range replicas {
+						for !r.LeaseValid() {
+							if time.Now().After(deadline) {
+								b.Fatal("leases never settled")
+							}
+							time.Sleep(time.Millisecond)
+						}
+					}
+				}
+				read := []byte(`{"op":"get","key":"k"}`)
+				write := []byte(`{"op":"put","key":"k","value":"w"}`)
+				var ops atomic.Uint64
+				// The scaling axis is concurrent readers spread across
+				// replicas, so overlap round trips beyond GOMAXPROCS — the
+				// reads are latency-bound, not CPU-bound.
+				b.SetParallelism(4)
+				b.ResetTimer()
+				b.RunParallel(func(tpb *testing.PB) {
+					for tpb.Next() {
+						i := ops.Add(1)
+						var err error
+						if i%readEvery == 0 {
+							_, err = client.Invoke(fmt.Sprintf("w-%d", i), write)
+						} else {
+							_, err = client.InvokeRead(fmt.Sprintf("r-%d", i), read)
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

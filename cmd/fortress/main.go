@@ -15,14 +15,24 @@
 //	                                                     N campaign repetitions per cell
 //	fortress faults [-preset P[,P...]] [-reps N]         degraded-network sweep: (backend ×
 //	                                                     fault schedule × drop rate ×
-//	                                                     proxies × persistence × jitter)
-//	                                                     grid with per-step availability
+//	                                                     proxies × persistence × jitter ×
+//	                                                     read mix × leases) grid with
+//	                                                     per-step availability
 //
 // The campaign and faults sweeps also take -checkpoint-every and
 // -update-window, the server tier's resync knobs: the PB primary ships
 // ack-windowed incremental state deltas with a full snapshot checkpoint
 // every k-th update, and both engines bound the history they retain for
 // resyncing a lagging replica (PB delta retransmission, SMR catch-up).
+//
+// Both sweeps also take the read-scalability knobs -read-frac (the read
+// share of the per-step availability workload; reads ride the lease-aware
+// path, the rest are keyed writes) and -leases (deploy the server tier with
+// heartbeat-bounded SMR read leases, so lease holders answer reads locally
+// and only writes enter the order protocol; the PB backend ignores it). On
+// the faults sweep both are grid axes: `-backend smr -leases both
+// -read-frac 0.95` compares lease-on vs lease-off availability under every
+// selected fault schedule at a read-mostly mix.
 //
 // The faults sweep additionally takes the durability axes -persist (mem,
 // wal), -fsync-every (WAL sync cadence) and -jitter (per-repetition fault
@@ -334,6 +344,10 @@ func runCampaign(args []string) error {
 	pacingList := fs.String("pacing", "0,1,2", "comma-separated indirect-probe (κ·ω) grid")
 	detector := fs.String("detector", "both", "detector grid: off, on, or both")
 	threshold := fs.Int("detector-threshold", 8, "invalid requests before a probe source is flagged")
+	readFrac := fs.Float64("read-frac", 0,
+		"read share of a per-step availability workload: reads go through the lease-aware path, the rest are keyed writes; negative = all writes, 0 = no availability probes at all (the historical sweep)")
+	leases := fs.Bool("leases", false,
+		"deploy the server tier with heartbeat-bounded read leases (smr backend only; pb ignores it) so lease holders answer reads locally instead of ordering them")
 	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
@@ -401,6 +415,8 @@ func runCampaign(args []string) error {
 		DetectorThreshold: *threshold,
 		CheckpointEvery:   *checkpointEvery,
 		UpdateWindow:      *updateWindow,
+		ReadFrac:          *readFrac,
+		Leases:            *leases,
 	}
 	rows, err := experiments.LiveCampaign(cfg)
 	if err != nil {
@@ -491,6 +507,10 @@ func runFaults(args []string) error {
 		"comma-separated WAL sync-cadence grid: every n-th append fsyncs, so a power failure loses at most n-1 records; only wal cells fan out over it")
 	jitterList := fs.String("jitter", "0",
 		"comma-separated schedule-jitter grid: max forward delay, in steps, applied per fault event from each repetition's own stream (0 = replay presets exactly)")
+	readFracList := fs.String("read-frac", "1",
+		"comma-separated workload read-share grid: each cell's per-step availability probe is a read (lease-aware path) with this share, a keyed write otherwise; 0 = all writes")
+	leasesGrid := fs.String("leases", "off",
+		"read-lease grid: off, on, or both — on deploys the server tier with heartbeat-bounded read leases (smr backend only; pb ignores it)")
 	persistRoot := fs.String("persist-root", "",
 		"root directory for wal cell stores, kept for inspection (default: a temporary directory removed after the sweep)")
 	checkpointEvery, updateWindow := resyncFlags(fs)
@@ -554,6 +574,26 @@ func runFaults(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-jitter: %w", err)
 	}
+	readFracs, err := parseFloatList(*readFracList)
+	if err != nil {
+		return fmt.Errorf("-read-frac: %w", err)
+	}
+	for _, f := range readFracs {
+		if f > 1 {
+			return fmt.Errorf("-read-frac entries must be in [0,1], got %g", f)
+		}
+	}
+	var leases []bool
+	switch *leasesGrid {
+	case "off":
+		leases = []bool{false}
+	case "on":
+		leases = []bool{true}
+	case "both":
+		leases = []bool{false, true}
+	default:
+		return fmt.Errorf("-leases must be off, on or both, got %q", *leasesGrid)
+	}
 	cfg := experiments.FaultSweepConfig{
 		Chi:             *chi,
 		Reps:            *reps,
@@ -573,6 +613,8 @@ func runFaults(args []string) error {
 		Persist:         persist,
 		FsyncEvery:      fsyncs,
 		Jitters:         jitters,
+		ReadFracs:       readFracs,
+		Leases:          leases,
 		PersistRoot:     *persistRoot,
 	}
 	rows, err := experiments.FaultSweep(cfg)

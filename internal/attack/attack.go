@@ -157,6 +157,15 @@ type CampaignConfig struct {
 	// which the service answered — the availability the paper's claims are
 	// about, measured while the attack and any fault schedule run.
 	MeasureAvailability bool
+	// ReadFraction sets the read share of the availability workload: each
+	// step's health probe is a read (issued through the lease-aware
+	// InvokeRead path) or a write (a keyed put through the ordered path),
+	// chosen by a deterministic threshold so the realized mix tracks the
+	// fraction exactly and never depends on an RNG — the workers-{1,2,8}
+	// byte-identical sweep contract survives the new axis. Zero selects the
+	// historical all-read health probe (fraction 1); a negative value
+	// selects an all-write workload; values in (0,1] set the mix directly.
+	ReadFraction float64
 	// HealthTimeout bounds each availability health check. Zero selects a
 	// default generous enough that only genuine unavailability (a severed
 	// quorum, a dead proxy tier) fails the check.
@@ -186,6 +195,21 @@ func (c CampaignConfig) healthTimeout() time.Duration {
 	return 2 * time.Second
 }
 
+// readFraction resolves the configured read share: zero keeps the historical
+// all-read probe, negative means all writes, and anything above 1 clamps.
+func (c CampaignConfig) readFraction() float64 {
+	switch {
+	case c.ReadFraction == 0:
+		return 1
+	case c.ReadFraction < 0:
+		return 0
+	case c.ReadFraction > 1:
+		return 1
+	default:
+		return c.ReadFraction
+	}
+}
+
 // CampaignResult reports a campaign outcome.
 type CampaignResult struct {
 	// StepsElapsed is the number of whole unit time-steps completed before
@@ -201,6 +225,9 @@ type CampaignResult struct {
 	// got a doubly-signed answer. Both zero when measurement is off.
 	ProbedSteps    uint64
 	AvailableSteps uint64
+	// ReadProbes counts how many of ProbedSteps were issued as reads; the
+	// rest were writes. The realized read/write mix of the workload axis.
+	ReadProbes uint64
 }
 
 // Availability returns AvailableSteps/ProbedSteps, or NaN when no health
@@ -254,8 +281,16 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 			}
 		}
 		if health != nil {
+			// Deterministic mix: issue a read iff doing so keeps the realized
+			// read count at or under the target fraction of probes issued so
+			// far. No RNG draw — the per-step choice is a pure function of
+			// the step index, so sweeps stay byte-identical at any Workers.
+			isRead := float64(res.ReadProbes) < cfg.readFraction()*float64(res.ProbedSteps+1)
 			res.ProbedSteps++
-			if checkHealth(health, step) {
+			if isRead {
+				res.ReadProbes++
+			}
+			if checkHealth(health, step, isRead) {
 				res.AvailableSteps++
 			}
 		}
@@ -286,12 +321,21 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	return res, nil
 }
 
-// checkHealth issues one availability probe: a read through the full
-// doubly-signed path. Any verified response — including a service-level
-// "no such key" error body — counts as available; only transport failure
-// (no reachable proxy, no committable server response) does not.
-func checkHealth(c *proxy.Client, step uint64) bool {
-	_, err := c.Invoke(fmt.Sprintf("health-%d", step), []byte(`{"op":"get","key":"health"}`))
+// checkHealth issues one availability probe. Reads go through the
+// lease-aware InvokeRead path (a lease-holding replica answers locally;
+// without a valid lease the request falls back to the ordered path), writes
+// are keyed puts through the full doubly-signed path. Any verified response —
+// including a service-level "no such key" error body — counts as available;
+// only transport failure (no reachable proxy, no committable server
+// response) does not.
+func checkHealth(c *proxy.Client, step uint64, read bool) bool {
+	id := fmt.Sprintf("health-%d", step)
+	var err error
+	if read {
+		_, err = c.InvokeRead(id, []byte(`{"op":"get","key":"health"}`))
+	} else {
+		_, err = c.Invoke(id, []byte(fmt.Sprintf(`{"op":"put","key":"health","value":"step-%d"}`, step)))
+	}
 	return err == nil
 }
 

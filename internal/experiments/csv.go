@@ -56,19 +56,23 @@ func WriteFortifyCSV(w io.Writer, rows []FortifyComparison) error {
 // the fig1/fig2 series.
 func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 	if _, err := io.WriteString(w,
-		"backend,proxies,detector,omega_indirect,reps,compromised,mean_lifetime,ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,proxies,detector,omega_indirect,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%s,%d,%t,%d,%d,%d,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%d,%t,%d,%s,%t,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
 			r.Backend,
 			r.Proxies,
 			r.Detector,
 			r.OmegaIndirect,
+			formatFloat(r.ReadFrac),
+			r.Leases,
 			r.Reps,
 			r.Compromised,
 			formatFloat(r.MeanLifetime),
 			formatFloat(r.CI95),
+			formatFloat(r.Availability),
+			formatFloat(r.AvailabilityCI95),
 			r.Routes["server-indirect"],
 			r.Routes["server-launchpad"],
 			r.Routes["all-proxies"],
@@ -81,14 +85,15 @@ func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 }
 
 // WriteFaultSweepCSV emits fault-sweep rows as CSV, one row per
-// (backend, preset, drop rate, proxy count, persistence, jitter) cell.
+// (backend, preset, drop rate, proxy count, persistence, jitter, read
+// fraction, leases) cell.
 func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
 	if _, err := io.WriteString(w,
-		"backend,preset,drop_rate,proxies,persist,fsync_every,jitter,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,preset,drop_rate,proxies,persist,fsync_every,jitter,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%s,%s,%s,%d,%s,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%s,%s,%d,%s,%d,%d,%s,%t,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
 			r.Backend,
 			r.Preset,
 			formatFloat(r.DropRate),
@@ -96,6 +101,8 @@ func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
 			r.Persist,
 			r.FsyncEvery,
 			r.Jitter,
+			formatFloat(r.ReadFrac),
+			r.Leases,
 			r.Reps,
 			r.Compromised,
 			formatFloat(r.MeanLifetime),

@@ -21,7 +21,7 @@ import (
 
 // FaultSweepConfig tunes the degraded-network campaign sweep: a grid of
 // (backend × fault-schedule preset × drop rate × proxy count × persistence
-// × schedule jitter) cells, each
+// × schedule jitter × workload read fraction × read leases) cells, each
 // evaluated by a series of campaign repetitions (attack.CampaignSeries)
 // with a fault injector replaying the preset against every repetition's own
 // deployment, and with per-step availability measurement on. Zero-valued
@@ -90,6 +90,16 @@ type FaultSweepConfig struct {
 	// drawn from each repetition's own pre-split stream so jittered cells
 	// keep the bit-identical-at-any-Workers contract. Default {0}.
 	Jitters []uint64
+	// ReadFracs is the workload-mix grid: each value is the read share of
+	// the per-step availability probes (attack.CampaignConfig.ReadFraction).
+	// A value of 0 means an all-write workload. Default {1} — the historical
+	// all-read health probe.
+	ReadFracs []float64
+	// Leases is the read-lease grid: cells with true deploy the server tier
+	// with heartbeat-bounded read leases (SMR only; PB ignores the flag), so
+	// the sweep compares availability and lifetime with local lease reads
+	// against the ordered-read baseline. Default {false}.
+	Leases []bool
 	// PersistRoot, when non-empty, roots every "wal" cell's store
 	// directories (one per cell, repetition and server) and is left in
 	// place for inspection. When empty, a temporary root is created and
@@ -114,6 +124,8 @@ func DefaultFaultSweepConfig() FaultSweepConfig {
 		Persist:       []string{"mem"},
 		FsyncEvery:    []int{1},
 		Jitters:       []uint64{0},
+		ReadFracs:     []float64{1},
+		Leases:        []bool{false},
 	}
 }
 
@@ -157,7 +169,23 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 	if len(c.Jitters) == 0 {
 		c.Jitters = d.Jitters
 	}
+	if len(c.ReadFracs) == 0 {
+		c.ReadFracs = d.ReadFracs
+	}
+	if len(c.Leases) == 0 {
+		c.Leases = d.Leases
+	}
 	return c
+}
+
+// campaignReadFraction maps a sweep-axis read fraction onto the campaign
+// config's encoding, where zero means "default" (all reads) and negative
+// means all writes: an explicit grid value of 0 must stay an all-write mix.
+func campaignReadFraction(f float64) float64 {
+	if f <= 0 {
+		return -1
+	}
+	return f
 }
 
 // FaultSweepRow is one sweep cell: a (backend, preset, drop rate, proxy
@@ -173,7 +201,11 @@ type FaultSweepRow struct {
 	FsyncEvery int
 	// Jitter is the cell's maximum per-event schedule delay, in steps.
 	Jitter uint64
-	Reps   uint64
+	// ReadFrac is the cell's workload read share; Leases reports whether the
+	// cell's server tier ran with read leases on.
+	ReadFrac float64
+	Leases   bool
+	Reps     uint64
 	// Compromised counts repetitions that fell within the horizon.
 	Compromised uint64
 	// MeanLifetime and CI95 summarize the empirical lifetimes.
@@ -206,7 +238,7 @@ const (
 // preset (plus the cell's drop rate at step 0) against that deployment's
 // campaign-step clock. Rows come back in grid order (backend, then preset,
 // then drop rate, then proxy count, then persistence mode with its fsync
-// cadence, then schedule jitter).
+// cadence, then schedule jitter, then workload read fraction, then leases).
 //
 // Determinism matches the other sweeps: per-cell streams are pre-split in
 // grid order, per-repetition streams (injector included) in repetition
@@ -223,13 +255,15 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 	}
 
 	type cell struct {
-		backend replica.Backend
-		preset  faults.Preset
-		drop    float64
-		proxies int
-		persist string
-		fsync   int
-		jitter  uint64
+		backend  replica.Backend
+		preset   faults.Preset
+		drop     float64
+		proxies  int
+		persist  string
+		fsync    int
+		jitter   uint64
+		readFrac float64
+		leases   bool
 	}
 	var cells []cell
 	for _, backendName := range cfg.Backends {
@@ -258,7 +292,11 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 						}
 						for _, fsync := range fsyncs {
 							for _, jitter := range cfg.Jitters {
-								cells = append(cells, cell{backend, p, drop, np, persist, fsync, jitter})
+								for _, rf := range cfg.ReadFracs {
+									for _, leases := range cfg.Leases {
+										cells = append(cells, cell{backend, p, drop, np, persist, fsync, jitter, rf, leases})
+									}
+								}
 							}
 						}
 					}
@@ -301,6 +339,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			ServerTimeout:     faultSweepServerTimeout,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			UpdateWindow:      cfg.UpdateWindow,
+			Leases:            c.leases,
 		}
 		var customize func(rep int, fc *fortress.Config)
 		if c.persist == "wal" {
@@ -324,6 +363,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 				MeasureAvailability: true,
 				HealthTimeout:       faultSweepHealthTimeout,
 				ProbeTimeout:        faultSweepProbeTimeout,
+				ReadFraction:        campaignReadFraction(c.readFrac),
 			},
 			Workers:   inner,
 			Customize: customize,
@@ -346,8 +386,8 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			},
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d persist=%s jitter=%d): %w",
-				c.backend, c.preset.Name, c.drop, c.proxies, c.persist, c.jitter, err)
+			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d persist=%s jitter=%d readfrac=%g leases=%t): %w",
+				c.backend, c.preset.Name, c.drop, c.proxies, c.persist, c.jitter, c.readFrac, c.leases, err)
 		}
 		rows[i] = FaultSweepRow{
 			Backend:          c.backend.String(),
@@ -357,6 +397,8 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			Persist:          c.persist,
 			FsyncEvery:       c.fsync,
 			Jitter:           c.jitter,
+			ReadFrac:         c.readFrac,
+			Leases:           c.leases,
 			Reps:             series.Reps,
 			Compromised:      series.Compromised,
 			MeanLifetime:     series.Lifetime.Mean,
@@ -376,11 +418,11 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 // FormatFaultSweep renders sweep rows as an aligned text table.
 func FormatFaultSweep(rows []FaultSweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-8s %-6s %-7s %-6s %-12s %-14s %-10s %-13s %s\n",
-		"backend", "preset", "drop", "proxies", "persist", "fsync", "jitter", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
+	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-8s %-6s %-7s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %s\n",
+		"backend", "preset", "drop", "proxies", "persist", "fsync", "jitter", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-8s %-6d %-7d %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
-			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Persist, r.FsyncEvery, r.Jitter,
+		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-8s %-6d %-7d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
+			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases,
 			r.Reps, r.Compromised, r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
 	}
 	return b.String()

@@ -123,6 +123,75 @@ func TestFaultSweepDurabilityAxes(t *testing.T) {
 	}
 }
 
+// TestReadMixSweepBitIdenticalAcrossWorkers extends the determinism
+// contract to the workload axes: a read-mostly SMR sweep fanned over
+// leases-off and leases-on cells is bit-identical at 1, 2 and 8 workers —
+// the per-step read/write choice is a deterministic threshold, never an RNG
+// draw, and lease fallback always completes the probe.
+func TestReadMixSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) []FaultSweepRow {
+		t.Helper()
+		cfg := smallFaultSweep(workers)
+		cfg.Backends = []string{"smr"}
+		cfg.Presets = []string{"rolling-partition"}
+		cfg.ReadFracs = []float64{0.5, 0.95}
+		cfg.Leases = []bool{false, true}
+		rows, err := FaultSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	base := run(1)
+	want := []struct {
+		frac   float64
+		leases bool
+	}{{0.5, false}, {0.5, true}, {0.95, false}, {0.95, true}}
+	if len(base) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(base), len(want))
+	}
+	for i, w := range want {
+		if base[i].ReadFrac != w.frac || base[i].Leases != w.leases {
+			t.Errorf("row %d = (readfrac=%g leases=%t), want (%g %t)",
+				i, base[i].ReadFrac, base[i].Leases, w.frac, w.leases)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d rows %+v differ from workers=1 %+v", workers, got, base)
+		}
+	}
+}
+
+// TestQuorumPartitionLeasesNoWorse is the sweep-level availability claim:
+// under the quorum-partition schedule at a read-mostly mix, turning leases
+// on must not cost availability — lease reads either answer locally or fall
+// back to the same ordered path the baseline uses.
+func TestQuorumPartitionLeasesNoWorse(t *testing.T) {
+	cfg := smallFaultSweep(0)
+	cfg.Backends = []string{"smr"}
+	cfg.Presets = []string{"quorum-partition"}
+	cfg.MaxSteps = 12
+	cfg.ReadFracs = []float64{0.95}
+	cfg.Leases = []bool{false, true}
+	rows, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	off, on := rows[0], rows[1]
+	if off.Leases || !on.Leases {
+		t.Fatalf("row order: leases=%t, leases=%t", off.Leases, on.Leases)
+	}
+	if on.Availability < off.Availability {
+		t.Errorf("leases cost availability under quorum partition: on %.4g < off %.4g",
+			on.Availability, off.Availability)
+	}
+}
+
 func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 	cfg := smallFaultSweep(1)
 	cfg.Presets = []string{"no-such-preset"}
@@ -134,12 +203,13 @@ func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 func TestFormatFaultSweepAndCSV(t *testing.T) {
 	rows := []FaultSweepRow{{
 		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3,
-		Persist: "wal", FsyncEvery: 8, Jitter: 2, Reps: 4, Compromised: 2,
+		Persist: "wal", FsyncEvery: 8, Jitter: 2, ReadFrac: 0.95, Leases: true,
+		Reps: 4, Compromised: 2,
 		MeanLifetime: 7.25, CI95: 1.5, Availability: 0.875, AvailabilityCI95: 0.05,
 		Routes: map[string]uint64{"all-proxies": 2},
 	}}
 	table := FormatFaultSweep(rows)
-	for _, want := range []string{"backend", "preset", "availability", "none", "all-proxies:2"} {
+	for _, want := range []string{"backend", "preset", "availability", "readfrac", "leases", "none", "all-proxies:2"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -149,10 +219,10 @@ func TestFormatFaultSweepAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,persist,fsync_every,jitter,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
+	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,persist,fsync_every,jitter,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
 		t.Errorf("csv header: %q", got)
 	}
-	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,4,2,7.25,1.5,0.875,0.05,0,0,2") {
+	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,0.95,true,4,2,7.25,1.5,0.875,0.05,0,0,2") {
 		t.Errorf("csv row: %q", got)
 	}
 }

@@ -72,6 +72,16 @@ type LiveCampaignConfig struct {
 	// untouched.
 	CheckpointEvery int
 	UpdateWindow    int
+	// ReadFrac, when non-zero, turns on per-step availability measurement
+	// with a read/write workload mix: each step issues one client probe, a
+	// read (through the lease-aware path) with this probability-free
+	// deterministic share, a keyed write otherwise. Negative means an
+	// all-write workload. Zero keeps the historical sweep: no availability
+	// probes at all.
+	ReadFrac float64
+	// Leases deploys every cell's server tier with heartbeat-bounded read
+	// leases (SMR only; PB ignores the flag).
+	Leases bool
 }
 
 // DefaultLiveCampaignConfig is the grid the CLI and benchmarks use.
@@ -133,12 +143,22 @@ type LiveCampaignRow struct {
 	Proxies       int
 	Detector      bool
 	OmegaIndirect uint64
-	Reps          uint64
-	Compromised   uint64
+	// ReadFrac is the sweep's workload read share (0 when the sweep ran
+	// without availability probes); Leases reports whether the server tier
+	// ran with read leases on.
+	ReadFrac    float64
+	Leases      bool
+	Reps        uint64
+	Compromised uint64
 	// MeanLifetime and CI95 summarize the empirical lifetimes
 	// (whole steps survived) across the cell's repetitions.
 	MeanLifetime float64
 	CI95         float64
+	// Availability and AvailabilityCI95 summarize the per-repetition
+	// fraction of workload probes that got a doubly-signed (or valid
+	// lease-read) answer. Zero when the sweep ran with ReadFrac zero.
+	Availability     float64
+	AvailabilityCI95 float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
 }
@@ -200,6 +220,7 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			ServerTimeout:     5 * time.Second,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			UpdateWindow:      cfg.UpdateWindow,
+			Leases:            cfg.Leases,
 		}
 		if c.detector {
 			// An effectively unbounded window keeps flagging a pure
@@ -207,29 +228,38 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			tmpl.DetectorWindow = time.Hour
 			tmpl.DetectorThreshold = cfg.DetectorThreshold
 		}
+		camp := attack.CampaignConfig{
+			OmegaDirect:   cfg.OmegaDirect,
+			OmegaIndirect: c.pacing,
+			MaxSteps:      cfg.MaxSteps,
+			Rerandomize:   cfg.Rerandomize,
+		}
+		if cfg.ReadFrac != 0 {
+			camp.MeasureAvailability = true
+			camp.ReadFraction = cfg.ReadFrac
+		}
 		series, err := attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
-			Campaign: attack.CampaignConfig{
-				OmegaDirect:   cfg.OmegaDirect,
-				OmegaIndirect: c.pacing,
-				MaxSteps:      cfg.MaxSteps,
-				Rerandomize:   cfg.Rerandomize,
-			},
-			Workers: inner,
+			Campaign: camp,
+			Workers:  inner,
 		}, cfg.Reps, rngs[i])
 		if err != nil {
 			return fmt.Errorf("experiments: cell (backend=%s np=%d det=%v pace=%d): %w",
 				c.backend, c.proxies, c.detector, c.pacing, err)
 		}
 		rows[i] = LiveCampaignRow{
-			Backend:       c.backend.String(),
-			Proxies:       c.proxies,
-			Detector:      c.detector,
-			OmegaIndirect: c.pacing,
-			Reps:          series.Reps,
-			Compromised:   series.Compromised,
-			MeanLifetime:  series.Lifetime.Mean,
-			CI95:          series.Lifetime.CI95,
-			Routes:        series.Routes,
+			Backend:          c.backend.String(),
+			Proxies:          c.proxies,
+			Detector:         c.detector,
+			OmegaIndirect:    c.pacing,
+			ReadFrac:         readFracReported(cfg.ReadFrac),
+			Leases:           cfg.Leases,
+			Reps:             series.Reps,
+			Compromised:      series.Compromised,
+			MeanLifetime:     series.Lifetime.Mean,
+			CI95:             series.Lifetime.CI95,
+			Availability:     series.Availability.Mean,
+			AvailabilityCI95: series.Availability.CI95,
+			Routes:           series.Routes,
 		}
 		return nil
 	})
@@ -239,15 +269,29 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 	return rows, nil
 }
 
+// readFracReported normalizes a configured read fraction for reporting:
+// negative (all writes) reports as 0, values above 1 clamp, like the
+// campaign's own resolution — except zero stays zero (measurement off).
+func readFracReported(f float64) float64 {
+	switch {
+	case f < 0:
+		return 0
+	case f > 1:
+		return 1
+	default:
+		return f
+	}
+}
+
 // FormatLiveCampaign renders sweep rows as an aligned text table.
 func FormatLiveCampaign(rows []LiveCampaignRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-8s %-9s %-6s %-6s %-12s %-14s %-10s %s\n",
-		"backend", "proxies", "detector", "pace", "reps", "compromised", "meanLifetime", "ci95", "routes")
+	fmt.Fprintf(&b, "%-8s %-8s %-9s %-6s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %s\n",
+		"backend", "proxies", "detector", "pace", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-8d %-9v %-6d %-6d %-12d %-14.6g %-10.3g %s\n",
-			r.Backend, r.Proxies, r.Detector, r.OmegaIndirect, r.Reps, r.Compromised,
-			r.MeanLifetime, r.CI95, formatRoutes(r.Routes))
+		fmt.Fprintf(&b, "%-8s %-8d %-9v %-6d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
+			r.Backend, r.Proxies, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases, r.Reps, r.Compromised,
+			r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
 	}
 	return b.String()
 }

@@ -119,7 +119,7 @@ func TestLiveCampaignFormatAndCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "backend,proxies,detector,omega_indirect") {
 		t.Fatalf("csv header wrong: %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "pb,2,false,0,3,") {
+	if !strings.HasPrefix(lines[1], "pb,2,false,0,0,false,3,") {
 		t.Fatalf("csv first row wrong: %s", lines[1])
 	}
 }

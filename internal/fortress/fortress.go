@@ -78,11 +78,20 @@ type Config struct {
 	// negative retains nothing, forcing every resync onto the
 	// checkpoint/snapshot path.
 	UpdateWindow int
-	// RespCacheLimit bounds each PB replica's response cache (oldest-first
-	// eviction past the limit), capping checkpoint and on-disk snapshot
-	// size. Zero selects the engine default (4096); negative retains
-	// everything. Ignored by the SMR backend.
+	// RespCacheLimit bounds each replica's response cache (oldest-first
+	// eviction past the limit), capping checkpoint, catch-up transfer and
+	// on-disk snapshot size on both backends. Zero selects the engine
+	// default (4096); negative retains everything.
 	RespCacheLimit int
+	// Leases enables SMR read leases: requests tagged as reads are served
+	// from local replica state under heartbeat-bounded leases instead of
+	// entering the order protocol, so read-mostly throughput scales with
+	// replica count. Ignored by the PB backend, which has no local read
+	// path.
+	Leases bool
+	// LeaseDuration bounds lease validity; zero selects the engine default
+	// (HeartbeatTimeout/2). Must not exceed HeartbeatTimeout.
+	LeaseDuration time.Duration
 	// StoreFactory builds the persistent store for server i. Stores are
 	// created once per server index and survive node crashes, restarts and
 	// re-randomization epochs (they are reset at epoch boundaries, where
@@ -634,6 +643,9 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			CatchupHistory:    s.cfg.UpdateWindow,
 			Store:             st,
 			SnapshotEvery:     s.cfg.CheckpointEvery,
+			RespCacheLimit:    s.cfg.RespCacheLimit,
+			Leases:            s.cfg.Leases,
+			LeaseDuration:     s.cfg.LeaseDuration,
 		}
 		if seed != nil {
 			cfg.InitialSnapshot = seed.snapshot

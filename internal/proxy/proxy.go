@@ -54,6 +54,12 @@ type clientMsg struct {
 	Body      []byte            `json:"body,omitempty"`
 	Signed    *sig.DoublySigned `json:"signed,omitempty"`
 	Reason    string            `json:"reason,omitempty"`
+	// Read marks a request the client classified as a pure read; the proxy
+	// carries the tag through to the servers, where the smr lease-read path
+	// may answer it locally. The tag is advisory — the hosted service
+	// re-classifies on the replica, so it never affects the signature path
+	// or lets a write skip ordering.
+	Read bool `json:"read,omitempty"`
 }
 
 func encode(m clientMsg) []byte {
@@ -68,6 +74,12 @@ func encode(m clientMsg) []byte {
 // a hand-rolled client (or an attacker) sends a proxy.
 func EncodeRequest(requestID string, body []byte) []byte {
 	return encode(clientMsg{Type: msgRequest, RequestID: requestID, Body: body})
+}
+
+// EncodeReadRequest builds the wire form of a read-tagged client request,
+// eligible for the servers' lease-read fast path.
+func EncodeReadRequest(requestID string, body []byte) []byte {
+	return encode(clientMsg{Type: msgRequest, RequestID: requestID, Body: body, Read: true})
 }
 
 // Config describes one proxy.
@@ -313,7 +325,7 @@ func (p *Proxy) forward(conn *netsim.Conn, source string, m clientMsg) {
 		p.done.Add(1)
 		go func(idx int, addr string) {
 			defer p.done.Done()
-			resp, err := pb.Request(p.cfg.Net, p.cfg.Addr, addr, m.RequestID, m.Body, p.cfg.ServerTimeout)
+			resp, err := pb.RequestTagged(p.cfg.Net, p.cfg.Addr, addr, m.RequestID, m.Body, m.Read, p.cfg.ServerTimeout)
 			if err != nil {
 				// Connection refused/closed without a response: the server
 				// process crashed under this request — exactly the
@@ -419,6 +431,20 @@ func NewClient(net *netsim.Network, from string, ns *nameserver.NameServer, time
 // Invoke sends the request through all proxies and returns the body of the
 // first doubly-authentic response.
 func (c *Client) Invoke(requestID string, body []byte) ([]byte, error) {
+	return c.invoke(requestID, body, false)
+}
+
+// InvokeRead is Invoke with the request tagged as a pure read: proxies
+// carry the tag to the servers, where an smr replica holding a valid lease
+// answers from local state without a sequence slot. A replica without a
+// lease (or a pb deployment, which has no lease path) still serves the
+// request through the ordered pipeline, so InvokeRead degrades to Invoke
+// semantics rather than failing.
+func (c *Client) InvokeRead(requestID string, body []byte) ([]byte, error) {
+	return c.invoke(requestID, body, true)
+}
+
+func (c *Client) invoke(requestID string, body []byte, read bool) ([]byte, error) {
 	type result struct {
 		body []byte
 		err  error
@@ -426,7 +452,7 @@ func (c *Client) Invoke(requestID string, body []byte) ([]byte, error) {
 	results := make(chan result, len(c.view.Proxies))
 	for _, pr := range c.view.Proxies {
 		go func(pr nameserver.ProxyRecord) {
-			b, err := c.invokeVia(pr, requestID, body)
+			b, err := c.invokeVia(pr, requestID, body, read)
 			results <- result{b, err}
 		}(pr)
 	}
@@ -443,13 +469,13 @@ func (c *Client) Invoke(requestID string, body []byte) ([]byte, error) {
 	return nil, fmt.Errorf("proxy: all proxies failed: %w", firstErr)
 }
 
-func (c *Client) invokeVia(pr nameserver.ProxyRecord, requestID string, body []byte) ([]byte, error) {
+func (c *Client) invokeVia(pr nameserver.ProxyRecord, requestID string, body []byte, read bool) ([]byte, error) {
 	conn, err := c.net.Dial(c.from, pr.Addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if err := conn.Send(encode(clientMsg{Type: msgRequest, RequestID: requestID, Body: body})); err != nil {
+	if err := conn.Send(encode(clientMsg{Type: msgRequest, RequestID: requestID, Body: body, Read: read})); err != nil {
 		return nil, err
 	}
 	deadline := time.Now().Add(c.timeout)

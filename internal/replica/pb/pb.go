@@ -112,6 +112,13 @@ type wireMsg struct {
 	// only to a backup confirmed on its own chain, and checkpoint-resyncs
 	// everyone else.
 	Stream int `json:"stream,omitempty"`
+	// Read tags a request the sender classified as a pure read. The pb
+	// engine itself ignores it (backups park request connections until the
+	// primary's update broadcast arrives, so there is no safe local read
+	// path to shortcut into), but the field keeps the request wire shape
+	// shared with smr, whose lease-read path the tag enables — proxies
+	// speak this one encoder to both backends.
+	Read bool `json:"read,omitempty"`
 }
 
 // sortedKeys returns m's keys in sorted order, for deterministic iteration.
@@ -1303,18 +1310,29 @@ func (r *Replica) serveParkedRequests() {
 // its signed response. It is the requester-side helper proxies and tests
 // use; from is the caller's network identity.
 func Request(net *netsim.Network, from, addr, requestID string, body []byte, timeout time.Duration) (sig.ServerResponse, error) {
+	return RequestTagged(net, from, addr, requestID, body, false, timeout)
+}
+
+// RequestTagged is Request with an explicit read tag: read requests are
+// eligible for the smr lease-read fast path at the receiving replica (the
+// pb engine serves them through the ordinary primary path regardless).
+func RequestTagged(net *netsim.Network, from, addr, requestID string, body []byte, read bool, timeout time.Duration) (sig.ServerResponse, error) {
 	conn, err := net.Dial(from, addr)
 	if err != nil {
 		return sig.ServerResponse{}, fmt.Errorf("pb: request dial: %w", err)
 	}
 	defer conn.Close()
-	return RequestOn(conn, requestID, body, timeout)
+	return requestOnTagged(conn, requestID, body, read, timeout)
 }
 
 // RequestOn issues a request on an existing connection and waits for the
 // matching signed response, skipping unrelated traffic.
 func RequestOn(conn *netsim.Conn, requestID string, body []byte, timeout time.Duration) (sig.ServerResponse, error) {
-	if err := conn.Send(encode(wireMsg{Type: msgRequest, RequestID: requestID, Body: body})); err != nil {
+	return requestOnTagged(conn, requestID, body, false, timeout)
+}
+
+func requestOnTagged(conn *netsim.Conn, requestID string, body []byte, read bool, timeout time.Duration) (sig.ServerResponse, error) {
+	if err := conn.Send(encode(wireMsg{Type: msgRequest, RequestID: requestID, Body: body, Read: read})); err != nil {
 		return sig.ServerResponse{}, fmt.Errorf("pb: request send: %w", err)
 	}
 	deadline := time.Now().Add(timeout)

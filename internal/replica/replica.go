@@ -39,6 +39,19 @@ type Server interface {
 	Restart() error
 }
 
+// LeaseReader is the optional read-lease surface of a Server: a backend
+// whose replicas can answer read-only requests locally under a
+// heartbeat-bounded lease (smr with Config.Leases on) reports whether this
+// replica currently holds a valid one. Requests themselves still arrive
+// over the wire — proxies tag reads in the doubly-signed request and a
+// replica without a valid lease falls back to ordering them — so the
+// interface only exposes the lease state, for tests and experiments that
+// assert on it. pb.Replica does not implement it: backups have no safe
+// local read path.
+type LeaseReader interface {
+	LeaseValid() bool
+}
+
 // Backend selects the server tier's replication engine.
 type Backend int
 

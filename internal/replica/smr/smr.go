@@ -14,6 +14,22 @@
 // Deterministic method reports false (the check can be disabled to
 // demonstrate, in tests and examples, how nondeterminism breaks voting).
 //
+// Read scalability comes from heartbeat-bounded read leases (Config.Leases):
+// the leader grants itself — and, via its heartbeats, its followers —
+// time-bounded leases, and a replica holding a valid lease answers a
+// read-tagged request from local state without burning a sequence slot or an
+// order broadcast. A lease is only valid while the holder has executed
+// through the grant frontier the heartbeat carried, so a lagging or
+// partitioned follower falls back to ordering the read — correctness never
+// depends on timing, only availability of the local fast path does. The
+// leader's self-lease is quorum-backed: followers acknowledge each granting
+// heartbeat on the duplex peer link, and the leader serves lease reads only
+// while a majority acked within the lease window, so a deposed or islanded
+// leader's lease dies before a failover can elect a successor (leases expire
+// within LeaseDuration ≤ HeartbeatTimeout, the failover silence). Lease
+// reads return a single signed response rather than an f+1 vote — the
+// documented trade: locality against the ordered path's voting protection.
+//
 // Transport, lifecycle and peer fan-out come from the shared node runtime
 // in replica/core. On top of it the engine adds leader-driven catch-up: a
 // replica that detects a sequence gap (it missed orders while crashed,
@@ -55,6 +71,7 @@ const (
 	msgOrder       = "order"        // leader → all: execute at sequence
 	msgResponse    = "response"     // replica → client
 	msgHeartbeat   = "heartbeat"    // leader → followers (carries the executed frontier)
+	msgLeaseAck    = "lease-ack"    // follower → leader: granting heartbeat acknowledged (duplex reply)
 	msgCatchupReq  = "catchup-req"  // lagging replica → leader: transfer from Seq
 	msgCatchupResp = "catchup-resp" // leader → replica: snapshot and/or log suffix
 )
@@ -73,6 +90,17 @@ type wireMsg struct {
 	Seq       uint64              `json:"seq,omitempty"`
 	From      int                 `json:"from,omitempty"`
 	Response  *sig.ServerResponse `json:"response,omitempty"`
+	// Read tags a request the client believes is a pure read, making it
+	// eligible for the lease-read fast path. The tag alone never skips
+	// ordering: the replica also asks the hosted service to classify the
+	// body (service.IsReadOnly), so a mis-tagged write still sequences.
+	Read bool `json:"read,omitempty"`
+	// Leased marks a response served locally under a valid read lease.
+	// Clients use it to decide what a single signature is worth: a leased
+	// answer is backed by the lease machinery (quorum-acked self-lease or a
+	// grant-frontier check), while an unleased answer went through ordering
+	// on one replica's say-so and should be cross-checked by the f+1 vote.
+	Leased bool `json:"leased,omitempty"`
 	// Snapshot, Entries and Responses carry a catch-up transfer: Snapshot
 	// (when present) positions the receiver at sequence Seq in one jump,
 	// Entries is the ordered log suffix the receiver replays through its
@@ -99,6 +127,10 @@ const defaultCatchupHistory = 512
 // defaultSnapshotEvery is the persisted-snapshot cadence when
 // Config.SnapshotEvery is zero.
 const defaultSnapshotEvery = 32
+
+// defaultRespCacheLimit is the response-cache retention bound when
+// Config.RespCacheLimit is zero — the same retry horizon pb uses.
+const defaultRespCacheLimit = 4096
 
 // storeSnapshot is the composite persisted in the store's snapshot slot: the
 // service state at the covered frontier plus the response cache, so a
@@ -170,6 +202,27 @@ type Config struct {
 	// length at recovery. Zero selects the default (32). Meaningless
 	// without a durable Store.
 	SnapshotEvery int
+	// RespCacheLimit bounds the response cache to the most recent k
+	// executed requests, evicted in insertion order. The cache is the
+	// retry horizon: a request retried within the horizon is answered
+	// from cache, one retried later re-enters the order protocol. The
+	// bound also caps what catch-up transfers and persisted snapshots
+	// ship — resync cost stops growing with total request history. Zero
+	// selects the default (4096); negative retains everything.
+	RespCacheLimit int
+	// Leases enables heartbeat-bounded read leases: requests tagged as
+	// reads (and classified read-only by the Service) are answered from
+	// local state by any replica holding a valid lease, without entering
+	// the order protocol. See the package comment for the safety
+	// argument; leases are revoked on leader change and expire within
+	// LeaseDuration when heartbeats stop.
+	Leases bool
+	// LeaseDuration bounds how long a granting heartbeat keeps a lease
+	// valid. It must not exceed HeartbeatTimeout — a deposed leader's
+	// lease has to die before followers can elect a successor. Zero
+	// selects HeartbeatTimeout/2, which leaves half the failover silence
+	// as safety margin against in-flight grant and ack delays.
+	LeaseDuration time.Duration
 }
 
 func (c Config) validate() error {
@@ -188,6 +241,10 @@ func (c Config) validate() error {
 		return errors.New("smr: config needs positive heartbeat timings")
 	case c.SnapshotEvery < 0:
 		return errors.New("smr: config needs a non-negative SnapshotEvery")
+	case c.LeaseDuration < 0:
+		return errors.New("smr: config needs a non-negative LeaseDuration")
+	case c.Leases && c.LeaseDuration > c.HeartbeatTimeout:
+		return errors.New("smr: LeaseDuration must not exceed HeartbeatTimeout")
 	}
 	if _, ok := c.Peers[c.Index]; !ok {
 		return fmt.Errorf("smr: Peers must contain own index %d", c.Index)
@@ -221,16 +278,32 @@ type Replica struct {
 	// construction and installation). Always acquired before mu.
 	execMu sync.Mutex
 
-	mu            sync.Mutex
-	leaderIdx     int
-	nextAssign    uint64 // leader: next sequence number to hand out
-	nextExec      uint64 // everyone: next sequence number to execute
-	log           map[uint64]orderEntry
-	ordered       map[string]bool // request IDs already sequenced (leader)
-	respCache     map[string][]byte
+	mu         sync.Mutex
+	leaderIdx  int
+	nextAssign uint64 // leader: next sequence number to hand out
+	nextExec   uint64 // everyone: next sequence number to execute
+	log        map[uint64]orderEntry
+	ordered    map[string]bool // request IDs already sequenced (leader)
+	respCache  map[string][]byte
+	// respOrder tracks respCache insertion order for retry-horizon
+	// eviction (respLimit entries retained; 0 = unbounded); respSeen
+	// counts every insertion ever, so an evicted-empty cache is still
+	// distinguishable from a virgin one.
+	respOrder     []string
+	respLimit     int
+	respSeen      uint64
 	pending       map[string][]*netsim.Conn
 	suspected     map[int]bool
 	lastHeartbeat time.Time
+	// Read-lease state. A follower's lease is the last granting heartbeat:
+	// grantor, the leader's executed frontier at grant time, and the grant
+	// receipt instant. The leader's self-lease is quorum-backed instead:
+	// leaseAcks records when each follower last acknowledged a granting
+	// heartbeat on the duplex link.
+	leaseFrom     int
+	leaseFrontier uint64
+	leaseAt       time.Time
+	leaseAcks     map[int]time.Time
 	// hist is the executed-entry window for log-suffix catch-up: the entry
 	// at sequence s executed s-th, and the invariant hist.End() == nextExec
 	// always holds.
@@ -267,6 +340,13 @@ func New(cfg Config) (*Replica, error) {
 	if snapEvery == 0 {
 		snapEvery = defaultSnapshotEvery
 	}
+	respLimit := cfg.RespCacheLimit
+	switch {
+	case respLimit == 0:
+		respLimit = defaultRespCacheLimit
+	case respLimit < 0:
+		respLimit = 0 // unbounded
+	}
 	next := cfg.InitialExecuted + 1
 	r := &Replica{
 		cfg:        cfg,
@@ -280,11 +360,14 @@ func New(cfg Config) (*Replica, error) {
 		log:        make(map[uint64]orderEntry),
 		ordered:    make(map[string]bool, len(cfg.InitialResponses)),
 		respCache:  make(map[string][]byte, len(cfg.InitialResponses)),
+		respLimit:  respLimit,
 		pending:    make(map[string][]*netsim.Conn),
 		suspected:  make(map[int]bool),
+		leaseFrom:  leaderUnknown,
+		leaseAcks:  make(map[int]time.Time),
 	}
-	for id, body := range cfg.InitialResponses {
-		r.respCache[id] = body
+	for _, id := range sortedIDs(cfg.InitialResponses) {
+		r.cacheRespLocked(id, cfg.InitialResponses[id])
 		r.ordered[id] = true
 	}
 	if cfg.JoinExisting && len(cfg.Peers) > 1 {
@@ -309,6 +392,41 @@ func New(cfg Config) (*Replica, error) {
 		return nil, fmt.Errorf("smr: %w", err)
 	}
 	return r, nil
+}
+
+// sortedIDs returns the map's keys in sorted order, so bulk insertions into
+// the bounded response cache assign deterministic eviction positions no
+// matter the map iteration order.
+func sortedIDs(m map[string][]byte) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// cacheRespLocked records a response and evicts past the retry horizon in
+// insertion order, dropping the evicted IDs from the leader's dedup map
+// too — a request retried beyond the horizon re-enters the order protocol,
+// the same contract pb's bounded cache keeps. Only executed requests reach
+// the cache, so in-flight sequenced IDs are never evicted from ordered.
+// Caller holds r.mu.
+func (r *Replica) cacheRespLocked(id string, body []byte) {
+	if _, ok := r.respCache[id]; !ok {
+		r.respOrder = append(r.respOrder, id)
+		r.respSeen++
+	}
+	r.respCache[id] = body
+	if r.respLimit <= 0 {
+		return
+	}
+	for len(r.respOrder) > r.respLimit {
+		evicted := r.respOrder[0]
+		r.respOrder = r.respOrder[1:]
+		delete(r.respCache, evicted)
+		delete(r.ordered, evicted)
+	}
 }
 
 func lowestIndex(peers map[int]string, suspected map[int]bool) int {
@@ -417,6 +535,9 @@ func (r *Replica) Rejoin() {
 	r.pending = make(map[string][]*netsim.Conn)
 	r.catchupFor = 0
 	r.lastHeartbeat = time.Now()
+	// Any lease predates the outage: revoked until the next grant.
+	r.leaseFrom = leaderUnknown
+	r.leaseAcks = make(map[int]time.Time)
 }
 
 // RecoverFromStore implements core.StoreRecoverer: a virgin replica built
@@ -445,7 +566,11 @@ func (r *Replica) RecoverFromStore() error {
 	r.execMu.Lock()
 	defer r.execMu.Unlock()
 	r.mu.Lock()
-	virgin := r.nextExec == 1 && r.nextAssign == 1 && len(r.respCache) == 0
+	// respSeen, not len(respCache): a long-lived node whose bounded cache
+	// happens to be empty (or fully evicted) has still executed or been
+	// seeded — it must not be mistaken for a fresh node and anchored on
+	// the disk snapshot over its live protocol state.
+	virgin := r.nextExec == 1 && r.nextAssign == 1 && r.respSeen == 0
 	r.mu.Unlock()
 	if !virgin {
 		return nil
@@ -502,8 +627,8 @@ func (r *Replica) RecoverFromStore() error {
 	for _, e := range replayed {
 		r.hist.Append(e)
 	}
-	for id, body := range resps {
-		r.respCache[id] = body
+	for _, id := range sortedIDs(resps) {
+		r.cacheRespLocked(id, resps[id])
 		r.ordered[id] = true
 	}
 	if rec.HasSnapshot {
@@ -531,7 +656,12 @@ func (r *Replica) HandleMessage(conn *netsim.Conn, raw []byte, replies [][]byte)
 	case msgOrder:
 		r.handleOrder(m)
 	case msgHeartbeat:
-		r.handleHeartbeat(m)
+		if ack := r.handleHeartbeat(m); ack != nil {
+			// Lease acknowledgment rides back on the same connection the
+			// granting heartbeat arrived on — the leader's duplex peer
+			// link, whose reader loop delivers it to HandlePeerReply.
+			replies = append(replies, ack)
+		}
 	case msgCatchupReq:
 		if resp := r.buildCatchup(m.Seq); resp != nil {
 			replies = append(replies, resp)
@@ -562,13 +692,98 @@ func (r *Replica) HandlePeerReply(peer int, raw []byte) {
 	case msgOrder:
 		r.handleOrder(m)
 	case msgHeartbeat:
+		// No reply path here; the lease ack (if one was due) is dropped
+		// and the next regular heartbeat re-grants.
 		r.handleHeartbeat(m)
+	case msgLeaseAck:
+		r.mu.Lock()
+		if r.cfg.Leases && r.leaderIdx == r.cfg.Index {
+			r.leaseAcks[peer] = time.Now()
+		}
+		r.mu.Unlock()
 	}
 }
 
+// leaseDuration is the grant validity window: Config.LeaseDuration, or half
+// the failover silence by default.
+func (r *Replica) leaseDuration() time.Duration {
+	if r.cfg.LeaseDuration > 0 {
+		return r.cfg.LeaseDuration
+	}
+	return r.cfg.HeartbeatTimeout / 2
+}
+
+// leaseValidLocked reports whether this replica may serve a read locally at
+// instant now. The leader's self-lease requires a majority of the group
+// (itself included) to have acknowledged a granting heartbeat within the
+// lease window — an islanded or deposed leader loses its followers' acks
+// and the lease with them. A follower's lease requires an unexpired grant
+// from the leader it still follows AND an executed frontier at or past the
+// grant frontier; the frontier condition is logical, not timed, so a
+// lagging follower is excluded no matter how fresh its grant is. Caller
+// holds r.mu.
+func (r *Replica) leaseValidLocked(now time.Time) bool {
+	if !r.cfg.Leases {
+		return false
+	}
+	d := r.leaseDuration()
+	if r.leaderIdx == r.cfg.Index {
+		acked := 1 // self
+		for i, t := range r.leaseAcks {
+			if i != r.cfg.Index && now.Sub(t) <= d {
+				acked++
+			}
+		}
+		return acked > len(r.cfg.Peers)/2
+	}
+	return r.leaseFrom == r.leaderIdx &&
+		now.Sub(r.leaseAt) <= d &&
+		r.nextExec >= r.leaseFrontier
+}
+
+// LeaseValid reports whether this replica currently holds a valid read
+// lease (for tests and status surfaces).
+func (r *Replica) LeaseValid() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaseValidLocked(time.Now())
+}
+
+// tryServeRead is the lease-read fast path: answer a read-tagged request
+// from local state, outside the order protocol. It serves only when the
+// hosted service classifies the body as a pure read AND this replica holds
+// a valid lease; any other case returns false and the caller falls back to
+// ordering the read. execMu serializes the read with execution, so the
+// response reflects a state consistent with the frontier the lease check
+// saw — a read never observes a half-applied write.
+func (r *Replica) tryServeRead(conn *netsim.Conn, m wireMsg) bool {
+	if !r.cfg.Leases || !service.IsReadOnly(r.cfg.Service, m.Body) {
+		return false
+	}
+	r.execMu.Lock()
+	r.mu.Lock()
+	ok := r.leaseValidLocked(time.Now())
+	r.mu.Unlock()
+	if !ok {
+		r.execMu.Unlock()
+		return false
+	}
+	body, err := r.cfg.Service.Apply(m.Body)
+	r.execMu.Unlock()
+	if err != nil {
+		body = []byte("error: " + err.Error())
+	}
+	r.replyTagged(conn, m.RequestID, body, true)
+	return true
+}
+
 // handleRequest registers the client connection and routes the request into
-// the order protocol.
+// the order protocol — unless it is a lease-servable read, which is
+// answered locally without a sequence slot.
 func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
+	if m.Read && r.tryServeRead(conn, m) {
+		return
+	}
 	r.mu.Lock()
 	if body, ok := r.respCache[m.RequestID]; ok {
 		r.mu.Unlock()
@@ -704,7 +919,7 @@ func (r *Replica) executeReady() {
 			}
 		}
 		r.mu.Lock()
-		r.respCache[entry.requestID] = respBody
+		r.cacheRespLocked(entry.requestID, respBody)
 		r.recordHistLocked(entry)
 		conns := r.pending[entry.requestID]
 		delete(r.pending, entry.requestID)
@@ -760,17 +975,39 @@ func (r *Replica) recordHistLocked(entry orderEntry) {
 }
 
 func (r *Replica) reply(conn *netsim.Conn, requestID string, body []byte) {
-	resp := sig.SignServerResponse(r.cfg.Keys, requestID, body, r.cfg.Index)
-	_ = conn.Send(encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp}))
+	r.replyTagged(conn, requestID, body, false)
 }
 
-func (r *Replica) handleHeartbeat(m wireMsg) {
+// replyTagged is reply with an explicit leased marker: true only on the
+// lease-read fast path, never on ordered execution.
+func (r *Replica) replyTagged(conn *netsim.Conn, requestID string, body []byte, leased bool) {
+	resp := sig.SignServerResponse(r.cfg.Keys, requestID, body, r.cfg.Index)
+	_ = conn.Send(encode(wireMsg{Type: msgResponse, RequestID: requestID, Response: &resp, Leased: leased}))
+}
+
+// handleHeartbeat adopts the sender as leader when eligible and, with
+// leases enabled, treats the heartbeat as a lease grant: the Seq field is
+// the leader's executed frontier, which doubles as the grant frontier the
+// lease-validity check holds followers to. It returns the lease
+// acknowledgment to send back (nil when none is due) — the leader's
+// quorum-backed self-lease is built from these acks.
+func (r *Replica) handleHeartbeat(m wireMsg) []byte {
+	var ack []byte
 	r.mu.Lock()
 	adopted := false
 	if m.From <= r.leaderIdx {
 		r.leaderIdx = m.From
 		r.lastHeartbeat = time.Now()
 		adopted = true
+		if r.cfg.Leases && m.From != r.cfg.Index {
+			// A grant from a new leader implicitly revokes the old one:
+			// leaseFrom tracks the grantor and the validity check pins it
+			// to the leader currently followed.
+			r.leaseFrom = m.From
+			r.leaseFrontier = m.Seq
+			r.leaseAt = r.lastHeartbeat
+			ack = encode(wireMsg{Type: msgLeaseAck, From: r.cfg.Index})
+		}
 	}
 	behind := adopted && m.From != r.cfg.Index && m.Seq > r.nextExec
 	r.mu.Unlock()
@@ -780,6 +1017,7 @@ func (r *Replica) handleHeartbeat(m wireMsg) {
 		// while down): catch up.
 		r.maybeCatchup()
 	}
+	return ack
 }
 
 // Tick implements core.Handler: leader heartbeats (carrying the executed
@@ -818,6 +1056,11 @@ func (r *Replica) electNext(deadLeader int) {
 	}
 	r.leaderIdx = next
 	r.lastHeartbeat = time.Now()
+	// Leader change revokes any lease the dead leader granted; a fresh
+	// leader starts with no follower acks, so its self-lease stays invalid
+	// until a majority acknowledges its first heartbeats.
+	r.leaseFrom = leaderUnknown
+	r.leaseAcks = make(map[int]time.Time)
 	becameLeader := next == r.cfg.Index
 	if becameLeader && r.nextAssign < r.nextExec {
 		// Fresh leader: continue sequencing after everything it executed.
@@ -948,9 +1191,12 @@ func (r *Replica) applyCatchup(m wireMsg) {
 				// retries must hit the transferred cache, not re-enter the
 				// order protocol under new sequence numbers — and anyone
 				// already parked on one of them gets the cached answer now.
-				for id, body := range m.Responses {
+				// The transfer carries the donor's bounded cache (its retry
+				// horizon), inserted in sorted order so eviction positions
+				// stay deterministic.
+				for _, id := range sortedIDs(m.Responses) {
 					if _, ok := r.respCache[id]; !ok {
-						r.respCache[id] = body
+						r.cacheRespLocked(id, m.Responses[id])
 					}
 					r.ordered[id] = true
 					if conns := r.pending[id]; len(conns) > 0 {
@@ -996,7 +1242,10 @@ func (r *Replica) applyCatchup(m wireMsg) {
 // --- Client -----------------------------------------------------------
 
 // Client submits requests to every replica and votes on the responses, as
-// S0 clients do.
+// S0 clients do. InvokeRead adds the lease-read path: a tagged read sent to
+// a single replica, rotated per call so a read-mostly workload spreads
+// across the whole group instead of hammering every replica with every
+// read.
 type Client struct {
 	net     *netsim.Network
 	from    string
@@ -1004,6 +1253,10 @@ type Client struct {
 	pubKeys map[int][]byte
 	f       int
 	timeout time.Duration
+
+	mu      sync.Mutex
+	sorted  []int // replica indices in order, for deterministic rotation
+	nextIdx int
 }
 
 // NewClient builds a client. addrs and pubKeys map replica index to address
@@ -1016,7 +1269,12 @@ func NewClient(net *netsim.Network, from string, addrs map[int]string, pubKeys m
 	if f < 0 || len(addrs) < f+1 {
 		return nil, fmt.Errorf("smr: need at least f+1=%d replicas, have %d", f+1, len(addrs))
 	}
-	return &Client{net: net, from: from, addrs: addrs, pubKeys: pubKeys, f: f, timeout: timeout}, nil
+	sorted := make([]int, 0, len(addrs))
+	for idx := range addrs {
+		sorted = append(sorted, idx)
+	}
+	sort.Ints(sorted)
+	return &Client{net: net, from: from, addrs: addrs, pubKeys: pubKeys, f: f, timeout: timeout, sorted: sorted}, nil
 }
 
 // Invoke sends the request to all replicas and returns the body agreed on
@@ -1066,6 +1324,47 @@ func (c *Client) Invoke(requestID string, body []byte) ([]byte, error) {
 	return nil, fmt.Errorf("%w (got %d verified responses)", ErrNoQuorum, len(responses))
 }
 
+// InvokeRead submits a read-tagged request to one replica at a time,
+// rotating through the group — the lease-read path, where read throughput
+// scales with replica count because each read touches a single replica.
+//
+// A single signature is only accepted for a response marked as served
+// under a valid lease: leased answers are backed by the lease machinery (a
+// quorum-acked leader self-lease, or a follower grant pinned to the
+// leader's executed frontier), which is what makes one replica's word
+// acceptable. An authentic but unleased answer means the replica ordered
+// the read instead — one replica's say-so about an ordered execution is
+// exactly what the f+1 vote exists to check, so the client falls back to
+// the full fan-out-and-vote Invoke (the ordered execution is already
+// cached under the request ID, so the fallback dedupes rather than
+// re-executes). Transport failures rotate to the next replica.
+func (c *Client) InvokeRead(requestID string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	start := c.nextIdx
+	c.nextIdx = (c.nextIdx + 1) % len(c.sorted)
+	c.mu.Unlock()
+	for n := 0; n < len(c.sorted); n++ {
+		idx := c.sorted[(start+n)%len(c.sorted)]
+		addr := c.addrs[idx]
+		resp, leased, err := requestTagged(c.net, fmt.Sprintf("%s-to-%d", c.from, idx), addr, requestID, body, true, c.timeout)
+		if err != nil {
+			continue
+		}
+		if pk, ok := c.pubKeys[idx]; ok {
+			if sig.VerifyServerResponse(pk, resp) != nil || resp.ServerIndex != idx {
+				continue
+			}
+		}
+		if leased {
+			return resp.Body, nil
+		}
+		// Ordered, not leased: stop probing — every further replica would
+		// order it again too. Cross-check through the vote instead.
+		break
+	}
+	return c.Invoke(requestID, body)
+}
+
 // Vote returns the response body shared by at least f+1 responses from
 // distinct replicas, or ErrNoQuorum.
 func Vote(responses []sig.ServerResponse, f int) ([]byte, error) {
@@ -1093,23 +1392,30 @@ func Vote(responses []sig.ServerResponse, f int) ([]byte, error) {
 
 // request mirrors pb.Request but speaks the smr wire format.
 func request(net *netsim.Network, from, addr, requestID string, body []byte, timeout time.Duration) (sig.ServerResponse, error) {
+	resp, _, err := requestTagged(net, from, addr, requestID, body, false, timeout)
+	return resp, err
+}
+
+// requestTagged is request with an explicit read tag; the second return
+// reports whether the response was served under a valid read lease.
+func requestTagged(net *netsim.Network, from, addr, requestID string, body []byte, read bool, timeout time.Duration) (sig.ServerResponse, bool, error) {
 	conn, err := net.Dial(from, addr)
 	if err != nil {
-		return sig.ServerResponse{}, err
+		return sig.ServerResponse{}, false, err
 	}
 	defer conn.Close()
-	if err := conn.Send(encode(wireMsg{Type: msgRequest, RequestID: requestID, Body: body})); err != nil {
-		return sig.ServerResponse{}, err
+	if err := conn.Send(encode(wireMsg{Type: msgRequest, RequestID: requestID, Body: body, Read: read})); err != nil {
+		return sig.ServerResponse{}, false, err
 	}
 	deadline := time.Now().Add(timeout)
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return sig.ServerResponse{}, netsim.ErrTimeout
+			return sig.ServerResponse{}, false, netsim.ErrTimeout
 		}
 		raw, err := conn.RecvTimeout(remaining)
 		if err != nil {
-			return sig.ServerResponse{}, err
+			return sig.ServerResponse{}, false, err
 		}
 		var m wireMsg
 		uerr := json.Unmarshal(raw, &m)
@@ -1118,7 +1424,7 @@ func request(net *netsim.Network, from, addr, requestID string, body []byte, tim
 			continue
 		}
 		if m.Type == msgResponse && m.RequestID == requestID && m.Response != nil {
-			return *m.Response, nil
+			return *m.Response, m.Leased, nil
 		}
 	}
 }

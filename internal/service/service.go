@@ -41,6 +41,27 @@ type Service interface {
 	Deterministic() bool
 }
 
+// ReadClassifier is the optional read-only invoke surface: a service that
+// implements it can vouch that Apply(req) leaves its state untouched, which
+// lets a replication engine serve the request outside the order protocol
+// (the SMR lease-read path). The classification is authoritative on the
+// replica side — a client may *tag* a request as a read, but the engine
+// only skips ordering when the hosted service agrees, so a mis-tagged
+// write can never bypass sequencing.
+type ReadClassifier interface {
+	// ReadOnly reports whether req is a pure read: Apply(req) must not
+	// change any state observable through Apply, Snapshot or Restore.
+	ReadOnly(req []byte) bool
+}
+
+// IsReadOnly reports whether svc classifies req as a pure read. A service
+// that does not implement ReadClassifier classifies nothing as read-only,
+// so every request keeps the ordered write path.
+func IsReadOnly(svc Service, req []byte) bool {
+	rc, ok := svc.(ReadClassifier)
+	return ok && rc.ReadOnly(req)
+}
+
 // --- KV store ---------------------------------------------------------
 
 // KVRequest is the request format of the KV store: op is "get", "put" or
@@ -75,6 +96,14 @@ func (kv *KV) Name() string { return "kv" }
 
 // Deterministic implements Service.
 func (kv *KV) Deterministic() bool { return true }
+
+// ReadOnly implements ReadClassifier: "get" is the KV store's only pure
+// read. Malformed requests are not reads — they take the ordered path and
+// fail there, keeping error responses identical across replicas.
+func (kv *KV) ReadOnly(req []byte) bool {
+	var r KVRequest
+	return json.Unmarshal(req, &r) == nil && r.Op == "get"
+}
 
 // Apply implements Service.
 func (kv *KV) Apply(req []byte) ([]byte, error) {
@@ -147,6 +176,9 @@ func (c *Counter) Name() string { return "counter" }
 
 // Deterministic implements Service.
 func (c *Counter) Deterministic() bool { return true }
+
+// ReadOnly implements ReadClassifier: "read" returns the count unchanged.
+func (c *Counter) ReadOnly(req []byte) bool { return string(req) == "read" }
 
 // Apply implements Service.
 func (c *Counter) Apply(req []byte) ([]byte, error) {
@@ -232,6 +264,13 @@ func (b *Bank) Name() string { return "bank" }
 
 // Deterministic implements Service.
 func (b *Bank) Deterministic() bool { return true }
+
+// ReadOnly implements ReadClassifier: "balance" is the ledger's only pure
+// read.
+func (b *Bank) ReadOnly(req []byte) bool {
+	var r BankRequest
+	return json.Unmarshal(req, &r) == nil && r.Op == "balance"
+}
 
 // Apply implements Service.
 func (b *Bank) Apply(req []byte) ([]byte, error) {

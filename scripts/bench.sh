@@ -22,12 +22,17 @@
 # flush shape (per-message vs batched outbox flush) and payload shape
 # (snapshot vs delta — the full-state encoding against the ack-windowed
 # incremental diff the PB primary now ships, whose B/op tracks the state
-# touched per request rather than total state size).
+# touched per request rather than total state size), and
+# BenchmarkReadScaling the lease tier's read-scalability claim: a 0.95
+# read-fraction workload over 3/5/7-replica SMR clusters, leases off vs
+# on — leases-on cost should stay flat as replicas grow while leases-off
+# (every read ordered through the leader) climbs with the fan-out.
 #
 # scripts/benchdiff.sh compares two of these files (per-benchmark ns/op
 # ratio, configurable threshold, baseline-completeness check); the CI
 # bench-smoke job runs it on every pull request against the newest
-# checked-in BENCH_<date>.json.
+# checked-in BENCH_<date>.json. `benchdiff.sh -T` prints the whole
+# trajectory — per-benchmark ns/op across every checked-in BENCH_*.json.
 #
 # Usage:
 #   scripts/bench.sh [bench-regex]        # default: . (all benchmarks)

@@ -6,6 +6,7 @@
 #
 # Usage:
 #   scripts/benchdiff.sh [-t ratio] [-m] old.json new.json
+#   scripts/benchdiff.sh -T [file.json ...]
 #
 #   -t ratio   flag benchmarks whose new/old ns_per_op ratio exceeds ratio
 #              (default 1.5); 0 disables ratio flagging entirely. Exits 1
@@ -17,6 +18,13 @@
 #              gate: a vanished benchmark means a deleted/renamed benchmark
 #              or a package that stopped compiling, which bench.sh itself
 #              only warns about.
+#   -T         trajectory mode: instead of a pairwise diff, print one row
+#              per benchmark with its ns/op across every given file — or,
+#              with no file arguments, across every checked-in
+#              BENCH_*.json in the repo root in name (i.e. date) order —
+#              so the whole perf history of a benchmark reads as one line.
+#              Rows keep first-seen order; a file that lacks a benchmark
+#              shows "-". Informational only: always exits 0.
 #
 # New benchmarks (present only in new.json) are listed informationally and
 # never fail either check.
@@ -24,16 +32,61 @@ set -eu
 
 THRESHOLD=1.5
 CHECK_MISSING=0
-while getopts "t:m" opt; do
+TRAJECTORY=0
+while getopts "t:mT" opt; do
     case "$opt" in
         t) THRESHOLD="$OPTARG" ;;
         m) CHECK_MISSING=1 ;;
-        *) echo "usage: $0 [-t ratio] [-m] old.json new.json" >&2; exit 64 ;;
+        T) TRAJECTORY=1 ;;
+        *) echo "usage: $0 [-t ratio] [-m] old.json new.json | $0 -T [file...]" >&2; exit 64 ;;
     esac
 done
 shift $((OPTIND - 1))
+
+if [ "$TRAJECTORY" -eq 1 ]; then
+    if [ "$#" -eq 0 ]; then
+        cd "$(dirname "$0")/.."
+        set -- BENCH_*.json
+    fi
+    [ -r "$1" ] || { echo "benchdiff: no readable BENCH_*.json files" >&2; exit 66; }
+    awk '
+    FNR == 1 {
+        nf++
+        label[nf] = FILENAME
+        sub(/^.*BENCH_/, "", label[nf])
+        sub(/\.json$/, "", label[nf])
+    }
+    /"benchmarks": \{/ { inb = 1; next }
+    inb && /^  \}/     { inb = 0 }
+    inb && /"ns_per_op"/ {
+        line = $0
+        sub(/^[ \t]*"/, "", line)
+        name = line; sub(/".*/, "", name)
+        nsv = line
+        sub(/.*"ns_per_op": */, "", nsv)
+        sub(/[,}].*/, "", nsv)
+        if (!(name in seen)) { seen[name] = ++count; order[count] = name }
+        val[name, nf] = nsv + 0
+    }
+    END {
+        printf "%-55s", "benchmark (ns/op)"
+        for (f = 1; f <= nf; f++) printf " %14s", label[f]
+        printf "\n"
+        for (i = 1; i <= count; i++) {
+            name = order[i]
+            printf "%-55s", name
+            for (f = 1; f <= nf; f++) {
+                if ((name, f) in val) printf " %14.0f", val[name, f]
+                else                  printf " %14s", "-"
+            }
+            printf "\n"
+        }
+    }' "$@"
+    exit 0
+fi
+
 if [ "$#" -ne 2 ]; then
-    echo "usage: $0 [-t ratio] [-m] old.json new.json" >&2
+    echo "usage: $0 [-t ratio] [-m] old.json new.json | $0 -T [file...]" >&2
     exit 64
 fi
 OLD="$1"
