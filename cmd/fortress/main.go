@@ -18,6 +18,17 @@
 //	                                                     proxies × persistence × jitter ×
 //	                                                     read mix × leases) grid with
 //	                                                     per-step availability
+//	fortress serve [-addr HOST:PORT] [-backend B]        live system with an HTTP ops
+//	                                                     surface: plain-text dashboard on /,
+//	                                                     JSON status on /status.json,
+//	                                                     Prometheus text on /metrics
+//
+// The campaign and faults sweeps take -metrics-out FILE to dump each grid
+// cell's merged runtime-metrics snapshot (per-repetition counters, timing,
+// gauges, histograms and trace rings) as a JSON array next to the CSV. The
+// metrics are observational only — collection never changes sweep results —
+// and the deterministic "counters" section is identical at any -workers
+// value for a given seed.
 //
 // The campaign and faults sweeps also take -checkpoint-every and
 // -update-window, the server tier's resync knobs: the PB primary ships
@@ -81,7 +92,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack, campaign, faults")
+		return fmt.Errorf("missing subcommand; one of fig1, fig2, ordering, fortify, alphas, demo, attack, campaign, faults, serve")
 	}
 	switch args[0] {
 	case "fig1":
@@ -102,6 +113,8 @@ func run(args []string) error {
 		return runCampaign(args[1:])
 	case "faults":
 		return runFaults(args[1:])
+	case "serve":
+		return runServe(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -351,6 +364,8 @@ func runCampaign(args []string) error {
 	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
+	metricsOut := fs.String("metrics-out", "",
+		"also write each cell's merged runtime-metrics snapshot (JSON array; observational only, the counters section is deterministic at any -workers) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -417,6 +432,7 @@ func runCampaign(args []string) error {
 		UpdateWindow:      *updateWindow,
 		ReadFrac:          *readFrac,
 		Leases:            *leases,
+		CollectMetrics:    *metricsOut != "",
 	}
 	rows, err := experiments.LiveCampaign(cfg)
 	if err != nil {
@@ -439,6 +455,23 @@ func runCampaign(args []string) error {
 			return fmt.Errorf("write %s: %w", *csvPath, err)
 		}
 		fmt.Println("# CSV written to", *csvPath)
+	}
+	if *metricsOut != "" {
+		cells := make([]experiments.CellMetrics, 0, len(rows))
+		for _, r := range rows {
+			if r.Metrics == nil {
+				continue
+			}
+			cells = append(cells, experiments.CellMetrics{
+				Cell: fmt.Sprintf("backend=%s proxies=%d detector=%t pace=%d readfrac=%g leases=%t",
+					r.Backend, r.Proxies, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases),
+				Snapshot: *r.Metrics,
+			})
+		}
+		if err := experiments.WriteCellMetricsJSON(*metricsOut, cells); err != nil {
+			return err
+		}
+		fmt.Println("# metrics written to", *metricsOut)
 	}
 	return nil
 }
@@ -516,6 +549,8 @@ func runFaults(args []string) error {
 	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
+	metricsOut := fs.String("metrics-out", "",
+		"also write each cell's merged runtime-metrics snapshot (JSON array; observational only, the counters section is deterministic at any -workers) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -616,6 +651,7 @@ func runFaults(args []string) error {
 		ReadFracs:       readFracs,
 		Leases:          leases,
 		PersistRoot:     *persistRoot,
+		CollectMetrics:  *metricsOut != "",
 	}
 	rows, err := experiments.FaultSweep(cfg)
 	if err != nil {
@@ -638,6 +674,23 @@ func runFaults(args []string) error {
 			return fmt.Errorf("write %s: %w", *csvPath, err)
 		}
 		fmt.Println("# CSV written to", *csvPath)
+	}
+	if *metricsOut != "" {
+		cells := make([]experiments.CellMetrics, 0, len(rows))
+		for _, r := range rows {
+			if r.Metrics == nil {
+				continue
+			}
+			cells = append(cells, experiments.CellMetrics{
+				Cell: fmt.Sprintf("backend=%s preset=%s drop=%g proxies=%d persist=%s fsync=%d jitter=%d readfrac=%g leases=%t",
+					r.Backend, r.Preset, r.DropRate, r.Proxies, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases),
+				Snapshot: *r.Metrics,
+			})
+		}
+		if err := experiments.WriteCellMetricsJSON(*metricsOut, cells); err != nil {
+			return err
+		}
+		fmt.Println("# metrics written to", *metricsOut)
 	}
 	return nil
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fortress/internal/fortress"
+	"fortress/internal/keyspace"
+	"fortress/internal/metrics"
+	"fortress/internal/service"
+)
+
+// TestServeMuxEndpoints drives the serve subcommand's HTTP surface against
+// a live instrumented system: Prometheus text on /metrics (with at least
+// ten distinct instrument families), the JSON status document on
+// /status.json, the plain-text dashboard on /, and 404s elsewhere.
+func TestServeMuxEndpoints(t *testing.T) {
+	space, err := keyspace.NewSpace(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	sys, err := fortress.New(fortress.Config{
+		Servers:           3,
+		Proxies:           2,
+		Space:             space,
+		Seed:              9,
+		ServiceFactory:    func() service.Service { return service.NewKV() },
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+		ServerTimeout:     2 * time.Second,
+		Metrics:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	client, err := sys.Client("serve-test", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke("w1", []byte(`{"op":"put","key":"k","value":"v"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newServeMux(sys))
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, prom := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	families := map[string]bool{}
+	for _, line := range strings.Split(prom, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			families[name] = true
+		}
+	}
+	if len(families) < 10 {
+		t.Errorf("/metrics exposes %d instrument families, want >= 10: %v", len(families), families)
+	}
+	for _, want := range []string{"proxy_requests_total", "pb_updates_delta_total",
+		"core_flush_batches_total", "fortress_rerandomize_total"} {
+		if !families[want] {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+
+	code, body := get("/status.json")
+	if code != http.StatusOK {
+		t.Fatalf("/status.json: status %d", code)
+	}
+	var doc struct {
+		Status struct {
+			Epoch uint64
+		} `json:"status"`
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/status.json did not decode: %v", err)
+	}
+	var proxied uint64
+	for name, v := range doc.Metrics.Timing {
+		if strings.HasPrefix(name, "proxy_requests_total") {
+			proxied += v
+		}
+	}
+	if proxied == 0 {
+		t.Error("/status.json shows no proxied requests after a client invoke")
+	}
+
+	code, dash := get("/")
+	if code != http.StatusOK {
+		t.Fatalf("/: status %d", code)
+	}
+	if !strings.Contains(dash, "fortress status — epoch") ||
+		!strings.Contains(dash, "== counters (deterministic) ==") {
+		t.Errorf("dashboard missing expected sections:\n%s", dash)
+	}
+
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: status %d, want 404", code)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
 	"fortress/internal/memlayout"
+	"fortress/internal/metrics"
 	"fortress/internal/netsim"
 	"fortress/internal/proxy"
 	"fortress/internal/xrand"
@@ -255,6 +256,11 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	if err := cfg.validate(); err != nil {
 		return CampaignResult{}, err
 	}
+	var res CampaignResult
+	// Record once, from the final result: CampaignResult is a pure function
+	// of the seeded request/fault stream (the determinism suite pins it), so
+	// these counters land in the registry's Stable section.
+	defer func() { recordCampaign(sys.Metrics(), &res) }()
 	proxyGuesser, err := keyspace.NewGuesser(space, rng.Split())
 	if err != nil {
 		return CampaignResult{}, err
@@ -271,7 +277,6 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 		}
 	}
 
-	var res CampaignResult
 	for step := uint64(0); step < cfg.MaxSteps; step++ {
 		// Faults first: an event scheduled at this step governs the whole
 		// step, health check included.
@@ -319,6 +324,25 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	}
 	res.StepsElapsed = cfg.MaxSteps
 	return res, nil
+}
+
+// recordCampaign publishes one finished campaign's result into the system's
+// registry as Stable-class counters: each value is derived from the
+// CampaignResult the determinism suite already pins byte-identical across
+// worker counts, so per-repetition snapshots compare equal at any -workers.
+func recordCampaign(reg *metrics.Registry, res *CampaignResult) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("campaign_runs_total", metrics.Stable).Inc()
+	reg.Counter("campaign_steps_total", metrics.Stable).Add(res.StepsElapsed)
+	reg.Counter("campaign_health_probes_total", metrics.Stable).Add(res.ProbedSteps)
+	reg.Counter("campaign_read_probes_total", metrics.Stable).Add(res.ReadProbes)
+	reg.Counter("campaign_write_probes_total", metrics.Stable).Add(res.ProbedSteps - res.ReadProbes)
+	reg.Counter("campaign_available_steps_total", metrics.Stable).Add(res.AvailableSteps)
+	if res.Compromised {
+		reg.Counter("campaign_compromises_total", metrics.Stable).Inc()
+	}
 }
 
 // checkHealth issues one availability probe. Reads go through the

@@ -6,7 +6,6 @@ import (
 
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
-	"fortress/internal/netsim"
 	"fortress/internal/sim"
 	"fortress/internal/stats"
 	"fortress/internal/xrand"
@@ -89,7 +88,10 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 		c := tmpl
 		c.Space = space
 		c.Seed = repRNG.Uint64()
-		c.Net = netsim.NewNetwork()
+		// Leave Net nil: fortress.New builds the private per-repetition
+		// network itself, wiring its drop counters onto the repetition's
+		// registry when Customize installs one (fortress.Config.Metrics).
+		c.Net = nil
 		if cfg.Customize != nil {
 			cfg.Customize(i, &c)
 		}

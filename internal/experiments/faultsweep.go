@@ -12,6 +12,7 @@ import (
 	"fortress/internal/faults"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
+	"fortress/internal/metrics"
 	"fortress/internal/replica"
 	"fortress/internal/replica/store"
 	"fortress/internal/service"
@@ -105,6 +106,12 @@ type FaultSweepConfig struct {
 	// place for inspection. When empty, a temporary root is created and
 	// removed when the sweep returns.
 	PersistRoot string
+	// CollectMetrics attaches a private metrics registry to every campaign
+	// repetition and merges the per-repetition snapshots into each row's
+	// Metrics field (repetition order; trace rings prefixed "repN/").
+	// Metrics are observational only — collection never changes results —
+	// and the merged Counters section is deterministic at any Workers value.
+	CollectMetrics bool
 }
 
 // DefaultFaultSweepConfig is the grid the CLI and benchmarks use.
@@ -217,6 +224,9 @@ type FaultSweepRow struct {
 	AvailabilityCI95 float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
+	// Metrics is the cell's merged per-repetition metrics snapshot; nil
+	// unless the sweep ran with CollectMetrics.
+	Metrics *metrics.Snapshot
 }
 
 // faultSweepTimings are the per-cell deployment timings. ServerTimeout is
@@ -341,16 +351,29 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			UpdateWindow:      cfg.UpdateWindow,
 			Leases:            c.leases,
 		}
+		var regs []*metrics.Registry
+		if cfg.CollectMetrics {
+			regs = seriesRegistries(cfg.Reps)
+		}
 		var customize func(rep int, fc *fortress.Config)
-		if c.persist == "wal" {
+		if c.persist == "wal" || regs != nil {
 			cellDir := filepath.Join(persistRoot, fmt.Sprintf("cell%03d", i))
-			fsync := c.fsync
+			persist, fsync := c.persist, c.fsync
 			customize = func(rep int, fc *fortress.Config) {
-				fc.StoreFactory = func(server int) (store.Store, error) {
-					return store.Open(store.WALConfig{
-						Dir:       filepath.Join(cellDir, fmt.Sprintf("r%03d", rep), fmt.Sprintf("s%d", server)),
-						SyncEvery: fsync,
-					})
+				var reg *metrics.Registry
+				if regs != nil {
+					reg = regs[rep]
+					fc.Metrics = reg
+				}
+				if persist == "wal" {
+					fc.StoreFactory = func(server int) (store.Store, error) {
+						return store.Open(store.WALConfig{
+							Dir:       filepath.Join(cellDir, fmt.Sprintf("r%03d", rep), fmt.Sprintf("s%d", server)),
+							SyncEvery: fsync,
+							Metrics:   reg,
+							Node:      fortress.ServerAddr(server),
+						})
+					}
 				}
 			}
 		}
@@ -406,6 +429,10 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			Availability:     series.Availability.Mean,
 			AvailabilityCI95: series.Availability.CI95,
 			Routes:           series.Routes,
+		}
+		if regs != nil {
+			snap := mergeRegistries(regs)
+			rows[i].Metrics = &snap
 		}
 		return nil
 	})

@@ -10,6 +10,7 @@ import (
 	"fortress/internal/attack"
 	"fortress/internal/fortress"
 	"fortress/internal/keyspace"
+	"fortress/internal/metrics"
 	"fortress/internal/replica"
 	"fortress/internal/service"
 	"fortress/internal/sim"
@@ -82,6 +83,12 @@ type LiveCampaignConfig struct {
 	// Leases deploys every cell's server tier with heartbeat-bounded read
 	// leases (SMR only; PB ignores the flag).
 	Leases bool
+	// CollectMetrics attaches a private metrics registry to every campaign
+	// repetition and merges the per-repetition snapshots into each row's
+	// Metrics field (repetition order; trace rings prefixed "repN/").
+	// Metrics are observational only — collection never changes results —
+	// and the merged Counters section is deterministic at any Workers value.
+	CollectMetrics bool
 }
 
 // DefaultLiveCampaignConfig is the grid the CLI and benchmarks use.
@@ -161,6 +168,9 @@ type LiveCampaignRow struct {
 	AvailabilityCI95 float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
+	// Metrics is the cell's merged per-repetition metrics snapshot; nil
+	// unless the sweep ran with CollectMetrics.
+	Metrics *metrics.Snapshot
 }
 
 // LiveCampaign runs the live-campaign sweep: every grid cell drives Reps
@@ -238,9 +248,18 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			camp.MeasureAvailability = true
 			camp.ReadFraction = cfg.ReadFrac
 		}
+		var regs []*metrics.Registry
+		var customize func(rep int, fc *fortress.Config)
+		if cfg.CollectMetrics {
+			regs = seriesRegistries(cfg.Reps)
+			customize = func(rep int, fc *fortress.Config) {
+				fc.Metrics = regs[rep]
+			}
+		}
 		series, err := attack.CampaignSeries(tmpl, space, attack.SeriesConfig{
-			Campaign: camp,
-			Workers:  inner,
+			Campaign:  camp,
+			Workers:   inner,
+			Customize: customize,
 		}, cfg.Reps, rngs[i])
 		if err != nil {
 			return fmt.Errorf("experiments: cell (backend=%s np=%d det=%v pace=%d): %w",
@@ -260,6 +279,10 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			Availability:     series.Availability.Mean,
 			AvailabilityCI95: series.Availability.CI95,
 			Routes:           series.Routes,
+		}
+		if regs != nil {
+			snap := mergeRegistries(regs)
+			rows[i].Metrics = &snap
 		}
 		return nil
 	})

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fortress/internal/metrics"
+)
+
+// CellMetrics pairs one sweep cell's label with the merged metrics snapshot
+// of its repetition series. The Counters section is deterministic — a pure
+// function of the sweep's seed and grid, identical at any Workers value —
+// while Timing, Gauges, Histograms and Traces are wall-clock shaped and
+// vary run to run. Trace rings carry a "repN/" prefix naming the repetition
+// that recorded them.
+type CellMetrics struct {
+	Cell     string           `json:"cell"`
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// seriesRegistries allocates one private metrics registry per campaign
+// repetition. Per-repetition registries (rather than one shared registry)
+// keep the merged snapshot deterministic: each repetition's counters are a
+// pure function of its pre-split streams, and the merge folds them in
+// repetition order.
+func seriesRegistries(reps int) []*metrics.Registry {
+	regs := make([]*metrics.Registry, reps)
+	for i := range regs {
+		regs[i] = metrics.New()
+	}
+	return regs
+}
+
+// mergeRegistries folds per-repetition snapshots into one, in repetition
+// order, prefixing each repetition's trace rings with "repN/".
+func mergeRegistries(regs []*metrics.Registry) metrics.Snapshot {
+	agg := (*metrics.Registry)(nil).Snapshot()
+	for i, reg := range regs {
+		agg.Merge(reg.Snapshot(), fmt.Sprintf("rep%d/", i))
+	}
+	return agg
+}
+
+// WriteCellMetricsJSON writes per-cell metrics snapshots as an indented JSON
+// array — the payload behind the CLIs' -metrics-out flag, dumped next to the
+// CSV so a sweep's observability record travels with its results.
+func WriteCellMetricsJSON(path string, cells []CellMetrics) error {
+	data, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal metrics: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("experiments: write metrics: %w", err)
+	}
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"fortress/internal/exploit"
 	"fortress/internal/keyspace"
 	"fortress/internal/memlayout"
+	"fortress/internal/metrics"
 	"fortress/internal/nameserver"
 	"fortress/internal/netsim"
 	"fortress/internal/proxy"
@@ -104,6 +105,14 @@ type Config struct {
 	ServerTimeout time.Duration
 	// Net is the network to deploy on; nil creates a private one.
 	Net *netsim.Network
+	// Metrics, when non-nil, receives instruments from every layer of the
+	// deployment — replica runtimes, protocol engines, proxies, and the
+	// system's own lifecycle counters and per-node trace rings. When Net is
+	// nil the private network is built with drop counters on the same
+	// registry; a caller-provided Net wires its own (netsim.WithMetrics).
+	// Observational only: no protocol or scheduling decision reads a metric
+	// back, so instrumented runs stay bit-identical to bare ones.
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -159,6 +168,16 @@ type System struct {
 	// fault schedule's Restart event) bring them back.
 	downServers map[int]bool
 	downProxies map[int]bool
+
+	// Lifecycle instruments (nil no-ops without Config.Metrics). These count
+	// schedule-driven events, which are a pure function of the seeded fault
+	// and attack streams — hence Stable class.
+	mFaultCrashes  *metrics.Counter
+	mFaultRestarts *metrics.Counter
+	mProxyCrashes  *metrics.Counter
+	mProxyRestarts *metrics.Counter
+	mPowerFails    *metrics.Counter
+	mRerandomize   *metrics.Counter
 }
 
 // New deploys a FORTRESS system and starts epoch 0.
@@ -168,7 +187,11 @@ func New(cfg Config) (*System, error) {
 	}
 	net := cfg.Net
 	if net == nil {
-		net = netsim.NewNetwork()
+		var opts []netsim.Option
+		if cfg.Metrics != nil {
+			opts = append(opts, netsim.WithMetrics(cfg.Metrics))
+		}
+		net = netsim.NewNetwork(opts...)
 	}
 	ns, err := nameserver.New(nameserver.ReplicationPrimaryBackup, 0)
 	if err != nil {
@@ -179,6 +202,14 @@ func New(cfg Config) (*System, error) {
 		downServers: make(map[int]bool),
 		downProxies: make(map[int]bool),
 		stores:      make([]store.Store, cfg.Servers),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mFaultCrashes = reg.Counter("fortress_server_fault_crashes_total", metrics.Stable)
+		s.mFaultRestarts = reg.Counter("fortress_server_fault_restarts_total", metrics.Stable)
+		s.mProxyCrashes = reg.Counter("fortress_proxy_fault_crashes_total", metrics.Stable)
+		s.mProxyRestarts = reg.Counter("fortress_proxy_fault_restarts_total", metrics.Stable)
+		s.mPowerFails = reg.Counter("fortress_power_failures_total", metrics.Stable)
+		s.mRerandomize = reg.Counter("fortress_rerandomize_total", metrics.Stable)
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		kp, err := sig.NewKeyPair()
@@ -200,6 +231,16 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// traceEvent records a lifecycle event on node's trace ring (the per-node
+// bounded ring the registry keys by address). Seq carries the current epoch.
+// Caller holds s.mu.
+func (s *System) traceEvent(kind, node string) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	s.cfg.Metrics.Ring(node, 0).Record(kind, node, -1, s.epoch)
 }
 
 // ServerAddr returns the stable netsim address of server i. Fault schedules
@@ -252,6 +293,7 @@ func (s *System) buildEpochLocked(snapshot []byte) error {
 			Detector:      s.detector,
 			Proc:          memlayout.NewProcess(s.proxyKeys[i]),
 			ServerTimeout: s.cfg.ServerTimeout,
+			Metrics:       s.cfg.Metrics,
 		})
 		if err != nil {
 			return fmt.Errorf("fortress: proxy %d: %w", i, err)
@@ -312,6 +354,7 @@ func (s *System) Rerandomize() error {
 		}
 	}
 	s.epoch++
+	s.mRerandomize.Inc()
 	return s.buildEpochLocked(snapshot)
 }
 
@@ -362,6 +405,8 @@ func (s *System) CrashServer(i int) error {
 	}
 	s.downServers[i] = true
 	s.servers[i].Crash()
+	s.mFaultCrashes.Inc()
+	s.traceEvent(metrics.KindCrash, serverAddr(i))
 	return nil
 }
 
@@ -377,6 +422,8 @@ func (s *System) CrashProxy(i int) error {
 	}
 	s.downProxies[i] = true
 	s.proxies[i].Crash()
+	s.mProxyCrashes.Inc()
+	s.traceEvent(metrics.KindCrash, proxyAddr(i))
 	return nil
 }
 
@@ -398,6 +445,8 @@ func (s *System) RestartServer(i int) error {
 		return nil // not fault-crashed: nothing to end, and a live node stays up
 	}
 	delete(s.downServers, i)
+	s.mFaultRestarts.Inc()
+	s.traceEvent(metrics.KindRestart, serverAddr(i))
 	return s.rebuildServerLocked(i, s.snapshotLocked())
 }
 
@@ -415,10 +464,14 @@ func (s *System) CrashAll() error {
 	for i := range s.servers {
 		s.downServers[i] = true
 		s.servers[i].Crash()
+		s.mFaultCrashes.Inc()
+		s.traceEvent(metrics.KindPowerFail, serverAddr(i))
 	}
 	for i := range s.proxies {
 		s.downProxies[i] = true
 		s.proxies[i].Crash()
+		s.mProxyCrashes.Inc()
+		s.traceEvent(metrics.KindPowerFail, proxyAddr(i))
 	}
 	for i, st := range s.stores {
 		if pf, ok := st.(store.PowerFailer); ok {
@@ -427,6 +480,7 @@ func (s *System) CrashAll() error {
 			}
 		}
 	}
+	s.mPowerFails.Inc()
 	return nil
 }
 
@@ -447,6 +501,8 @@ func (s *System) RestartAll() error {
 			continue
 		}
 		delete(s.downServers, i)
+		s.mFaultRestarts.Inc()
+		s.traceEvent(metrics.KindRestart, serverAddr(i))
 		if err := s.rebuildServerLocked(i, s.snapshotLocked()); err != nil {
 			return err
 		}
@@ -456,6 +512,8 @@ func (s *System) RestartAll() error {
 			continue
 		}
 		delete(s.downProxies, i)
+		s.mProxyRestarts.Inc()
+		s.traceEvent(metrics.KindRestart, proxyAddr(i))
 		if err := s.rebuildProxyLocked(i); err != nil {
 			return err
 		}
@@ -508,6 +566,8 @@ func (s *System) RestartProxy(i int) error {
 		return nil // not fault-crashed: nothing to end, and a live node stays up
 	}
 	delete(s.downProxies, i)
+	s.mProxyRestarts.Inc()
+	s.traceEvent(metrics.KindRestart, proxyAddr(i))
 	return s.rebuildProxyLocked(i)
 }
 
@@ -646,6 +706,7 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			RespCacheLimit:    s.cfg.RespCacheLimit,
 			Leases:            s.cfg.Leases,
 			LeaseDuration:     s.cfg.LeaseDuration,
+			Metrics:           s.cfg.Metrics,
 		}
 		if seed != nil {
 			cfg.InitialSnapshot = seed.snapshot
@@ -669,6 +730,7 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			UpdateWindow:      s.cfg.UpdateWindow,
 			RespCacheLimit:    s.cfg.RespCacheLimit,
 			Store:             st,
+			Metrics:           s.cfg.Metrics,
 		})
 	}
 	if err != nil {
@@ -711,6 +773,7 @@ func (s *System) rebuildProxyLocked(i int) error {
 		Detector:      s.detector,
 		Proc:          memlayout.NewProcess(s.proxyKeys[i]),
 		ServerTimeout: s.cfg.ServerTimeout,
+		Metrics:       s.cfg.Metrics,
 	})
 	if err != nil {
 		return fmt.Errorf("fortress: recover proxy %d: %w", i, err)
@@ -743,6 +806,10 @@ func (s *System) Epoch() uint64 {
 
 // Net returns the network the system is deployed on.
 func (s *System) Net() *netsim.Network { return s.net }
+
+// Metrics returns the registry the deployment publishes its instruments to,
+// or nil when the system is uninstrumented.
+func (s *System) Metrics() *metrics.Registry { return s.cfg.Metrics }
 
 // NameServer returns the trusted directory.
 func (s *System) NameServer() *nameserver.NameServer { return s.ns }

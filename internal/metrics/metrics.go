@@ -1,0 +1,325 @@
+// Package metrics is the repo's dependency-free runtime instrumentation
+// layer: a registry of lock-free counters, gauges and fixed-bucket latency
+// histograms whose hot-path operations (Inc, Add, Set, Observe) are
+// allocation-free and safe for concurrent use, plus a bounded per-node
+// trace-event ring (see trace.go) for the rare, interesting transitions —
+// catch-up, resync, lease churn, crash/restart, WAL stalls.
+//
+// Metrics are strictly observational: nothing in the protocol, scheduling
+// or fault-injection paths ever reads an instrument back, so instrumenting
+// a deployment cannot perturb the deterministic campaign results the sweep
+// CSVs pin at workers {1,2,8}.
+//
+// # Determinism partition
+//
+// Instruments are registered in one of two classes:
+//
+//   - Stable: counters whose value is a pure function of the deterministic
+//     request/fault stream — campaign steps probed, the read/write mix,
+//     availability numerators, fault events fired, proxy request mix. A
+//     repetition's stable counters are bit-identical at any worker count,
+//     and snapshots assert on them.
+//   - Timing: everything driven by wall-clock goroutine interleaving —
+//     heartbeat-paced flushes, ack frontiers, nack/resync causes, fsync
+//     latency, drop sampling on pairs that also carry heartbeats. Reported
+//     for operators, excluded from determinism comparisons.
+//
+// Gauges and histograms are always Timing: a gauge is last-write-wins and a
+// latency histogram is wall time by definition.
+//
+// Handles are looked up once at construction time (Registry.Counter et al.
+// take a lock and may allocate); hot paths hold the returned pointer. All
+// registry lookups are idempotent — the same name returns the same
+// instrument — so re-built replicas (fortress epochs) keep accumulating
+// into the counters their predecessors registered. A nil *Registry is a
+// valid no-op registry: it hands out nil instruments, and every instrument
+// method is nil-receiver-safe, so call sites need no "metrics enabled?"
+// branches.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Class partitions instruments for determinism comparisons. See the package
+// comment.
+type Class int
+
+const (
+	// Timing marks an instrument whose value depends on wall-clock
+	// interleaving. The zero value, so it is also the safe default.
+	Timing Class = iota
+	// Stable marks a counter that is a pure function of the deterministic
+	// request/fault stream: identical across repetitions of the same seed
+	// at any worker count.
+	Stable
+)
+
+// Counter is a monotonically increasing uint64. Inc and Add are lock-free
+// and allocation-free; a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value; 0 on a nil counter.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (queue depth, window occupancy, ack frontier).
+// Always Timing class: last-write-wins has no deterministic meaning.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Load returns the current value; 0 on a nil gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// maxHistogramBuckets bounds a histogram's finite bucket list; one overflow
+// bucket is always appended. Fixed so the counts array can live inline in
+// the Histogram without a per-observation indirection.
+const maxHistogramBuckets = 16
+
+// DefaultLatencyBuckets is the standard latency bucket ladder, in
+// nanoseconds: 1µs to 1s, one decade per bucket.
+var DefaultLatencyBuckets = []uint64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+}
+
+// Histogram is a fixed-bucket histogram of uint64 observations (typically
+// latencies in nanoseconds). Observe is lock-free and allocation-free: a
+// short linear scan over the bounds, then three atomic adds. Always Timing
+// class.
+type Histogram struct {
+	bounds [maxHistogramBuckets]uint64 // upper bounds, ascending
+	nb     int                         // finite buckets in use
+	counts [maxHistogramBuckets + 1]atomic.Uint64
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// Observe records one value: the first bucket whose bound is >= v, or the
+// overflow bucket.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < h.nb && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns how many observations have been recorded; 0 on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds; Counts has one extra
+	// trailing element for the overflow bucket. Counts are per-bucket, not
+	// cumulative.
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Registry holds a deployment's instruments. All methods are safe for
+// concurrent use; a nil *Registry is a valid disabled registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*registeredCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	rings    map[string]*TraceRing
+}
+
+type registeredCounter struct {
+	c     Counter
+	class Class
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*registeredCounter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		rings:    make(map[string]*TraceRing),
+	}
+}
+
+// Counter returns the counter registered under name, creating it with the
+// given class on first use. Names follow Prometheus conventions, with an
+// optional `{label="value",...}` suffix (e.g.
+// `pb_deltas_total{node="server-0"}`). Registering an existing name returns
+// the existing counter; the original class wins.
+func (r *Registry) Counter(name string, class Class) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc, ok := r.counters[name]
+	if !ok {
+		rc = &registeredCounter{class: class}
+		r.counters[name] = rc
+	}
+	return &rc.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given finite bucket bounds (ascending; at most maxHistogramBuckets,
+// excess bounds are dropped) on first use. Pass DefaultLatencyBuckets for
+// latencies in nanoseconds.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		if len(bounds) > maxHistogramBuckets {
+			bounds = bounds[:maxHistogramBuckets]
+		}
+		h.nb = copy(h.bounds[:], bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Ring returns the trace-event ring registered under name (conventionally
+// the node's address), creating it with the given capacity on first use.
+// Capacity <= 0 selects DefaultRingCapacity.
+func (r *Registry) Ring(name string, capacity int) *TraceRing {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr, ok := r.rings[name]
+	if !ok {
+		tr = NewTraceRing(capacity)
+		r.rings[name] = tr
+	}
+	return tr
+}
+
+// Snapshot captures every instrument's current value. Counters land in
+// Counters (Stable class) or Timing; map iteration order does not matter —
+// renderers sort, and encoding/json sorts map keys — so snapshots of equal
+// registries compare equal.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Timing:     map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Traces:     map[string][]Event{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, rc := range r.counters {
+		if rc.class == Stable {
+			s.Counters[name] = rc.c.Load()
+		} else {
+			s.Timing[name] = rc.c.Load()
+		}
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]uint64(nil), h.bounds[:h.nb]...),
+			Counts: make([]uint64, h.nb+1),
+			Sum:    h.sum.Load(),
+			Count:  h.count.Load(),
+		}
+		for i := range hs.Counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	for name, tr := range r.rings {
+		s.Traces[name] = tr.Events()
+	}
+	return s
+}
+
+// sortedKeys returns m's keys in ascending order — renderers and tests need
+// a deterministic walk.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHotPathAllocationFree pins the zero-alloc contract on every hot-path
+// operation, the way store.Mem pins its no-op paths: instrumented hot loops
+// (outbox staging, update execution, WAL appends) must not gain a per-op
+// allocation from observability.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := New()
+	c := r.Counter("test_ops_total", Stable)
+	g := r.Gauge("test_depth")
+	h := r.Histogram("test_latency_ns", DefaultLatencyBuckets)
+	ring := r.Ring("node-0", 16)
+	ops := map[string]func(){
+		"counter.Inc": func() { c.Inc() },
+		"counter.Add": func() { c.Add(3) },
+		"gauge.Set":   func() { g.Set(42) },
+		"gauge.Add":   func() { g.Add(-1) },
+		"histogram.Observe": func() {
+			h.Observe(12_345)
+		},
+		"ring.Record": func() { ring.Record(KindCrash, "node-0", 1, 7) },
+	}
+	for name, op := range ops {
+		if allocs := testing.AllocsPerRun(200, op); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestNilRegistrySafe: a nil registry hands out nil instruments and every
+// operation on them is a no-op — disabled deployments pay one predictable
+// branch, no conditionals at call sites.
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", Stable)
+	g := r.Gauge("y")
+	h := r.Histogram("z", DefaultLatencyBuckets)
+	ring := r.Ring("n", 8)
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	ring.Record(KindCrash, "n", 0, 0)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || ring.Total() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Timing)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := New()
+	a := r.Counter("same", Stable)
+	b := r.Counter("same", Timing) // original class wins
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	s := r.Snapshot()
+	if s.Counters["same"] != 1 {
+		t.Fatalf("counter registered Stable must snapshot into Counters, got %+v", s)
+	}
+	if r.Gauge("g") != r.Gauge("g") || r.Histogram("h", nil) != r.Histogram("h", nil) {
+		t.Fatal("gauges and histograms must be idempotent too")
+	}
+	if r.Ring("n", 4) != r.Ring("n", 8) {
+		t.Fatal("rings must be idempotent")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 1000, 1001, 5_000_000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []uint64{2, 1, 1, 2} // <=10: {5,10}; <=100: {11}; <=1000: {1000}; +Inf: {1001, 5e6}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+}
+
+// TestTraceRingWraparound fills a small ring far past capacity and checks
+// the oldest events are evicted strictly in order, append stays O(1) and
+// allocation-free, and the retained window is exactly the last cap events.
+func TestTraceRingWraparound(t *testing.T) {
+	const cap = 8
+	ring := NewTraceRing(cap)
+	for seq := uint64(0); seq < 3*cap+5; seq++ {
+		ring.Record(KindRestart, "n", int(seq%3), seq)
+	}
+	events := ring.Events()
+	if len(events) != cap {
+		t.Fatalf("retained %d events, want %d", len(events), cap)
+	}
+	first := uint64(3*cap + 5 - cap)
+	for i, e := range events {
+		if e.Seq != first+uint64(i) {
+			t.Fatalf("event %d has seq %d, want %d (oldest must evict in order)", i, e.Seq, first+uint64(i))
+		}
+	}
+	if got := ring.Total(); got != 3*cap+5 {
+		t.Fatalf("total = %d, want %d", got, 3*cap+5)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		ring.Record(KindCrash, "n", 0, 1)
+	}); allocs != 0 {
+		t.Fatalf("wrapped ring append allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotMergeSumsCountersInOrder(t *testing.T) {
+	mk := func(n uint64) Snapshot {
+		r := New()
+		r.Counter("c_total", Stable).Add(n)
+		r.Counter("t_total", Timing).Add(2 * n)
+		r.Gauge("depth").Set(int64(n))
+		r.Histogram("lat", []uint64{10}).Observe(n)
+		r.Ring("node", 4).Record(KindCrash, "node", -1, n)
+		return r.Snapshot()
+	}
+	agg := mk(1)
+	agg.Merge(mk(2), "rep1/")
+	agg.Merge(mk(3), "rep2/")
+	if agg.Counters["c_total"] != 6 || agg.Timing["t_total"] != 12 {
+		t.Fatalf("merged counters wrong: %+v", agg)
+	}
+	if agg.Gauges["depth"] != 3 {
+		t.Fatalf("merged gauge = %d, want max 3", agg.Gauges["depth"])
+	}
+	if agg.Histograms["lat"].Count != 3 {
+		t.Fatalf("merged histogram count = %d, want 3", agg.Histograms["lat"].Count)
+	}
+	if len(agg.Traces["node"]) != 1 || len(agg.Traces["rep1/node"]) != 1 || len(agg.Traces["rep2/node"]) != 1 {
+		t.Fatalf("merged traces wrong: %v", sortedKeys(agg.Traces))
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := New()
+	r.Counter("proxy_requests_total", Stable).Add(7)
+	r.Counter(`pb_deltas_total{node="server-0"}`, Timing).Add(3)
+	r.Gauge(`pb_window_depth{node="server-0"}`).Set(5)
+	r.Histogram("store_fsync_ns", []uint64{1000, 2000}).Observe(1500)
+	var buf bytes.Buffer
+	r.Snapshot().WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE proxy_requests_total counter",
+		"proxy_requests_total 7",
+		`pb_deltas_total{node="server-0"} 3`,
+		`pb_window_depth{node="server-0"} 5`,
+		`store_fsync_ns_bucket{le="1000"} 0`,
+		`store_fsync_ns_bucket{le="2000"} 1`,
+		`store_fsync_ns_bucket{le="+Inf"} 1`,
+		"store_fsync_ns_sum 1500",
+		"store_fsync_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotJSONDeterministic: two snapshots of identical registries
+// marshal to identical bytes — what lets the workers-{1,2,8} metrics-out
+// comparison diff raw JSON sections.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := New()
+		for _, n := range []string{"b_total", "a_total", "c_total"} {
+			r.Counter(n, Stable).Add(9)
+		}
+		b, err := json.Marshal(r.Snapshot().Counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("equal registries must marshal to equal bytes")
+	}
+}
+
+func TestDashboardRendering(t *testing.T) {
+	r := New()
+	r.Counter("campaign_steps_total", Stable).Add(40)
+	r.Gauge("depth").Set(2)
+	r.Ring("server-0", 4).Record(KindLeaseGrant, "server-0", 1, 12)
+	var buf bytes.Buffer
+	r.Snapshot().WriteDashboard(&buf)
+	out := buf.String()
+	for _, want := range []string{"campaign_steps_total", "lease-grant", "server-0", "gauges"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkMetricsHotPath is recorded by scripts/bench.sh: the cost of the
+// two operations instrumented code pays per hot-path event. Both must run
+// at 0 allocs/op — asserted here, not just reported, so a regression fails
+// the suite rather than only nudging a bench column.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_ops_total", Timing)
+	h := r.Histogram("bench_latency_ns", DefaultLatencyBuckets)
+	b.Run("counter-inc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(uint64(i) & 0xfffff)
+		}
+	})
+	if allocs := testing.AllocsPerRun(100, func() { c.Inc(); h.Observe(99) }); allocs != 0 {
+		b.Fatalf("metrics hot path allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a registry's state at one instant, partitioned for
+// determinism comparisons: Counters holds Stable-class counters (identical
+// across workers for the same seeded repetition), everything else is
+// wall-clock shaped. It marshals directly to JSON (encoding/json sorts map
+// keys, so equal snapshots produce equal bytes).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Timing     map[string]uint64            `json:"timing"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Traces     map[string][]Event           `json:"traces,omitempty"`
+}
+
+// Merge folds other into s: counters and histogram buckets sum (counter
+// sums are order-independent, so merging per-repetition snapshots in
+// repetition order is deterministic for the stable section), gauges keep
+// the maximum (the peak across repetitions), and traces concatenate under
+// the other snapshot's ring names prefixed with prefix (pass "" to merge
+// same-named rings by concatenation).
+func (s *Snapshot) Merge(other Snapshot, prefix string) {
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Timing {
+		s.Timing[k] += v
+	}
+	for k, v := range other.Gauges {
+		if cur, ok := s.Gauges[k]; !ok || v > cur {
+			s.Gauges[k] = v
+		}
+	}
+	for k, v := range other.Histograms {
+		cur, ok := s.Histograms[k]
+		if !ok {
+			s.Histograms[k] = v
+			continue
+		}
+		if len(cur.Counts) == len(v.Counts) {
+			for i := range cur.Counts {
+				cur.Counts[i] += v.Counts[i]
+			}
+			cur.Sum += v.Sum
+			cur.Count += v.Count
+			s.Histograms[k] = cur
+		}
+	}
+	for k, v := range other.Traces {
+		s.Traces[prefix+k] = append(s.Traces[prefix+k], v...)
+	}
+}
+
+// splitName separates a `base{label="v"}` instrument name into its base and
+// the label list (without braces); labels is "" when the name has none.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// promLine renders one `base{labels,extra} value` exposition line.
+func promLine(w io.Writer, name, extra string, value any) {
+	base, labels := splitName(name)
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %v\n", base, value)
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %v\n", base, extra, value)
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %v\n", base, labels, value)
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %v\n", base, labels, extra, value)
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters (both classes) as counters, gauges as
+// gauges, histograms as cumulative `_bucket`/`_sum`/`_count` families.
+// Traces are not exported — scrape the JSON status for those.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	typed := map[string]bool{}
+	writeType := func(name, kind string) {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		writeType(name, "counter")
+		promLine(w, name, "", s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Timing) {
+		writeType(name, "counter")
+		promLine(w, name, "", s.Timing[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		writeType(name, "gauge")
+		promLine(w, name, "", s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		writeType(name, "histogram")
+		base, labels := splitName(name)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			bucketName := base + "_bucket"
+			if labels != "" {
+				bucketName += "{" + labels + "}"
+			}
+			promLine(w, bucketName, fmt.Sprintf("le=%q", le), cum)
+		}
+		promLine(w, base+"_sum"+labelSuffix(labels), "", h.Sum)
+		promLine(w, base+"_count"+labelSuffix(labels), "", h.Count)
+	}
+}
+
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// WriteDashboard renders the snapshot as an aligned plain-text dashboard:
+// stable counters, timing counters, gauges, histogram summaries, and the
+// tail of every trace ring.
+func (s Snapshot) WriteDashboard(w io.Writer) {
+	section := func(title string) { fmt.Fprintf(w, "== %s ==\n", title) }
+	if len(s.Counters) > 0 {
+		section("counters (deterministic)")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-64s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Timing) > 0 {
+		section("counters (timing)")
+		for _, name := range sortedKeys(s.Timing) {
+			fmt.Fprintf(w, "  %-64s %d\n", name, s.Timing[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-64s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			mean := uint64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(w, "  %-64s count=%d mean=%dns\n", name, h.Count, mean)
+		}
+	}
+	if len(s.Traces) > 0 {
+		section("trace tails (last 8)")
+		for _, name := range sortedKeys(s.Traces) {
+			events := s.Traces[name]
+			if len(events) == 0 {
+				continue
+			}
+			tail := events
+			if len(tail) > 8 {
+				tail = tail[len(tail)-8:]
+			}
+			fmt.Fprintf(w, "  %s:\n", name)
+			for _, e := range tail {
+				fmt.Fprintf(w, "    %-18s peer=%-3d seq=%d\n", e.Kind, e.Peer, e.Seq)
+			}
+		}
+	}
+}

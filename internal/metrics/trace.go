@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds. Constant strings so appending an event never allocates;
+// layers add their own kinds freely, these are the ones the stack emits.
+const (
+	KindCatchupStart    = "catchup-start"    // smr: gap detected, request sent
+	KindCatchupReplay   = "catchup-replay"   // smr: log-suffix replay applied
+	KindCatchupSnapshot = "catchup-snapshot" // smr: frontier snapshot installed
+	KindResyncGap       = "resync-gap"       // pb backup: sequence gap nack
+	KindResyncDiverged  = "resync-diverged"  // pb backup: base-hash divergence nack
+	KindResyncStream    = "resync-stream"    // pb backup: cross-stream anchor needed
+	KindResyncStall     = "resync-stall"     // pb primary: ack-stall detector fired
+	KindLeaseGrant      = "lease-grant"      // smr: lease grant accepted
+	KindLeaseExpiry     = "lease-expiry"     // smr: valid lease observed expired
+	KindCrash           = "crash"            // fortress: server/proxy crashed
+	KindRestart         = "restart"          // fortress: server/proxy restarted
+	KindPowerFail       = "power-fail"       // fortress: whole-cluster blackout
+	KindWALStall        = "wal-stall"        // store: disk-stall injection toggled
+)
+
+// Event is one trace-ring entry. All fields are value types and Kind/Node
+// are expected to be constant (or long-lived) strings, so recording an
+// event allocates nothing.
+type Event struct {
+	// Time is the wall-clock instant the event was recorded (UnixNano).
+	// Wall time is Timing-class information: determinism comparisons never
+	// look at traces.
+	Time int64 `json:"time"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Node names the emitting node (its address).
+	Node string `json:"node"`
+	// Peer is the other party's index, when one exists; -1 otherwise.
+	Peer int `json:"peer"`
+	// Seq is the protocol sequence number the event is about, when one
+	// exists.
+	Seq uint64 `json:"seq"`
+}
+
+// DefaultRingCapacity is the per-node trace ring size when none is given.
+const DefaultRingCapacity = 256
+
+// TraceRing is a bounded ring of trace events with O(1) append: once full,
+// each append evicts the oldest event. Append takes a mutex (events are
+// rare — node-lifecycle and resync transitions, not per-message traffic)
+// but never allocates after construction.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // index the next event lands in
+	total uint64 // events ever appended
+}
+
+// NewTraceRing creates a ring holding the last capacity events
+// (DefaultRingCapacity when capacity <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &TraceRing{buf: make([]Event, capacity)}
+}
+
+// Record appends an event stamped now. Nil-receiver-safe.
+func (t *TraceRing) Record(kind, node string, peer int, seq uint64) {
+	if t == nil {
+		return
+	}
+	e := Event{Time: time.Now().UnixNano(), Kind: kind, Node: node, Peer: peer, Seq: seq}
+	t.mu.Lock()
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many events have ever been recorded (including evicted
+// ones); 0 on nil.
+func (t *TraceRing) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events, oldest first.
+func (t *TraceRing) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	if n > uint64(len(t.buf)) {
+		n = uint64(len(t.buf))
+	}
+	out := make([]Event, 0, n)
+	// At exactly capacity events next has wrapped to 0, so the buffer-tail
+	// copy must run from total == len(buf) onward, not only past it.
+	if t.total >= uint64(len(t.buf)) {
+		out = append(out, t.buf[t.next:]...)
+	}
+	out = append(out, t.buf[:t.next]...)
+	return out
+}

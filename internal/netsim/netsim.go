@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fortress/internal/metrics"
 	"fortress/internal/xrand"
 )
 
@@ -125,10 +126,29 @@ type Network struct {
 	dropSeed uint64        // base seed for pair streams; guarded by dropMu
 	hasSeed  bool          // a generator has been configured; guarded by dropMu
 	pairRNG  map[[2]string]*xrand.RNG
+
+	// Drop observability (WithMetrics): one counter per directed pair,
+	// created lazily alongside the pair's sampling stream. Guarded by
+	// dropMu; purely observational — the sampling decision never reads it.
+	metrics   *metrics.Registry
+	pairDrops map[[2]string]*metrics.Counter
 }
 
 // Option configures a Network.
 type Option func(*Network)
+
+// WithMetrics registers per-directed-pair drop counters
+// (netsim_drops_total{pair="from->to"}) on reg as lossy links discard
+// messages. Observational only: sampling stays a pure function of the
+// configured generator, with or without a registry.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(n *Network) {
+		n.dropMu.Lock()
+		n.metrics = reg
+		n.pairDrops = make(map[[2]string]*metrics.Counter)
+		n.dropMu.Unlock()
+	}
+}
 
 // WithDropRate makes every Send independently drop its message with
 // probability p, deriving per-directed-pair sampling streams from the
@@ -393,7 +413,17 @@ func (n *Network) shouldDrop(from, to string) bool {
 		}
 		n.pairRNG[key] = rng
 	}
-	return rng.Bernoulli(p)
+	drop := rng.Bernoulli(p)
+	if drop && n.metrics != nil {
+		c := n.pairDrops[key]
+		if c == nil {
+			c = n.metrics.Counter(
+				fmt.Sprintf("netsim_drops_total{pair=%q}", from+"->"+to), metrics.Timing)
+			n.pairDrops[key] = c
+		}
+		c.Inc()
+	}
+	return drop
 }
 
 // pairSeed derives a directed pair's stream seed: an FNV-1a hash of the two

@@ -25,6 +25,7 @@ import (
 
 	"fortress/internal/exploit"
 	"fortress/internal/memlayout"
+	"fortress/internal/metrics"
 	"fortress/internal/nameserver"
 	"fortress/internal/netsim"
 	"fortress/internal/replica/pb"
@@ -101,6 +102,10 @@ type Config struct {
 	Proc *memlayout.Process
 	// ServerTimeout bounds each server interaction.
 	ServerTimeout time.Duration
+	// Metrics, when non-nil, receives the proxy's instruments (request mix,
+	// invalid observations, no-response outcomes), labelled by ID.
+	// Observational only — screening and forwarding never read them back.
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -134,6 +139,13 @@ type Proxy struct {
 	listener *netsim.Listener
 	stop     chan struct{}
 	done     sync.WaitGroup
+
+	// Instruments (nil no-ops when Config.Metrics is unset).
+	mRequests   *metrics.Counter // well-formed requests screened
+	mReads      *metrics.Counter // of those, read-tagged
+	mBlocked    *metrics.Counter // requests refused on a flagged source
+	mInvalid    *metrics.Counter // invalid observations logged
+	mNoResponse *metrics.Counter // forwards with no authentic response
 }
 
 // New starts a proxy. Call Stop (or Crash) to shut it down.
@@ -146,6 +158,14 @@ func New(cfg Config) (*Proxy, error) {
 		return nil, fmt.Errorf("proxy: listen: %w", err)
 	}
 	p := &Proxy{cfg: cfg, listener: l, stop: make(chan struct{})}
+	if reg := cfg.Metrics; reg != nil {
+		node := fmt.Sprintf("{node=%q}", cfg.ID)
+		p.mRequests = reg.Counter("proxy_requests_total"+node, metrics.Timing)
+		p.mReads = reg.Counter("proxy_read_requests_total"+node, metrics.Timing)
+		p.mBlocked = reg.Counter("proxy_blocked_total"+node, metrics.Timing)
+		p.mInvalid = reg.Counter("proxy_invalid_observations_total"+node, metrics.Timing)
+		p.mNoResponse = reg.Counter("proxy_no_response_total"+node, metrics.Timing)
+	}
 	p.done.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -258,7 +278,12 @@ func (p *Proxy) serveClient(conn *netsim.Conn) {
 			if m.Type != msgRequest {
 				continue
 			}
+			p.mRequests.Inc()
+			if m.Read {
+				p.mReads.Inc()
+			}
 			if p.cfg.Detector != nil && p.cfg.Detector.Flagged(source) {
+				p.mBlocked.Inc()
 				_ = conn.Send(encode(clientMsg{Type: msgError, RequestID: m.RequestID, Reason: ErrBlocked.Error()}))
 				conn.Close()
 				return
@@ -358,6 +383,7 @@ func (p *Proxy) forward(conn *netsim.Conn, source string, m clientMsg) {
 		p.observeInvalid(source)
 	}
 	if first == nil {
+		p.mNoResponse.Inc()
 		_ = conn.Send(encode(clientMsg{Type: msgError, RequestID: m.RequestID, Reason: ErrNoServerResponse.Error()}))
 		return
 	}
@@ -370,6 +396,7 @@ func (p *Proxy) forward(conn *netsim.Conn, source string, m clientMsg) {
 }
 
 func (p *Proxy) observeInvalid(source string) {
+	p.mInvalid.Inc()
 	p.mu.Lock()
 	p.invalidObs++
 	p.mu.Unlock()

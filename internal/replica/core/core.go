@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"fortress/internal/metrics"
 	"fortress/internal/netsim"
 )
 
@@ -94,6 +95,10 @@ type Config struct {
 	Net *netsim.Network
 	// TickInterval is the Handler.Tick cadence.
 	TickInterval time.Duration
+	// Metrics, when non-nil, receives the runtime's transport instruments
+	// (outbox depth, flush batch shape, peer-link failures), labelled by
+	// Addr. Observational only: nothing in the runtime reads them back.
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -132,7 +137,22 @@ type Node struct {
 	stop      chan struct{}
 
 	done sync.WaitGroup
+
+	// Transport instruments (nil handles when Config.Metrics is nil; every
+	// operation on a nil instrument no-ops, so the hot paths below carry no
+	// metrics conditionals).
+	mFlushBatches *metrics.Counter   // non-empty per-peer batches flushed
+	mFlushMsgs    *metrics.Counter   // messages those batches carried
+	hFlushSize    *metrics.Histogram // per-flush batch size distribution
+	mDialFails    *metrics.Counter   // peer dials that failed (down/partitioned)
+	mSendFails    *metrics.Counter   // SendBatch errors (peer-reader stalls, teardown races)
+	mInboundMsgs  *metrics.Counter   // payloads drained off served connections
+	mPeerReplies  *metrics.Counter   // payloads drained off duplex peer links
 }
+
+// flushSizeBuckets grades the outbox batch-size histogram: power-of-two
+// message counts, so the fan-out coalescing win is visible at a glance.
+var flushSizeBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // NewNode builds a node without starting it, so the handler can store the
 // back-reference before any runtime goroutine can call into it.
@@ -159,6 +179,19 @@ func NewNode(cfg Config, h Handler) (*Node, error) {
 		n.outboxes[idx] = &outbox{}
 	}
 	sort.Ints(n.peerIdx)
+	if reg := cfg.Metrics; reg != nil {
+		node := fmt.Sprintf("{node=%q}", cfg.Addr)
+		n.mFlushBatches = reg.Counter("core_flush_batches_total"+node, metrics.Timing)
+		n.mFlushMsgs = reg.Counter("core_flush_messages_total"+node, metrics.Timing)
+		n.hFlushSize = reg.Histogram("core_flush_batch_size"+node, flushSizeBuckets)
+		n.mDialFails = reg.Counter("core_peer_dial_failures_total"+node, metrics.Timing)
+		n.mSendFails = reg.Counter("core_peer_send_failures_total"+node, metrics.Timing)
+		n.mInboundMsgs = reg.Counter("core_inbound_messages_total"+node, metrics.Timing)
+		n.mPeerReplies = reg.Counter("core_peer_replies_total"+node, metrics.Timing)
+		for _, idx := range n.peerIdx {
+			n.outboxes[idx].depth = reg.Gauge(fmt.Sprintf("core_outbox_depth{node=%q,peer=\"%d\"}", cfg.Addr, idx))
+		}
+	}
 	return n, nil
 }
 
@@ -375,6 +408,7 @@ func (n *Node) serveConn(conn *netsim.Conn, stop chan struct{}) {
 		if err != nil {
 			return
 		}
+		n.mInboundMsgs.Add(uint64(len(batch)))
 		replies = replies[:0]
 		for _, raw := range batch {
 			select {
@@ -446,6 +480,9 @@ func (n *Node) Flush() {
 		ob.sendMu.Lock()
 		batch := ob.take()
 		if batch != nil {
+			n.mFlushBatches.Inc()
+			n.mFlushMsgs.Add(uint64(len(batch)))
+			n.hFlushSize.Observe(uint64(len(batch)))
 			n.sendBatchTo(idx, batch)
 			ob.putBack(batch)
 		}
@@ -463,6 +500,7 @@ func (n *Node) sendBatchTo(idx int, batch [][]byte) {
 		return
 	}
 	if err := conn.SendBatch(batch); err != nil {
+		n.mSendFails.Inc()
 		n.dropPeerConn(idx, conn)
 		// One immediate re-dial attempt, then give up until next flush.
 		if conn = n.peerConn(idx, addr); conn != nil {
@@ -489,6 +527,7 @@ func (n *Node) peerConn(idx int, addr string) *netsim.Conn {
 
 	c, err := n.cfg.Net.Dial(n.cfg.Addr, addr)
 	if err != nil {
+		n.mDialFails.Inc()
 		return nil
 	}
 	n.mu.Lock()
@@ -528,6 +567,7 @@ func (n *Node) peerReadLoop(idx int, conn *netsim.Conn) {
 		if err != nil {
 			return
 		}
+		n.mPeerReplies.Add(uint64(len(batch)))
 		for _, raw := range batch {
 			n.h.HandlePeerReply(idx, raw)
 			netsim.Release(raw) // handlers decode; they never retain raw
@@ -561,12 +601,18 @@ type outbox struct {
 	mu     sync.Mutex
 	staged [][]byte
 	spare  [][]byte
+	// depth mirrors len(staged) for observers (nil when metrics are off).
+	// Written after the staging lock is released: the gauge is a live
+	// reading for dashboards, not a synchronized value.
+	depth *metrics.Gauge
 }
 
 func (o *outbox) stage(raw []byte) {
 	o.mu.Lock()
 	o.staged = append(o.staged, raw)
+	d := len(o.staged)
 	o.mu.Unlock()
+	o.depth.Set(int64(d))
 }
 
 // take removes and returns the staged batch, or nil when the outbox is
@@ -580,6 +626,7 @@ func (o *outbox) take() [][]byte {
 	batch := o.staged
 	o.staged = o.spare // nil or a drained buffer from a previous flush
 	o.spare = nil
+	o.depth.Set(0)
 	return batch
 }
 

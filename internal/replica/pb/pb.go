@@ -47,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"fortress/internal/metrics"
 	"fortress/internal/netsim"
 	"fortress/internal/replica/core"
 	"fortress/internal/replica/store"
@@ -202,6 +203,11 @@ type Config struct {
 	// (nothing durable — today's semantics — and nothing extra allocated on
 	// the hot path).
 	Store store.Store
+	// Metrics, when non-nil, receives the replica's protocol instruments
+	// (delta vs checkpoint counts, window occupancy, nack/resync causes,
+	// ack-stall detections) and its trace-event ring, labelled by Addr.
+	// Observational only — no protocol decision reads them back.
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -292,6 +298,22 @@ type Replica struct {
 	updFrom   int    // primary index whose stream we are positioned in
 	resyncing bool   // a nack is outstanding; suppress duplicates
 	nackedAt  time.Time
+
+	// Instruments (nil no-ops when Config.Metrics is unset). Observational
+	// only: nothing below feeds back into a protocol decision.
+	mDeltas       *metrics.Counter // delta updates executed/applied
+	mCheckpoints  *metrics.Counter // checkpoint updates executed/applied
+	mCkptJumps    *metrics.Counter // checkpoints that re-anchored the chain
+	mNackGap      *metrics.Counter // nack cause: sequence gap
+	mNackDiverged *metrics.Counter // nack cause: base-hash divergence
+	mNackStream   *metrics.Counter // nack cause: cross-stream anchor needed
+	mResyncRetx   *metrics.Counter // resyncs answered by suffix retransmit
+	mResyncCkpt   *metrics.Counter // resyncs answered by checkpoint fallback
+	mStallFires   *metrics.Counter // ack-stall detector fires
+	hStallNanos   *metrics.Histogram
+	gWindow       *metrics.Gauge // retained-window occupancy
+	gAckFrontier  *metrics.Gauge // min cumulative ack across backups
+	trace         *metrics.TraceRing
 }
 
 type cachedResp struct {
@@ -359,6 +381,25 @@ func New(cfg Config) (*Replica, error) {
 		}
 	}
 	sort.Ints(r.peerIdx)
+	if reg := cfg.Metrics; reg != nil {
+		node := fmt.Sprintf("{node=%q}", cfg.Addr)
+		r.mDeltas = reg.Counter("pb_updates_delta_total"+node, metrics.Timing)
+		r.mCheckpoints = reg.Counter("pb_updates_checkpoint_total"+node, metrics.Timing)
+		r.mCkptJumps = reg.Counter("pb_checkpoint_jumps_total"+node, metrics.Timing)
+		cause := func(c string) string {
+			return fmt.Sprintf("pb_nack_cause_total{node=%q,cause=%q}", cfg.Addr, c)
+		}
+		r.mNackGap = reg.Counter(cause("gap"), metrics.Timing)
+		r.mNackDiverged = reg.Counter(cause("diverged"), metrics.Timing)
+		r.mNackStream = reg.Counter(cause("stream"), metrics.Timing)
+		r.mResyncRetx = reg.Counter("pb_resync_retransmit_total"+node, metrics.Timing)
+		r.mResyncCkpt = reg.Counter("pb_resync_checkpoint_total"+node, metrics.Timing)
+		r.mStallFires = reg.Counter("pb_ack_stall_fires_total"+node, metrics.Timing)
+		r.hStallNanos = reg.Histogram("pb_ack_stall_ns"+node, metrics.DefaultLatencyBuckets)
+		r.gWindow = reg.Gauge("pb_window_occupancy" + node)
+		r.gAckFrontier = reg.Gauge("pb_ack_frontier_min" + node)
+		r.trace = reg.Ring(cfg.Addr, 0)
+	}
 	if cfg.Index == cfg.InitialPrimary {
 		r.role = RolePrimary
 	}
@@ -372,6 +413,7 @@ func New(cfg Config) (*Replica, error) {
 		Peers:        cfg.Peers,
 		Net:          cfg.Net,
 		TickInterval: cfg.HeartbeatInterval,
+		Metrics:      cfg.Metrics,
 	}, r)
 	if err != nil {
 		return nil, fmt.Errorf("pb: %w", err)
@@ -505,6 +547,15 @@ func (r *Replica) Rejoin() {
 	// Parked requesters were disconnected by the shutdown; they resubmit.
 	r.pending = make(map[string][]*netsim.Conn)
 	r.resyncing = false
+	// The ack-stall clock compares frontiers observed on consecutive live
+	// ticks; observations from before the crash describe a link that no
+	// longer exists. Without this reset a node that restarts (rather than
+	// being rebuilt via New) would inherit pre-crash stall ticks and backoff
+	// waits and could fire a spurious — or badly delayed — stall resync on
+	// its first ticks back as primary.
+	r.ackSeen = make(map[int]uint64)
+	r.stallTicks = make(map[int]int)
+	r.stallWait = make(map[int]int)
 	r.lastHeartbeat = time.Now()
 }
 
@@ -740,7 +791,9 @@ func (r *Replica) execute(m wireMsg) []byte {
 	up := retained{requestID: m.RequestID, respBody: cached.body, respErr: cached.errMsg}
 	if r.lastSnap == nil || seq%uint64(r.cfg.CheckpointEvery) == 0 {
 		up.checkpoint = snap
+		r.mCheckpoints.Inc()
 	} else {
+		r.mDeltas.Inc()
 		up.baseHash = snapHash(r.lastSnap)
 		var patch []byte
 		up.prefix, patch, up.suffix = DiffSnapshot(r.lastSnap, snap)
@@ -751,6 +804,7 @@ func (r *Replica) execute(m wireMsg) []byte {
 	}
 	r.lastSnap = snap
 	r.window.Append(up)
+	r.gWindow.Set(int64(r.window.Len()))
 	// Staged on the per-backup outboxes: every update executed while
 	// draining one inbound batch leaves in a single SendBatch per backup
 	// when the runtime flushes at the end of the drain.
@@ -863,6 +917,8 @@ func (r *Replica) handleUpdate(m wireMsg) []byte {
 	case !sameStream:
 		// A delta from a stream this backup is not positioned in: only a
 		// checkpoint can anchor it.
+		r.mNackStream.Inc()
+		r.trace.Record(metrics.KindResyncStream, r.cfg.Addr, m.From, m.Seq)
 		return r.nackLocked()
 	case m.Seq <= prevSeq:
 		// Duplicate delta (retransmission crossed our ack): re-ack so the
@@ -872,6 +928,8 @@ func (r *Replica) handleUpdate(m wireMsg) []byte {
 		r.mu.Unlock()
 		return ack
 	case m.Seq > prevSeq+1:
+		r.mNackGap.Inc()
+		r.trace.Record(metrics.KindResyncGap, r.cfg.Addr, m.From, m.Seq)
 		return r.nackLocked() // gap: updates were dropped or slept through
 	}
 	r.mu.Unlock()
@@ -894,6 +952,7 @@ func (r *Replica) handleUpdate(m wireMsg) []byte {
 	}
 
 	cached := cachedResp{body: m.RespBody, errMsg: m.RespErr}
+	r.mDeltas.Inc()
 	r.mu.Lock()
 	r.seq = m.Seq
 	r.snapBytes = newSnap
@@ -942,8 +1001,10 @@ func (r *Replica) installCheckpoint(m wireMsg, sameStream bool, prevSeq uint64) 
 	r.primaryIdx = m.From
 	r.lastHeartbeat = time.Now()
 	r.resyncing = false
+	r.mCheckpoints.Inc()
 	if jumped {
 		r.ckptJumps++
+		r.mCkptJumps.Inc()
 	}
 	if m.RequestID != "" {
 		r.cacheRespLocked(m.RequestID, cachedResp{body: m.RespBody, errMsg: m.RespErr})
@@ -1004,7 +1065,9 @@ func (r *Replica) ackLocked(stream int) []byte {
 // abandons its stream position so the nack's streamUnknown forces the
 // primary onto the checkpoint path.
 func (r *Replica) nackDiverged() []byte {
+	r.mNackDiverged.Inc()
 	r.mu.Lock()
+	r.trace.Record(metrics.KindResyncDiverged, r.cfg.Addr, r.primaryIdx, r.seq)
 	r.updFrom = streamUnknown
 	r.snapBytes = nil
 	return r.nackLocked()
@@ -1050,6 +1113,8 @@ func (r *Replica) handleAck(m wireMsg) {
 	if minAck > 0 {
 		r.window.TrimTo(minAck + 1)
 	}
+	r.gAckFrontier.Set(int64(minAck))
+	r.gWindow.Set(int64(r.window.Len()))
 }
 
 // handleNack resyncs a backup that reported a chain break.
@@ -1099,6 +1164,7 @@ func (r *Replica) resyncPeer(peer int, from uint64, stream int) {
 			r.node.SendTo(peer, encode(updateMsg(s, r.cfg.Index, up, nil)))
 		}
 		if inWindow {
+			r.mResyncRetx.Inc()
 			return // staged; the runtime flushes on the way out
 		}
 	}
@@ -1111,6 +1177,7 @@ func (r *Replica) resyncPeer(peer int, from uint64, stream int) {
 	for id, c := range r.respCache {
 		responses[id] = c.payload()
 	}
+	r.mResyncCkpt.Inc()
 	r.node.SendTo(peer, encode(wireMsg{
 		Type:      msgCheckpoint,
 		Seq:       r.seq,
@@ -1187,6 +1254,12 @@ func (r *Replica) Tick() {
 			}
 			if r.stallTicks[idx] >= wait {
 				r.stallTicks[idx] = 0
+				// Satellite observability for the detector itself: how often
+				// it fires and how long (in wall time) each detected stall
+				// lasted before the resync went out.
+				r.mStallFires.Inc()
+				r.hStallNanos.Observe(uint64(wait) * uint64(r.cfg.HeartbeatInterval))
+				r.trace.Record(metrics.KindResyncStall, r.cfg.Addr, idx, a)
 				// Back off while the peer keeps not answering (crashed or
 				// partitioned away): each unanswered resync doubles the
 				// wait, capped at 8× — a dead backup must not cost a full

@@ -549,6 +549,30 @@ func TestRestartRejoinsAsBackup(t *testing.T) {
 	}
 }
 
+// TestRejoinResetsAckStallClock pins the restart half of the ack-stall
+// detector: frontier observations from before a crash describe a link that
+// no longer exists, so Rejoin must clear the stall clock (last-seen acks,
+// consecutive stalled ticks, and the per-peer backoff wait). Before the
+// fix, only a full rebuild via New reset them — an in-place Restart
+// inherited pre-crash state and could fire a spurious or badly delayed
+// stall resync on its first ticks back.
+func TestRejoinResetsAckStallClock(t *testing.T) {
+	_, rs := cluster(t, 3, func(int) service.Service { return service.NewKV() })
+	r := rs[0]
+	r.mu.Lock()
+	r.ackSeen[1] = 7
+	r.stallTicks[1] = 3
+	r.stallWait[1] = 64
+	r.mu.Unlock()
+	r.Rejoin()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ackSeen) != 0 || len(r.stallTicks) != 0 || len(r.stallWait) != 0 {
+		t.Errorf("stall clock survived Rejoin: ackSeen=%v stallTicks=%v stallWait=%v",
+			r.ackSeen, r.stallTicks, r.stallWait)
+	}
+}
+
 // TestRestartedInitialPrimaryDoesNotReclaimRole pins the failover-safety
 // contract: after the cluster has failed over, a restarted initial primary
 // rejoins as a backup and adopts the successor instead of usurping it with

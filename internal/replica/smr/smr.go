@@ -50,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"fortress/internal/metrics"
 	"fortress/internal/netsim"
 	"fortress/internal/replica/core"
 	"fortress/internal/replica/store"
@@ -223,6 +224,11 @@ type Config struct {
 	// selects HeartbeatTimeout/2, which leaves half the failover silence
 	// as safety margin against in-flight grant and ack delays.
 	LeaseDuration time.Duration
+	// Metrics, when non-nil, receives the replica's instruments (lease
+	// reads vs ordered fallbacks, catch-up replay vs snapshot installs)
+	// and its trace-event ring, labelled by Addr. Observational only — no
+	// protocol decision reads them back.
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -313,6 +319,18 @@ type Replica struct {
 	// persistedSnap is the frontier the store's snapshot slot covers; the
 	// journal is folded into it every snapEvery executions.
 	persistedSnap uint64
+
+	// Instruments (nil no-ops when Config.Metrics is unset). Observational
+	// only: nothing below feeds back into a protocol decision.
+	mLeaseReads    *metrics.Counter // reads served from a valid lease
+	mOrderedReads  *metrics.Counter // read-tagged requests that fell back to ordering
+	mLeaseGrants   *metrics.Counter // granting heartbeats accepted
+	mLeaseExpiries *metrics.Counter // reads refused on a grant that timed out
+	mCatchupStarts *metrics.Counter // catch-up exchanges initiated
+	mCatchupReplay *metrics.Counter // transfers answered by log-suffix replay
+	mCatchupSnap   *metrics.Counter // transfers answered by snapshot install
+	gExecuted      *metrics.Gauge   // executed frontier
+	trace          *metrics.TraceRing
 }
 
 // New starts a replica. The initial leader is the lowest peer index.
@@ -366,6 +384,18 @@ func New(cfg Config) (*Replica, error) {
 		leaseFrom:  leaderUnknown,
 		leaseAcks:  make(map[int]time.Time),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		node := fmt.Sprintf("{node=%q}", cfg.Addr)
+		r.mLeaseReads = reg.Counter("smr_lease_reads_total"+node, metrics.Timing)
+		r.mOrderedReads = reg.Counter("smr_ordered_read_fallbacks_total"+node, metrics.Timing)
+		r.mLeaseGrants = reg.Counter("smr_lease_grants_total"+node, metrics.Timing)
+		r.mLeaseExpiries = reg.Counter("smr_lease_expiries_total"+node, metrics.Timing)
+		r.mCatchupStarts = reg.Counter("smr_catchup_starts_total"+node, metrics.Timing)
+		r.mCatchupReplay = reg.Counter("smr_catchup_replay_total"+node, metrics.Timing)
+		r.mCatchupSnap = reg.Counter("smr_catchup_snapshot_total"+node, metrics.Timing)
+		r.gExecuted = reg.Gauge("smr_executed_frontier" + node)
+		r.trace = reg.Ring(cfg.Addr, 0)
+	}
 	for _, id := range sortedIDs(cfg.InitialResponses) {
 		r.cacheRespLocked(id, cfg.InitialResponses[id])
 		r.ordered[id] = true
@@ -383,6 +413,7 @@ func New(cfg Config) (*Replica, error) {
 		Peers:        cfg.Peers,
 		Net:          cfg.Net,
 		TickInterval: cfg.HeartbeatInterval,
+		Metrics:      cfg.Metrics,
 	}, r)
 	if err != nil {
 		return nil, fmt.Errorf("smr: %w", err)
@@ -762,7 +793,15 @@ func (r *Replica) tryServeRead(conn *netsim.Conn, m wireMsg) bool {
 	}
 	r.execMu.Lock()
 	r.mu.Lock()
-	ok := r.leaseValidLocked(time.Now())
+	now := time.Now()
+	ok := r.leaseValidLocked(now)
+	if !ok && r.cfg.Leases && r.leaderIdx != r.cfg.Index &&
+		r.leaseFrom == r.leaderIdx && now.Sub(r.leaseAt) > r.leaseDuration() {
+		// A grant from the leader we still follow, dead only by the clock:
+		// the lease expired under us (heartbeats stopped or slowed).
+		r.mLeaseExpiries.Inc()
+		r.trace.Record(metrics.KindLeaseExpiry, r.cfg.Addr, r.leaseFrom, r.leaseFrontier)
+	}
 	r.mu.Unlock()
 	if !ok {
 		r.execMu.Unlock()
@@ -773,6 +812,7 @@ func (r *Replica) tryServeRead(conn *netsim.Conn, m wireMsg) bool {
 	if err != nil {
 		body = []byte("error: " + err.Error())
 	}
+	r.mLeaseReads.Inc()
 	r.replyTagged(conn, m.RequestID, body, true)
 	return true
 }
@@ -781,8 +821,11 @@ func (r *Replica) tryServeRead(conn *netsim.Conn, m wireMsg) bool {
 // the order protocol — unless it is a lease-servable read, which is
 // answered locally without a sequence slot.
 func (r *Replica) handleRequest(conn *netsim.Conn, m wireMsg) {
-	if m.Read && r.tryServeRead(conn, m) {
-		return
+	if m.Read {
+		if r.tryServeRead(conn, m) {
+			return
+		}
+		r.mOrderedReads.Inc()
 	}
 	r.mu.Lock()
 	if body, ok := r.respCache[m.RequestID]; ok {
@@ -926,6 +969,11 @@ func (r *Replica) executeReady() {
 		r.mu.Unlock()
 		ready = append(ready, executed{entry.requestID, respBody, conns})
 	}
+	if len(ready) > 0 {
+		r.mu.Lock()
+		r.gExecuted.Set(int64(r.nextExec - 1))
+		r.mu.Unlock()
+	}
 	if r.durable && len(ready) > 0 {
 		r.persistSnapshotIfDue()
 	}
@@ -1006,6 +1054,8 @@ func (r *Replica) handleHeartbeat(m wireMsg) []byte {
 			r.leaseFrom = m.From
 			r.leaseFrontier = m.Seq
 			r.leaseAt = r.lastHeartbeat
+			r.mLeaseGrants.Inc()
+			r.trace.Record(metrics.KindLeaseGrant, r.cfg.Addr, m.From, m.Seq)
 			ack = encode(wireMsg{Type: msgLeaseAck, From: r.cfg.Index})
 		}
 	}
@@ -1098,6 +1148,8 @@ func (r *Replica) maybeCatchup() {
 	r.catchupFor = from
 	r.catchupAt = time.Now()
 	r.mu.Unlock()
+	r.mCatchupStarts.Inc()
+	r.trace.Record(metrics.KindCatchupStart, r.cfg.Addr, leader, from)
 	r.node.SendTo(leader, encode(wireMsg{Type: msgCatchupReq, Seq: from, From: r.cfg.Index}))
 	r.node.Flush()
 }
@@ -1176,6 +1228,8 @@ func (r *Replica) applyCatchup(m wireMsg) {
 		r.mu.Lock()
 		if m.Seq > r.nextExec {
 			if err := r.cfg.Service.Restore(m.Snapshot); err == nil {
+				r.mCatchupSnap.Inc()
+				r.trace.Record(metrics.KindCatchupSnapshot, r.cfg.Addr, m.From, m.Seq)
 				r.nextExec = m.Seq
 				if r.nextAssign < r.nextExec {
 					r.nextAssign = r.nextExec
@@ -1228,6 +1282,10 @@ func (r *Replica) applyCatchup(m wireMsg) {
 				r.reply(c, p.requestID, p.body)
 			}
 		}
+	}
+	if len(m.Entries) > 0 {
+		r.mCatchupReplay.Inc()
+		r.trace.Record(metrics.KindCatchupReplay, r.cfg.Addr, m.From, m.Seq)
 	}
 	for _, e := range m.Entries {
 		r.handleOrder(wireMsg{Type: msgOrder, RequestID: e.RequestID, Body: e.Body, Seq: e.Seq, From: m.From})

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fortress/internal/metrics"
 )
 
 // WAL file layout inside Dir:
@@ -62,6 +64,14 @@ type WALConfig struct {
 	// and PowerFail still discards everything past it). Tests use it to
 	// keep the durability model exact without paying disk latency in CI.
 	DisableFsync bool
+
+	// Metrics, when non-nil, receives the store's instruments (append and
+	// snapshot counters, a sync-latency histogram, injected-stall time) and
+	// its stall trace events, labelled by Node. Observational only.
+	Metrics *metrics.Registry
+	// Node labels this store's instruments — the owning replica's address.
+	// Defaults to Dir when empty.
+	Node string
 }
 
 // WAL is the durable store: an append-only CRC-framed log plus a snapshot
@@ -70,6 +80,14 @@ type WALConfig struct {
 type WAL struct {
 	cfg   WALConfig
 	stall atomic.Int64 // injected sync latency, nanoseconds
+
+	// Instruments (nil no-ops when WALConfig.Metrics is unset).
+	node        string
+	mAppends    *metrics.Counter // records journaled
+	mSnapshots  *metrics.Counter // snapshot-slot rewrites
+	mStallNanos *metrics.Counter // injected stall time slept, ns
+	hSync       *metrics.Histogram
+	trace       *metrics.TraceRing
 
 	mu     sync.Mutex
 	closed bool
@@ -108,6 +126,18 @@ func Open(cfg WALConfig) (*WAL, error) {
 		return nil, fmt.Errorf("store: open wal: %w", err)
 	}
 	s := &WAL{cfg: cfg}
+	if reg := cfg.Metrics; reg != nil {
+		s.node = cfg.Node
+		if s.node == "" {
+			s.node = cfg.Dir
+		}
+		label := fmt.Sprintf("{node=%q}", s.node)
+		s.mAppends = reg.Counter("store_appends_total"+label, metrics.Timing)
+		s.mSnapshots = reg.Counter("store_snapshots_total"+label, metrics.Timing)
+		s.mStallNanos = reg.Counter("store_stall_ns_total"+label, metrics.Timing)
+		s.hSync = reg.Histogram("store_sync_ns"+label, metrics.DefaultLatencyBuckets)
+		s.trace = reg.Ring(s.node, 0)
+	}
 	if err := s.loadSnapshotFile(); err != nil {
 		return nil, err
 	}
@@ -236,6 +266,7 @@ func (s *WAL) Append(seq uint64, rec []byte) error {
 	s.size += int64(walFrameHeader) + int64(len(rec))
 	s.recs = append(s.recs, rec)
 	s.ends = append(s.ends, s.size)
+	s.mAppends.Inc()
 	s.unsync++
 	if s.unsync >= s.cfg.SyncEvery {
 		return s.syncLocked()
@@ -248,6 +279,11 @@ func (s *WAL) Append(seq uint64, rec []byte) error {
 func (s *WAL) syncLocked() error {
 	if d := time.Duration(s.stall.Load()); d > 0 {
 		time.Sleep(d)
+		s.mStallNanos.Add(uint64(d))
+	}
+	var start time.Time
+	if s.hSync != nil {
+		start = time.Now()
 	}
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
@@ -256,6 +292,9 @@ func (s *WAL) syncLocked() error {
 		if err := s.file.Sync(); err != nil {
 			return fmt.Errorf("store: sync: %w", err)
 		}
+	}
+	if s.hSync != nil {
+		s.hSync.Observe(uint64(time.Since(start)))
 	}
 	s.synced = s.size
 	s.unsync = 0
@@ -283,6 +322,7 @@ func (s *WAL) WriteSnapshot(seq uint64, snap []byte) error {
 	}
 	if d := time.Duration(s.stall.Load()); d > 0 {
 		time.Sleep(d)
+		s.mStallNanos.Add(uint64(d))
 	}
 	var header [walSnapHeader]byte
 	binary.BigEndian.PutUint64(header[0:8], seq)
@@ -316,6 +356,7 @@ func (s *WAL) WriteSnapshot(seq uint64, snap []byte) error {
 	s.hasSnap = true
 	s.snapSeq = seq
 	s.snap = append([]byte(nil), snap...)
+	s.mSnapshots.Inc()
 	return nil
 }
 
@@ -485,6 +526,8 @@ func (s *WAL) SetStall(d time.Duration) {
 		d = 0
 	}
 	s.stall.Store(int64(d))
+	// Seq carries the injected latency in nanoseconds (0 = stall cleared).
+	s.trace.Record(metrics.KindWALStall, s.node, -1, uint64(d))
 }
 
 // Close implements Store, flushing and syncing first.

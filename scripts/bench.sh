@@ -26,7 +26,10 @@
 # BenchmarkReadScaling the lease tier's read-scalability claim: a 0.95
 # read-fraction workload over 3/5/7-replica SMR clusters, leases off vs
 # on — leases-on cost should stay flat as replicas grow while leases-off
-# (every read ordered through the leader) climbs with the fan-out.
+# (every read ordered through the leader) climbs with the fan-out, and
+# BenchmarkMetricsHotPath (internal/metrics) the zero-allocation pledge on
+# the counter/gauge/histogram/trace-ring hot paths: its recorded allocs/op
+# must stay 0, and the benchmark itself fails if an allocation sneaks in.
 #
 # scripts/benchdiff.sh compares two of these files (per-benchmark ns/op
 # ratio, configurable threshold, baseline-completeness check); the CI

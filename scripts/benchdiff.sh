@@ -50,12 +50,20 @@ if [ "$TRAJECTORY" -eq 1 ]; then
     fi
     [ -r "$1" ] || { echo "benchdiff: no readable BENCH_*.json files" >&2; exit 66; }
     awk '
-    FNR == 1 {
-        nf++
-        label[nf] = FILENAME
-        sub(/^.*BENCH_/, "", label[nf])
-        sub(/\.json$/, "", label[nf])
+    # Columns come from ARGV, not from FNR==1 firing per file: a file that
+    # contributes no parsed benchmark lines (empty, truncated, or predating
+    # a benchmark entirely) must still own its column — every row then shows
+    # "-" there instead of silently shifting later files left.
+    BEGIN {
+        for (i = 1; i < ARGC; i++) {
+            nf++
+            label[nf] = ARGV[i]
+            sub(/^.*BENCH_/, "", label[nf])
+            sub(/\.json$/, "", label[nf])
+            fileidx[ARGV[i]] = nf
+        }
     }
+    FNR == 1           { inb = 0 }
     /"benchmarks": \{/ { inb = 1; next }
     inb && /^  \}/     { inb = 0 }
     inb && /"ns_per_op"/ {
@@ -66,7 +74,7 @@ if [ "$TRAJECTORY" -eq 1 ]; then
         sub(/.*"ns_per_op": */, "", nsv)
         sub(/[,}].*/, "", nsv)
         if (!(name in seen)) { seen[name] = ++count; order[count] = name }
-        val[name, nf] = nsv + 0
+        val[name, fileidx[FILENAME]] = nsv + 0
     }
     END {
         printf "%-55s", "benchmark (ns/op)"
