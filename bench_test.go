@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"fortress/internal/memlayout"
 	"fortress/internal/model"
 	"fortress/internal/netsim"
+	"fortress/internal/proxy"
 	"fortress/internal/replica"
 	"fortress/internal/replica/core"
 	"fortress/internal/replica/pb"
@@ -315,7 +317,7 @@ func BenchmarkFaultCampaignSeries(b *testing.B) {
 		proxies  = 3
 		maxSteps = 30
 	)
-	sched := preset.Build(servers, proxies, maxSteps)
+	sched := preset.Build(faults.Shape{Servers: servers, Proxies: proxies}, maxSteps)
 	for _, backend := range []replica.Backend{replica.BackendPB, replica.BackendSMR} {
 		for _, v := range campaignVariants {
 			b.Run(backend.String()+"/"+v.name, func(b *testing.B) {
@@ -383,7 +385,7 @@ func BenchmarkFaultCampaignPersistence(b *testing.B) {
 		maxSteps = 20
 		reps     = 2
 	)
-	sched := preset.Build(servers, proxies, maxSteps)
+	sched := preset.Build(faults.Shape{Servers: servers, Proxies: proxies}, maxSteps)
 	for _, v := range []struct {
 		name      string
 		wal       bool
@@ -674,6 +676,123 @@ func BenchmarkReadScaling(b *testing.B) {
 						}
 					}
 				})
+			})
+		}
+	}
+}
+
+// BenchmarkShardScaling regenerates the sharding throughput artifact: a
+// write-heavy keyed workload (9 puts per get) driven through the full
+// doubly-signed proxy path against deployments of 1, 2, 4 and 8
+// consistent-hash replica groups, per replication backend. The network
+// carries a simulated link delay, so a request's latency is dominated by
+// its round trips — as on any real network — and each shard runs one
+// closed-loop client (a fixed per-shard population, the standard
+// partitioned-store methodology): a single group is then bounded by one
+// ordering pipeline's round-trip cadence, while M groups overlap M
+// independent pipelines, so aggregate ops/s (the inverse of ns/op) grows
+// near-linearly with the group count until the simulation host's CPU
+// saturates on signature verification. Keys come from the deployment's
+// own ring, an equal share per group.
+func BenchmarkShardScaling(b *testing.B) {
+	const (
+		servers      = 3
+		proxies      = 3
+		keysPerGroup = 8
+		linkDelay    = 2 * time.Millisecond
+	)
+	for _, backend := range []replica.Backend{replica.BackendPB, replica.BackendSMR} {
+		for _, groups := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/groups=%d", backend, groups), func(b *testing.B) {
+				space, err := keyspace.NewSpace(24)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys, err := fortress.New(fortress.Config{
+					Servers:           servers,
+					Proxies:           proxies,
+					Groups:            groups,
+					Backend:           backend,
+					Space:             space,
+					Seed:              7,
+					ServiceFactory:    func() service.Service { return service.NewKV() },
+					HeartbeatInterval: 5 * time.Millisecond,
+					HeartbeatTimeout:  400 * time.Millisecond,
+					ServerTimeout:     2 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(sys.Stop)
+				ring := sys.Ring()
+				byGroup := make([][]string, groups)
+				for g := 0; g < groups; g++ {
+					for n := 0; len(byGroup[g]) < keysPerGroup; n++ {
+						k := fmt.Sprintf("bench-%d-%d", g, n)
+						if ring.Owner(k) == g {
+							byGroup[g] = append(byGroup[g], k)
+						}
+					}
+				}
+				// One closed-loop client per shard; warm each shard's
+				// pipeline (connection caches, first checkpoint) before
+				// the measurement, then turn the link delay on.
+				clients := make([]*proxy.Client, groups)
+				for g := range clients {
+					cl, err := sys.Client(fmt.Sprintf("bench-shard-c%d", g), 5*time.Second)
+					if err != nil {
+						b.Fatal(err)
+					}
+					body := fmt.Sprintf(`{"op":"put","key":%q,"value":"seed"}`, byGroup[g][0])
+					if _, err := cl.Invoke(fmt.Sprintf("warm-%d", g), []byte(body)); err != nil {
+						b.Fatal(err)
+					}
+					clients[g] = cl
+				}
+				sys.Net().SetLinkDelay(linkDelay)
+				// Each iteration spends a fixed total budget of opsPerIter
+				// requests, split across the shards (Σ_g (K+g)/groups ==
+				// K), so ns/op is the wall time of the same workload at
+				// every group count — the 1-group/M-group ratio IS the
+				// aggregate throughput scaling, even at -benchtime 1x.
+				const opsPerIter = 64
+				errs := make([]error, groups)
+				b.ResetTimer()
+				for iter := 0; iter < b.N; iter++ {
+					var wg sync.WaitGroup
+					for g := 0; g < groups; g++ {
+						wg.Add(1)
+						go func(iter, g int) {
+							defer wg.Done()
+							cl, keys := clients[g], byGroup[g]
+							for i := 0; i < (opsPerIter+g)/groups; i++ {
+								key := keys[i%len(keys)]
+								id := fmt.Sprintf("%d-%d-%d", iter, g, i)
+								var err error
+								if i%10 == 9 {
+									body := fmt.Sprintf(`{"op":"get","key":%q}`, key)
+									_, err = cl.InvokeRead("r-"+id, []byte(body))
+								} else {
+									body := fmt.Sprintf(`{"op":"put","key":%q,"value":"v"}`, key)
+									_, err = cl.Invoke("w-"+id, []byte(body))
+								}
+								if err != nil {
+									errs[g] = err
+									return
+								}
+							}
+						}(iter, g)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(opsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+				sys.Net().SetLinkDelay(0)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}

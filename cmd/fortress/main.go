@@ -45,6 +45,14 @@
 // -read-frac 0.95` compares lease-on vs lease-off availability under every
 // selected fault schedule at a read-mostly mix.
 //
+// Both sweeps take -groups, the sharding axis: each cell deploys that many
+// independent replica groups behind the shared proxy tier and
+// consistent-hashes the request keyspace across them, so aggregate write
+// throughput scales with the group count while each key keeps single-group
+// consistency. Sharded fault-sweep cells report per-shard availability next
+// to the aggregate; `-preset shard-cut -groups 4` darkens exactly one shard
+// and shows the other three holding availability 1.0.
+//
 // The faults sweep additionally takes the durability axes -persist (mem,
 // wal), -fsync-every (WAL sync cadence) and -jitter (per-repetition fault
 // timing perturbation): `-preset blackout -persist mem,wal` reproduces the
@@ -324,6 +332,21 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseGroupList parses a comma-separated replica-group-count grid,
+// rejecting entries below one.
+func parseGroupList(s string) ([]int, error) {
+	out, err := parseIntList(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range out {
+		if g < 1 {
+			return nil, fmt.Errorf("group count %d must be at least 1", g)
+		}
+	}
+	return out, nil
+}
+
 // parseUint64List parses a comma-separated list of uint64s ("0,1,2").
 func parseUint64List(s string) ([]uint64, error) {
 	if s == "" {
@@ -350,10 +373,12 @@ func runCampaign(args []string) error {
 	steps := fs.Uint64("steps", 40, "campaign horizon in unit time-steps")
 	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
 	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
-	servers := fs.Int("servers", 3, "server count n_s")
+	servers := fs.Int("servers", 3, "per-group server count n_s")
 	backendList := fs.String("backend", "pb",
 		"comma-separated server-tier replication backends (pb, smr); smr cells replay the same campaigns against a state-machine-replicated tier with leader-driven catch-up")
 	proxiesList := fs.String("proxies", "2,3,4", "comma-separated proxy-count grid")
+	groupsList := fs.String("groups", "1",
+		"comma-separated replica-group-count grid: each cell consistent-hashes the request keyspace across this many independent replica groups behind the shared proxy tier (1 = classic single-group fortress)")
 	pacingList := fs.String("pacing", "0,1,2", "comma-separated indirect-probe (κ·ω) grid")
 	detector := fs.String("detector", "both", "detector grid: off, on, or both")
 	threshold := fs.Int("detector-threshold", 8, "invalid requests before a probe source is flagged")
@@ -399,6 +424,10 @@ func runCampaign(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-proxies: %w", err)
 	}
+	groups, err := parseGroupList(*groupsList)
+	if err != nil {
+		return fmt.Errorf("-groups: %w", err)
+	}
 	pacings, err := parseUint64List(*pacingList)
 	if err != nil {
 		return fmt.Errorf("-pacing: %w", err)
@@ -423,6 +452,7 @@ func runCampaign(args []string) error {
 		Rerandomize:       *po,
 		OmegaDirect:       *omegaD,
 		Servers:           *servers,
+		Groups:            groups,
 		Backends:          backends,
 		ProxyCounts:       proxyCounts,
 		Detectors:         detectors,
@@ -463,8 +493,8 @@ func runCampaign(args []string) error {
 				continue
 			}
 			cells = append(cells, experiments.CellMetrics{
-				Cell: fmt.Sprintf("backend=%s proxies=%d detector=%t pace=%d readfrac=%g leases=%t",
-					r.Backend, r.Proxies, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases),
+				Cell: fmt.Sprintf("backend=%s proxies=%d groups=%d detector=%t pace=%d readfrac=%g leases=%t",
+					r.Backend, r.Proxies, r.Groups, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases),
 				Snapshot: *r.Metrics,
 			})
 		}
@@ -529,10 +559,12 @@ func runFaults(args []string) error {
 	po := fs.Bool("po", false, "re-randomize every step (proactive obfuscation)")
 	omegaD := fs.Uint64("omega-direct", 2, "direct probes per step")
 	omegaI := fs.Uint64("omega-indirect", 1, "indirect probes per step")
-	servers := fs.Int("servers", 3, "server count n_s")
+	servers := fs.Int("servers", 3, "per-group server count n_s")
 	backendList := fs.String("backend", "pb",
 		"comma-separated server-tier replication backends (pb, smr); pb,smr replays every fault schedule against both tiers for a PB-vs-SMR availability comparison, with restarted smr replicas catching up from the leader")
 	proxiesList := fs.String("proxies", "3", "comma-separated proxy-count grid")
+	groupsList := fs.String("groups", "1",
+		"comma-separated replica-group-count grid: each cell consistent-hashes the request keyspace across this many independent replica groups behind the shared proxy tier, reporting per-shard availability next to the aggregate (1 = classic single-group fortress; pair with -preset shard-cut to dark one shard)")
 	dropsList := fs.String("drops", "0", "comma-separated drop-rate grid (per-directed-pair drop streams keep positive-rate cells bitwise reproducible at any -workers)")
 	persistList := fs.String("persist", "mem",
 		"comma-separated persistence grid (mem, wal); mem is the zero-allocation in-memory default that a blackout wipes, wal gives every server a write-ahead log plus snapshot recovered from disk on restart — mem,wal turns the sweep into a durability comparison")
@@ -591,6 +623,10 @@ func runFaults(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-proxies: %w", err)
 	}
+	groups, err := parseGroupList(*groupsList)
+	if err != nil {
+		return fmt.Errorf("-groups: %w", err)
+	}
 	drops, err := parseFloatList(*dropsList)
 	if err != nil {
 		return fmt.Errorf("-drops: %w", err)
@@ -643,6 +679,7 @@ func runFaults(args []string) error {
 		Presets:         presetNames,
 		DropRates:       drops,
 		ProxyCounts:     proxyCounts,
+		Groups:          groups,
 		CheckpointEvery: *checkpointEvery,
 		UpdateWindow:    *updateWindow,
 		Persist:         persist,
@@ -682,8 +719,8 @@ func runFaults(args []string) error {
 				continue
 			}
 			cells = append(cells, experiments.CellMetrics{
-				Cell: fmt.Sprintf("backend=%s preset=%s drop=%g proxies=%d persist=%s fsync=%d jitter=%d readfrac=%g leases=%t",
-					r.Backend, r.Preset, r.DropRate, r.Proxies, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases),
+				Cell: fmt.Sprintf("backend=%s preset=%s drop=%g proxies=%d groups=%d persist=%s fsync=%d jitter=%d readfrac=%g leases=%t",
+					r.Backend, r.Preset, r.DropRate, r.Proxies, r.Groups, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases),
 				Snapshot: *r.Metrics,
 			})
 		}

@@ -26,11 +26,27 @@ import (
 // /status.json and the Prometheus text exposition format on /metrics. It
 // serves until SIGINT/SIGTERM, then shuts the HTTP server and the system
 // down cleanly.
+//
+// With -groups N > 1 the keyspace is consistent-hash sharded across N
+// independent replica groups and the dashboard grows per-group series:
+//
+//	proxy_shard_requests_total{node=...,group="g"}  keyed requests each
+//	                                                proxy routed to group g
+//	campaign_shard_probes_total{group="g"}          per-shard campaign
+//	campaign_shard_available_steps_total{group="g"} probe outcomes (sweeps)
+//
+// Alongside them ride the replication-tier instruments added with the
+// sharded runtime: core_outbox_sheds_total{node=...,peer="N"} (staged
+// updates dropped by the bounded per-peer outbox) and
+// pb_updates_delta_fast_total{node=...} (primary executes that took the
+// service's own delta instead of Snapshot+DiffSnapshot).
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address for the status endpoints")
-	servers := fs.Int("servers", 3, "server count n_s")
+	servers := fs.Int("servers", 3, "per-group server count n_s")
 	proxies := fs.Int("proxies", 3, "proxy count n_p")
+	groups := fs.Int("groups", 1,
+		"replica-group count: consistent-hash the request keyspace across this many independent replica groups behind the shared proxy tier (1 = classic single-group fortress)")
 	backendName := fs.String("backend", "pb", "server-tier replication backend (pb, smr)")
 	chi := fs.Uint64("chi", 1<<16, "key space size χ")
 	seed := fs.Uint64("seed", uint64(time.Now().UnixNano()), "deployment seed")
@@ -46,6 +62,9 @@ func runServe(args []string) error {
 	if *servers <= 0 || *proxies <= 0 {
 		return errors.New("-servers and -proxies must be at least 1")
 	}
+	if *groups < 1 {
+		return fmt.Errorf("-groups must be at least 1, got %d", *groups)
+	}
 	backend, err := replica.ParseBackend(*backendName)
 	if err != nil {
 		return fmt.Errorf("-backend: %w", err)
@@ -59,6 +78,7 @@ func runServe(args []string) error {
 	sys, err := fortress.New(fortress.Config{
 		Servers:           *servers,
 		Proxies:           *proxies,
+		Groups:            *groups,
 		Backend:           backend,
 		Space:             space,
 		Seed:              *seed,
@@ -89,8 +109,8 @@ func runServe(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: newServeMux(sys)}
-	fmt.Printf("fortress serve: %d %s servers, %d proxies, χ=%d — dashboard http://%s/ metrics http://%s/metrics\n",
-		*servers, backend, *proxies, *chi, ln.Addr(), ln.Addr())
+	fmt.Printf("fortress serve: %d group(s) × %d %s servers, %d proxies, χ=%d — dashboard http://%s/ metrics http://%s/metrics\n",
+		*groups, *servers, backend, *proxies, *chi, ln.Addr(), ln.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -172,6 +192,9 @@ func newServeMux(sys *fortress.System) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		st := sys.Status()
 		fmt.Fprintf(w, "fortress status — epoch %d\n", st.Epoch)
+		if st.Groups > 1 {
+			fmt.Fprintf(w, "replica groups: %d (consistent-hash sharded keyspace)\n", st.Groups)
+		}
 		fmt.Fprintf(w, "servers: %d compromised, %d crashed, %d down\n",
 			st.ServersCompromised, st.ServersCrashed, st.ServersDown)
 		fmt.Fprintf(w, "proxies: %d compromised, %d crashed, %d down\n",

@@ -229,6 +229,14 @@ type CampaignResult struct {
 	// ReadProbes counts how many of ProbedSteps were issued as reads; the
 	// rest were writes. The realized read/write mix of the workload axis.
 	ReadProbes uint64
+	// ShardProbedSteps and ShardAvailableSteps break the availability
+	// measurement down per replica group on a sharded deployment: each
+	// step probes one ring-owned key per group (same read/write decision
+	// for all of them), and a step counts toward AvailableSteps only when
+	// every group answered. Nil on single-group deployments, where the
+	// aggregate fields carry the whole story.
+	ShardProbedSteps    []uint64
+	ShardAvailableSteps []uint64
 }
 
 // Availability returns AvailableSteps/ProbedSteps, or NaN when no health
@@ -238,6 +246,23 @@ func (r CampaignResult) Availability() float64 {
 		return math.NaN()
 	}
 	return float64(r.AvailableSteps) / float64(r.ProbedSteps)
+}
+
+// ShardAvailabilities returns the per-replica-group availability fractions,
+// or nil on a single-group deployment (or when measurement was off).
+func (r CampaignResult) ShardAvailabilities() []float64 {
+	if len(r.ShardProbedSteps) == 0 {
+		return nil
+	}
+	out := make([]float64, len(r.ShardProbedSteps))
+	for g := range out {
+		if r.ShardProbedSteps[g] == 0 {
+			out[g] = math.NaN()
+			continue
+		}
+		out[g] = float64(r.ShardAvailableSteps[g]) / float64(r.ShardProbedSteps[g])
+	}
+	return out
 }
 
 // Campaign drives a de-randomization campaign against a live FORTRESS
@@ -270,10 +295,23 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 		return CampaignResult{}, err
 	}
 	var health *proxy.Client
+	var shardKeys []string
 	if cfg.MeasureAvailability {
 		health, err = sys.Client("health-probe", cfg.healthTimeout())
 		if err != nil {
 			return CampaignResult{}, fmt.Errorf("attack: health client: %w", err)
+		}
+		if groups := sys.Groups(); groups > 1 {
+			// One deterministic ring-owned key per replica group: the
+			// same probe keys every repetition, so sharded availability
+			// stays a pure function of the seeded streams.
+			ring := sys.Ring()
+			shardKeys = make([]string, groups)
+			for g := range shardKeys {
+				shardKeys[g] = ring.ProbeKey(g)
+			}
+			res.ShardProbedSteps = make([]uint64, groups)
+			res.ShardAvailableSteps = make([]uint64, groups)
 		}
 	}
 
@@ -295,8 +333,26 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 			if isRead {
 				res.ReadProbes++
 			}
-			if checkHealth(health, step, isRead) {
-				res.AvailableSteps++
+			if shardKeys == nil {
+				if checkHealth(health, step, isRead) {
+					res.AvailableSteps++
+				}
+			} else {
+				// Probe every shard with its own key; the step counts as
+				// available only when every group answers, while the
+				// per-group tallies localize any outage to its shard.
+				allUp := true
+				for g, key := range shardKeys {
+					res.ShardProbedSteps[g]++
+					if checkShardHealth(health, step, g, key, isRead) {
+						res.ShardAvailableSteps[g]++
+					} else {
+						allUp = false
+					}
+				}
+				if allUp {
+					res.AvailableSteps++
+				}
 			}
 		}
 		route, err := campaignStep(sys, cfg, proxyGuesser, serverGuesser)
@@ -340,6 +396,12 @@ func recordCampaign(reg *metrics.Registry, res *CampaignResult) {
 	reg.Counter("campaign_read_probes_total", metrics.Stable).Add(res.ReadProbes)
 	reg.Counter("campaign_write_probes_total", metrics.Stable).Add(res.ProbedSteps - res.ReadProbes)
 	reg.Counter("campaign_available_steps_total", metrics.Stable).Add(res.AvailableSteps)
+	for g := range res.ShardProbedSteps {
+		reg.Counter(fmt.Sprintf("campaign_shard_probes_total{group=\"%d\"}", g),
+			metrics.Stable).Add(res.ShardProbedSteps[g])
+		reg.Counter(fmt.Sprintf("campaign_shard_available_steps_total{group=\"%d\"}", g),
+			metrics.Stable).Add(res.ShardAvailableSteps[g])
+	}
 	if res.Compromised {
 		reg.Counter("campaign_compromises_total", metrics.Stable).Inc()
 	}
@@ -359,6 +421,20 @@ func checkHealth(c *proxy.Client, step uint64, read bool) bool {
 		_, err = c.InvokeRead(id, []byte(`{"op":"get","key":"health"}`))
 	} else {
 		_, err = c.Invoke(id, []byte(fmt.Sprintf(`{"op":"put","key":"health","value":"step-%d"}`, step)))
+	}
+	return err == nil
+}
+
+// checkShardHealth is checkHealth aimed at one replica group of a sharded
+// deployment: the probe body carries a key the routing ring assigns to
+// that group, so the proxies forward it to exactly the shard under test.
+func checkShardHealth(c *proxy.Client, step uint64, group int, key string, read bool) bool {
+	id := fmt.Sprintf("health-%d-g%d", step, group)
+	var err error
+	if read {
+		_, err = c.InvokeRead(id, []byte(fmt.Sprintf(`{"op":"get","key":%q}`, key)))
+	} else {
+		_, err = c.Invoke(id, []byte(fmt.Sprintf(`{"op":"put","key":%q,"value":"step-%d"}`, key, step)))
 	}
 	return err == nil
 }

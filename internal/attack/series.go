@@ -55,6 +55,11 @@ type SeriesResult struct {
 	// it, folded in repetition order. Zero-valued when no repetition ran
 	// with MeasureAvailability.
 	Availability stats.Summary
+	// ShardAvailability summarizes per-replica-group availability across
+	// repetitions, indexed by group and folded in repetition order. Nil
+	// unless the campaigns ran sharded (fortress.Config.Groups > 1) with
+	// MeasureAvailability.
+	ShardAvailability []stats.Summary
 	// Results holds every repetition's outcome, in repetition order.
 	Results []CampaignResult
 }
@@ -123,10 +128,19 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 		Results: results,
 	}
 	var acc, avail stats.Accumulator
+	var shardAcc []stats.Accumulator
 	for _, r := range results {
 		acc.Add(float64(r.StepsElapsed))
 		if r.ProbedSteps > 0 {
 			avail.Add(r.Availability())
+		}
+		for g, a := range r.ShardAvailabilities() {
+			if shardAcc == nil {
+				shardAcc = make([]stats.Accumulator, len(r.ShardProbedSteps))
+			}
+			if r.ShardProbedSteps[g] > 0 {
+				shardAcc[g].Add(a)
+			}
 		}
 		if r.Compromised {
 			out.Compromised++
@@ -135,5 +149,8 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 	}
 	out.Lifetime = acc.Summarize()
 	out.Availability = avail.Summarize()
+	for _, a := range shardAcc {
+		out.ShardAvailability = append(out.ShardAvailability, a.Summarize())
+	}
 	return out, nil
 }

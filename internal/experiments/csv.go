@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // WriteCSV emits results as CSV with a header row, ready for plotting the
@@ -52,15 +53,17 @@ func WriteFortifyCSV(w io.Writer, rows []FortifyComparison) error {
 }
 
 // WriteLiveCampaignCSV emits live-campaign sweep rows as CSV, one row per
-// (backend, proxy count, detector, pacing) cell, ready for plotting next to
-// the fig1/fig2 series.
+// (backend, proxy count, group count, detector, pacing) cell, ready for
+// plotting next to the fig1/fig2 series. shard_availability is the per-group
+// availability vector, semicolon-joined in group order (empty for
+// single-group cells).
 func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 	if _, err := io.WriteString(w,
-		"backend,proxies,detector,omega_indirect,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,proxies,detector,omega_indirect,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,groups,shard_availability,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%s,%d,%t,%d,%s,%t,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%d,%t,%d,%s,%t,%d,%d,%s,%s,%s,%s,%d,%s,%d,%d,%d\n",
 			r.Backend,
 			r.Proxies,
 			r.Detector,
@@ -73,6 +76,8 @@ func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 			formatFloat(r.CI95),
 			formatFloat(r.Availability),
 			formatFloat(r.AvailabilityCI95),
+			r.Groups,
+			formatFloatList(r.ShardAvailability),
 			r.Routes["server-indirect"],
 			r.Routes["server-launchpad"],
 			r.Routes["all-proxies"],
@@ -85,15 +90,17 @@ func WriteLiveCampaignCSV(w io.Writer, rows []LiveCampaignRow) error {
 }
 
 // WriteFaultSweepCSV emits fault-sweep rows as CSV, one row per
-// (backend, preset, drop rate, proxy count, persistence, jitter, read
-// fraction, leases) cell.
+// (backend, preset, drop rate, proxy count, group count, persistence,
+// jitter, read fraction, leases) cell. shard_availability is the per-group
+// availability vector, semicolon-joined in group order (empty for
+// single-group cells).
 func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
 	if _, err := io.WriteString(w,
-		"backend,preset,drop_rate,proxies,persist,fsync_every,jitter,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
+		"backend,preset,drop_rate,proxies,persist,fsync_every,jitter,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,groups,shard_availability,route_server_indirect,route_server_launchpad,route_all_proxies\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		row := fmt.Sprintf("%s,%s,%s,%d,%s,%d,%d,%s,%t,%d,%d,%s,%s,%s,%s,%d,%d,%d\n",
+		row := fmt.Sprintf("%s,%s,%s,%d,%s,%d,%d,%s,%t,%d,%d,%s,%s,%s,%s,%d,%s,%d,%d,%d\n",
 			r.Backend,
 			r.Preset,
 			formatFloat(r.DropRate),
@@ -109,6 +116,8 @@ func WriteFaultSweepCSV(w io.Writer, rows []FaultSweepRow) error {
 			formatFloat(r.CI95),
 			formatFloat(r.Availability),
 			formatFloat(r.AvailabilityCI95),
+			r.Groups,
+			formatFloatList(r.ShardAvailability),
 			r.Routes["server-indirect"],
 			r.Routes["server-launchpad"],
 			r.Routes["all-proxies"],
@@ -132,6 +141,19 @@ func WriteAlphaGrowthCSV(w io.Writer, rows []AlphaGrowthRow) error {
 		}
 	}
 	return nil
+}
+
+// formatFloatList renders a float slice semicolon-joined — a single CSV cell
+// holding a per-group vector — or empty for a nil slice.
+func formatFloatList(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = formatFloat(v)
+	}
+	return strings.Join(parts, ";")
 }
 
 // formatFloat renders a float compactly, leaving NaN empty and marking

@@ -50,8 +50,15 @@ type FaultSweepConfig struct {
 	OmegaDirect uint64
 	// OmegaIndirect is the paced indirect budget per step. Default 1.
 	OmegaIndirect uint64
-	// Servers is the server count n_s. Default 3.
+	// Servers is the server count n_s — per replica group on sharded
+	// cells. Default 3.
 	Servers int
+	// Groups is the replica-group grid: each value deploys that many
+	// independent replica groups (fortress.Config.Groups) behind the
+	// proxy tier, with the keyspace consistent-hash-partitioned across
+	// them. Sharded cells probe every group each step and report
+	// per-shard availability next to the aggregate. Default {1}.
+	Groups []int
 	// Backends is the replication-engine grid, by name ("pb", "smr") —
 	// the same schedules replayed against both server tiers turn every
 	// sweep into a PB-vs-SMR availability comparison. Default {"pb"}.
@@ -124,6 +131,7 @@ func DefaultFaultSweepConfig() FaultSweepConfig {
 		OmegaDirect:   2,
 		OmegaIndirect: 1,
 		Servers:       3,
+		Groups:        []int{1},
 		Backends:      []string{"pb"},
 		Presets:       []string{"none", "rolling-partition", "quorum-partition", "proxy-outage"},
 		DropRates:     []float64{0},
@@ -154,6 +162,9 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 	}
 	if c.Servers == 0 {
 		c.Servers = d.Servers
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = d.Groups
 	}
 	if len(c.Backends) == 0 {
 		c.Backends = d.Backends
@@ -202,6 +213,8 @@ type FaultSweepRow struct {
 	Preset   string
 	DropRate float64
 	Proxies  int
+	// Groups is the cell's replica-group count.
+	Groups int
 	// Persist is the cell's persistence mode ("mem" or "wal").
 	Persist string
 	// FsyncEvery is the WAL sync cadence; 0 for "mem" cells.
@@ -219,9 +232,15 @@ type FaultSweepRow struct {
 	MeanLifetime float64
 	CI95         float64
 	// Availability and AvailabilityCI95 summarize the per-repetition
-	// fraction of steps whose health check got a doubly-signed answer.
+	// fraction of steps whose health check got a doubly-signed answer —
+	// on sharded cells, the fraction of steps EVERY group answered.
 	Availability     float64
 	AvailabilityCI95 float64
+	// ShardAvailability is the mean per-replica-group availability,
+	// indexed by group; nil on single-group cells. A fault that cuts one
+	// group shows up here as that shard's entry collapsing while the
+	// others hold at 1.
+	ShardAvailability []float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
 	// Metrics is the cell's merged per-repetition metrics snapshot; nil
@@ -269,6 +288,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 		preset   faults.Preset
 		drop     float64
 		proxies  int
+		groups   int
 		persist  string
 		fsync    int
 		jitter   uint64
@@ -288,23 +308,28 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			}
 			for _, drop := range cfg.DropRates {
 				for _, np := range cfg.ProxyCounts {
-					for _, persist := range cfg.Persist {
-						// The fsync axis only distinguishes "wal" cells;
-						// "mem" collapses it so the grid carries no
-						// duplicate in-memory rows.
-						fsyncs := cfg.FsyncEvery
-						switch persist {
-						case "mem":
-							fsyncs = []int{0}
-						case "wal":
-						default:
-							return nil, fmt.Errorf("experiments: unknown persistence mode %q (want \"mem\" or \"wal\")", persist)
+					for _, groups := range cfg.Groups {
+						if groups < 1 {
+							return nil, fmt.Errorf("experiments: replica-group count must be at least 1, got %d", groups)
 						}
-						for _, fsync := range fsyncs {
-							for _, jitter := range cfg.Jitters {
-								for _, rf := range cfg.ReadFracs {
-									for _, leases := range cfg.Leases {
-										cells = append(cells, cell{backend, p, drop, np, persist, fsync, jitter, rf, leases})
+						for _, persist := range cfg.Persist {
+							// The fsync axis only distinguishes "wal" cells;
+							// "mem" collapses it so the grid carries no
+							// duplicate in-memory rows.
+							fsyncs := cfg.FsyncEvery
+							switch persist {
+							case "mem":
+								fsyncs = []int{0}
+							case "wal":
+							default:
+								return nil, fmt.Errorf("experiments: unknown persistence mode %q (want \"mem\" or \"wal\")", persist)
+							}
+							for _, fsync := range fsyncs {
+								for _, jitter := range cfg.Jitters {
+									for _, rf := range cfg.ReadFracs {
+										for _, leases := range cfg.Leases {
+											cells = append(cells, cell{backend, p, drop, np, groups, persist, fsync, jitter, rf, leases})
+										}
 									}
 								}
 							}
@@ -332,7 +357,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 	rows := make([]FaultSweepRow, len(cells))
 	err = sim.ForEach(len(cells), cfg.Workers, func(i int) error {
 		c := cells[i]
-		sched := c.preset.Build(cfg.Servers, c.proxies, cfg.MaxSteps)
+		sched := c.preset.Build(faults.Shape{Groups: c.groups, Servers: cfg.Servers, Proxies: c.proxies}, cfg.MaxSteps)
 		if c.drop > 0 {
 			// The drop rate rides the injector so each repetition's private
 			// network gets it, from that repetition's own stream.
@@ -342,6 +367,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 		tmpl := fortress.Config{
 			Servers:           cfg.Servers,
 			Proxies:           c.proxies,
+			Groups:            c.groups,
 			Backend:           c.backend,
 			ServiceFactory:    func() service.Service { return service.NewKV() },
 			HeartbeatInterval: faultSweepHeartbeatInterval,
@@ -409,26 +435,32 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			},
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d persist=%s jitter=%d readfrac=%g leases=%t): %w",
-				c.backend, c.preset.Name, c.drop, c.proxies, c.persist, c.jitter, c.readFrac, c.leases, err)
+			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d groups=%d persist=%s jitter=%d readfrac=%g leases=%t): %w",
+				c.backend, c.preset.Name, c.drop, c.proxies, c.groups, c.persist, c.jitter, c.readFrac, c.leases, err)
+		}
+		var shardAvail []float64
+		for _, s := range series.ShardAvailability {
+			shardAvail = append(shardAvail, s.Mean)
 		}
 		rows[i] = FaultSweepRow{
-			Backend:          c.backend.String(),
-			Preset:           c.preset.Name,
-			DropRate:         c.drop,
-			Proxies:          c.proxies,
-			Persist:          c.persist,
-			FsyncEvery:       c.fsync,
-			Jitter:           c.jitter,
-			ReadFrac:         c.readFrac,
-			Leases:           c.leases,
-			Reps:             series.Reps,
-			Compromised:      series.Compromised,
-			MeanLifetime:     series.Lifetime.Mean,
-			CI95:             series.Lifetime.CI95,
-			Availability:     series.Availability.Mean,
-			AvailabilityCI95: series.Availability.CI95,
-			Routes:           series.Routes,
+			Backend:           c.backend.String(),
+			Preset:            c.preset.Name,
+			DropRate:          c.drop,
+			Proxies:           c.proxies,
+			Groups:            c.groups,
+			Persist:           c.persist,
+			FsyncEvery:        c.fsync,
+			Jitter:            c.jitter,
+			ReadFrac:          c.readFrac,
+			Leases:            c.leases,
+			Reps:              series.Reps,
+			Compromised:       series.Compromised,
+			MeanLifetime:      series.Lifetime.Mean,
+			CI95:              series.Lifetime.CI95,
+			Availability:      series.Availability.Mean,
+			AvailabilityCI95:  series.Availability.CI95,
+			ShardAvailability: shardAvail,
+			Routes:            series.Routes,
 		}
 		if regs != nil {
 			snap := mergeRegistries(regs)
@@ -445,12 +477,12 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 // FormatFaultSweep renders sweep rows as an aligned text table.
 func FormatFaultSweep(rows []FaultSweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-8s %-6s %-7s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %s\n",
-		"backend", "preset", "drop", "proxies", "persist", "fsync", "jitter", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
+	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-7s %-8s %-6s %-7s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %-18s %s\n",
+		"backend", "preset", "drop", "proxies", "groups", "persist", "fsync", "jitter", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "shards", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-8s %-6d %-7d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
-			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases,
-			r.Reps, r.Compromised, r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
+		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-7d %-8s %-6d %-7d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %-18s %s\n",
+			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Groups, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases,
+			r.Reps, r.Compromised, r.MeanLifetime, r.CI95, r.Availability, formatShardAvail(r.ShardAvailability), formatRoutes(r.Routes))
 	}
 	return b.String()
 }

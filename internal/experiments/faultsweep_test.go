@@ -58,6 +58,91 @@ func TestFaultSweepBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestShardSweepBitIdenticalAcrossWorkers extends the determinism contract
+// to the sharded grid: a two-group sweep with a shard-cut cell is
+// bit-identical at 1, 2 and 8 workers — rows, per-shard availability
+// vectors, merged Stable-counter snapshots and the rendered CSV alike —
+// and the cut cell shows exactly the isolation the consistent-hash
+// partitioning promises: the islanded shard collapses while the other
+// holds at 1.
+func TestShardSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]FaultSweepRow, []map[string]uint64) {
+		t.Helper()
+		cfg := smallFaultSweep(workers)
+		cfg.Groups = []int{2}
+		cfg.Presets = []string{"none", "shard-cut"}
+		cfg.CollectMetrics = true
+		rows, err := FaultSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters := make([]map[string]uint64, len(rows))
+		for i := range rows {
+			if rows[i].Metrics == nil {
+				t.Fatalf("workers=%d: row %d has no metrics despite CollectMetrics", workers, i)
+			}
+			counters[i] = rows[i].Metrics.Counters
+			// Only the Stable section is part of the determinism contract;
+			// strip the observational payload before whole-row comparison.
+			rows[i].Metrics = nil
+		}
+		return rows, counters
+	}
+	base, baseCounters := run(1)
+	if len(base) != 2 {
+		t.Fatalf("rows = %d, want 2", len(base))
+	}
+	pristine, cut := base[0], base[1]
+	if pristine.Preset != "none" || cut.Preset != "shard-cut" {
+		t.Fatalf("row order: %s, %s", pristine.Preset, cut.Preset)
+	}
+	for i, r := range base {
+		if r.Groups != 2 || len(r.ShardAvailability) != 2 {
+			t.Fatalf("row %d: groups=%d shards=%d, want a two-shard cell",
+				i, r.Groups, len(r.ShardAvailability))
+		}
+	}
+	// The fault is scoped to the last group: shard 0's slice of the keyspace
+	// must ride out the cut untouched while shard 1 measurably degrades.
+	if pristine.ShardAvailability[1] != 1 {
+		t.Fatalf("pristine shard 1 availability = %g, want 1", pristine.ShardAvailability[1])
+	}
+	if cut.ShardAvailability[0] != 1 {
+		t.Errorf("shard 0 availability = %g under shard-cut, want 1 (fault scoped to group 1)",
+			cut.ShardAvailability[0])
+	}
+	if cut.ShardAvailability[1] >= pristine.ShardAvailability[1]-0.15 {
+		t.Errorf("shard-cut did not measurably degrade shard 1: %g vs pristine %g",
+			cut.ShardAvailability[1], pristine.ShardAvailability[1])
+	}
+	if c := baseCounters[1][`campaign_shard_probes_total{group="1"}`]; c == 0 {
+		t.Error("shard-cut cell recorded no per-shard probe counters")
+	}
+	for _, workers := range []int{2, 8} {
+		got, gotCounters := run(workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d rows %+v differ from workers=1 %+v", workers, got, base)
+		}
+		if !reflect.DeepEqual(gotCounters, baseCounters) {
+			t.Errorf("workers=%d stable counters differ from workers=1:\n got %v\nwant %v",
+				workers, gotCounters, baseCounters)
+		}
+	}
+	// The CSV rendering — groups and shard_availability columns included —
+	// must therefore also be byte-identical.
+	rerun, _ := run(8)
+	var a, b bytes.Buffer
+	if err := WriteFaultSweepCSV(&a, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFaultSweepCSV(&b, rerun); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("sharded CSV differs between workers=1 and workers=8")
+	}
+}
+
 // TestFaultSweepQuorumPartitionDegradesAvailability is the headline claim of
 // the fault subsystem: islanding a server quorum from the proxy tier
 // measurably degrades campaign-measured availability versus the pristine
@@ -202,14 +287,15 @@ func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 
 func TestFormatFaultSweepAndCSV(t *testing.T) {
 	rows := []FaultSweepRow{{
-		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3,
+		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3, Groups: 2,
 		Persist: "wal", FsyncEvery: 8, Jitter: 2, ReadFrac: 0.95, Leases: true,
 		Reps: 4, Compromised: 2,
 		MeanLifetime: 7.25, CI95: 1.5, Availability: 0.875, AvailabilityCI95: 0.05,
-		Routes: map[string]uint64{"all-proxies": 2},
+		ShardAvailability: []float64{1, 0.75},
+		Routes:            map[string]uint64{"all-proxies": 2},
 	}}
 	table := FormatFaultSweep(rows)
-	for _, want := range []string{"backend", "preset", "availability", "readfrac", "leases", "none", "all-proxies:2"} {
+	for _, want := range []string{"backend", "preset", "availability", "readfrac", "leases", "groups", "shards", "none", "1;0.75", "all-proxies:2"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -222,7 +308,7 @@ func TestFormatFaultSweepAndCSV(t *testing.T) {
 	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,persist,fsync_every,jitter,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
 		t.Errorf("csv header: %q", got)
 	}
-	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,0.95,true,4,2,7.25,1.5,0.875,0.05,0,0,2") {
+	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,0.95,true,4,2,7.25,1.5,0.875,0.05,2,1;0.75,0,0,2") {
 		t.Errorf("csv row: %q", got)
 	}
 }

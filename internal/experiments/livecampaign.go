@@ -50,8 +50,12 @@ type LiveCampaignConfig struct {
 	// reflects the budget that actually ran; cells whose pacing is also
 	// zero then fail validation with "needs a probe budget".
 	OmegaDirect uint64
-	// Servers is the server count n_s. Default 3.
+	// Servers is the per-group server count n_s. Default 3.
 	Servers int
+	// Groups is the replica-group-count grid: each cell deploys its value as
+	// fortress.Config.Groups, so one sweep compares the classic single-group
+	// fortress against sharded multi-group deployments. Default {1}.
+	Groups []int
 	// Backends is the replication-engine grid, by name ("pb", "smr"), so
 	// one sweep compares probe economics across replication styles.
 	// Default {"pb"}.
@@ -100,6 +104,7 @@ func DefaultLiveCampaignConfig() LiveCampaignConfig {
 		MaxSteps:          40,
 		OmegaDirect:       2,
 		Servers:           3,
+		Groups:            []int{1},
 		Backends:          []string{"pb"},
 		ProxyCounts:       []int{2, 3, 4},
 		Detectors:         []bool{false, true},
@@ -125,6 +130,9 @@ func (c LiveCampaignConfig) withDefaults() LiveCampaignConfig {
 	if c.Servers == 0 {
 		c.Servers = d.Servers
 	}
+	if len(c.Groups) == 0 {
+		c.Groups = d.Groups
+	}
 	if len(c.Backends) == 0 {
 		c.Backends = d.Backends
 	}
@@ -146,8 +154,10 @@ func (c LiveCampaignConfig) withDefaults() LiveCampaignConfig {
 // LiveCampaignRow is one sweep cell: a (backend, proxy count, detector,
 // pacing) point with its aggregated campaign-series outcome.
 type LiveCampaignRow struct {
-	Backend       string
-	Proxies       int
+	Backend string
+	Proxies int
+	// Groups is the cell's replica-group count (1 = classic single-group).
+	Groups        int
 	Detector      bool
 	OmegaIndirect uint64
 	// ReadFrac is the sweep's workload read share (0 when the sweep ran
@@ -166,6 +176,10 @@ type LiveCampaignRow struct {
 	// lease-read) answer. Zero when the sweep ran with ReadFrac zero.
 	Availability     float64
 	AvailabilityCI95 float64
+	// ShardAvailability holds the per-replica-group mean availability,
+	// indexed by group; nil unless the cell ran sharded (Groups > 1) with
+	// availability measurement on.
+	ShardAvailability []float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
 	// Metrics is the cell's merged per-repetition metrics snapshot; nil
@@ -195,6 +209,7 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 	type cell struct {
 		backend  replica.Backend
 		proxies  int
+		groups   int
 		detector bool
 		pacing   uint64
 	}
@@ -205,9 +220,14 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
 		for _, np := range cfg.ProxyCounts {
-			for _, det := range cfg.Detectors {
-				for _, pacing := range cfg.Pacings {
-					cells = append(cells, cell{backend, np, det, pacing})
+			for _, groups := range cfg.Groups {
+				if groups < 1 {
+					return nil, fmt.Errorf("experiments: group count %d must be at least 1", groups)
+				}
+				for _, det := range cfg.Detectors {
+					for _, pacing := range cfg.Pacings {
+						cells = append(cells, cell{backend, np, groups, det, pacing})
+					}
 				}
 			}
 		}
@@ -221,6 +241,7 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 		tmpl := fortress.Config{
 			Servers:        cfg.Servers,
 			Proxies:        c.proxies,
+			Groups:         c.groups,
 			Backend:        c.backend,
 			ServiceFactory: func() service.Service { return service.NewKV() },
 			// Generous relative timings: the sweep measures probe economics,
@@ -262,23 +283,29 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			Customize: customize,
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (backend=%s np=%d det=%v pace=%d): %w",
-				c.backend, c.proxies, c.detector, c.pacing, err)
+			return fmt.Errorf("experiments: cell (backend=%s np=%d groups=%d det=%v pace=%d): %w",
+				c.backend, c.proxies, c.groups, c.detector, c.pacing, err)
+		}
+		var shardAvail []float64
+		for _, s := range series.ShardAvailability {
+			shardAvail = append(shardAvail, s.Mean)
 		}
 		rows[i] = LiveCampaignRow{
-			Backend:          c.backend.String(),
-			Proxies:          c.proxies,
-			Detector:         c.detector,
-			OmegaIndirect:    c.pacing,
-			ReadFrac:         readFracReported(cfg.ReadFrac),
-			Leases:           cfg.Leases,
-			Reps:             series.Reps,
-			Compromised:      series.Compromised,
-			MeanLifetime:     series.Lifetime.Mean,
-			CI95:             series.Lifetime.CI95,
-			Availability:     series.Availability.Mean,
-			AvailabilityCI95: series.Availability.CI95,
-			Routes:           series.Routes,
+			Backend:           c.backend.String(),
+			Proxies:           c.proxies,
+			Groups:            c.groups,
+			Detector:          c.detector,
+			OmegaIndirect:     c.pacing,
+			ReadFrac:          readFracReported(cfg.ReadFrac),
+			Leases:            cfg.Leases,
+			Reps:              series.Reps,
+			Compromised:       series.Compromised,
+			MeanLifetime:      series.Lifetime.Mean,
+			CI95:              series.Lifetime.CI95,
+			Availability:      series.Availability.Mean,
+			AvailabilityCI95:  series.Availability.CI95,
+			ShardAvailability: shardAvail,
+			Routes:            series.Routes,
 		}
 		if regs != nil {
 			snap := mergeRegistries(regs)
@@ -309,14 +336,27 @@ func readFracReported(f float64) float64 {
 // FormatLiveCampaign renders sweep rows as an aligned text table.
 func FormatLiveCampaign(rows []LiveCampaignRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-8s %-9s %-6s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %s\n",
-		"backend", "proxies", "detector", "pace", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "routes")
+	fmt.Fprintf(&b, "%-8s %-8s %-7s %-9s %-6s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %-18s %s\n",
+		"backend", "proxies", "groups", "detector", "pace", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "shards", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-8d %-9v %-6d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %s\n",
-			r.Backend, r.Proxies, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases, r.Reps, r.Compromised,
-			r.MeanLifetime, r.CI95, r.Availability, formatRoutes(r.Routes))
+		fmt.Fprintf(&b, "%-8s %-8d %-7d %-9v %-6d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %-18s %s\n",
+			r.Backend, r.Proxies, r.Groups, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases, r.Reps, r.Compromised,
+			r.MeanLifetime, r.CI95, r.Availability, formatShardAvail(r.ShardAvailability), formatRoutes(r.Routes))
 	}
 	return b.String()
+}
+
+// formatShardAvail renders per-group availabilities compactly ("-" when the
+// cell ran single-group or without availability probes).
+func formatShardAvail(avail []float64) string {
+	if len(avail) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(avail))
+	for g, a := range avail {
+		parts[g] = fmt.Sprintf("%.3g", a)
+	}
+	return strings.Join(parts, ";")
 }
 
 // formatRoutes renders a route histogram compactly and deterministically.

@@ -306,7 +306,7 @@ func TestBackupRestartFromWALConvergesWithoutResync(t *testing.T) {
 		t.Fatal(err)
 	}
 	const horizon = 8
-	inj, err := faults.NewInjector(preset.Build(blackoutServers, blackoutProxies, horizon), sys, xrand.New(3))
+	inj, err := faults.NewInjector(preset.Build(faults.Shape{Servers: blackoutServers, Proxies: blackoutProxies}, horizon), sys, xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}

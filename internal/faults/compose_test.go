@@ -122,7 +122,7 @@ func TestCompoundPresetComposes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := p.Build(3, 3, 24)
+	s := p.Build(faults.Shape{Servers: 3, Proxies: 3}, 24)
 	kinds := map[faults.EventKind]int{}
 	for _, e := range s.Events {
 		kinds[e.Kind]++

@@ -73,6 +73,11 @@ const (
 	EvRestartAll
 	// EvDiskStall injects synchronous storage latency on one server's store.
 	EvDiskStall
+	// EvCrashGroup fault-crashes every server of one replica group — a
+	// shard-wide outage on a sharded deployment.
+	EvCrashGroup
+	// EvRestartGroup brings a fault-crashed replica group back.
+	EvRestartGroup
 )
 
 // String implements fmt.Stringer.
@@ -96,6 +101,10 @@ func (k EventKind) String() string {
 		return "restart-all"
 	case EvDiskStall:
 		return "disk-stall"
+	case EvCrashGroup:
+		return "crash-group"
+	case EvRestartGroup:
+		return "restart-group"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -122,6 +131,8 @@ type Event struct {
 	// Stall is the EvDiskStall injected sync latency; non-positive clears
 	// a previously injected stall.
 	Stall time.Duration
+	// Group is the EvCrashGroup/EvRestartGroup replica-group index.
+	Group int
 }
 
 // Partition returns an event severing every (a, b) cross pair at time t.
@@ -180,6 +191,18 @@ func DiskStall(t uint64, i int, d time.Duration) Event {
 	return Event{At: t, Kind: EvDiskStall, Node: Target{Kind: KindServer, Index: i}, Stall: d}
 }
 
+// CrashGroup returns an event fault-crashing every server of replica group
+// g at time t — one shard goes dark while the rest keep serving.
+func CrashGroup(t uint64, g int) Event {
+	return Event{At: t, Kind: EvCrashGroup, Group: g}
+}
+
+// RestartGroup returns an event restarting replica group g's fault-crashed
+// servers at time t.
+func RestartGroup(t uint64, g int) Event {
+	return Event{At: t, Kind: EvRestartGroup, Group: g}
+}
+
 // Schedule is a declarative fault plan: events over virtual time. The zero
 // value is an empty (pristine-network) schedule.
 type Schedule struct {
@@ -198,6 +221,18 @@ func ServerAddrs(n int) []string {
 	out := make([]string, n)
 	for i := range out {
 		out[i] = fortress.ServerAddr(i)
+	}
+	return out
+}
+
+// GroupServerAddrs returns the netsim addresses of replica group g on a
+// deployment with serversPerGroup servers per group: the global indices
+// [g·serversPerGroup, (g+1)·serversPerGroup) — the address group a
+// shard-scoped partition aims at.
+func GroupServerAddrs(g, serversPerGroup int) []string {
+	out := make([]string, serversPerGroup)
+	for i := range out {
+		out[i] = fortress.ServerAddr(g*serversPerGroup + i)
 	}
 	return out
 }
@@ -297,6 +332,10 @@ func (in *Injector) apply(e Event) error {
 		return in.sys.RestartAll()
 	case EvDiskStall:
 		return in.sys.StallDisk(e.Node.Index, e.Stall)
+	case EvCrashGroup:
+		return in.sys.CrashGroup(e.Group)
+	case EvRestartGroup:
+		return in.sys.RestartGroup(e.Group)
 	default:
 		return fmt.Errorf("unknown event kind %v", e.Kind)
 	}

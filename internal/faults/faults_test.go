@@ -173,7 +173,7 @@ func TestPresetsBuildForAnyShape(t *testing.T) {
 			servers, proxies int
 			horizon          uint64
 		}{{1, 1, 1}, {2, 2, 8}, {3, 3, 24}, {5, 4, 64}} {
-			sched := p.Build(shape.servers, shape.proxies, shape.horizon)
+			sched := p.Build(faults.Shape{Servers: shape.servers, Proxies: shape.proxies}, shape.horizon)
 			for _, e := range sched.Events {
 				if e.At > shape.horizon {
 					t.Errorf("preset %s (shape %+v): event %s at t=%d beyond horizon",

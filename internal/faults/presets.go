@@ -5,10 +5,32 @@ import (
 	"time"
 )
 
+// Shape describes the deployment a preset schedule is built for.
+type Shape struct {
+	// Groups is the replica-group count; zero means the classic
+	// single-group deployment.
+	Groups int
+	// Servers is the per-group server count n_s.
+	Servers int
+	// Proxies is the proxy count n_p.
+	Proxies int
+}
+
+// groups resolves the zero value to one group.
+func (s Shape) groups() int {
+	if s.Groups < 1 {
+		return 1
+	}
+	return s.Groups
+}
+
+// TotalServers is the global server count across all groups.
+func (s Shape) TotalServers() int { return s.groups() * s.Servers }
+
 // Preset is a named, parameterized schedule family: given a deployment shape
-// (server and proxy counts) and a campaign horizon it produces the concrete
-// schedule. Presets are what the FaultSweep grid and the `fortress faults`
-// CLI select by name.
+// (group, server and proxy counts) and a campaign horizon it produces the
+// concrete schedule. Presets are what the FaultSweep grid and the `fortress
+// faults` CLI select by name.
 type Preset struct {
 	// Name selects the preset on the CLI and labels sweep rows.
 	Name string
@@ -16,7 +38,7 @@ type Preset struct {
 	Description string
 	// Build produces the schedule for a deployment of the given shape over
 	// a campaign of horizon unit time-steps.
-	Build func(servers, proxies int, horizon uint64) Schedule
+	Build func(shape Shape, horizon uint64) Schedule
 }
 
 // Presets returns the catalog, in presentation order.
@@ -25,7 +47,7 @@ func Presets() []Preset {
 		{
 			Name:        "none",
 			Description: "pristine network — the no-faults baseline",
-			Build: func(servers, proxies int, horizon uint64) Schedule {
+			Build: func(shape Shape, horizon uint64) Schedule {
 				return Schedule{}
 			},
 		},
@@ -71,43 +93,54 @@ func Presets() []Preset {
 			Build: buildSlowDisk,
 		},
 		{
+			Name: "shard-cut",
+			Description: "island a quorum of the last replica group's servers from the " +
+				"proxy tier for the middle half of the horizon — only that shard's slice " +
+				"of the keyspace goes dark while every other group keeps committing; on " +
+				"a single-group deployment it degenerates to quorum-partition",
+			Build: buildShardCut,
+		},
+		{
 			Name: "compound",
 			Description: "compound disaster, composed with Merge: the quorum cut, the " +
 				"lossy window and the proxy outage all on one clock",
-			Build: func(servers, proxies int, horizon uint64) Schedule {
+			Build: func(shape Shape, horizon uint64) Schedule {
 				return Merge(
-					buildQuorumPartition(servers, proxies, horizon),
-					buildLossy(servers, proxies, horizon),
-					buildProxyOutage(servers, proxies, horizon),
+					buildQuorumPartition(shape, horizon),
+					buildLossy(shape, horizon),
+					buildProxyOutage(shape, horizon),
 				)
 			},
 		},
 	}
 }
 
-// buildRollingPartition isolates one server at a time from its peers.
-func buildRollingPartition(servers, proxies int, horizon uint64) Schedule {
+// buildRollingPartition isolates one server at a time from its peers,
+// rotating through the whole global index space.
+func buildRollingPartition(shape Shape, horizon uint64) Schedule {
 	var s Schedule
-	if servers < 2 {
+	total := shape.TotalServers()
+	if total < 2 {
 		return s
 	}
-	all := ServerAddrs(servers)
+	all := ServerAddrs(total)
 	k := 0
 	for t := uint64(1); t+2 < horizon; t += 4 {
-		victim := []string{all[k%servers]}
-		rest := others(all, k%servers)
+		victim := []string{all[k%total]}
+		rest := others(all, k%total)
 		s = s.Append(Partition(t, victim, rest), Heal(t+2, victim, rest))
 		k++
 	}
 	return s
 }
 
-// buildQuorumPartition islands a server majority from the proxy tier for
-// the middle half of the horizon.
-func buildQuorumPartition(servers, proxies int, horizon uint64) Schedule {
-	maj := servers/2 + 1
+// buildQuorumPartition islands a server majority — of the first group, on a
+// sharded deployment — from the proxy tier for the middle half of the
+// horizon.
+func buildQuorumPartition(shape Shape, horizon uint64) Schedule {
+	maj := shape.Servers/2 + 1
 	quorum := ServerAddrs(maj)
-	front := ProxyAddrs(proxies)
+	front := ProxyAddrs(shape.Proxies)
 	from, to := middleHalf(horizon)
 	return Schedule{}.Append(
 		Partition(from, quorum, front),
@@ -117,16 +150,16 @@ func buildQuorumPartition(servers, proxies int, horizon uint64) Schedule {
 
 // buildProxyOutage crashes the highest-indexed proxy for the middle half of
 // the horizon.
-func buildProxyOutage(servers, proxies int, horizon uint64) Schedule {
+func buildProxyOutage(shape Shape, horizon uint64) Schedule {
 	from, to := middleHalf(horizon)
 	return Schedule{}.Append(
-		CrashProxy(from, proxies-1),
-		RestartProxy(to, proxies-1),
+		CrashProxy(from, shape.Proxies-1),
+		RestartProxy(to, shape.Proxies-1),
 	)
 }
 
 // buildLossy turns a 2% drop rate on for the middle half of the horizon.
-func buildLossy(servers, proxies int, horizon uint64) Schedule {
+func buildLossy(shape Shape, horizon uint64) Schedule {
 	from, to := middleHalf(horizon)
 	return Schedule{}.Append(
 		DropRate(from, 0.02),
@@ -136,7 +169,7 @@ func buildLossy(servers, proxies int, horizon uint64) Schedule {
 
 // buildBlackout power-fails the whole deployment for the middle half of the
 // horizon.
-func buildBlackout(servers, proxies int, horizon uint64) Schedule {
+func buildBlackout(shape Shape, horizon uint64) Schedule {
 	from, to := middleHalf(horizon)
 	return Schedule{}.Append(
 		CrashAll(from),
@@ -146,11 +179,29 @@ func buildBlackout(servers, proxies int, horizon uint64) Schedule {
 
 // buildSlowDisk stalls server 0's store by 20ms per sync for the middle half
 // of the horizon.
-func buildSlowDisk(servers, proxies int, horizon uint64) Schedule {
+func buildSlowDisk(shape Shape, horizon uint64) Schedule {
 	from, to := middleHalf(horizon)
 	return Schedule{}.Append(
 		DiskStall(from, 0, 20*time.Millisecond),
 		DiskStall(to, 0, 0),
+	)
+}
+
+// buildShardCut islands a quorum of the LAST replica group's servers from
+// the proxy tier for the middle half of the horizon. The last group (rather
+// than group 0, which also absorbs keyless traffic and attack probes by
+// routing convention) makes the isolation claim cleanest: the cut shard's
+// availability collapses while every other shard — attack pressure
+// included — stays at 1.0. With one group it is exactly quorum-partition.
+func buildShardCut(shape Shape, horizon uint64) Schedule {
+	g := shape.groups() - 1
+	maj := shape.Servers/2 + 1
+	quorum := GroupServerAddrs(g, shape.Servers)[:maj]
+	front := ProxyAddrs(shape.Proxies)
+	from, to := middleHalf(horizon)
+	return Schedule{}.Append(
+		Partition(from, quorum, front),
+		Heal(to, quorum, front),
 	)
 }
 

@@ -108,7 +108,7 @@ func TestSMRCatchupUnderQuorumPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := faults.Merge(
-		preset.Build(servers, proxies, steps),
+		preset.Build(faults.Shape{Servers: servers, Proxies: proxies}, steps),
 		faults.Schedule{}.Append(
 			faults.CrashServer(1, servers-1),
 			faults.RestartServer(8, servers-1),
@@ -131,7 +131,7 @@ func TestSMRCatchupUnderRollingPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := faults.Merge(
-		preset.Build(servers, proxies, steps),
+		preset.Build(faults.Shape{Servers: servers, Proxies: proxies}, steps),
 		faults.Schedule{}.Append(
 			faults.CrashServer(1, servers-1),
 			faults.RestartServer(8, servers-1),
@@ -160,7 +160,7 @@ func TestSMRQuorumPartitionStaysAvailable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj, err := faults.NewInjector(preset.Build(servers, proxies, steps), sys, xrand.New(3))
+	inj, err := faults.NewInjector(preset.Build(faults.Shape{Servers: servers, Proxies: proxies}, steps), sys, xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,16 +37,29 @@ import (
 	"fortress/internal/replica/smr"
 	"fortress/internal/replica/store"
 	"fortress/internal/service"
+	"fortress/internal/shard"
 	"fortress/internal/sig"
 	"fortress/internal/xrand"
 )
 
 // Config describes a FORTRESS deployment.
 type Config struct {
-	// Servers is n_s, the server count (paper: 3).
+	// Servers is n_s, the server count (paper: 3). With Groups > 1 it is
+	// the per-group count: the deployment boots Groups×Servers servers in
+	// one global index space, group g owning indices [g·Servers,
+	// (g+1)·Servers).
 	Servers int
 	// Proxies is n_p, the proxy count (paper: 3).
 	Proxies int
+	// Groups is the number of independent replica groups the service
+	// keyspace is partitioned across (0 or 1 = the classic single-group
+	// deployment). Each group runs its own instance of the Backend
+	// protocol over its own slice of the server index space; the proxy
+	// tier routes each request to the owning group via a deterministic
+	// consistent-hash ring seeded from Seed, so aggregate ordering
+	// throughput scales with Groups instead of capping at one
+	// sequencer/primary.
+	Groups int
 	// Backend selects the server tier's replication engine: primary-backup
 	// (the paper's fortified tier, the zero value) or state machine
 	// replication. Everything else — proxies, name server, randomization,
@@ -84,6 +97,12 @@ type Config struct {
 	// on-disk snapshot size on both backends. Zero selects the engine
 	// default (4096); negative retains everything.
 	RespCacheLimit int
+	// OutboxLimit bounds each replica's per-peer staged outbox
+	// (replica/core): past the bound the oldest staged messages are shed and
+	// the PB primary checkpoint-resyncs the affected backup, so a slow or
+	// partitioned peer costs bounded memory instead of an unbounded backlog.
+	// Zero is unbounded.
+	OutboxLimit int
 	// Leases enables SMR read leases: requests tagged as reads are served
 	// from local replica state under heartbeat-bounded leases instead of
 	// entering the order protocol, so read-mostly throughput scales with
@@ -115,6 +134,17 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// groups resolves Config.Groups: the zero value means one group.
+func (c Config) groups() int {
+	if c.Groups < 1 {
+		return 1
+	}
+	return c.Groups
+}
+
+// totalServers is the global server count across all groups.
+func (c Config) totalServers() int { return c.groups() * c.Servers }
+
 func (c Config) validate() error {
 	switch {
 	case c.Servers < 1:
@@ -137,10 +167,11 @@ func (c Config) validate() error {
 
 // System is a running FORTRESS deployment.
 type System struct {
-	cfg Config
-	net *netsim.Network
-	ns  *nameserver.NameServer
-	rng *xrand.RNG
+	cfg  Config
+	net  *netsim.Network
+	ns   *nameserver.NameServer
+	rng  *xrand.RNG
+	ring *shard.Ring
 
 	// Signing identities are stable across epochs: re-randomization changes
 	// executables, not cryptographic identity.
@@ -197,11 +228,15 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	ring, err := shard.New(cfg.groups(), 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
-		cfg: cfg, net: net, ns: ns, rng: xrand.New(cfg.Seed),
+		cfg: cfg, net: net, ns: ns, rng: xrand.New(cfg.Seed), ring: ring,
 		downServers: make(map[int]bool),
 		downProxies: make(map[int]bool),
-		stores:      make([]store.Store, cfg.Servers),
+		stores:      make([]store.Store, cfg.totalServers()),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.mFaultCrashes = reg.Counter("fortress_server_fault_crashes_total", metrics.Stable)
@@ -211,7 +246,7 @@ func New(cfg Config) (*System, error) {
 		s.mPowerFails = reg.Counter("fortress_power_failures_total", metrics.Stable)
 		s.mRerandomize = reg.Counter("fortress_rerandomize_total", metrics.Stable)
 	}
-	for i := 0; i < cfg.Servers; i++ {
+	for i := 0; i < cfg.totalServers(); i++ {
 		kp, err := sig.NewKeyPair()
 		if err != nil {
 			return nil, fmt.Errorf("fortress: server %d keys: %w", i, err)
@@ -254,9 +289,10 @@ func ProxyAddr(i int) string { return fmt.Sprintf("fortress-proxy-%d", i) }
 func serverAddr(i int) string { return ServerAddr(i) }
 func proxyAddr(i int) string  { return ProxyAddr(i) }
 
-// buildEpochLocked stands up all nodes for a new epoch, restoring service
-// state from snapshot when given. Caller holds s.mu.
-func (s *System) buildEpochLocked(snapshot []byte) error {
+// buildEpochLocked stands up all nodes for a new epoch, restoring each
+// group's service state from snapshots (indexed by group) when given.
+// Caller holds s.mu.
+func (s *System) buildEpochLocked(snapshots [][]byte) error {
 	// Fresh randomization keys: one shared for servers, distinct per proxy.
 	s.serverKey = s.cfg.Space.Draw(s.rng)
 	s.proxyKeys = make([]keyspace.Key, s.cfg.Proxies)
@@ -271,13 +307,17 @@ func (s *System) buildEpochLocked(snapshot []byte) error {
 		}
 	}
 
-	s.servers = make([]replica.Server, s.cfg.Servers)
-	s.guards = make([]*exploit.Guard, s.cfg.Servers)
-	for i := 0; i < s.cfg.Servers; i++ {
-		// At an epoch boundary every replica reboots together with the same
-		// snapshot, so even the SMR backend restores directly — there is no
-		// live leader ahead of the group to catch up from.
-		if err := s.startServerLocked(i, snapshot, 0, nil); err != nil {
+	s.servers = make([]replica.Server, s.cfg.totalServers())
+	s.guards = make([]*exploit.Guard, s.cfg.totalServers())
+	for i := 0; i < s.cfg.totalServers(); i++ {
+		// At an epoch boundary every replica reboots together with its
+		// group's snapshot, so even the SMR backend restores directly —
+		// there is no live leader ahead of the group to catch up from.
+		var snapshot []byte
+		if g := s.groupOf(i); g < len(snapshots) {
+			snapshot = snapshots[g]
+		}
+		if err := s.startServerLocked(i, snapshot, s.groupOf(i)*s.cfg.Servers, nil); err != nil {
 			return err
 		}
 	}
@@ -285,15 +325,17 @@ func (s *System) buildEpochLocked(snapshot []byte) error {
 	s.proxies = make([]*proxy.Proxy, s.cfg.Proxies)
 	for i := 0; i < s.cfg.Proxies; i++ {
 		p, err := proxy.New(proxy.Config{
-			ID:            fmt.Sprintf("proxy-%d", i),
-			Addr:          proxyAddr(i),
-			Keys:          s.proxySig[i],
-			NS:            s.ns,
-			Net:           s.net,
-			Detector:      s.detector,
-			Proc:          memlayout.NewProcess(s.proxyKeys[i]),
-			ServerTimeout: s.cfg.ServerTimeout,
-			Metrics:       s.cfg.Metrics,
+			ID:              fmt.Sprintf("proxy-%d", i),
+			Addr:            proxyAddr(i),
+			Keys:            s.proxySig[i],
+			NS:              s.ns,
+			Net:             s.net,
+			Detector:        s.detector,
+			Proc:            memlayout.NewProcess(s.proxyKeys[i]),
+			ServerTimeout:   s.cfg.ServerTimeout,
+			Ring:            s.ring,
+			ServersPerGroup: s.cfg.Servers,
+			Metrics:         s.cfg.Metrics,
 		})
 		if err != nil {
 			return fmt.Errorf("fortress: proxy %d: %w", i, err)
@@ -323,7 +365,7 @@ func (s *System) teardownLocked() {
 		r.Stop()
 	}
 	// Clear any crashed addresses so fresh listeners can bind.
-	for i := 0; i < s.cfg.Servers; i++ {
+	for i := 0; i < s.cfg.totalServers(); i++ {
 		s.net.CrashAddr(serverAddr(i))
 	}
 	for i := 0; i < s.cfg.Proxies; i++ {
@@ -340,7 +382,7 @@ func (s *System) Rerandomize() error {
 	if s.stopped {
 		return errors.New("fortress: system stopped")
 	}
-	snapshot := s.snapshotLocked()
+	snapshots := s.snapshotsLocked()
 	s.teardownLocked()
 	// The new epoch restarts the engines' sequence numbering from scratch
 	// (state carries over via the snapshot, not the log), so a frontier
@@ -355,7 +397,7 @@ func (s *System) Rerandomize() error {
 	}
 	s.epoch++
 	s.mRerandomize.Inc()
-	return s.buildEpochLocked(snapshot)
+	return s.buildEpochLocked(snapshots)
 }
 
 // Recover restarts every crashed node with its CURRENT randomization key —
@@ -369,12 +411,12 @@ func (s *System) Recover() error {
 	if s.stopped {
 		return errors.New("fortress: system stopped")
 	}
-	snapshot := s.snapshotLocked()
+	snapshots := s.snapshotsLocked()
 	for i, g := range s.guards {
 		if !g.Process().Crashed() || s.downServers[i] {
 			continue
 		}
-		if err := s.rebuildServerLocked(i, snapshot); err != nil {
+		if err := s.rebuildServerLocked(i, snapshots[s.groupOf(i)]); err != nil {
 			return err
 		}
 	}
@@ -447,7 +489,55 @@ func (s *System) RestartServer(i int) error {
 	delete(s.downServers, i)
 	s.mFaultRestarts.Inc()
 	s.traceEvent(metrics.KindRestart, serverAddr(i))
-	return s.rebuildServerLocked(i, s.snapshotLocked())
+	return s.rebuildServerLocked(i, s.snapshotGroupLocked(s.groupOf(i)))
+}
+
+// CrashGroup fault-crashes every server of replica group g in index
+// order: a shard-wide outage. The other groups keep serving their slices
+// of the keyspace — the blast radius a sharded deployment exists to
+// bound. See CrashServer for the outage semantics.
+func (s *System) CrashGroup(g int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if g < 0 || g >= s.cfg.groups() {
+		return fmt.Errorf("fortress: no group %d", g)
+	}
+	for i := g * s.cfg.Servers; i < (g+1)*s.cfg.Servers; i++ {
+		s.downServers[i] = true
+		s.servers[i].Crash()
+		s.mFaultCrashes.Inc()
+		s.traceEvent(metrics.KindCrash, serverAddr(i))
+	}
+	return nil
+}
+
+// RestartGroup ends a shard-wide outage: every fault-downed server of
+// group g is rebuilt in index order. See RestartServer for the rejoin
+// semantics.
+func (s *System) RestartGroup(g int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return errors.New("fortress: system stopped")
+	}
+	if g < 0 || g >= s.cfg.groups() {
+		return fmt.Errorf("fortress: no group %d", g)
+	}
+	for i := g * s.cfg.Servers; i < (g+1)*s.cfg.Servers; i++ {
+		if !s.downServers[i] {
+			continue
+		}
+		delete(s.downServers, i)
+		s.mFaultRestarts.Inc()
+		s.traceEvent(metrics.KindRestart, serverAddr(i))
+		if err := s.rebuildServerLocked(i, s.snapshotGroupLocked(g)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CrashAll models a whole-cluster power loss: every server and proxy is
@@ -503,7 +593,7 @@ func (s *System) RestartAll() error {
 		delete(s.downServers, i)
 		s.mFaultRestarts.Inc()
 		s.traceEvent(metrics.KindRestart, serverAddr(i))
-		if err := s.rebuildServerLocked(i, s.snapshotLocked()); err != nil {
+		if err := s.rebuildServerLocked(i, s.snapshotGroupLocked(s.groupOf(i))); err != nil {
 			return err
 		}
 	}
@@ -620,8 +710,8 @@ type smrSeed struct {
 }
 
 // smrSeedLocked captures a state transfer from the first live,
-// uncompromised, not-fault-downed SMR peer of server i, in index order for
-// determinism. The donor's leader view also decides the replacement's
+// uncompromised, not-fault-downed SMR peer of server i within its own
+// replica group, in index order for determinism. The donor's leader view also decides the replacement's
 // join posture: when the group has failed over away from index i (the
 // donor follows someone else), the replacement must rejoin with an unknown
 // leader and adopt the live sequencer's heartbeats — a lowest-index node
@@ -633,7 +723,9 @@ type smrSeed struct {
 // identically from sequence one, consistent precisely because nobody
 // retains anything newer. Caller holds s.mu.
 func (s *System) smrSeedLocked(i int) *smrSeed {
-	for j, srv := range s.servers {
+	g := s.groupOf(i)
+	for j := g * s.cfg.Servers; j < (g+1)*s.cfg.Servers; j++ {
+		srv := s.servers[j]
 		if j == i || s.downServers[j] {
 			continue
 		}
@@ -665,8 +757,12 @@ func (s *System) smrSeedLocked(i int) *smrSeed {
 // (a nil seed is the epoch path: every replica restores the same snapshot
 // and starts at sequence one together). Caller holds s.mu.
 func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, seed *smrSeed) error {
+	// The replication protocol is per group: peers are the global indices
+	// of server i's own group only, so each group elects and sequences
+	// independently of the others.
+	g := s.groupOf(i)
 	peers := make(map[int]string, s.cfg.Servers)
-	for j := 0; j < s.cfg.Servers; j++ {
+	for j := g * s.cfg.Servers; j < (g+1)*s.cfg.Servers; j++ {
 		peers[j] = serverAddr(j)
 	}
 	st, err := s.storeLocked(i)
@@ -729,6 +825,7 @@ func (s *System) startServerLocked(i int, snapshot []byte, initialPrimary int, s
 			CheckpointEvery:   s.cfg.CheckpointEvery,
 			UpdateWindow:      s.cfg.UpdateWindow,
 			RespCacheLimit:    s.cfg.RespCacheLimit,
+			OutboxLimit:       s.cfg.OutboxLimit,
 			Store:             st,
 			Metrics:           s.cfg.Metrics,
 		})
@@ -765,15 +862,17 @@ func (s *System) rebuildProxyLocked(i int) error {
 	s.proxies[i].Stop()
 	s.net.CrashAddr(proxyAddr(i))
 	p, err := proxy.New(proxy.Config{
-		ID:            fmt.Sprintf("proxy-%d", i),
-		Addr:          proxyAddr(i),
-		Keys:          s.proxySig[i],
-		NS:            s.ns,
-		Net:           s.net,
-		Detector:      s.detector,
-		Proc:          memlayout.NewProcess(s.proxyKeys[i]),
-		ServerTimeout: s.cfg.ServerTimeout,
-		Metrics:       s.cfg.Metrics,
+		ID:              fmt.Sprintf("proxy-%d", i),
+		Addr:            proxyAddr(i),
+		Keys:            s.proxySig[i],
+		NS:              s.ns,
+		Net:             s.net,
+		Detector:        s.detector,
+		Proc:            memlayout.NewProcess(s.proxyKeys[i]),
+		ServerTimeout:   s.cfg.ServerTimeout,
+		Ring:            s.ring,
+		ServersPerGroup: s.cfg.Servers,
+		Metrics:         s.cfg.Metrics,
 	})
 	if err != nil {
 		return fmt.Errorf("fortress: recover proxy %d: %w", i, err)
@@ -782,20 +881,33 @@ func (s *System) rebuildProxyLocked(i int) error {
 	return s.ns.RegisterProxy(p.ID(), p.Addr(), p.PublicKey())
 }
 
-// snapshotLocked fetches the service state from the first live,
-// uncompromised server (state from a compromised node is untrustworthy, and
-// a fault-downed node's in-memory state is stale).
-func (s *System) snapshotLocked() []byte {
-	for i, g := range s.guards {
-		if g.Compromised() || g.Process().Crashed() || s.downServers[i] {
+// snapshotGroupLocked fetches group g's service state from the group's
+// first live, uncompromised server (state from a compromised node is
+// untrustworthy, and a fault-downed node's in-memory state is stale).
+func (s *System) snapshotGroupLocked(g int) []byte {
+	for i := g * s.cfg.Servers; i < (g+1)*s.cfg.Servers; i++ {
+		gd := s.guards[i]
+		if gd.Compromised() || gd.Process().Crashed() || s.downServers[i] {
 			continue
 		}
-		if snap, err := g.Snapshot(); err == nil {
+		if snap, err := gd.Snapshot(); err == nil {
 			return snap
 		}
 	}
 	return nil
 }
+
+// snapshotsLocked fetches every group's snapshot, indexed by group.
+func (s *System) snapshotsLocked() [][]byte {
+	out := make([][]byte, s.cfg.groups())
+	for g := range out {
+		out[g] = s.snapshotGroupLocked(g)
+	}
+	return out
+}
+
+// groupOf maps a global server index to its replica group.
+func (s *System) groupOf(i int) int { return i / s.cfg.Servers }
 
 // Epoch returns the number of completed re-randomizations.
 func (s *System) Epoch() uint64 {
@@ -865,9 +977,26 @@ func (s *System) Servers() []replica.Server {
 // Backend reports the server tier's replication engine.
 func (s *System) Backend() replica.Backend { return s.cfg.Backend }
 
+// Groups reports the number of replica groups in the deployment.
+func (s *System) Groups() int { return s.cfg.groups() }
+
+// ServersPerGroup reports the per-group server count n_s.
+func (s *System) ServersPerGroup() int { return s.cfg.Servers }
+
+// GroupOf maps a global server index to its replica group.
+func (s *System) GroupOf(i int) int { return i / s.cfg.Servers }
+
+// Ring returns the deployment's consistent-hash routing ring — the same
+// function the proxies route with, so campaigns and tests can derive
+// per-group keys.
+func (s *System) Ring() *shard.Ring { return s.ring }
+
 // Status summarizes the system's security state.
 type Status struct {
-	Epoch              uint64
+	Epoch uint64
+	// Groups is the replica-group count; server totals below span all
+	// groups.
+	Groups             int
 	ServersCompromised int
 	ServersCrashed     int
 	ProxiesCompromised int
@@ -888,6 +1017,7 @@ func (s *System) Status() Status {
 	defer s.mu.Unlock()
 	var st Status
 	st.Epoch = s.epoch
+	st.Groups = s.cfg.groups()
 	for _, g := range s.guards {
 		if g.Compromised() {
 			st.ServersCompromised++

@@ -132,6 +132,13 @@ type Network struct {
 	// dropMu; purely observational — the sampling decision never reads it.
 	metrics   *metrics.Registry
 	pairDrops map[[2]string]*metrics.Counter
+
+	// delay is the symmetric one-way link delay in nanoseconds applied to
+	// every message delivery (0 = instantaneous, the default). Messages
+	// stay FIFO per connection; a delayed message is simply withheld from
+	// Recv until its delivery time. Atomic so SetLinkDelay may adjust it
+	// while traffic flows.
+	delay atomic.Int64
 }
 
 // Option configures a Network.
@@ -190,6 +197,26 @@ func (n *Network) installDropRNG(rng *xrand.RNG) {
 func (n *Network) DropRate() float64 {
 	return math.Float64frombits(n.dropRate.Load())
 }
+
+// WithLinkDelay gives every link a symmetric one-way delivery delay: a
+// message sent at t becomes receivable at t+d. Zero (the default) keeps
+// the historical instantaneous delivery. Delay models wire time only —
+// it never reorders a connection's FIFO stream and is independent of the
+// lossy-link drop model. Throughput benchmarks use it to expose pipeline
+// overlap (a single ordering pipeline is bounded by round trips, many
+// shards overlap theirs); campaigns and sweeps leave it at zero, so
+// their determinism contract is untouched.
+func WithLinkDelay(d time.Duration) Option {
+	return func(n *Network) { n.delay.Store(int64(d)) }
+}
+
+// SetLinkDelay changes the one-way link delay at runtime. Messages already
+// in flight keep the delivery time stamped when they were sent. Safe for
+// concurrent use with live traffic.
+func (n *Network) SetLinkDelay(d time.Duration) { n.delay.Store(int64(d)) }
+
+// LinkDelay returns the current one-way link delay.
+func (n *Network) LinkDelay() time.Duration { return time.Duration(n.delay.Load()) }
 
 // NewNetwork creates an empty network.
 func NewNetwork(opts ...Option) *Network {
@@ -491,9 +518,10 @@ type Conn struct {
 	// The receive queue is ring-indexed: queue[head:] holds undelivered
 	// messages, and draining resets the slice in place so the backing array
 	// is reused across batches instead of re-allocated as a sliced-forward
-	// queue would be.
+	// queue would be. Each entry carries the delivery time its link delay
+	// stamped at send (0 when no delay is configured).
 	mu    sync.Mutex
-	queue [][]byte
+	queue []qmsg
 	head  int
 	ready chan struct{} // wake-up signal: buffered, size 1
 
@@ -502,6 +530,14 @@ type Conn struct {
 	// closes from both sides cannot deadlock.
 	closed chan struct{}
 	once   *sync.Once
+}
+
+// qmsg is one queued message: the payload buffer plus the UnixNano time
+// before which the link delay withholds it from delivery (0 = deliverable
+// immediately).
+type qmsg struct {
+	buf []byte
+	due int64
 }
 
 func newConnPair(n *Network, dialer, listener string) (client, server *Conn) {
@@ -536,6 +572,12 @@ func (c *Conn) Send(msg []byte) error {
 	}
 	cp := getBuf(len(msg))
 	copy(cp, msg)
+	var due int64
+	if c.net != nil {
+		if d := c.net.delay.Load(); d > 0 {
+			due = time.Now().UnixNano() + d
+		}
+	}
 
 	p := c.peer
 	p.mu.Lock()
@@ -546,7 +588,7 @@ func (c *Conn) Send(msg []byte) error {
 		return ErrClosed
 	default:
 	}
-	p.queue = append(p.queue, cp)
+	p.queue = append(p.queue, qmsg{buf: cp, due: due})
 	select {
 	case p.ready <- struct{}{}:
 	default:
@@ -576,9 +618,15 @@ func (c *Conn) SendBatch(msgs [][]byte) error {
 	default:
 	}
 	p := c.peer
-	var staged [sendChunk][]byte
+	var staged [sendChunk]qmsg
 	i := 0
 	for i < len(msgs) {
+		var due int64
+		if c.net != nil {
+			if d := c.net.delay.Load(); d > 0 {
+				due = time.Now().UnixNano() + d
+			}
+		}
 		n := 0
 		for i < len(msgs) && n < sendChunk {
 			msg := msgs[i]
@@ -588,7 +636,7 @@ func (c *Conn) SendBatch(msgs [][]byte) error {
 			}
 			cp := getBuf(len(msg))
 			copy(cp, msg)
-			staged[n] = cp
+			staged[n] = qmsg{buf: cp, due: due}
 			n++
 		}
 		if n == 0 {
@@ -598,8 +646,8 @@ func (c *Conn) SendBatch(msgs [][]byte) error {
 		select {
 		case <-p.closed:
 			p.mu.Unlock()
-			for _, cp := range staged[:n] {
-				Release(cp)
+			for _, m := range staged[:n] {
+				Release(m.buf)
 			}
 			return ErrClosed
 		default:
@@ -620,14 +668,29 @@ func (c *Conn) SendBatch(msgs [][]byte) error {
 // every message ever sent.
 const compactAt = 64
 
-// popLocked removes and returns the oldest queued message. Caller holds c.mu.
-func (c *Conn) popLocked() ([]byte, bool) {
+// popLocked removes and returns the oldest queued message whose delivery
+// time has arrived. Caller holds c.mu. When the head message is still in
+// flight (link delay), ok is false and wait reports how long until it
+// becomes deliverable; force delivers it regardless — the close path uses
+// that to flush the backlog that raced with the close.
+func (c *Conn) popLocked(force bool) (msg []byte, ok bool, wait time.Duration) {
 	if c.head == len(c.queue) {
-		return nil, false
+		return nil, false, 0
 	}
-	msg := c.queue[c.head]
-	c.queue[c.head] = nil // drop the queue's reference: the receiver owns msg now
+	m := c.queue[c.head]
+	if m.due > 0 && !force {
+		if rem := m.due - time.Now().UnixNano(); rem > 0 {
+			return nil, false, time.Duration(rem)
+		}
+	}
+	c.queue[c.head].buf = nil // drop the queue's reference: the receiver owns msg now
 	c.head++
+	c.shedPrefixLocked()
+	return m.buf, true, 0
+}
+
+// shedPrefixLocked reclaims the consumed queue prefix. Caller holds c.mu.
+func (c *Conn) shedPrefixLocked() {
 	switch {
 	case c.head == len(c.queue):
 		c.queue = c.queue[:0]
@@ -637,27 +700,37 @@ func (c *Conn) popLocked() ([]byte, bool) {
 		// the front and clear the vacated tail references.
 		n := copy(c.queue, c.queue[c.head:])
 		for i := n; i < len(c.queue); i++ {
-			c.queue[i] = nil
+			c.queue[i] = qmsg{}
 		}
 		c.queue = c.queue[:n]
 		c.head = 0
 	}
-	return msg, true
 }
 
-// drainLocked appends every queued message to dst and resets the queue for
-// backing-array reuse. Caller holds c.mu.
-func (c *Conn) drainLocked(dst [][]byte) ([][]byte, bool) {
-	if c.head == len(c.queue) {
-		return dst, false
+// drainLocked appends every deliverable queued message to dst and reclaims
+// the consumed prefix for backing-array reuse. Caller holds c.mu. When it
+// stops at a head still in flight (link delay), wait reports how long until
+// that message becomes deliverable; force drains everything regardless.
+func (c *Conn) drainLocked(dst [][]byte, force bool) (out [][]byte, got bool, wait time.Duration) {
+	var now int64
+	for c.head < len(c.queue) {
+		m := c.queue[c.head]
+		if m.due > 0 && !force {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			if m.due > now {
+				wait = time.Duration(m.due - now)
+				break
+			}
+		}
+		dst = append(dst, m.buf)
+		c.queue[c.head].buf = nil
+		c.head++
+		got = true
 	}
-	for i := c.head; i < len(c.queue); i++ {
-		dst = append(dst, c.queue[i])
-		c.queue[i] = nil
-	}
-	c.queue = c.queue[:0]
-	c.head = 0
-	return dst, true
+	c.shedPrefixLocked()
+	return dst, got, wait
 }
 
 // Recv blocks until a message arrives or the connection closes. The returned
@@ -665,24 +738,41 @@ func (c *Conn) drainLocked(dst [][]byte) ([][]byte, bool) {
 func (c *Conn) Recv() ([]byte, error) {
 	for {
 		c.mu.Lock()
-		if msg, ok := c.popLocked(); ok {
-			c.mu.Unlock()
+		msg, ok, wait := c.popLocked(false)
+		c.mu.Unlock()
+		if ok {
 			return msg, nil
 		}
-		c.mu.Unlock()
+		if wait > 0 {
+			// The head message is in flight; sleep out its link delay. A
+			// close during the wait flushes the backlog like any close.
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-c.closed:
+				t.Stop()
+				return c.recvClosed()
+			}
+			continue
+		}
 		select {
 		case <-c.ready:
 		case <-c.closed:
-			// Drain any message that raced with the close.
-			c.mu.Lock()
-			msg, ok := c.popLocked()
-			c.mu.Unlock()
-			if ok {
-				return msg, nil
-			}
-			return nil, ErrClosed
+			return c.recvClosed()
 		}
 	}
+}
+
+// recvClosed drains any message that raced with the close (link delay no
+// longer applies — the connection is gone either way).
+func (c *Conn) recvClosed() ([]byte, error) {
+	c.mu.Lock()
+	msg, ok, _ := c.popLocked(true)
+	c.mu.Unlock()
+	if ok {
+		return msg, nil
+	}
+	return nil, ErrClosed
 }
 
 // RecvBatch blocks until at least one message is available (or the
@@ -698,23 +788,39 @@ func (c *Conn) Recv() ([]byte, error) {
 func (c *Conn) RecvBatch(dst [][]byte) ([][]byte, error) {
 	for {
 		c.mu.Lock()
-		out, ok := c.drainLocked(dst)
+		out, ok, wait := c.drainLocked(dst, false)
 		c.mu.Unlock()
 		if ok {
 			return out, nil
 		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-c.closed:
+				t.Stop()
+				return c.recvBatchClosed(dst)
+			}
+			continue
+		}
 		select {
 		case <-c.ready:
 		case <-c.closed:
-			c.mu.Lock()
-			out, ok := c.drainLocked(dst)
-			c.mu.Unlock()
-			if ok {
-				return out, nil
-			}
-			return dst, ErrClosed
+			return c.recvBatchClosed(dst)
 		}
 	}
+}
+
+// recvBatchClosed drains the backlog that raced with the close, in-flight
+// messages included, matching Recv's close semantics.
+func (c *Conn) recvBatchClosed(dst [][]byte) ([][]byte, error) {
+	c.mu.Lock()
+	out, ok, _ := c.drainLocked(dst, true)
+	c.mu.Unlock()
+	if ok {
+		return out, nil
+	}
+	return dst, ErrClosed
 }
 
 // RecvTimeout is Recv with a deadline; it returns ErrTimeout on expiry.
@@ -723,23 +829,33 @@ func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
 	defer timer.Stop()
 	for {
 		c.mu.Lock()
-		if msg, ok := c.popLocked(); ok {
-			c.mu.Unlock()
+		msg, ok, wait := c.popLocked(false)
+		c.mu.Unlock()
+		if ok {
 			return msg, nil
 		}
-		c.mu.Unlock()
+		var dueCh <-chan time.Time
+		var dueTimer *time.Timer
+		if wait > 0 {
+			dueTimer = time.NewTimer(wait)
+			dueCh = dueTimer.C
+		}
 		select {
 		case <-c.ready:
+		case <-dueCh:
 		case <-c.closed:
-			c.mu.Lock()
-			msg, ok := c.popLocked()
-			c.mu.Unlock()
-			if ok {
-				return msg, nil
+			if dueTimer != nil {
+				dueTimer.Stop()
 			}
-			return nil, ErrClosed
+			return c.recvClosed()
 		case <-timer.C:
+			if dueTimer != nil {
+				dueTimer.Stop()
+			}
 			return nil, ErrTimeout
+		}
+		if dueTimer != nil {
+			dueTimer.Stop()
 		}
 	}
 }

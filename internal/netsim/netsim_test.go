@@ -891,3 +891,79 @@ func TestSetDropRateRuntime(t *testing.T) {
 	}
 	Release(msg)
 }
+
+// TestLinkDelayDefersDelivery pins the link-delay model: a message sent over
+// a delayed link is withheld from every Recv variant until its delivery
+// time, FIFO order survives the delay, a close flushes in-flight messages,
+// and resetting the delay to zero restores instantaneous delivery.
+func TestLinkDelayDefersDelivery(t *testing.T) {
+	const d = 40 * time.Millisecond
+	n := NewNetwork(WithLinkDelay(d))
+	if n.LinkDelay() != d {
+		t.Fatalf("LinkDelay = %v, want %v", n.LinkDelay(), d)
+	}
+	c, s := pipe(t, n, "client", "server")
+
+	start := time.Now()
+	if err := c.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	// A deadline shorter than the remaining flight time must expire.
+	if _, err := s.RecvTimeout(5 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("in-flight message delivered early: %v", err)
+	}
+	msg, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Errorf("first message delivered after %v, want >= %v", elapsed, d)
+	}
+	if msg[0] != 1 {
+		t.Fatalf("FIFO broken: got payload %v first", msg)
+	}
+	Release(msg)
+	batch, err := s.RecvBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || batch[0][0] != 2 {
+		t.Fatalf("second message: got %v", batch)
+	}
+	Release(batch[0])
+
+	// Zeroing the delay restores instantaneous delivery.
+	n.SetLinkDelay(0)
+	if err := c.Send([]byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = s.RecvTimeout(5 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("zero-delay send: %v", err)
+	}
+	if msg[0] != 3 {
+		t.Fatalf("got payload %v", msg)
+	}
+	Release(msg)
+
+	// A close flushes whatever is still in flight.
+	n.SetLinkDelay(time.Minute)
+	if err := c.Send([]byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	msg, err = s.Recv()
+	if err != nil {
+		t.Fatalf("close did not flush in-flight backlog: %v", err)
+	}
+	if msg[0] != 4 {
+		t.Fatalf("got payload %v", msg)
+	}
+	Release(msg)
+	if _, err := s.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained closed conn: %v", err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fortress/internal/nameserver"
 	"fortress/internal/netsim"
 	"fortress/internal/replica/pb"
+	"fortress/internal/shard"
 	"fortress/internal/sig"
 )
 
@@ -102,6 +103,18 @@ type Config struct {
 	Proc *memlayout.Process
 	// ServerTimeout bounds each server interaction.
 	ServerTimeout time.Duration
+	// Ring, with ServersPerGroup, shards the server tier: requests whose
+	// body carries a "key" field are forwarded only to the replica group
+	// the ring assigns that key, so each group orders a disjoint slice of
+	// the keyspace. Keyless or non-JSON bodies (health probes without a
+	// key, exploit payloads) route to group 0 by convention. A nil Ring —
+	// or a single-group one — preserves the classic forward-to-every-
+	// server behaviour exactly.
+	Ring *shard.Ring
+	// ServersPerGroup is the per-group server count: group g owns global
+	// server indices [g·ServersPerGroup, (g+1)·ServersPerGroup). Required
+	// when Ring has more than one group.
+	ServersPerGroup int
 	// Metrics, when non-nil, receives the proxy's instruments (request mix,
 	// invalid observations, no-response outcomes), labelled by ID.
 	// Observational only — screening and forwarding never read them back.
@@ -122,6 +135,8 @@ func (c Config) validate() error {
 		return errors.New("proxy: config needs Net")
 	case c.ServerTimeout <= 0:
 		return errors.New("proxy: config needs positive ServerTimeout")
+	case c.Ring != nil && c.Ring.Groups() > 1 && c.ServersPerGroup < 1:
+		return errors.New("proxy: sharded Ring needs ServersPerGroup")
 	}
 	return nil
 }
@@ -141,11 +156,12 @@ type Proxy struct {
 	done     sync.WaitGroup
 
 	// Instruments (nil no-ops when Config.Metrics is unset).
-	mRequests   *metrics.Counter // well-formed requests screened
-	mReads      *metrics.Counter // of those, read-tagged
-	mBlocked    *metrics.Counter // requests refused on a flagged source
-	mInvalid    *metrics.Counter // invalid observations logged
-	mNoResponse *metrics.Counter // forwards with no authentic response
+	mRequests   *metrics.Counter   // well-formed requests screened
+	mReads      *metrics.Counter   // of those, read-tagged
+	mBlocked    *metrics.Counter   // requests refused on a flagged source
+	mInvalid    *metrics.Counter   // invalid observations logged
+	mNoResponse *metrics.Counter   // forwards with no authentic response
+	mShard      []*metrics.Counter // per-group routed requests (sharded only)
 }
 
 // New starts a proxy. Call Stop (or Crash) to shut it down.
@@ -165,6 +181,14 @@ func New(cfg Config) (*Proxy, error) {
 		p.mBlocked = reg.Counter("proxy_blocked_total"+node, metrics.Timing)
 		p.mInvalid = reg.Counter("proxy_invalid_observations_total"+node, metrics.Timing)
 		p.mNoResponse = reg.Counter("proxy_no_response_total"+node, metrics.Timing)
+		if cfg.Ring != nil && cfg.Ring.Groups() > 1 {
+			p.mShard = make([]*metrics.Counter, cfg.Ring.Groups())
+			for g := range p.mShard {
+				p.mShard[g] = reg.Counter(
+					fmt.Sprintf("proxy_shard_requests_total{node=%q,group=\"%d\"}", cfg.ID, g),
+					metrics.Timing)
+			}
+		}
 	}
 	p.done.Add(1)
 	go p.acceptLoop()
@@ -325,8 +349,9 @@ func (p *Proxy) handleProxyProbe(conn *netsim.Conn, m clientMsg) bool {
 	}
 }
 
-// forward relays the request to every server, over-signs the first
-// authentic response and returns it to the client (§3).
+// forward relays the request to every server of the owning replica group
+// (every server outright when unsharded), over-signs the first authentic
+// response and returns it to the client (§3).
 func (p *Proxy) forward(conn *netsim.Conn, source string, m clientMsg) {
 	view := p.cfg.NS.ClientSnapshot()
 	serverKeys := make(map[int][]byte, len(view.Servers))
@@ -340,6 +365,20 @@ func (p *Proxy) forward(conn *netsim.Conn, source string, m clientMsg) {
 		ok      bool
 	}
 	indices := p.cfg.NS.ServerIndices()
+	if r := p.cfg.Ring; r != nil && r.Groups() > 1 {
+		group := routeGroup(r, m.Body)
+		lo, hi := group*p.cfg.ServersPerGroup, (group+1)*p.cfg.ServersPerGroup
+		owned := indices[:0]
+		for _, idx := range indices {
+			if idx >= lo && idx < hi {
+				owned = append(owned, idx)
+			}
+		}
+		indices = owned
+		if p.mShard != nil {
+			p.mShard[group].Inc()
+		}
+	}
 	results := make(chan outcome, len(indices))
 	for _, idx := range indices {
 		addr, err := p.cfg.NS.ServerAddr(idx)
@@ -393,6 +432,21 @@ func (p *Proxy) forward(conn *netsim.Conn, source string, m clientMsg) {
 		return
 	}
 	_ = conn.Send(encode(clientMsg{Type: msgResponse, RequestID: m.RequestID, Signed: &signed}))
+}
+
+// routeGroup maps a request body to its owning replica group: the ring
+// owner of the body's "key" field. Bodies that are not JSON objects or
+// carry no key — health probes without one, counter ops, exploit
+// payloads — route to group 0 by convention, so every request has
+// exactly one owning group and writes never execute twice.
+func routeGroup(r *shard.Ring, body []byte) int {
+	var k struct {
+		Key string `json:"key"`
+	}
+	if json.Unmarshal(body, &k) != nil || k.Key == "" {
+		return 0
+	}
+	return r.Owner(k.Key)
 }
 
 func (p *Proxy) observeInvalid(source string) {

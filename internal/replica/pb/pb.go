@@ -196,6 +196,13 @@ type Config struct {
 	// retried past this horizon re-executes instead of replaying from cache.
 	// Zero selects the default (4096); negative retains everything.
 	RespCacheLimit int
+	// OutboxLimit bounds each per-peer outbox (replica/core) to the most
+	// recent k staged messages: staging past the bound sheds the oldest, and
+	// the runtime's shed notification makes this replica answer with a
+	// checkpoint resync for the affected backup — a slow or partitioned
+	// backup costs bounded memory instead of an unbounded staged backlog.
+	// Zero is unbounded (the historical behaviour).
+	OutboxLimit int
 	// Store persists the update stream: deltas are journaled as records and
 	// checkpoints overwrite the snapshot slot, so a replica rebuilt over a
 	// non-empty store recovers its state from disk before protocol catch-up
@@ -299,9 +306,17 @@ type Replica struct {
 	resyncing bool   // a nack is outstanding; suppress duplicates
 	nackedAt  time.Time
 
+	// shedMu guards shedPeers — peers whose outbox shed staged updates
+	// since the last tick. Deliberately its own small lock, never nested
+	// inside mu or execMu: HandleOutboxShed arrives from the runtime's
+	// flush path, which can run while a handler still holds both.
+	shedMu    sync.Mutex
+	shedPeers map[int]bool
+
 	// Instruments (nil no-ops when Config.Metrics is unset). Observational
 	// only: nothing below feeds back into a protocol decision.
 	mDeltas       *metrics.Counter // delta updates executed/applied
+	mDeltaFast    *metrics.Counter // deltas spliced from DeltaCapable reports
 	mCheckpoints  *metrics.Counter // checkpoint updates executed/applied
 	mCkptJumps    *metrics.Counter // checkpoints that re-anchored the chain
 	mNackGap      *metrics.Counter // nack cause: sequence gap
@@ -374,6 +389,7 @@ func New(cfg Config) (*Replica, error) {
 		stallWait:  make(map[int]int),
 		stallLimit: int(cfg.HeartbeatTimeout/cfg.HeartbeatInterval) + 1,
 		updFrom:    streamUnknown,
+		shedPeers:  make(map[int]bool),
 	}
 	for idx := range cfg.Peers {
 		if idx != cfg.Index {
@@ -384,6 +400,7 @@ func New(cfg Config) (*Replica, error) {
 	if reg := cfg.Metrics; reg != nil {
 		node := fmt.Sprintf("{node=%q}", cfg.Addr)
 		r.mDeltas = reg.Counter("pb_updates_delta_total"+node, metrics.Timing)
+		r.mDeltaFast = reg.Counter("pb_updates_delta_fast_total"+node, metrics.Timing)
 		r.mCheckpoints = reg.Counter("pb_updates_checkpoint_total"+node, metrics.Timing)
 		r.mCkptJumps = reg.Counter("pb_checkpoint_jumps_total"+node, metrics.Timing)
 		cause := func(c string) string {
@@ -413,6 +430,7 @@ func New(cfg Config) (*Replica, error) {
 		Peers:        cfg.Peers,
 		Net:          cfg.Net,
 		TickInterval: cfg.HeartbeatInterval,
+		OutboxLimit:  cfg.OutboxLimit,
 		Metrics:      cfg.Metrics,
 	}, r)
 	if err != nil {
@@ -774,7 +792,32 @@ func (r *Replica) execute(m wireMsg) []byte {
 	if applyErr != nil {
 		cached = cachedResp{errMsg: applyErr.Error()}
 	}
-	snap, snapErr := r.cfg.Service.Snapshot()
+
+	// Fast path: a DeltaCapable service described this Apply's exact
+	// snapshot edit, so the next chain state is a splice of the previous
+	// one — no full Snapshot() marshal and no DiffSnapshot scan. Reading
+	// seq/lastSnap outside r.mu is safe here: execMu serializes every
+	// writer of both. Only delta sequences qualify; checkpoints ship the
+	// whole snapshot regardless.
+	delta, deltaOK := service.LastDeltaOf(r.cfg.Service)
+	r.mu.Lock()
+	base := r.lastSnap
+	nextSeq := r.seq + 1
+	r.mu.Unlock()
+	var snap []byte
+	var snapErr error
+	fast := false
+	if deltaOK && base != nil && nextSeq%uint64(r.cfg.CheckpointEvery) != 0 {
+		if delta.Unchanged {
+			delta = service.SnapshotDelta{PrefixLen: len(base)}
+			snap, fast = base, true
+		} else if s, ok := ApplyDelta(base, delta.PrefixLen, delta.Patch, delta.SuffixLen); ok {
+			snap, fast = s, true
+		}
+	}
+	if !fast {
+		snap, snapErr = r.cfg.Service.Snapshot()
+	}
 
 	r.mu.Lock()
 	r.seq++
@@ -795,12 +838,19 @@ func (r *Replica) execute(m wireMsg) []byte {
 	} else {
 		r.mDeltas.Inc()
 		up.baseHash = snapHash(r.lastSnap)
-		var patch []byte
-		up.prefix, patch, up.suffix = DiffSnapshot(r.lastSnap, snap)
-		// Copy: the patch sub-slices snap, and a retained alias would pin
-		// the whole historical snapshot in the window for the life of the
-		// entry — the exact memory scaling deltas exist to avoid.
-		up.patch = append([]byte(nil), patch...)
+		if fast {
+			r.mDeltaFast.Inc()
+			up.prefix, up.suffix = delta.PrefixLen, delta.SuffixLen
+			up.patch = append([]byte(nil), delta.Patch...)
+		} else {
+			var patch []byte
+			up.prefix, patch, up.suffix = DiffSnapshot(r.lastSnap, snap)
+			// Copy: the patch sub-slices snap, and a retained alias would
+			// pin the whole historical snapshot in the window for the life
+			// of the entry — the exact memory scaling deltas exist to
+			// avoid.
+			up.patch = append([]byte(nil), patch...)
+		}
 	}
 	r.lastSnap = snap
 	r.window.Append(up)
@@ -1122,6 +1172,32 @@ func (r *Replica) handleNack(m wireMsg) {
 	r.resyncPeer(m.From, m.Seq, m.Stream)
 }
 
+// HandleOutboxShed implements core.OutboxShedHandler: the runtime's bounded
+// outbox dropped the oldest staged messages for peer, so whatever update
+// suffix the backup observes next has a gap at worst. The peer is only
+// marked here — the checkpoint resync runs on the next Tick. Resyncing
+// synchronously would deadlock: the notification arrives from Flush, which
+// can run while this replica's own handler still holds execMu.
+func (r *Replica) HandleOutboxShed(peer int, dropped int) {
+	r.shedMu.Lock()
+	r.shedPeers[peer] = true
+	r.shedMu.Unlock()
+}
+
+// takeShedPeers returns and clears the peers marked by HandleOutboxShed
+// since the last tick, in ascending order.
+func (r *Replica) takeShedPeers() []int {
+	r.shedMu.Lock()
+	peers := make([]int, 0, len(r.shedPeers))
+	for p := range r.shedPeers {
+		peers = append(peers, p)
+	}
+	clear(r.shedPeers)
+	r.shedMu.Unlock()
+	sort.Ints(peers)
+	return peers
+}
+
 // resyncPeer brings one backup back onto the update stream: a backup
 // confirmed on this primary's own chain (stream) whose gap fits the
 // retained window gets the missing suffix retransmitted delta-by-delta;
@@ -1282,6 +1358,13 @@ func (r *Replica) Tick() {
 		r.node.Broadcast(encode(wireMsg{Type: msgHeartbeat, From: r.cfg.Index, Seq: seq}))
 		for _, s := range stalled {
 			r.resyncPeer(s.peer, s.from, s.stream)
+		}
+		// Backups whose outbox shed updates since the last tick have a gap
+		// nothing retained can fill deterministically: anchor each with a
+		// full checkpoint. (A backup's own sheds — dropped acks — clear here
+		// too; the primary's stall detector already covers lost acks.)
+		for _, p := range r.takeShedPeers() {
+			r.resyncPeer(p, 0, streamUnknown)
 		}
 	case RoleBackup:
 		if stale {

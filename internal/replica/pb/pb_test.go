@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"fortress/internal/metrics"
 	"fortress/internal/netsim"
 	"fortress/internal/service"
 	"fortress/internal/sig"
@@ -546,6 +547,136 @@ func TestRestartRejoinsAsBackup(t *testing.T) {
 			t.Fatalf("backup seq %d never caught primary seq %d", rs[1].Seq(), rs[0].Seq())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeltaCapableFastPathConverges pins the DeltaCapable hot path: a
+// primary hosting a delta-reporting KV service splices its chain states
+// from the reported edits (the fast counter moves) and backups still
+// converge to byte-identical state through the same delta wire format —
+// deletes, overwrites and reads included.
+func TestDeltaCapableFastPathConverges(t *testing.T) {
+	net := netsim.NewNetwork()
+	reg := metrics.New()
+	peers := map[int]string{0: "dc-0", 1: "dc-1"}
+	replicas := make([]*Replica, len(peers))
+	for i := range replicas {
+		keys, err := sig.NewKeyPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(Config{
+			Index: i, Addr: peers[i], Peers: peers, InitialPrimary: 0,
+			Service: service.NewKV(), Keys: keys, Net: net,
+			HeartbeatInterval: hbInterval, HeartbeatTimeout: hbTimeout,
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+		t.Cleanup(r.Stop)
+	}
+	ops := []struct {
+		id   string
+		body []byte
+	}{
+		{"w1", kvPut(t, "k1", "v1")},
+		{"w2", kvPut(t, "k0", "v0")}, // insert before k1
+		{"w3", kvPut(t, "k1", "v1-longer-value")},
+		{"r1", kvGet(t, "k0")}, // unchanged delta
+		{"w4", []byte(`{"op":"delete","key":"k0"}`)},
+		{"w5", kvPut(t, "k9", "tail")},
+		{"w6", []byte(`{"op":"nope"}`)}, // request error, unchanged delta
+	}
+	// The first update anchors the fresh backup with a checkpoint; every
+	// jump after that would mean a spliced delta diverged.
+	if _, err := Request(net, "c", replicas[0].Addr(), ops[0].id, ops[0].body, reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return replicas[1].Seq() == 1 })
+	anchors := replicas[1].CheckpointJumps()
+	for _, op := range ops[1:] {
+		if _, err := Request(net, "c", replicas[0].Addr(), op.id, op.body, reqTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return replicas[1].Seq() == replicas[0].Seq() })
+	// Convergence must have come from the in-order delta chain alone: a
+	// mis-spliced delta would diverge the backup and force a checkpoint
+	// re-anchor.
+	if jumps := replicas[1].CheckpointJumps(); jumps != anchors {
+		t.Errorf("backup needed %d extra checkpoint re-anchors — spliced deltas diverged", jumps-anchors)
+	}
+	// Execute a read on the primary, then fetch it from the backup's
+	// replicated cache: the backup co-signs the same state the primary saw.
+	if _, err := Request(net, "c", replicas[0].Addr(), "r2", kvGet(t, "k9"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return replicas[1].Seq() == replicas[0].Seq() })
+	resp, err := Request(net, "c", replicas[1].Addr(), "r2", kvGet(t, "k9"), reqTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got service.KVResponse
+	if err := json.Unmarshal(resp.Body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Value != "tail" {
+		t.Fatalf("backup read %+v, want tail", got)
+	}
+	fast := reg.Snapshot().Timing[fmt.Sprintf("pb_updates_delta_fast_total{node=%q}", replicas[0].Addr())]
+	if fast < 5 {
+		t.Errorf("fast-path deltas = %d, want >= 5 (every post-checkpoint op should splice)", fast)
+	}
+}
+
+// TestOutboxShedTriggersCheckpointResync pins the backpressure contract:
+// with a tiny per-peer outbox bound, a resync burst wider than the bound
+// sheds its oldest deltas — and the runtime's shed notification makes the
+// primary anchor the backup with a full checkpoint on the next tick, so
+// replication converges instead of wedging on the gap the shed opened.
+func TestOutboxShedTriggersCheckpointResync(t *testing.T) {
+	net := netsim.NewNetwork()
+	peers := map[int]string{0: "shed-0", 1: "shed-1"}
+	replicas := make([]*Replica, len(peers))
+	for i := range replicas {
+		keys, err := sig.NewKeyPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(Config{
+			Index: i, Addr: peers[i], Peers: peers, InitialPrimary: 0,
+			Service: service.NewKV(), Keys: keys, Net: net,
+			HeartbeatInterval: hbInterval, HeartbeatTimeout: hbTimeout,
+			OutboxLimit: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+		t.Cleanup(r.Stop)
+	}
+	if _, err := Request(net, "c", replicas[0].Addr(), "w0", kvPut(t, "k", "v0"), reqTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return replicas[1].Seq() == 1 })
+
+	// Open a gap far wider than the outbox bound while the backup is down:
+	// the nack-driven delta retransmission can never fit through intact.
+	replicas[1].Crash()
+	for i := 1; i <= 8; i++ {
+		id := fmt.Sprintf("w%d", i)
+		if _, err := Request(net, "c", replicas[0].Addr(), id, kvPut(t, "k", "v"+id), reqTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := replicas[1].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return replicas[1].Seq() == replicas[0].Seq() })
+	if jumps := replicas[1].CheckpointJumps(); jumps == 0 {
+		t.Error("backup converged without a checkpoint anchor — an 8-delta suffix cannot fit a 2-deep outbox")
 	}
 }
 

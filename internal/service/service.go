@@ -62,6 +62,55 @@ func IsReadOnly(svc Service, req []byte) bool {
 	return ok && rc.ReadOnly(req)
 }
 
+// SnapshotDelta describes how one Apply changed the service's snapshot
+// encoding: the new snapshot is
+//
+//	prev[:PrefixLen] + Patch + prev[len(prev)-SuffixLen:]
+//
+// where prev is the snapshot immediately before the Apply. Unchanged set
+// means the Apply left the snapshot byte-identical (a read, a no-op, or a
+// failed request) and the splice fields are meaningless.
+type SnapshotDelta struct {
+	Unchanged bool
+	PrefixLen int
+	Patch     []byte
+	SuffixLen int
+}
+
+// DeltaCapable is the optional incremental-snapshot surface: a service that
+// implements it reports each Apply's exact snapshot edit, which lets the PB
+// primary splice the next chain state from the previous one instead of
+// re-serializing the whole state (Snapshot) and scanning for the difference
+// (DiffSnapshot) on every request.
+type DeltaCapable interface {
+	// LastDelta reports the snapshot edit of the most recent Apply (or
+	// Restore, which reports Unchanged). The returned Patch must not be
+	// modified and stays valid until the next Apply/Restore; callers that
+	// pair Apply with LastDelta must serialize the two against concurrent
+	// Applies — the replication engines do, under their execution lock.
+	LastDelta() (SnapshotDelta, bool)
+}
+
+// LastDeltaOf returns svc's delta for its most recent Apply when svc
+// implements DeltaCapable; ok=false otherwise, steering the caller to the
+// Snapshot-and-diff fallback.
+func LastDeltaOf(svc Service) (SnapshotDelta, bool) {
+	if dc, ok := svc.(DeltaCapable); ok {
+		return dc.LastDelta()
+	}
+	return SnapshotDelta{}, false
+}
+
+// spliceBytes builds prev[:prefix] + patch + prev[len(prev)-suffix:] as a
+// fresh slice — the incremental-editor primitive. Snapshots handed out
+// earlier stay immutable: the editor never modifies a snapshot in place.
+func spliceBytes(prev []byte, prefix int, patch []byte, suffix int) []byte {
+	next := make([]byte, 0, prefix+len(patch)+suffix)
+	next = append(next, prev[:prefix]...)
+	next = append(next, patch...)
+	return append(next, prev[len(prev)-suffix:]...)
+}
+
 // --- KV store ---------------------------------------------------------
 
 // KVRequest is the request format of the KV store: op is "get", "put" or
@@ -82,13 +131,104 @@ type KVResponse struct {
 type KV struct {
 	mu   sync.Mutex
 	data map[string]string
+	// Incremental-snapshot editor state (DeltaCapable): snap is the
+	// canonical snapshot encoding — byte-identical to json.Marshal(data),
+	// whose object keys are sorted — maintained by splicing one entry per
+	// mutation; keys/encs hold the sorted keys and each entry's encoded
+	// bytes; last is the edit the most recent Apply performed.
+	snap []byte
+	keys []string
+	encs [][]byte
+	last SnapshotDelta
 }
 
-var _ Service = (*KV)(nil)
+var (
+	_ Service      = (*KV)(nil)
+	_ DeltaCapable = (*KV)(nil)
+)
 
 // NewKV returns an empty KV store.
 func NewKV() *KV {
-	return &KV{data: make(map[string]string)}
+	return &KV{data: make(map[string]string), snap: []byte("{}")}
+}
+
+// encodeKVEntry renders one `"key":"value"` object member exactly as
+// encoding/json renders it inside json.Marshal(map[string]string) — same
+// string escaping, no whitespace — so spliced snapshots stay byte-identical
+// to marshalled ones.
+func encodeKVEntry(k, v string) []byte {
+	kb, _ := json.Marshal(k)
+	vb, _ := json.Marshal(v)
+	enc := make([]byte, 0, len(kb)+1+len(vb))
+	enc = append(enc, kb...)
+	enc = append(enc, ':')
+	return append(enc, vb...)
+}
+
+// entryOffset returns the byte offset of entry i in an editor snapshot: one
+// opening bracket, then each earlier entry plus its separating comma.
+func entryOffset(encs [][]byte, i int) int {
+	off := 1
+	for j := 0; j < i; j++ {
+		off += len(encs[j]) + 1
+	}
+	return off
+}
+
+// editPut records a put as a one-entry splice: replace in place when the
+// key exists, insert at its sorted position otherwise. Caller holds kv.mu.
+func (kv *KV) editPut(k, v string) {
+	enc := encodeKVEntry(k, v)
+	i := sort.SearchStrings(kv.keys, k)
+	var prefix, suffix int
+	patch := enc
+	switch {
+	case i < len(kv.keys) && kv.keys[i] == k: // replace
+		prefix = entryOffset(kv.encs, i)
+		suffix = len(kv.snap) - prefix - len(kv.encs[i])
+		kv.encs[i] = enc
+	case len(kv.keys) == 0: // first entry: between the braces
+		prefix, suffix = 1, 1
+	case i == len(kv.keys): // append: before the closing brace
+		prefix, suffix = len(kv.snap)-1, 1
+		patch = append([]byte{','}, enc...)
+	default: // insert before entry i
+		prefix = entryOffset(kv.encs, i)
+		suffix = len(kv.snap) - prefix
+		patch = append(append([]byte{}, enc...), ',')
+	}
+	if !(i < len(kv.keys) && kv.keys[i] == k) {
+		kv.keys = append(kv.keys, "")
+		copy(kv.keys[i+1:], kv.keys[i:])
+		kv.keys[i] = k
+		kv.encs = append(kv.encs, nil)
+		copy(kv.encs[i+1:], kv.encs[i:])
+		kv.encs[i] = enc
+	}
+	kv.last = SnapshotDelta{PrefixLen: prefix, Patch: patch, SuffixLen: suffix}
+	kv.snap = spliceBytes(kv.snap, prefix, patch, suffix)
+}
+
+// editDelete records a delete of existing key k as a one-entry splice that
+// also eats the adjacent comma. Caller holds kv.mu.
+func (kv *KV) editDelete(k string) {
+	i := sort.SearchStrings(kv.keys, k)
+	var prefix, suffix int
+	switch {
+	case len(kv.keys) == 1: // last entry out: back to {}
+		prefix, suffix = 1, 1
+	case i == 0: // first entry and its trailing comma
+		prefix = 1
+		suffix = len(kv.snap) - 2 - len(kv.encs[0])
+	default: // preceding comma and the entry
+		off := entryOffset(kv.encs, i)
+		prefix = off - 1
+		suffix = len(kv.snap) - off - len(kv.encs[i])
+	}
+	kv.keys = append(kv.keys[:i], kv.keys[i+1:]...)
+	kv.encs = append(kv.encs[:i], kv.encs[i+1:]...)
+	kv.last = SnapshotDelta{PrefixLen: prefix, SuffixLen: suffix}
+	kv.snap = spliceBytes(kv.snap, prefix, nil, suffix)
 }
 
 // Name implements Service.
@@ -108,11 +248,13 @@ func (kv *KV) ReadOnly(req []byte) bool {
 // Apply implements Service.
 func (kv *KV) Apply(req []byte) ([]byte, error) {
 	var r KVRequest
-	if err := json.Unmarshal(req, &r); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
+	uerr := json.Unmarshal(req, &r)
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	kv.last = SnapshotDelta{Unchanged: true}
+	if uerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, uerr)
+	}
 	var resp KVResponse
 	switch r.Op {
 	case "get":
@@ -120,10 +262,14 @@ func (kv *KV) Apply(req []byte) ([]byte, error) {
 		resp = KVResponse{Found: ok, Value: v}
 	case "put":
 		kv.data[r.Key] = r.Value
+		kv.editPut(r.Key, r.Value)
 		resp = KVResponse{Found: true, Value: r.Value}
 	case "delete":
 		_, ok := kv.data[r.Key]
-		delete(kv.data, r.Key)
+		if ok {
+			delete(kv.data, r.Key)
+			kv.editDelete(r.Key)
+		}
 		resp = KVResponse{Found: ok}
 	default:
 		return nil, fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.Op)
@@ -131,11 +277,20 @@ func (kv *KV) Apply(req []byte) ([]byte, error) {
 	return json.Marshal(resp)
 }
 
-// Snapshot implements Service.
+// LastDelta implements DeltaCapable.
+func (kv *KV) LastDelta() (SnapshotDelta, bool) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.last, true
+}
+
+// Snapshot implements Service. The returned bytes are the maintained
+// canonical encoding (sorted keys, identical to marshalling the map) and
+// must not be modified.
 func (kv *KV) Snapshot() ([]byte, error) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return json.Marshal(kv.data)
+	return kv.snap, nil
 }
 
 // Restore implements Service.
@@ -144,9 +299,28 @@ func (kv *KV) Restore(snapshot []byte) error {
 	if err := json.Unmarshal(snapshot, &data); err != nil {
 		return fmt.Errorf("service: restore kv: %w", err)
 	}
+	// Re-canonicalize rather than adopting the input bytes: the editor's
+	// splices must chain from the sorted no-whitespace encoding.
+	snap, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("service: restore kv: %v", err)
+	}
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	encs := make([][]byte, len(keys))
+	for i, k := range keys {
+		encs[i] = encodeKVEntry(k, data[k])
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	kv.data = data
+	kv.snap = snap
+	kv.keys = keys
+	kv.encs = encs
+	kv.last = SnapshotDelta{Unchanged: true}
 	return nil
 }
 
@@ -164,12 +338,20 @@ func (kv *KV) Len() int {
 type Counter struct {
 	mu sync.Mutex
 	n  int64
+	// snap caches the decimal snapshot encoding; last is the DeltaCapable
+	// edit of the most recent Apply — a whole-value replacement, since the
+	// entire snapshot is one number.
+	snap []byte
+	last SnapshotDelta
 }
 
-var _ Service = (*Counter)(nil)
+var (
+	_ Service      = (*Counter)(nil)
+	_ DeltaCapable = (*Counter)(nil)
+)
 
 // NewCounter returns a zeroed counter.
-func NewCounter() *Counter { return &Counter{} }
+func NewCounter() *Counter { return &Counter{snap: []byte("0")} }
 
 // Name implements Service.
 func (c *Counter) Name() string { return "counter" }
@@ -184,28 +366,44 @@ func (c *Counter) ReadOnly(req []byte) bool { return string(req) == "read" }
 func (c *Counter) Apply(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.last = SnapshotDelta{Unchanged: true}
 	s := string(req)
 	switch {
 	case s == "inc":
-		c.n++
+		c.bump(1)
 	case s == "read":
 	case len(s) > 4 && s[:4] == "add ":
 		d, err := strconv.ParseInt(s[4:], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
-		c.n += d
+		c.bump(d)
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrBadRequest, s)
 	}
 	return []byte(strconv.FormatInt(c.n, 10)), nil
 }
 
-// Snapshot implements Service.
+// bump applies a mutation and records it as a whole-value replacement.
+// Caller holds c.mu.
+func (c *Counter) bump(d int64) {
+	c.n += d
+	c.snap = []byte(strconv.FormatInt(c.n, 10))
+	c.last = SnapshotDelta{Patch: c.snap}
+}
+
+// LastDelta implements DeltaCapable.
+func (c *Counter) LastDelta() (SnapshotDelta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, true
+}
+
+// Snapshot implements Service. The returned bytes must not be modified.
 func (c *Counter) Snapshot() ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return []byte(strconv.FormatInt(c.n, 10)), nil
+	return c.snap, nil
 }
 
 // Restore implements Service.
@@ -217,6 +415,8 @@ func (c *Counter) Restore(snapshot []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.n = n
+	c.snap = []byte(strconv.FormatInt(n, 10))
+	c.last = SnapshotDelta{Unchanged: true}
 	return nil
 }
 
@@ -246,17 +446,110 @@ type BankResponse struct {
 	Err     string `json:"err,omitempty"`
 }
 
+// bankEntry is the canonical snapshot element: one account, one balance,
+// array-ordered by account name.
+type bankEntry struct {
+	Account string `json:"account"`
+	Balance int64  `json:"balance"`
+}
+
 // Bank is a deterministic multi-account ledger with non-negative balances.
 type Bank struct {
 	mu       sync.Mutex
 	accounts map[string]int64
+	// Incremental-snapshot editor state (DeltaCapable), mirroring KV's: the
+	// canonical sorted-entry array encoding, maintained by splicing the one
+	// or two entries each request touches.
+	snap []byte
+	keys []string
+	encs [][]byte
+	last SnapshotDelta
 }
 
-var _ Service = (*Bank)(nil)
+var (
+	_ Service      = (*Bank)(nil)
+	_ DeltaCapable = (*Bank)(nil)
+)
 
 // NewBank returns a bank with no accounts.
 func NewBank() *Bank {
-	return &Bank{accounts: make(map[string]int64)}
+	return &Bank{accounts: make(map[string]int64), snap: []byte("[]")}
+}
+
+// encodeBankEntry renders one account entry exactly as json.Marshal renders
+// a bankEntry inside the snapshot array.
+func encodeBankEntry(k string, v int64) []byte {
+	enc, _ := json.Marshal(bankEntry{Account: k, Balance: v})
+	return enc
+}
+
+// editInsert records a new account (balance 0) as a one-entry splice at its
+// sorted position. Caller holds b.mu.
+func (b *Bank) editInsert(k string) {
+	enc := encodeBankEntry(k, 0)
+	i := sort.SearchStrings(b.keys, k)
+	var prefix, suffix int
+	patch := enc
+	switch {
+	case len(b.keys) == 0:
+		prefix, suffix = 1, 1
+	case i == len(b.keys):
+		prefix, suffix = len(b.snap)-1, 1
+		patch = append([]byte{','}, enc...)
+	default:
+		prefix = entryOffset(b.encs, i)
+		suffix = len(b.snap) - prefix
+		patch = append(append([]byte{}, enc...), ',')
+	}
+	b.keys = append(b.keys, "")
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = k
+	b.encs = append(b.encs, nil)
+	copy(b.encs[i+1:], b.encs[i:])
+	b.encs[i] = enc
+	b.last = SnapshotDelta{PrefixLen: prefix, Patch: patch, SuffixLen: suffix}
+	b.snap = spliceBytes(b.snap, prefix, patch, suffix)
+}
+
+// editReplace re-encodes one existing account in place. Caller holds b.mu.
+func (b *Bank) editReplace(k string) {
+	i := sort.SearchStrings(b.keys, k)
+	enc := encodeBankEntry(k, b.accounts[k])
+	prefix := entryOffset(b.encs, i)
+	suffix := len(b.snap) - prefix - len(b.encs[i])
+	b.encs[i] = enc
+	b.last = SnapshotDelta{PrefixLen: prefix, Patch: enc, SuffixLen: suffix}
+	b.snap = spliceBytes(b.snap, prefix, enc, suffix)
+}
+
+// editReplace2 re-encodes the two accounts a transfer touched as one
+// contiguous splice spanning from the lower entry to the higher, keeping
+// the original bytes between them. Caller holds b.mu.
+func (b *Bank) editReplace2(from, to string) {
+	if from == to {
+		b.editReplace(from)
+		return
+	}
+	i := sort.SearchStrings(b.keys, from)
+	j := sort.SearchStrings(b.keys, to)
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	encLo := encodeBankEntry(b.keys[lo], b.accounts[b.keys[lo]])
+	encHi := encodeBankEntry(b.keys[hi], b.accounts[b.keys[hi]])
+	offLo := entryOffset(b.encs, lo)
+	offHi := entryOffset(b.encs, hi)
+	prefix := offLo
+	suffix := len(b.snap) - offHi - len(b.encs[hi])
+	patch := make([]byte, 0, len(encLo)+(offHi-offLo-len(b.encs[lo]))+len(encHi))
+	patch = append(patch, encLo...)
+	patch = append(patch, b.snap[offLo+len(b.encs[lo]):offHi]...)
+	patch = append(patch, encHi...)
+	b.encs[lo] = encLo
+	b.encs[hi] = encHi
+	b.last = SnapshotDelta{PrefixLen: prefix, Patch: patch, SuffixLen: suffix}
+	b.snap = spliceBytes(b.snap, prefix, patch, suffix)
 }
 
 // Name implements Service.
@@ -275,13 +568,22 @@ func (b *Bank) ReadOnly(req []byte) bool {
 // Apply implements Service.
 func (b *Bank) Apply(req []byte) ([]byte, error) {
 	var r BankRequest
-	if err := json.Unmarshal(req, &r); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
+	uerr := json.Unmarshal(req, &r)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.last = SnapshotDelta{Unchanged: true}
+	if uerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, uerr)
+	}
 	resp := b.apply(r)
 	return json.Marshal(resp)
+}
+
+// LastDelta implements DeltaCapable.
+func (b *Bank) LastDelta() (SnapshotDelta, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last, true
 }
 
 func (b *Bank) apply(r BankRequest) BankResponse {
@@ -292,6 +594,7 @@ func (b *Bank) apply(r BankRequest) BankResponse {
 			return fail("account exists")
 		}
 		b.accounts[r.From] = 0
+		b.editInsert(r.From)
 		return BankResponse{OK: true}
 	case "deposit":
 		if _, ok := b.accounts[r.From]; !ok {
@@ -301,6 +604,7 @@ func (b *Bank) apply(r BankRequest) BankResponse {
 			return fail("negative amount")
 		}
 		b.accounts[r.From] += r.Amount
+		b.editReplace(r.From)
 		return BankResponse{OK: true, Balance: b.accounts[r.From]}
 	case "withdraw":
 		bal, ok := b.accounts[r.From]
@@ -311,6 +615,7 @@ func (b *Bank) apply(r BankRequest) BankResponse {
 			return fail("insufficient funds")
 		}
 		b.accounts[r.From] = bal - r.Amount
+		b.editReplace(r.From)
 		return BankResponse{OK: true, Balance: b.accounts[r.From]}
 	case "transfer":
 		fromBal, ok := b.accounts[r.From]
@@ -325,6 +630,7 @@ func (b *Bank) apply(r BankRequest) BankResponse {
 		}
 		b.accounts[r.From] -= r.Amount
 		b.accounts[r.To] += r.Amount
+		b.editReplace2(r.From, r.To)
 		return BankResponse{OK: true, Balance: b.accounts[r.From]}
 	case "balance":
 		bal, ok := b.accounts[r.From]
@@ -349,34 +655,18 @@ func (b *Bank) TotalFunds() int64 {
 	return sum
 }
 
-// Snapshot implements Service. Account order is canonicalized so identical
-// states produce identical snapshots.
+// Snapshot implements Service. Account order is canonicalized (sorted by
+// name) so identical states produce identical snapshots; the returned bytes
+// are the maintained encoding and must not be modified.
 func (b *Bank) Snapshot() ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	keys := make([]string, 0, len(b.accounts))
-	for k := range b.accounts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	type entry struct {
-		Account string `json:"account"`
-		Balance int64  `json:"balance"`
-	}
-	entries := make([]entry, 0, len(keys))
-	for _, k := range keys {
-		entries = append(entries, entry{Account: k, Balance: b.accounts[k]})
-	}
-	return json.Marshal(entries)
+	return b.snap, nil
 }
 
 // Restore implements Service.
 func (b *Bank) Restore(snapshot []byte) error {
-	type entry struct {
-		Account string `json:"account"`
-		Balance int64  `json:"balance"`
-	}
-	var entries []entry
+	var entries []bankEntry
 	if err := json.Unmarshal(snapshot, &entries); err != nil {
 		return fmt.Errorf("service: restore bank: %w", err)
 	}
@@ -384,9 +674,30 @@ func (b *Bank) Restore(snapshot []byte) error {
 	for _, e := range entries {
 		accounts[e.Account] = e.Balance
 	}
+	// Re-canonicalize: the editor's splices must chain from the sorted
+	// no-whitespace encoding whatever shape the input bytes had.
+	keys := make([]string, 0, len(accounts))
+	for k := range accounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	encs := make([][]byte, len(keys))
+	canonical := make([]bankEntry, len(keys))
+	for i, k := range keys {
+		encs[i] = encodeBankEntry(k, accounts[k])
+		canonical[i] = bankEntry{Account: k, Balance: accounts[k]}
+	}
+	snap, err := json.Marshal(canonical)
+	if err != nil {
+		return fmt.Errorf("service: restore bank: %v", err)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.accounts = accounts
+	b.snap = snap
+	b.keys = keys
+	b.encs = encs
+	b.last = SnapshotDelta{Unchanged: true}
 	return nil
 }
 

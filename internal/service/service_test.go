@@ -423,3 +423,140 @@ func TestNondetPropagatesErrors(t *testing.T) {
 		t.Fatalf("want ErrBadRequest, got %v", err)
 	}
 }
+
+// deltaStep applies one request and checks the DeltaCapable contract: the
+// reported edit, spliced onto the previous snapshot, must be byte-identical
+// to the service's own next snapshot — and that snapshot must match a
+// from-scratch canonical re-encoding of the state.
+func deltaStep(t *testing.T, svc Service, req []byte) {
+	t.Helper()
+	prev, err := svc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev = append([]byte(nil), prev...)
+	_, _ = svc.Apply(req) // request-level errors are legal; state must not change then
+	delta, ok := LastDeltaOf(svc)
+	if !ok {
+		t.Fatalf("service %s does not report deltas", svc.Name())
+	}
+	next, err := svc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spliced []byte
+	if delta.Unchanged {
+		spliced = prev
+	} else {
+		if delta.PrefixLen < 0 || delta.SuffixLen < 0 || delta.PrefixLen+delta.SuffixLen > len(prev) {
+			t.Fatalf("req %s: delta out of bounds: prefix=%d suffix=%d len(prev)=%d",
+				req, delta.PrefixLen, delta.SuffixLen, len(prev))
+		}
+		spliced = spliceBytes(prev, delta.PrefixLen, delta.Patch, delta.SuffixLen)
+	}
+	if string(spliced) != string(next) {
+		t.Fatalf("req %s: splice diverged from snapshot:\nprev    %s\nspliced %s\nsnap    %s",
+			req, prev, spliced, next)
+	}
+}
+
+// TestKVDeltaEquivalence drives randomized puts, deletes, gets and bad
+// requests, checking every reported delta splices to the exact snapshot.
+func TestKVDeltaEquivalence(t *testing.T) {
+	kv := NewKV()
+	rng := xrand.New(11)
+	keys := []string{"a", "b", "κλειδί", `qu"ote`, "x\n<y>&", "", "zz"}
+	for i := 0; i < 400; i++ {
+		k := keys[rng.Intn(len(keys))]
+		var req []byte
+		switch rng.Intn(5) {
+		case 0, 1:
+			req = kvReq(t, "put", k, string(rune('A'+rng.Intn(26))))
+		case 2:
+			req = kvReq(t, "delete", k, "")
+		case 3:
+			req = kvReq(t, "get", k, "")
+		default:
+			req = []byte(`{"op":"nope"}`)
+		}
+		deltaStep(t, kv, req)
+	}
+	// The maintained snapshot must equal a from-scratch marshal of the map.
+	snap, _ := kv.Snapshot()
+	want, _ := json.Marshal(kv.data)
+	if string(snap) != string(want) {
+		t.Fatalf("cached snapshot %s != marshalled %s", snap, want)
+	}
+}
+
+// TestBankDeltaEquivalence does the same over opens, deposits, withdrawals
+// and transfers (including transfer-to-self and failing requests).
+func TestBankDeltaEquivalence(t *testing.T) {
+	b := NewBank()
+	rng := xrand.New(13)
+	accts := []string{"alice", "bob", "carol", "dave", "える"}
+	for i := 0; i < 400; i++ {
+		from := accts[rng.Intn(len(accts))]
+		to := accts[rng.Intn(len(accts))]
+		var r BankRequest
+		switch rng.Intn(5) {
+		case 0:
+			r = BankRequest{Op: "open", From: from}
+		case 1:
+			r = BankRequest{Op: "deposit", From: from, Amount: int64(rng.Intn(100))}
+		case 2:
+			r = BankRequest{Op: "withdraw", From: from, Amount: int64(rng.Intn(120))}
+		case 3:
+			r = BankRequest{Op: "transfer", From: from, To: to, Amount: int64(rng.Intn(80))}
+		default:
+			r = BankRequest{Op: "balance", From: from}
+		}
+		req, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaStep(t, b, req)
+	}
+	snap, _ := b.Snapshot()
+	var entries []bankEntry
+	if err := json.Unmarshal(snap, &entries); err != nil {
+		t.Fatalf("cached snapshot is not valid: %v", err)
+	}
+	if len(entries) != len(b.accounts) {
+		t.Fatalf("snapshot has %d entries, state has %d", len(entries), len(b.accounts))
+	}
+}
+
+// TestCounterDeltaEquivalence covers the whole-value replacement deltas.
+func TestCounterDeltaEquivalence(t *testing.T) {
+	c := NewCounter()
+	for _, req := range []string{"inc", "read", "add 41", "add -100", "inc", "bogus", "add 7"} {
+		deltaStep(t, c, []byte(req))
+	}
+	if c.Value() != -50 {
+		t.Fatalf("value = %d, want -50", c.Value())
+	}
+}
+
+// TestDeltaSurvivesRestore pins the editor re-canonicalization: a service
+// restored from a snapshot keeps reporting correct deltas afterwards.
+func TestDeltaSurvivesRestore(t *testing.T) {
+	kv := NewKV()
+	for _, k := range []string{"b", "a", "c"} {
+		if _, err := kv.Apply(kvReq(t, "put", k, "v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, _ := kv.Snapshot()
+	fresh := NewKV()
+	if err := fresh.Restore(append([]byte(nil), snap...)); err != nil {
+		t.Fatal(err)
+	}
+	deltaStep(t, fresh, kvReq(t, "put", "ab", "new"))
+	deltaStep(t, fresh, kvReq(t, "delete", "b", ""))
+	got, _ := fresh.Snapshot()
+	want, _ := json.Marshal(fresh.data)
+	if string(got) != string(want) {
+		t.Fatalf("post-restore snapshot %s != marshalled %s", got, want)
+	}
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRejectsZeroGroups(t *testing.T) {
+	if _, err := New(0, 0, 1); err == nil {
+		t.Fatal("New(0, ...) succeeded, want error")
+	}
+}
+
+// TestOwnerDeterministic pins that identical (groups, vnodes, seed)
+// triples produce identical routing — the property sharded sweeps lean
+// on for workers-{1,2,8} bit-identical results.
+func TestOwnerDeterministic(t *testing.T) {
+	a, err := New(4, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(4, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("Owner(%q) diverged: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestOwnerRange(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 8} {
+		r, err := New(groups, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1024; i++ {
+			g := r.Owner(fmt.Sprintf("k%d", i))
+			if g < 0 || g >= groups {
+				t.Fatalf("groups=%d: Owner returned %d", groups, g)
+			}
+		}
+	}
+}
+
+// TestOwnerBalance checks the ring spreads a key population roughly
+// evenly: with 64 vnodes per group no group should own less than half
+// or more than double its fair share.
+func TestOwnerBalance(t *testing.T) {
+	const groups, keys = 4, 8192
+	r, err := New(groups, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, groups)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("user-%d", i))]++
+	}
+	fair := keys / groups
+	for g, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("group %d owns %d of %d keys (fair share %d): %v", g, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestOwnerStableUnderGrowth pins consistent hashing's defining
+// property: growing the ring from M to M+1 groups only moves keys to
+// the new group — no key moves between pre-existing groups.
+func TestOwnerStableUnderGrowth(t *testing.T) {
+	const seed = 11
+	small, err := New(3, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(4, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, stayed := 0, 0
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("doc/%d", i)
+		was, now := small.Owner(key), big.Owner(key)
+		switch {
+		case was == now:
+			stayed++
+		case now == 3:
+			moved++
+		default:
+			t.Fatalf("key %q moved between existing groups: %d -> %d", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new group")
+	}
+	if stayed == 0 {
+		t.Fatal("no keys stayed put")
+	}
+}
+
+func TestProbeKeyOwnedByGroup(t *testing.T) {
+	r, err := New(8, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for g := 0; g < 8; g++ {
+		key := r.ProbeKey(g)
+		if r.Owner(key) != g {
+			t.Fatalf("ProbeKey(%d) = %q owned by %d", g, key, r.Owner(key))
+		}
+		if seen[key] {
+			t.Fatalf("ProbeKey(%d) = %q duplicates another group's probe key", g, key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSingleGroupOwnsEverything(t *testing.T) {
+	r, err := New(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "health", "a", "zzzz"} {
+		if g := r.Owner(key); g != 0 {
+			t.Fatalf("Owner(%q) = %d, want 0", key, g)
+		}
+	}
+}

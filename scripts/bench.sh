@@ -29,7 +29,13 @@
 # (every read ordered through the leader) climbs with the fan-out, and
 # BenchmarkMetricsHotPath (internal/metrics) the zero-allocation pledge on
 # the counter/gauge/histogram/trace-ring hot paths: its recorded allocs/op
-# must stay 0, and the benchmark itself fails if an allocation sneaks in.
+# must stay 0, and the benchmark itself fails if an allocation sneaks in,
+# and BenchmarkShardScaling the sharded fortress's aggregate-throughput
+# claim: a fixed 64-op write-heavy keyed budget per iteration split across
+# 1/2/4/8 consistent-hash replica groups (pb and smr), one closed-loop
+# client per shard over a 2ms-link-delay network — the recorded "ops/s"
+# metric should scale near-linearly in the group count until the host CPU
+# saturates on signature verification.
 #
 # scripts/benchdiff.sh compares two of these files (per-benchmark ns/op
 # ratio, configurable threshold, baseline-completeness check); the CI
