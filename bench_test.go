@@ -34,6 +34,7 @@ import (
 	"fortress/internal/service"
 	"fortress/internal/sig"
 	"fortress/internal/sim"
+	"fortress/internal/workload"
 	"fortress/internal/xrand"
 )
 
@@ -879,4 +880,47 @@ func BenchmarkAlphaGrowth(b *testing.B) {
 		}
 	}
 	b.ReportMetric(rows[len(rows)-1].AlphaSO/rows[0].AlphaPO, "alpha500/alpha1")
+}
+
+// BenchmarkWorkloadGen pins the workload engine's two headline claims: the
+// arrival stream is cheap to draw (arrivals/s) and generator state is
+// O(active requests), never O(clients) — the bytes/client metric, the heap
+// held by a warm generator divided by its simulated population, must stay
+// roughly flat from 10⁴ to 10⁶ clients because cohort superposition caps
+// the per-client state at zero and only the per-step arrival buffer (rate ×
+// clients requests) scales.
+func BenchmarkWorkloadGen(b *testing.B) {
+	spec, err := workload.PresetByName("zipf-poisson")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			s := spec
+			s.Clients = clients
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			g, err := workload.NewGen(s, xrand.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := g.Arrivals(0, nil) // warm the arrival buffer to steady state
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			perClient := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(clients)
+			var arrivals uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = g.Arrivals(uint64(i)+1, buf[:0])
+				arrivals += uint64(len(buf))
+			}
+			b.StopTimer()
+			if arrivals == 0 {
+				b.Fatal("no arrivals generated")
+			}
+			b.ReportMetric(float64(arrivals)/b.Elapsed().Seconds(), "arrivals/s")
+			b.ReportMetric(perClient, "bytes/client")
+		})
+	}
 }

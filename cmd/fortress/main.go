@@ -36,14 +36,26 @@
 // every k-th update, and both engines bound the history they retain for
 // resyncing a lagging replica (PB delta retransmission, SMR catch-up).
 //
-// Both sweeps also take the read-scalability knobs -read-frac (the read
-// share of the per-step availability workload; reads ride the lease-aware
-// path, the rest are keyed writes) and -leases (deploy the server tier with
-// heartbeat-bounded SMR read leases, so lease holders answer reads locally
-// and only writes enter the order protocol; the PB backend ignores it). On
-// the faults sweep both are grid axes: `-backend smr -leases both
-// -read-frac 0.95` compares lease-on vs lease-off availability under every
-// selected fault schedule at a read-mostly mix.
+// Both sweeps share the measurement-workload axes -workload, -read-frac and
+// -leases. -workload names open-loop workload presets from
+// internal/workload — closed (the legacy one-probe-per-step health check),
+// uniform-closed, uniform-poisson, zipf-poisson, zipf-bursty and
+// diurnal-ramp — and every measured cell reports availability plus virtual
+// request latency as p50ms/p99ms/p999ms columns (failed requests charged
+// the spec's deadline; sharded cells add per-shard p99). Generation is
+// O(active requests) with no per-client goroutines, so a million-client
+// Poisson preset costs the same handful of cohort streams as ten thousand,
+// and the sampled stream is bit-identical at any -workers value.
+// -read-frac overrides each preset's read share (reads ride the
+// lease-aware path, the rest are keyed writes) and -leases deploys the
+// server tier with heartbeat-bounded SMR read leases, so lease holders
+// answer reads locally and only writes enter the order protocol (the PB
+// backend ignores it). On the faults sweep all three are grid axes:
+// `-backend smr -workload zipf-poisson -leases both` compares lease-on vs
+// lease-off latency under every selected fault schedule at a skewed
+// read-mostly mix. The campaign sweep defaults to no measurement workload
+// (its historical behaviour); naming a -workload or -read-frac turns
+// measurement on.
 //
 // Both sweeps take -groups, the sharding axis: each cell deploys that many
 // independent replica groups behind the shared proxy tier and
@@ -88,6 +100,7 @@ import (
 	"fortress/internal/keyspace"
 	"fortress/internal/replica"
 	"fortress/internal/service"
+	"fortress/internal/workload"
 	"fortress/internal/xrand"
 )
 
@@ -382,10 +395,12 @@ func runCampaign(args []string) error {
 	pacingList := fs.String("pacing", "0,1,2", "comma-separated indirect-probe (κ·ω) grid")
 	detector := fs.String("detector", "both", "detector grid: off, on, or both")
 	threshold := fs.Int("detector-threshold", 8, "invalid requests before a probe source is flagged")
-	readFrac := fs.Float64("read-frac", 0,
-		"read share of a per-step availability workload: reads go through the lease-aware path, the rest are keyed writes; negative = all writes, 0 = no availability probes at all (the historical sweep)")
-	leases := fs.Bool("leases", false,
-		"deploy the server tier with heartbeat-bounded read leases (smr backend only; pb ignores it) so lease holders answer reads locally instead of ordering them")
+	workloadList := fs.String("workload", "", workloadFlagHelp()+
+		"\nempty = no measurement workload at all (the historical sweep); naming presets (or setting -read-frac) turns availability + latency measurement on")
+	readFracList := fs.String("read-frac", "",
+		"comma-separated read-share grid overriding each workload preset's own mix ([0,1]; 0 = all writes); empty keeps every preset's mix")
+	leasesGrid := fs.String("leases", "off",
+		"read-lease grid: off, on, or both — on deploys the server tier with heartbeat-bounded read leases (smr backend only; pb ignores it) so lease holders answer reads locally instead of ordering them")
 	checkpointEvery, updateWindow := resyncFlags(fs)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the sweep to this CSV file")
@@ -443,6 +458,18 @@ func runCampaign(args []string) error {
 	default:
 		return fmt.Errorf("-detector must be off, on or both, got %q", *detector)
 	}
+	workloads, err := parseWorkloadList(*workloadList)
+	if err != nil {
+		return fmt.Errorf("-workload: %w", err)
+	}
+	readFracs, err := parseReadFracList(*readFracList)
+	if err != nil {
+		return fmt.Errorf("-read-frac: %w", err)
+	}
+	leases, err := parseLeasesGrid(*leasesGrid)
+	if err != nil {
+		return fmt.Errorf("-leases: %w", err)
+	}
 	cfg := experiments.LiveCampaignConfig{
 		Chi:               *chi,
 		Reps:              *reps,
@@ -460,9 +487,12 @@ func runCampaign(args []string) error {
 		DetectorThreshold: *threshold,
 		CheckpointEvery:   *checkpointEvery,
 		UpdateWindow:      *updateWindow,
-		ReadFrac:          *readFrac,
-		Leases:            *leases,
-		CollectMetrics:    *metricsOut != "",
+		WorkloadAxes: experiments.WorkloadAxes{
+			Workloads: workloads,
+			ReadFracs: readFracs,
+			Leases:    leases,
+		},
+		CollectMetrics: *metricsOut != "",
 	}
 	rows, err := experiments.LiveCampaign(cfg)
 	if err != nil {
@@ -493,8 +523,8 @@ func runCampaign(args []string) error {
 				continue
 			}
 			cells = append(cells, experiments.CellMetrics{
-				Cell: fmt.Sprintf("backend=%s proxies=%d groups=%d detector=%t pace=%d readfrac=%g leases=%t",
-					r.Backend, r.Proxies, r.Groups, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases),
+				Cell: fmt.Sprintf("backend=%s proxies=%d groups=%d detector=%t pace=%d workload=%s readfrac=%g leases=%t",
+					r.Backend, r.Proxies, r.Groups, r.Detector, r.OmegaIndirect, r.Workload, r.ReadFrac, r.Leases),
 				Snapshot: *r.Metrics,
 			})
 		}
@@ -543,6 +573,61 @@ func parseFloatList(s string) ([]float64, error) {
 	return out, nil
 }
 
+// workloadFlagHelp documents the named workload presets shared by the
+// campaign and faults -workload flags.
+func workloadFlagHelp() string {
+	var b strings.Builder
+	b.WriteString("comma-separated measurement-workload presets (each cell reports availability plus virtual-latency p50/p99/p999 columns); available:")
+	for _, p := range workload.Presets() {
+		fmt.Fprintf(&b, "\n  %-16s %s", p.Spec.Name, p.Description)
+	}
+	return b.String()
+}
+
+// parseWorkloadList validates a comma-separated preset list against the
+// workload catalog.
+func parseWorkloadList(s string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			continue
+		}
+		if _, err := workload.PresetByName(name); err != nil {
+			return nil, fmt.Errorf("%w (available: %s)", err, strings.Join(workload.PresetNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// parseReadFracList parses the shared -read-frac grid of [0,1] fractions.
+func parseReadFracList(s string) ([]float64, error) {
+	fracs, err := parseFloatList(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fracs {
+		if f > 1 {
+			return nil, fmt.Errorf("entries must be in [0,1], got %g", f)
+		}
+	}
+	return fracs, nil
+}
+
+// parseLeasesGrid parses the shared off/on/both read-lease grid flag.
+func parseLeasesGrid(s string) ([]bool, error) {
+	switch s {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("must be off, on or both, got %q", s)
+}
+
 func runFaults(args []string) error {
 	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
 	var presetHelp strings.Builder
@@ -572,8 +657,9 @@ func runFaults(args []string) error {
 		"comma-separated WAL sync-cadence grid: every n-th append fsyncs, so a power failure loses at most n-1 records; only wal cells fan out over it")
 	jitterList := fs.String("jitter", "0",
 		"comma-separated schedule-jitter grid: max forward delay, in steps, applied per fault event from each repetition's own stream (0 = replay presets exactly)")
-	readFracList := fs.String("read-frac", "1",
-		"comma-separated workload read-share grid: each cell's per-step availability probe is a read (lease-aware path) with this share, a keyed write otherwise; 0 = all writes")
+	workloadList := fs.String("workload", "closed", workloadFlagHelp())
+	readFracList := fs.String("read-frac", "",
+		"comma-separated read-share grid overriding each workload preset's own mix ([0,1]; 0 = all writes); empty keeps every preset's mix")
 	leasesGrid := fs.String("leases", "off",
 		"read-lease grid: off, on, or both — on deploys the server tier with heartbeat-bounded read leases (smr backend only; pb ignores it)")
 	persistRoot := fs.String("persist-root", "",
@@ -645,25 +731,20 @@ func runFaults(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-jitter: %w", err)
 	}
-	readFracs, err := parseFloatList(*readFracList)
+	workloads, err := parseWorkloadList(*workloadList)
+	if err != nil {
+		return fmt.Errorf("-workload: %w", err)
+	}
+	if len(workloads) == 0 {
+		return errors.New("-workload must name at least one preset")
+	}
+	readFracs, err := parseReadFracList(*readFracList)
 	if err != nil {
 		return fmt.Errorf("-read-frac: %w", err)
 	}
-	for _, f := range readFracs {
-		if f > 1 {
-			return fmt.Errorf("-read-frac entries must be in [0,1], got %g", f)
-		}
-	}
-	var leases []bool
-	switch *leasesGrid {
-	case "off":
-		leases = []bool{false}
-	case "on":
-		leases = []bool{true}
-	case "both":
-		leases = []bool{false, true}
-	default:
-		return fmt.Errorf("-leases must be off, on or both, got %q", *leasesGrid)
+	leases, err := parseLeasesGrid(*leasesGrid)
+	if err != nil {
+		return fmt.Errorf("-leases: %w", err)
 	}
 	cfg := experiments.FaultSweepConfig{
 		Chi:             *chi,
@@ -685,10 +766,13 @@ func runFaults(args []string) error {
 		Persist:         persist,
 		FsyncEvery:      fsyncs,
 		Jitters:         jitters,
-		ReadFracs:       readFracs,
-		Leases:          leases,
-		PersistRoot:     *persistRoot,
-		CollectMetrics:  *metricsOut != "",
+		WorkloadAxes: experiments.WorkloadAxes{
+			Workloads: workloads,
+			ReadFracs: readFracs,
+			Leases:    leases,
+		},
+		PersistRoot:    *persistRoot,
+		CollectMetrics: *metricsOut != "",
 	}
 	rows, err := experiments.FaultSweep(cfg)
 	if err != nil {
@@ -719,8 +803,8 @@ func runFaults(args []string) error {
 				continue
 			}
 			cells = append(cells, experiments.CellMetrics{
-				Cell: fmt.Sprintf("backend=%s preset=%s drop=%g proxies=%d groups=%d persist=%s fsync=%d jitter=%d readfrac=%g leases=%t",
-					r.Backend, r.Preset, r.DropRate, r.Proxies, r.Groups, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases),
+				Cell: fmt.Sprintf("backend=%s preset=%s drop=%g proxies=%d groups=%d persist=%s fsync=%d jitter=%d workload=%s readfrac=%g leases=%t",
+					r.Backend, r.Preset, r.DropRate, r.Proxies, r.Groups, r.Persist, r.FsyncEvery, r.Jitter, r.Workload, r.ReadFrac, r.Leases),
 				Snapshot: *r.Metrics,
 			})
 		}

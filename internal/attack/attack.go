@@ -18,6 +18,7 @@ import (
 	"fortress/internal/metrics"
 	"fortress/internal/netsim"
 	"fortress/internal/proxy"
+	"fortress/internal/workload"
 	"fortress/internal/xrand"
 )
 
@@ -158,14 +159,24 @@ type CampaignConfig struct {
 	// which the service answered — the availability the paper's claims are
 	// about, measured while the attack and any fault schedule run.
 	MeasureAvailability bool
-	// ReadFraction sets the read share of the availability workload: each
-	// step's health probe is a read (issued through the lease-aware
-	// InvokeRead path) or a write (a keyed put through the ordered path),
-	// chosen by a deterministic threshold so the realized mix tracks the
-	// fraction exactly and never depends on an RNG — the workers-{1,2,8}
-	// byte-identical sweep contract survives the new axis. Zero selects the
+	// Workload declares the measurement workload (see internal/workload).
+	// A non-zero Spec switches availability measurement on implicitly and
+	// drives it: closed-loop specs issue the legacy one-probe-per-step
+	// health check at the spec's read mix, open-loop specs probe each
+	// (shard, read/write class) once per step and resolve every generated
+	// arrival — 10⁴–10⁶ simulated clients' worth — against those outcomes,
+	// charging each request a virtual latency (its seeded service-time
+	// sample on success, the spec's Deadline on failure) into Latency.
+	// The zero Spec falls back to workload.Closed(ReadFraction), so
+	// pre-Spec configurations keep byte-identical outputs.
+	Workload workload.Spec
+	// ReadFraction sets the read share of the legacy closed-loop
+	// availability workload when Workload is unset. Zero selects the
 	// historical all-read health probe (fraction 1); a negative value
 	// selects an all-write workload; values in (0,1] set the mix directly.
+	//
+	// Deprecated: set Workload instead — workload.Closed translates this
+	// encoding; new specs use a plain [0,1] fraction.
 	ReadFraction float64
 	// HealthTimeout bounds each availability health check. Zero selects a
 	// default generous enough that only genuine unavailability (a severed
@@ -196,19 +207,18 @@ func (c CampaignConfig) healthTimeout() time.Duration {
 	return 2 * time.Second
 }
 
-// readFraction resolves the configured read share: zero keeps the historical
-// all-read probe, negative means all writes, and anything above 1 clamps.
-func (c CampaignConfig) readFraction() float64 {
-	switch {
-	case c.ReadFraction == 0:
-		return 1
-	case c.ReadFraction < 0:
-		return 0
-	case c.ReadFraction > 1:
-		return 1
-	default:
-		return c.ReadFraction
+// workloadSpec resolves the measurement workload: the configured Spec, or
+// the legacy closed-loop translation of ReadFraction when none is set.
+func (c CampaignConfig) workloadSpec() workload.Spec {
+	if !c.Workload.IsZero() {
+		return c.Workload
 	}
+	return workload.Closed(c.ReadFraction)
+}
+
+// measures reports whether the campaign runs a measurement workload.
+func (c CampaignConfig) measures() bool {
+	return c.MeasureAvailability || !c.Workload.IsZero()
 }
 
 // CampaignResult reports a campaign outcome.
@@ -237,6 +247,23 @@ type CampaignResult struct {
 	// aggregate fields carry the whole story.
 	ShardProbedSteps    []uint64
 	ShardAvailableSteps []uint64
+	// Requests counts the workload arrivals resolved against the step
+	// probes: closed-loop resolves its one request per step against each
+	// group it probed, open-loop resolves every generated arrival against
+	// its owning group only. RequestsOK met their probe; ReadRequests were
+	// read-class. Latency.Count always equals Requests.
+	Requests     uint64
+	RequestsOK   uint64
+	ReadRequests uint64
+	// Latency is the virtual-latency histogram over all resolved requests:
+	// each sample is the request's seeded service-time draw when its
+	// group's probe answered, or the workload's per-request Deadline when
+	// it did not — a pure function of the seeded streams, never wall
+	// clock, so it stays bit-identical at any worker count.
+	Latency workload.Hist
+	// ShardLatency breaks Latency down per replica group. Nil on
+	// single-group deployments.
+	ShardLatency []workload.Hist
 }
 
 // Availability returns AvailableSteps/ProbedSteps, or NaN when no health
@@ -294,24 +321,14 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	var health *proxy.Client
-	var shardKeys []string
-	if cfg.MeasureAvailability {
-		health, err = sys.Client("health-probe", cfg.healthTimeout())
+	var meas *measurer
+	if cfg.measures() {
+		// The workload generator splits its streams from rng AFTER the two
+		// guessers, and rng is never read again, so the guesser streams —
+		// and with them every pre-workload result — are undisturbed.
+		meas, err = newMeasurer(sys, cfg, &res, rng.Split())
 		if err != nil {
-			return CampaignResult{}, fmt.Errorf("attack: health client: %w", err)
-		}
-		if groups := sys.Groups(); groups > 1 {
-			// One deterministic ring-owned key per replica group: the
-			// same probe keys every repetition, so sharded availability
-			// stays a pure function of the seeded streams.
-			ring := sys.Ring()
-			shardKeys = make([]string, groups)
-			for g := range shardKeys {
-				shardKeys[g] = ring.ProbeKey(g)
-			}
-			res.ShardProbedSteps = make([]uint64, groups)
-			res.ShardAvailableSteps = make([]uint64, groups)
+			return CampaignResult{}, err
 		}
 	}
 
@@ -323,37 +340,8 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 				return res, err
 			}
 		}
-		if health != nil {
-			// Deterministic mix: issue a read iff doing so keeps the realized
-			// read count at or under the target fraction of probes issued so
-			// far. No RNG draw — the per-step choice is a pure function of
-			// the step index, so sweeps stay byte-identical at any Workers.
-			isRead := float64(res.ReadProbes) < cfg.readFraction()*float64(res.ProbedSteps+1)
-			res.ProbedSteps++
-			if isRead {
-				res.ReadProbes++
-			}
-			if shardKeys == nil {
-				if checkHealth(health, step, isRead) {
-					res.AvailableSteps++
-				}
-			} else {
-				// Probe every shard with its own key; the step counts as
-				// available only when every group answers, while the
-				// per-group tallies localize any outage to its shard.
-				allUp := true
-				for g, key := range shardKeys {
-					res.ShardProbedSteps[g]++
-					if checkShardHealth(health, step, g, key, isRead) {
-						res.ShardAvailableSteps[g]++
-					} else {
-						allUp = false
-					}
-				}
-				if allUp {
-					res.AvailableSteps++
-				}
-			}
+		if meas != nil {
+			meas.step(step)
 		}
 		route, err := campaignStep(sys, cfg, proxyGuesser, serverGuesser)
 		if err != nil {
@@ -382,6 +370,202 @@ func Campaign(sys *fortress.System, space *keyspace.Space, cfg CampaignConfig, r
 	return res, nil
 }
 
+// measurer drives the campaign's measurement workload: the generator, the
+// per-step health/class probes, and the virtual-latency accounting that
+// turns probe outcomes into CampaignResult latency histograms.
+type measurer struct {
+	health    *proxy.Client
+	gen       *workload.Gen
+	spec      workload.Spec
+	closed    bool
+	res       *CampaignResult
+	shardKeys []string // ring probe key per group; nil single-group
+	owners    []int    // workload key ID -> owning group; nil single-group or closed
+	readOK    []bool   // per-group probe outcomes for the current step
+	writeOK   []bool
+	buf       []workload.Request
+}
+
+func newMeasurer(sys *fortress.System, cfg CampaignConfig, res *CampaignResult, rng *xrand.RNG) (*measurer, error) {
+	gen, err := workload.NewGen(cfg.workloadSpec(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("attack: workload: %w", err)
+	}
+	health, err := sys.Client("health-probe", cfg.healthTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("attack: health client: %w", err)
+	}
+	spec := gen.Spec()
+	m := &measurer{
+		health: health,
+		gen:    gen,
+		spec:   spec,
+		closed: spec.Arrival == workload.ClosedLoop,
+		res:    res,
+	}
+	if groups := sys.Groups(); groups > 1 {
+		// One deterministic ring-owned key per replica group: the same
+		// probe keys every repetition, so sharded availability stays a
+		// pure function of the seeded streams.
+		ring := sys.Ring()
+		m.shardKeys = make([]string, groups)
+		for g := range m.shardKeys {
+			m.shardKeys[g] = ring.ProbeKey(g)
+		}
+		res.ShardProbedSteps = make([]uint64, groups)
+		res.ShardAvailableSteps = make([]uint64, groups)
+		res.ShardLatency = make([]workload.Hist, groups)
+		if !m.closed {
+			// Precompute each workload key's owning group once; arrivals
+			// then resolve by table lookup instead of hashing per request.
+			m.owners = make([]int, spec.Keys)
+			for k := range m.owners {
+				m.owners[k] = ring.Owner(fmt.Sprintf("wlk-%d", k))
+			}
+		}
+	}
+	if !m.closed {
+		groups := max(sys.Groups(), 1)
+		m.readOK = make([]bool, groups)
+		m.writeOK = make([]bool, groups)
+	}
+	return m, nil
+}
+
+// step runs one time-step of the measurement workload against the live
+// system: probe, then resolve that step's arrivals against the outcomes.
+func (m *measurer) step(step uint64) {
+	if m.closed {
+		m.closedStep(step)
+		return
+	}
+	m.openStep(step)
+}
+
+// closedStep is the legacy one-probe-per-step health check, byte-for-byte:
+// same probe ids, same request bodies, same deterministic read/write
+// threshold (the generator reproduces it), same availability accounting —
+// plus the latency observation layered on top.
+func (m *measurer) closedStep(step uint64) {
+	m.buf = m.gen.Arrivals(step, m.buf[:0])
+	req := m.buf[0]
+	m.res.ProbedSteps++
+	if req.Read {
+		m.res.ReadProbes++
+	}
+	if m.shardKeys == nil {
+		ok := checkHealth(m.health, step, req.Read)
+		if ok {
+			m.res.AvailableSteps++
+		}
+		m.observe(req, ok, -1)
+		return
+	}
+	// Probe every shard with its own key; the step counts as available
+	// only when every group answers, while the per-group tallies localize
+	// any outage to its shard.
+	allUp := true
+	for g, key := range m.shardKeys {
+		m.res.ShardProbedSteps[g]++
+		ok := checkShardHealth(m.health, step, g, key, req.Read)
+		if ok {
+			m.res.ShardAvailableSteps[g]++
+		} else {
+			allUp = false
+		}
+		m.observe(req, ok, g)
+	}
+	if allUp {
+		m.res.AvailableSteps++
+	}
+}
+
+// openStep measures an open-loop workload. Real traffic stays bounded — at
+// most one probe per (group, read/write class) per step, whatever the
+// simulated client count — and every generated arrival resolves against its
+// owning group's class outcome: service-time sample if the probe answered,
+// the spec Deadline if not. Service samples were already drawn at
+// generation time, so the RNG streams never depend on probe outcomes.
+func (m *measurer) openStep(step uint64) {
+	needRead := m.spec.ReadFraction > 0
+	needWrite := m.spec.ReadFraction < 1
+	m.res.ProbedSteps++
+	if needRead {
+		m.res.ReadProbes++
+	}
+	allUp := true
+	for g := range m.readOK {
+		key := "health"
+		if m.shardKeys != nil {
+			key = m.shardKeys[g]
+			m.res.ShardProbedSteps[g]++
+		}
+		up := true
+		if needRead {
+			m.readOK[g] = probeClass(m.health, fmt.Sprintf("wl-%d-g%d-r", step, g), key, true, step)
+			up = up && m.readOK[g]
+		}
+		if needWrite {
+			m.writeOK[g] = probeClass(m.health, fmt.Sprintf("wl-%d-g%d-w", step, g), key, false, step)
+			up = up && m.writeOK[g]
+		}
+		if m.shardKeys != nil && up {
+			m.res.ShardAvailableSteps[g]++
+		}
+		allUp = allUp && up
+	}
+	if allUp {
+		m.res.AvailableSteps++
+	}
+	m.buf = m.gen.Arrivals(step, m.buf[:0])
+	for _, req := range m.buf {
+		g := 0
+		if m.owners != nil {
+			g = m.owners[int(req.Key)%len(m.owners)]
+		}
+		ok := m.writeOK[g]
+		if req.Read {
+			ok = m.readOK[g]
+		}
+		shard := -1
+		if m.shardKeys != nil {
+			shard = g
+		}
+		m.observe(req, ok, shard)
+	}
+}
+
+// observe charges one resolved request its virtual latency: the seeded
+// service-time sample when its probe answered, the workload deadline when
+// it did not.
+func (m *measurer) observe(req workload.Request, ok bool, shard int) {
+	m.res.Requests++
+	lat := m.spec.Deadline
+	if ok {
+		m.res.RequestsOK++
+		lat = req.Service
+	}
+	if req.Read {
+		m.res.ReadRequests++
+	}
+	m.res.Latency.Observe(lat)
+	if shard >= 0 {
+		m.res.ShardLatency[shard].Observe(lat)
+	}
+}
+
+// probeClass issues one open-loop class probe: a keyed get through the
+// lease-aware read path, or a keyed put through the ordered write path.
+func probeClass(c *proxy.Client, id, key string, read bool, step uint64) bool {
+	var err error
+	if read {
+		_, err = c.InvokeRead(id, []byte(fmt.Sprintf(`{"op":"get","key":%q}`, key)))
+	} else {
+		_, err = c.Invoke(id, []byte(fmt.Sprintf(`{"op":"put","key":%q,"value":"step-%d"}`, key, step)))
+	}
+	return err == nil
+}
+
 // recordCampaign publishes one finished campaign's result into the system's
 // registry as Stable-class counters: each value is derived from the
 // CampaignResult the determinism suite already pins byte-identical across
@@ -401,6 +585,11 @@ func recordCampaign(reg *metrics.Registry, res *CampaignResult) {
 			metrics.Stable).Add(res.ShardProbedSteps[g])
 		reg.Counter(fmt.Sprintf("campaign_shard_available_steps_total{group=\"%d\"}", g),
 			metrics.Stable).Add(res.ShardAvailableSteps[g])
+	}
+	if res.Requests > 0 {
+		reg.Counter("workload_requests_total", metrics.Stable).Add(res.Requests)
+		reg.Counter("workload_requests_ok_total", metrics.Stable).Add(res.RequestsOK)
+		reg.Counter("workload_read_requests_total", metrics.Stable).Add(res.ReadRequests)
 	}
 	if res.Compromised {
 		reg.Counter("campaign_compromises_total", metrics.Stable).Inc()

@@ -8,6 +8,7 @@ import (
 	"fortress/internal/keyspace"
 	"fortress/internal/sim"
 	"fortress/internal/stats"
+	"fortress/internal/workload"
 	"fortress/internal/xrand"
 )
 
@@ -60,6 +61,18 @@ type SeriesResult struct {
 	// unless the campaigns ran sharded (fortress.Config.Groups > 1) with
 	// MeasureAvailability.
 	ShardAvailability []stats.Summary
+	// Requests, RequestsOK and ReadRequests total the workload requests
+	// resolved across all repetitions.
+	Requests     uint64
+	RequestsOK   uint64
+	ReadRequests uint64
+	// Latency merges every repetition's virtual-latency histogram in
+	// repetition order (bucket merges are element-wise adds, so the fold
+	// is order-independent anyway); ShardLatency is the per-replica-group
+	// breakdown, nil unless the campaigns ran sharded. Zero-valued/empty
+	// when no repetition measured.
+	Latency      workload.Hist
+	ShardLatency []workload.Hist
 	// Results holds every repetition's outcome, in repetition order.
 	Results []CampaignResult
 }
@@ -141,6 +154,16 @@ func CampaignSeries(tmpl fortress.Config, space *keyspace.Space, cfg SeriesConfi
 			if r.ShardProbedSteps[g] > 0 {
 				shardAcc[g].Add(a)
 			}
+		}
+		out.Requests += r.Requests
+		out.RequestsOK += r.RequestsOK
+		out.ReadRequests += r.ReadRequests
+		out.Latency.Merge(r.Latency)
+		for g, h := range r.ShardLatency {
+			if out.ShardLatency == nil {
+				out.ShardLatency = make([]workload.Hist, len(r.ShardLatency))
+			}
+			out.ShardLatency[g].Merge(h)
 		}
 		if r.Compromised {
 			out.Compromised++

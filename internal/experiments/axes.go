@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fortress/internal/workload"
+)
+
+// WorkloadAxes is the shared measurement-workload grid both sweeps embed —
+// one definition, so the faults and campaign CLIs cannot drift. Cells fan
+// out workload → read fraction → leases, innermost axes last.
+type WorkloadAxes struct {
+	// Workloads is the named workload-preset grid (workload.PresetNames:
+	// "closed", "uniform-closed", "uniform-poisson", "zipf-poisson",
+	// "zipf-bursty", "diurnal-ramp"). Every cell measures availability and
+	// virtual latency under its preset's arrival process and key
+	// popularity. Empty defaults to {"closed"}, the legacy one-probe-per-
+	// step health check — except where the embedding sweep documents a
+	// measurement-off default.
+	Workloads []string
+	// ReadFracs overrides the preset's read share, one cell per value in
+	// [0, 1] (0 is all writes — a plain fraction, not the deprecated
+	// CampaignConfig encoding). Empty keeps each preset's own mix.
+	ReadFracs []float64
+	// Leases is the read-lease grid: cells with true deploy the server
+	// tier with heartbeat-bounded read leases (SMR only; PB ignores the
+	// flag). Default {false}.
+	Leases []bool
+}
+
+// workloadCell is one resolved point of the workload grid.
+type workloadCell struct {
+	name   string // row label; "-" when measurement is off
+	spec   workload.Spec
+	rf     float64 // reported read share (the spec's effective fraction)
+	leases bool
+	off    bool // no measurement workload at all (legacy campaign default)
+}
+
+// expand resolves the axes into cells in grid order. When defaultOff is
+// true and neither workloads nor read fractions were set, the sweep keeps
+// its historical no-measurement default — one cell per lease value.
+func (a WorkloadAxes) expand(defaultOff bool) ([]workloadCell, error) {
+	leases := a.Leases
+	if len(leases) == 0 {
+		leases = []bool{false}
+	}
+	if defaultOff && len(a.Workloads) == 0 && len(a.ReadFracs) == 0 {
+		cells := make([]workloadCell, 0, len(leases))
+		for _, l := range leases {
+			cells = append(cells, workloadCell{name: "-", rf: math.NaN(), leases: l, off: true})
+		}
+		return cells, nil
+	}
+	names := a.Workloads
+	if len(names) == 0 {
+		names = []string{"closed"}
+	}
+	rfs := a.ReadFracs
+	if len(rfs) == 0 {
+		rfs = []float64{math.NaN()} // NaN: keep the preset's own mix
+	}
+	var cells []workloadCell
+	for _, name := range names {
+		preset, err := workload.PresetByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		for _, rf := range rfs {
+			spec := preset
+			if !math.IsNaN(rf) {
+				if rf < 0 || rf > 1 {
+					return nil, fmt.Errorf("experiments: read fraction %g outside [0,1]", rf)
+				}
+				spec.ReadFraction = rf
+			}
+			for _, l := range leases {
+				cells = append(cells, workloadCell{
+					name:   name,
+					spec:   spec,
+					rf:     spec.ReadFraction,
+					leases: l,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// latencyMillis converts a histogram quantile to milliseconds, NaN when the
+// histogram is empty — the sentinel the table/CSV renderers print as "-".
+func latencyMillis(h workload.Hist, q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return float64(h.Quantile(q)) / 1e6
+}
+
+// latencyColumns summarizes a merged latency histogram into the three row
+// percentiles every sweep reports.
+func latencyColumns(h workload.Hist) (p50, p99, p999 float64) {
+	return latencyMillis(h, 0.50), latencyMillis(h, 0.99), latencyMillis(h, 0.999)
+}
+
+// shardP99s summarizes per-group p99 latency in milliseconds; nil when the
+// cell ran single-group or without measurement.
+func shardP99s(hists []workload.Hist) []float64 {
+	if len(hists) == 0 {
+		return nil
+	}
+	out := make([]float64, len(hists))
+	for g, h := range hists {
+		out[g] = latencyMillis(h, 0.99)
+	}
+	return out
+}
+
+// formatOptFloat renders a millisecond latency column ("-" for NaN).
+func formatOptFloat(ms float64) string {
+	if math.IsNaN(ms) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", ms)
+}
+
+// formatOptFloats renders a per-shard latency list ("-" when empty).
+func formatOptFloats(ms []float64) string {
+	if len(ms) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = formatOptFloat(m)
+	}
+	return strings.Join(parts, ";")
+}

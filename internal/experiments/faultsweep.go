@@ -22,12 +22,13 @@ import (
 
 // FaultSweepConfig tunes the degraded-network campaign sweep: a grid of
 // (backend × fault-schedule preset × drop rate × proxy count × persistence
-// × schedule jitter × workload read fraction × read leases) cells, each
-// evaluated by a series of campaign repetitions (attack.CampaignSeries)
-// with a fault injector replaying the preset against every repetition's own
-// deployment, and with per-step availability measurement on. Zero-valued
-// fields select defaults, except Seed (zero is itself a valid seed) and
-// OmegaDirect (zero means an indirect-only sweep), mirroring
+// × schedule jitter × workload preset × read fraction × read leases)
+// cells, each evaluated by a series of campaign repetitions
+// (attack.CampaignSeries) with a fault injector replaying the preset
+// against every repetition's own deployment, and with the cell's
+// measurement workload (availability + virtual latency percentiles) on.
+// Zero-valued fields select defaults, except Seed (zero is itself a valid
+// seed) and OmegaDirect (zero means an indirect-only sweep), mirroring
 // LiveCampaignConfig.
 type FaultSweepConfig struct {
 	// Chi is the randomization key-space size χ; small by design, as in the
@@ -98,16 +99,12 @@ type FaultSweepConfig struct {
 	// drawn from each repetition's own pre-split stream so jittered cells
 	// keep the bit-identical-at-any-Workers contract. Default {0}.
 	Jitters []uint64
-	// ReadFracs is the workload-mix grid: each value is the read share of
-	// the per-step availability probes (attack.CampaignConfig.ReadFraction).
-	// A value of 0 means an all-write workload. Default {1} — the historical
-	// all-read health probe.
-	ReadFracs []float64
-	// Leases is the read-lease grid: cells with true deploy the server tier
-	// with heartbeat-bounded read leases (SMR only; PB ignores the flag), so
-	// the sweep compares availability and lifetime with local lease reads
-	// against the ordered-read baseline. Default {false}.
-	Leases []bool
+	// WorkloadAxes is the measurement-workload grid shared with the live
+	// campaign sweep: named workload presets × read-fraction overrides ×
+	// read leases. Every fault-sweep cell measures, so the empty axes
+	// default to the "closed" preset at its own (all-read) mix — the
+	// historical health probe.
+	WorkloadAxes
 	// PersistRoot, when non-empty, roots every "wal" cell's store
 	// directories (one per cell, repetition and server) and is left in
 	// place for inspection. When empty, a temporary root is created and
@@ -139,8 +136,10 @@ func DefaultFaultSweepConfig() FaultSweepConfig {
 		Persist:       []string{"mem"},
 		FsyncEvery:    []int{1},
 		Jitters:       []uint64{0},
-		ReadFracs:     []float64{1},
-		Leases:        []bool{false},
+		WorkloadAxes: WorkloadAxes{
+			Workloads: []string{"closed"},
+			Leases:    []bool{false},
+		},
 	}
 }
 
@@ -187,23 +186,9 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 	if len(c.Jitters) == 0 {
 		c.Jitters = d.Jitters
 	}
-	if len(c.ReadFracs) == 0 {
-		c.ReadFracs = d.ReadFracs
-	}
-	if len(c.Leases) == 0 {
-		c.Leases = d.Leases
-	}
+	// Workloads/ReadFracs/Leases stay as given: WorkloadAxes.expand owns
+	// their defaults, shared with the live-campaign sweep.
 	return c
-}
-
-// campaignReadFraction maps a sweep-axis read fraction onto the campaign
-// config's encoding, where zero means "default" (all reads) and negative
-// means all writes: an explicit grid value of 0 must stay an all-write mix.
-func campaignReadFraction(f float64) float64 {
-	if f <= 0 {
-		return -1
-	}
-	return f
 }
 
 // FaultSweepRow is one sweep cell: a (backend, preset, drop rate, proxy
@@ -221,8 +206,10 @@ type FaultSweepRow struct {
 	FsyncEvery int
 	// Jitter is the cell's maximum per-event schedule delay, in steps.
 	Jitter uint64
-	// ReadFrac is the cell's workload read share; Leases reports whether the
-	// cell's server tier ran with read leases on.
+	// Workload names the cell's measurement-workload preset.
+	Workload string
+	// ReadFrac is the cell's effective workload read share; Leases reports
+	// whether the cell's server tier ran with read leases on.
 	ReadFrac float64
 	Leases   bool
 	Reps     uint64
@@ -241,6 +228,18 @@ type FaultSweepRow struct {
 	// group shows up here as that shard's entry collapsing while the
 	// others hold at 1.
 	ShardAvailability []float64
+	// P50/P99/P999 are the cell's virtual-latency percentiles in
+	// milliseconds over the merged repetition histograms (service-time
+	// sample when the owning shard answered its probe, the workload
+	// deadline when it did not); NaN when the cell observed no requests.
+	P50  float64
+	P99  float64
+	P999 float64
+	// ShardP99 is the per-replica-group p99 latency in milliseconds,
+	// indexed by group; nil on single-group cells. The shard-cut preset's
+	// signature: the islanded shard's p99 pinned at the deadline while the
+	// untouched shards stay flat.
+	ShardP99 []float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
 	// Metrics is the cell's merged per-repetition metrics snapshot; nil
@@ -267,7 +266,8 @@ const (
 // preset (plus the cell's drop rate at step 0) against that deployment's
 // campaign-step clock. Rows come back in grid order (backend, then preset,
 // then drop rate, then proxy count, then persistence mode with its fsync
-// cadence, then schedule jitter, then workload read fraction, then leases).
+// cadence, then schedule jitter, then workload preset, then read fraction,
+// then leases).
 //
 // Determinism matches the other sweeps: per-cell streams are pre-split in
 // grid order, per-repetition streams (injector included) in repetition
@@ -283,17 +283,20 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 		return nil, err
 	}
 
+	wlCells, err := cfg.WorkloadAxes.expand(false)
+	if err != nil {
+		return nil, err
+	}
 	type cell struct {
-		backend  replica.Backend
-		preset   faults.Preset
-		drop     float64
-		proxies  int
-		groups   int
-		persist  string
-		fsync    int
-		jitter   uint64
-		readFrac float64
-		leases   bool
+		backend replica.Backend
+		preset  faults.Preset
+		drop    float64
+		proxies int
+		groups  int
+		persist string
+		fsync   int
+		jitter  uint64
+		wl      workloadCell
 	}
 	var cells []cell
 	for _, backendName := range cfg.Backends {
@@ -326,10 +329,8 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 							}
 							for _, fsync := range fsyncs {
 								for _, jitter := range cfg.Jitters {
-									for _, rf := range cfg.ReadFracs {
-										for _, leases := range cfg.Leases {
-											cells = append(cells, cell{backend, p, drop, np, groups, persist, fsync, jitter, rf, leases})
-										}
+									for _, wl := range wlCells {
+										cells = append(cells, cell{backend, p, drop, np, groups, persist, fsync, jitter, wl})
 									}
 								}
 							}
@@ -375,7 +376,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			ServerTimeout:     faultSweepServerTimeout,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			UpdateWindow:      cfg.UpdateWindow,
-			Leases:            c.leases,
+			Leases:            c.wl.leases,
 		}
 		var regs []*metrics.Registry
 		if cfg.CollectMetrics {
@@ -412,7 +413,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 				MeasureAvailability: true,
 				HealthTimeout:       faultSweepHealthTimeout,
 				ProbeTimeout:        faultSweepProbeTimeout,
-				ReadFraction:        campaignReadFraction(c.readFrac),
+				Workload:            c.wl.spec,
 			},
 			Workers:   inner,
 			Customize: customize,
@@ -435,13 +436,14 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			},
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d groups=%d persist=%s jitter=%d readfrac=%g leases=%t): %w",
-				c.backend, c.preset.Name, c.drop, c.proxies, c.groups, c.persist, c.jitter, c.readFrac, c.leases, err)
+			return fmt.Errorf("experiments: cell (backend=%s preset=%s drop=%g np=%d groups=%d persist=%s jitter=%d workload=%s readfrac=%g leases=%t): %w",
+				c.backend, c.preset.Name, c.drop, c.proxies, c.groups, c.persist, c.jitter, c.wl.name, c.wl.rf, c.wl.leases, err)
 		}
 		var shardAvail []float64
 		for _, s := range series.ShardAvailability {
 			shardAvail = append(shardAvail, s.Mean)
 		}
+		p50, p99, p999 := latencyColumns(series.Latency)
 		rows[i] = FaultSweepRow{
 			Backend:           c.backend.String(),
 			Preset:            c.preset.Name,
@@ -451,8 +453,9 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			Persist:           c.persist,
 			FsyncEvery:        c.fsync,
 			Jitter:            c.jitter,
-			ReadFrac:          c.readFrac,
-			Leases:            c.leases,
+			Workload:          c.wl.name,
+			ReadFrac:          c.wl.rf,
+			Leases:            c.wl.leases,
 			Reps:              series.Reps,
 			Compromised:       series.Compromised,
 			MeanLifetime:      series.Lifetime.Mean,
@@ -460,6 +463,10 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			Availability:      series.Availability.Mean,
 			AvailabilityCI95:  series.Availability.CI95,
 			ShardAvailability: shardAvail,
+			P50:               p50,
+			P99:               p99,
+			P999:              p999,
+			ShardP99:          shardP99s(series.ShardLatency),
 			Routes:            series.Routes,
 		}
 		if regs != nil {
@@ -474,15 +481,19 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 	return rows, nil
 }
 
-// FormatFaultSweep renders sweep rows as an aligned text table.
+// FormatFaultSweep renders sweep rows as an aligned text table. The p50/
+// p99/p999 columns are virtual-latency percentiles in milliseconds;
+// shardp99 breaks p99 down per replica group on sharded cells.
 func FormatFaultSweep(rows []FaultSweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-7s %-8s %-6s %-7s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %-18s %s\n",
-		"backend", "preset", "drop", "proxies", "groups", "persist", "fsync", "jitter", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "shards", "routes")
+	fmt.Fprintf(&b, "%-8s %-18s %-6s %-8s %-7s %-8s %-6s %-7s %-15s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %-7s %-7s %-7s %-18s %-18s %s\n",
+		"backend", "preset", "drop", "proxies", "groups", "persist", "fsync", "jitter", "workload", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "p50ms", "p99ms", "p999ms", "shards", "shardp99", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-7d %-8s %-6d %-7d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %-18s %s\n",
-			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Groups, r.Persist, r.FsyncEvery, r.Jitter, r.ReadFrac, r.Leases,
-			r.Reps, r.Compromised, r.MeanLifetime, r.CI95, r.Availability, formatShardAvail(r.ShardAvailability), formatRoutes(r.Routes))
+		fmt.Fprintf(&b, "%-8s %-18s %-6g %-8d %-7d %-8s %-6d %-7d %-15s %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %-7s %-7s %-7s %-18s %-18s %s\n",
+			r.Backend, r.Preset, r.DropRate, r.Proxies, r.Groups, r.Persist, r.FsyncEvery, r.Jitter, r.Workload, r.ReadFrac, r.Leases,
+			r.Reps, r.Compromised, r.MeanLifetime, r.CI95, r.Availability,
+			formatOptFloat(r.P50), formatOptFloat(r.P99), formatOptFloat(r.P999),
+			formatShardAvail(r.ShardAvailability), formatOptFloats(r.ShardP99), formatRoutes(r.Routes))
 	}
 	return b.String()
 }

@@ -288,14 +288,17 @@ func TestFaultSweepRejectsUnknownPreset(t *testing.T) {
 func TestFormatFaultSweepAndCSV(t *testing.T) {
 	rows := []FaultSweepRow{{
 		Backend: "pb", Preset: "none", DropRate: 0.5, Proxies: 3, Groups: 2,
-		Persist: "wal", FsyncEvery: 8, Jitter: 2, ReadFrac: 0.95, Leases: true,
+		Persist: "wal", FsyncEvery: 8, Jitter: 2,
+		Workload: "zipf-poisson", ReadFrac: 0.95, Leases: true,
 		Reps: 4, Compromised: 2,
 		MeanLifetime: 7.25, CI95: 1.5, Availability: 0.875, AvailabilityCI95: 0.05,
+		P50: 0.5, P99: 2, P999: 4,
 		ShardAvailability: []float64{1, 0.75},
+		ShardP99:          []float64{1.5, 250},
 		Routes:            map[string]uint64{"all-proxies": 2},
 	}}
 	table := FormatFaultSweep(rows)
-	for _, want := range []string{"backend", "preset", "availability", "readfrac", "leases", "groups", "shards", "none", "1;0.75", "all-proxies:2"} {
+	for _, want := range []string{"backend", "preset", "availability", "workload", "readfrac", "leases", "groups", "shards", "p99ms", "shardp99", "none", "zipf-poisson", "1;0.75", "1.5;250", "all-proxies:2"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -305,10 +308,10 @@ func TestFormatFaultSweepAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,persist,fsync_every,jitter,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,") {
+	if !strings.HasPrefix(got, "backend,preset,drop_rate,proxies,persist,fsync_every,jitter,workload,read_frac,leases,reps,compromised,mean_lifetime,ci95,availability,availability_ci95,p50_ms,p99_ms,p999_ms,") {
 		t.Errorf("csv header: %q", got)
 	}
-	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,0.95,true,4,2,7.25,1.5,0.875,0.05,2,1;0.75,0,0,2") {
+	if !strings.Contains(got, "pb,none,0.5,3,wal,8,2,zipf-poisson,0.95,true,4,2,7.25,1.5,0.875,0.05,0.5,2,4,2,1;0.75,1.5;250,0,0,2") {
 		t.Errorf("csv row: %q", got)
 	}
 }

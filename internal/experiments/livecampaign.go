@@ -77,16 +77,13 @@ type LiveCampaignConfig struct {
 	// untouched.
 	CheckpointEvery int
 	UpdateWindow    int
-	// ReadFrac, when non-zero, turns on per-step availability measurement
-	// with a read/write workload mix: each step issues one client probe, a
-	// read (through the lease-aware path) with this probability-free
-	// deterministic share, a keyed write otherwise. Negative means an
-	// all-write workload. Zero keeps the historical sweep: no availability
-	// probes at all.
-	ReadFrac float64
-	// Leases deploys every cell's server tier with heartbeat-bounded read
-	// leases (SMR only; PB ignores the flag).
-	Leases bool
+	// WorkloadAxes is the measurement-workload grid shared with the fault
+	// sweep: named workload presets × read-fraction overrides × read
+	// leases, appended after the pacing axis. Setting any workload or
+	// read-fraction value turns availability + virtual-latency measurement
+	// on for those cells; leaving both empty keeps the historical sweep —
+	// no measurement probes at all, one cell per lease value.
+	WorkloadAxes
 	// CollectMetrics attaches a private metrics registry to every campaign
 	// repetition and merges the per-repetition snapshots into each row's
 	// Metrics field (repetition order; trace rings prefixed "repN/").
@@ -160,9 +157,11 @@ type LiveCampaignRow struct {
 	Groups        int
 	Detector      bool
 	OmegaIndirect uint64
-	// ReadFrac is the sweep's workload read share (0 when the sweep ran
-	// without availability probes); Leases reports whether the server tier
+	// Workload names the cell's measurement-workload preset ("-" when the
+	// cell ran without measurement); ReadFrac is its effective read share
+	// (NaN without measurement); Leases reports whether the server tier
 	// ran with read leases on.
+	Workload    string
 	ReadFrac    float64
 	Leases      bool
 	Reps        uint64
@@ -180,6 +179,14 @@ type LiveCampaignRow struct {
 	// indexed by group; nil unless the cell ran sharded (Groups > 1) with
 	// availability measurement on.
 	ShardAvailability []float64
+	// P50/P99/P999 are the cell's virtual-latency percentiles in
+	// milliseconds over the merged repetition histograms; NaN when the
+	// cell ran without measurement. ShardP99 is the per-replica-group p99
+	// breakdown, nil on single-group cells.
+	P50      float64
+	P99      float64
+	P999     float64
+	ShardP99 []float64
 	// Routes histograms how the compromised repetitions fell.
 	Routes map[string]uint64
 	// Metrics is the cell's merged per-repetition metrics snapshot; nil
@@ -190,7 +197,8 @@ type LiveCampaignRow struct {
 // LiveCampaign runs the live-campaign sweep: every grid cell drives Reps
 // full de-randomization campaigns against its own fleet of FORTRESS
 // deployments through attack.CampaignSeries, and the rows come back in grid
-// order (backend, then proxy count, then detector, then pacing).
+// order (backend, then proxy count, then detector, then pacing, then the
+// workload axes: preset, read fraction, leases).
 //
 // Determinism matches the Monte-Carlo sweeps: per-cell random streams are
 // pre-split in grid order, each cell's series is itself bit-identical at any
@@ -206,12 +214,17 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 		return nil, err
 	}
 
+	wlCells, err := cfg.WorkloadAxes.expand(true)
+	if err != nil {
+		return nil, err
+	}
 	type cell struct {
 		backend  replica.Backend
 		proxies  int
 		groups   int
 		detector bool
 		pacing   uint64
+		wl       workloadCell
 	}
 	var cells []cell
 	for _, backendName := range cfg.Backends {
@@ -226,7 +239,9 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 				}
 				for _, det := range cfg.Detectors {
 					for _, pacing := range cfg.Pacings {
-						cells = append(cells, cell{backend, np, groups, det, pacing})
+						for _, wl := range wlCells {
+							cells = append(cells, cell{backend, np, groups, det, pacing, wl})
+						}
 					}
 				}
 			}
@@ -251,7 +266,7 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			ServerTimeout:     5 * time.Second,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			UpdateWindow:      cfg.UpdateWindow,
-			Leases:            cfg.Leases,
+			Leases:            c.wl.leases,
 		}
 		if c.detector {
 			// An effectively unbounded window keeps flagging a pure
@@ -265,9 +280,9 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			MaxSteps:      cfg.MaxSteps,
 			Rerandomize:   cfg.Rerandomize,
 		}
-		if cfg.ReadFrac != 0 {
+		if !c.wl.off {
 			camp.MeasureAvailability = true
-			camp.ReadFraction = cfg.ReadFrac
+			camp.Workload = c.wl.spec
 		}
 		var regs []*metrics.Registry
 		var customize func(rep int, fc *fortress.Config)
@@ -283,21 +298,23 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			Customize: customize,
 		}, cfg.Reps, rngs[i])
 		if err != nil {
-			return fmt.Errorf("experiments: cell (backend=%s np=%d groups=%d det=%v pace=%d): %w",
-				c.backend, c.proxies, c.groups, c.detector, c.pacing, err)
+			return fmt.Errorf("experiments: cell (backend=%s np=%d groups=%d det=%v pace=%d workload=%s leases=%t): %w",
+				c.backend, c.proxies, c.groups, c.detector, c.pacing, c.wl.name, c.wl.leases, err)
 		}
 		var shardAvail []float64
 		for _, s := range series.ShardAvailability {
 			shardAvail = append(shardAvail, s.Mean)
 		}
+		p50, p99, p999 := latencyColumns(series.Latency)
 		rows[i] = LiveCampaignRow{
 			Backend:           c.backend.String(),
 			Proxies:           c.proxies,
 			Groups:            c.groups,
 			Detector:          c.detector,
 			OmegaIndirect:     c.pacing,
-			ReadFrac:          readFracReported(cfg.ReadFrac),
-			Leases:            cfg.Leases,
+			Workload:          c.wl.name,
+			ReadFrac:          c.wl.rf,
+			Leases:            c.wl.leases,
 			Reps:              series.Reps,
 			Compromised:       series.Compromised,
 			MeanLifetime:      series.Lifetime.Mean,
@@ -305,6 +322,10 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 			Availability:      series.Availability.Mean,
 			AvailabilityCI95:  series.Availability.CI95,
 			ShardAvailability: shardAvail,
+			P50:               p50,
+			P99:               p99,
+			P999:              p999,
+			ShardP99:          shardP99s(series.ShardLatency),
 			Routes:            series.Routes,
 		}
 		if regs != nil {
@@ -319,29 +340,20 @@ func LiveCampaign(cfg LiveCampaignConfig) ([]LiveCampaignRow, error) {
 	return rows, nil
 }
 
-// readFracReported normalizes a configured read fraction for reporting:
-// negative (all writes) reports as 0, values above 1 clamp, like the
-// campaign's own resolution — except zero stays zero (measurement off).
-func readFracReported(f float64) float64 {
-	switch {
-	case f < 0:
-		return 0
-	case f > 1:
-		return 1
-	default:
-		return f
-	}
-}
-
-// FormatLiveCampaign renders sweep rows as an aligned text table.
+// FormatLiveCampaign renders sweep rows as an aligned text table. The p50/
+// p99/p999 columns are virtual-latency percentiles in milliseconds ("-"
+// when the cell ran without a measurement workload); shardp99 breaks p99
+// down per replica group on sharded cells.
 func FormatLiveCampaign(rows []LiveCampaignRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-8s %-7s %-9s %-6s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %-18s %s\n",
-		"backend", "proxies", "groups", "detector", "pace", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "shards", "routes")
+	fmt.Fprintf(&b, "%-8s %-8s %-7s %-9s %-6s %-15s %-9s %-7s %-6s %-12s %-14s %-10s %-13s %-7s %-7s %-7s %-18s %-18s %s\n",
+		"backend", "proxies", "groups", "detector", "pace", "workload", "readfrac", "leases", "reps", "compromised", "meanLifetime", "ci95", "availability", "p50ms", "p99ms", "p999ms", "shards", "shardp99", "routes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-8d %-7d %-9v %-6d %-9g %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %-18s %s\n",
-			r.Backend, r.Proxies, r.Groups, r.Detector, r.OmegaIndirect, r.ReadFrac, r.Leases, r.Reps, r.Compromised,
-			r.MeanLifetime, r.CI95, r.Availability, formatShardAvail(r.ShardAvailability), formatRoutes(r.Routes))
+		fmt.Fprintf(&b, "%-8s %-8d %-7d %-9v %-6d %-15s %-9s %-7t %-6d %-12d %-14.6g %-10.3g %-13.4g %-7s %-7s %-7s %-18s %-18s %s\n",
+			r.Backend, r.Proxies, r.Groups, r.Detector, r.OmegaIndirect, r.Workload, formatOptFloat(r.ReadFrac), r.Leases, r.Reps, r.Compromised,
+			r.MeanLifetime, r.CI95, r.Availability,
+			formatOptFloat(r.P50), formatOptFloat(r.P99), formatOptFloat(r.P999),
+			formatShardAvail(r.ShardAvailability), formatOptFloats(r.ShardP99), formatRoutes(r.Routes))
 	}
 	return b.String()
 }

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"fortress/internal/xrand"
+)
+
+// Request is one generated arrival. T is the virtual arrival time in steps
+// (fractional within the step), Key the popularity-sampled key ID, Read the
+// deterministic read/write class, and Service the virtual service-time
+// sample the request is charged when its owning shard answers — drawn
+// unconditionally at generation time so the RNG stream position never
+// depends on probe outcomes.
+type Request struct {
+	T       float64
+	Key     uint32
+	Read    bool
+	Service time.Duration
+}
+
+// maxCohorts bounds the generator's state: clients are folded into at most
+// this many aggregated renewal processes (the superposition of n independent
+// Poisson processes at rate r is one Poisson process at rate n·r), so the
+// event heap holds one entry per cohort regardless of the client count.
+const maxCohorts = 64
+
+type event struct {
+	t      float64
+	cohort int32
+}
+
+type cohort struct {
+	rng  *xrand.RNG
+	rate float64 // aggregate peak rate, arrivals per step
+}
+
+// Gen generates a Spec's arrival stream from a seeded RNG. State is O(1) in
+// the client count (at most maxCohorts heap entries plus the Zipf CDF); the
+// only per-arrival cost is the caller's reusable buffer. Not safe for
+// concurrent use — each campaign repetition owns its own Gen, exactly like
+// its guesser RNGs.
+type Gen struct {
+	spec    Spec
+	sample  *xrand.RNG // keys, service times, thinning accepts
+	cohorts []cohort
+	heap    []event
+	zipfCDF []float64
+	reads   uint64 // realized read count, for the deterministic mix threshold
+	total   uint64
+}
+
+// NewGen validates and defaults spec and builds its generator. The parent
+// rng is only Split from, never read, so sibling streams stay undisturbed.
+func NewGen(spec Spec, rng *xrand.RNG) (*Gen, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gen{spec: spec, sample: rng.Split()}
+	if spec.KeyDist == Zipfian {
+		g.zipfCDF = zipfCDF(spec.Keys, spec.ZipfS)
+	}
+	if spec.Arrival == ClosedLoop {
+		return g, nil
+	}
+	n := spec.Clients
+	nc := n
+	if nc > maxCohorts {
+		nc = maxCohorts
+	}
+	if nc < 1 {
+		nc = 1
+	}
+	_, peak := g.modulation(0)
+	g.cohorts = make([]cohort, nc)
+	g.heap = make([]event, 0, nc)
+	base, rem := n/nc, n%nc
+	for i := range g.cohorts {
+		clients := base
+		if i < rem {
+			clients++
+		}
+		// Split in cohort-index order so the stream layout is a pure
+		// function of (spec, seed).
+		c := cohort{rng: rng.Split(), rate: float64(clients) * spec.Rate * peak}
+		g.cohorts[i] = c
+		if c.rate > 0 {
+			g.heap = append(g.heap, event{t: expDraw(c.rng) / c.rate, cohort: int32(i)})
+		}
+	}
+	for i := len(g.heap)/2 - 1; i >= 0; i-- {
+		g.siftDown(i)
+	}
+	return g, nil
+}
+
+// Spec returns the generator's spec with defaults applied.
+func (g *Gen) Spec() Spec { return g.spec }
+
+// Arrivals appends the requests arriving in [step, step+1) to buf and
+// returns it. ClosedLoop emits exactly one request per step; open-loop
+// processes drain the event heap up to the step boundary, thinning against
+// the rate modulation where the process is time-varying.
+func (g *Gen) Arrivals(step uint64, buf []Request) []Request {
+	if g.spec.Arrival == ClosedLoop {
+		return append(buf, Request{
+			T:       float64(step),
+			Read:    g.nextRead(),
+			Service: g.serviceDraw(),
+		})
+	}
+	limit := float64(step + 1)
+	for len(g.heap) > 0 && g.heap[0].t < limit {
+		ev := g.heap[0]
+		c := &g.cohorts[ev.cohort]
+		// Root replacement: schedule this cohort's successor in place and
+		// restore the heap — no push/pop churn.
+		g.heap[0].t = ev.t + expDraw(c.rng)/c.rate
+		g.siftDown(0)
+		if mod, peak := g.modulation(ev.t); mod < peak {
+			// Lewis-Shedler thinning: the cohort runs at peak rate; keep
+			// this arrival with probability mod/peak.
+			if g.sample.Float64()*peak >= mod {
+				continue
+			}
+		}
+		buf = append(buf, Request{
+			T:       ev.t,
+			Key:     g.sampleKey(),
+			Read:    g.nextRead(),
+			Service: g.serviceDraw(),
+		})
+	}
+	return buf
+}
+
+// modulation returns the rate multiplier at virtual time t and its peak
+// value over all t. Poisson is flat; Bursty is an on/off square wave;
+// Diurnal is a sawtooth from 10% to 100%.
+func (g *Gen) modulation(t float64) (mod, peak float64) {
+	switch g.spec.Arrival {
+	case Bursty:
+		period := float64(g.spec.BurstPeriod)
+		phase := math.Mod(t, period)
+		if phase < g.spec.BurstDuty*period {
+			return g.spec.BurstFactor, g.spec.BurstFactor
+		}
+		return 1, g.spec.BurstFactor
+	case Diurnal:
+		period := float64(g.spec.RampPeriod)
+		frac := math.Mod(t, period) / period
+		return 0.1 + 0.9*frac, 1
+	default:
+		return 1, 1
+	}
+}
+
+// nextRead classifies the next request read/write. The threshold rule —
+// read iff the realized read count is still below the target fraction of
+// requests so far — is RNG-free and reproduces the legacy campaign's
+// per-step mix exactly in closed-loop mode.
+func (g *Gen) nextRead() bool {
+	isRead := float64(g.reads) < g.spec.ReadFraction*float64(g.total+1)
+	g.total++
+	if isRead {
+		g.reads++
+	}
+	return isRead
+}
+
+func (g *Gen) sampleKey() uint32 {
+	if g.zipfCDF != nil {
+		u := g.sample.Float64()
+		lo, hi := 0, len(g.zipfCDF)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.zipfCDF[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint32(lo)
+	}
+	return uint32(g.sample.Uint64n(uint64(g.spec.Keys)))
+}
+
+// serviceDraw samples the virtual in-SLO service time: a 500µs floor plus
+// an exponential tail with 2ms mean.
+func (g *Gen) serviceDraw() time.Duration {
+	return 500*time.Microsecond + time.Duration(expDraw(g.sample)*float64(2*time.Millisecond))
+}
+
+func (g *Gen) siftDown(i int) {
+	h := g.heap
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && eventLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && eventLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// eventLess orders events by time with a cohort-index tie-break so the
+// drain order is total.
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.cohort < b.cohort
+}
+
+// expDraw samples a unit-mean exponential.
+func expDraw(r *xrand.RNG) float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// zipfCDF precomputes the cumulative popularity weights 1/(rank+1)^s.
+func zipfCDF(keys int, s float64) []float64 {
+	cdf := make([]float64, keys)
+	var total float64
+	for i := range cdf {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}

@@ -1,0 +1,111 @@
+package workload
+
+import "time"
+
+// histBounds are the fixed latency bucket upper bounds. Fixed buckets (not
+// t-digest or HDR) keep Merge a plain element-wise add — the property the
+// rep-order fold in attack.CampaignSeries needs for bit-identical results at
+// any worker count.
+var histBounds = [histBuckets - 1]time.Duration{
+	125 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	4 * time.Millisecond,
+	8 * time.Millisecond,
+	16 * time.Millisecond,
+	32 * time.Millisecond,
+	64 * time.Millisecond,
+	128 * time.Millisecond,
+	256 * time.Millisecond,
+	512 * time.Millisecond,
+	1 * time.Second,
+	2 * time.Second,
+}
+
+const histBuckets = 16
+
+// Hist is a fixed-bucket latency histogram. The zero value is ready to use;
+// Hist is a value type — copy and merge freely.
+type Hist struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [histBuckets]uint64
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	h.Count++
+	h.Sum += d
+	for i, b := range histBounds {
+		if d <= b {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[histBuckets-1]++
+}
+
+// Merge folds other into h. Order-independent, so rep-order folds commute
+// with per-worker partial merges.
+func (h *Hist) Merge(other Hist) {
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Mean is the average observed latency, 0 when empty.
+func (h Hist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in (0,1]) by linear interpolation
+// within the owning bucket; 0 when the histogram is empty. Samples beyond
+// the last bound interpolate toward twice that bound.
+func (h Hist) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			var lo time.Duration
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := 2 * histBounds[len(histBounds)-1]
+			if i < len(histBounds) {
+				hi = histBounds[i]
+			}
+			frac := float64(rank-seen) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return 2 * histBounds[len(histBounds)-1]
+}
+
+// P50 is the median latency estimate.
+func (h Hist) P50() time.Duration { return h.Quantile(0.50) }
+
+// P99 is the 99th-percentile latency estimate.
+func (h Hist) P99() time.Duration { return h.Quantile(0.99) }
+
+// P999 is the 99.9th-percentile latency estimate.
+func (h Hist) P999() time.Duration { return h.Quantile(0.999) }

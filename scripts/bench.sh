@@ -35,7 +35,13 @@
 # 1/2/4/8 consistent-hash replica groups (pb and smr), one closed-loop
 # client per shard over a 2ms-link-delay network — the recorded "ops/s"
 # metric should scale near-linearly in the group count until the host CPU
-# saturates on signature verification.
+# saturates on signature verification, and BenchmarkWorkloadGen the
+# open-loop workload engine's O(active requests) claim: arrivals/s drawn
+# from the zipf-poisson preset at 10⁴ vs 10⁶ simulated clients plus a
+# bytes/client metric (heap held by a warm generator over its population)
+# that must stay roughly flat across the two orders of magnitude, because
+# cohort superposition caps per-client state at zero and only the per-step
+# arrival buffer scales with offered load.
 #
 # scripts/benchdiff.sh compares two of these files (per-benchmark ns/op
 # ratio, configurable threshold, baseline-completeness check); the CI
